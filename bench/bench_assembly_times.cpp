@@ -1,0 +1,99 @@
+// Tables II and III: single-node assembly times per phase, on the two
+// machine shapes the paper uses — 128 GB host + K40 12 GB (QueenBee II)
+// and 64 GB host + K20X 6 GB (SuperMIC) — scaled by --scale.
+//
+// Expected shape (paper): sort > 50% of total, map ~ 25%, compress
+// negligible; the two machines differ materially only where the K20/64GB
+// host needs an extra sort merge pass (H.Genome).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "io/tempdir.hpp"
+
+using namespace lasagna;
+
+namespace {
+
+void run_machine(const core::MachineConfig& machine,
+                 const bench::BenchArgs& args, const char* table_name) {
+  std::printf("=== %s — machine %s (host %s, device %s [%s]), scale %.0f\n",
+              table_name, machine.name.c_str(),
+              util::format_bytes(machine.host_memory_bytes).c_str(),
+              util::format_bytes(machine.device_memory_bytes).c_str(),
+              machine.gpu_profile.name.c_str(), args.scale);
+
+  const auto specs = args.datasets();
+  std::vector<std::string> headers;
+  std::vector<core::AssemblyResult> results;
+  for (const auto& spec : specs) {
+    const auto fastq = bench::materialize(spec);
+    io::ScopedTempDir out("lasagna-bench");
+
+    core::AssemblyConfig config;
+    config.machine = machine;
+    config.min_overlap = spec.min_overlap;
+    core::Assembler assembler(config);
+    results.push_back(assembler.run(fastq, out.file("contigs.fa")));
+    headers.push_back(spec.name);
+  }
+
+  for (const char* which : {"wall", "modeled"}) {
+    std::printf("\n-- %s times --\n", which);
+    bench::print_row("", headers);
+    for (const char* phase :
+         {"map", "sort", "reduce", "compress", "load"}) {
+      std::vector<std::string> cells;
+      for (const auto& r : results) {
+        const auto& p = r.stats.phase(phase);
+        cells.push_back(bench::cell_time(std::strcmp(which, "wall") == 0
+                                             ? p.wall_seconds
+                                             : p.modeled_seconds));
+      }
+      bench::print_row(phase, cells);
+    }
+    std::vector<std::string> totals;
+    for (const auto& r : results) {
+      totals.push_back(bench::cell_time(std::strcmp(which, "wall") == 0
+                                            ? r.stats.total_wall_seconds()
+                                            : r.stats.total_modeled_seconds()));
+    }
+    bench::print_row("total", totals);
+  }
+
+  std::printf("\n-- sort share of modeled total --\n");
+  std::vector<std::string> shares;
+  for (const auto& r : results) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f%%",
+                  100.0 * r.stats.phase("sort").modeled_seconds /
+                      r.stats.total_modeled_seconds());
+    shares.push_back(buf);
+  }
+  bench::print_row("sort%", shares);
+
+  std::printf("\n-- assembly stats --\n");
+  std::vector<std::string> contigs;
+  std::vector<std::string> n50s;
+  std::vector<std::string> passes;
+  for (const auto& r : results) {
+    contigs.push_back(std::to_string(r.contigs.count));
+    n50s.push_back(std::to_string(r.contigs.n50));
+    passes.push_back(std::to_string(r.sort_disk_passes));
+  }
+  bench::print_row("contigs", contigs);
+  bench::print_row("N50", n50s);
+  bench::print_row("sortpass", passes);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  run_machine(core::MachineConfig::queenbee_k40(args.scale), args,
+              "Table II");
+  run_machine(core::MachineConfig::supermic_k20(args.scale), args,
+              "Table III");
+  return 0;
+}

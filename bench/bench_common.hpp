@@ -1,0 +1,82 @@
+// Shared helpers for the table/figure-regeneration benches.
+//
+// Every bench accepts:
+//   --scale=<f>     divide the paper's datasets and memory budgets by f
+//                   (default 16384 for quick runs; 4096 reproduces the
+//                   DESIGN.md reference geometry; pass counts are identical
+//                   at any scale because data and memory scale together)
+//   --dataset=<name> restrict to one dataset
+//   --quick          even smaller (scale 65536), for smoke runs
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "seq/datasets.hpp"
+#include "util/timer.hpp"
+
+namespace lasagna::bench {
+
+struct BenchArgs {
+  double scale = 16384.0;
+  std::string dataset;  // empty = all
+  bool quick = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--scale=", 0) == 0) {
+        args.scale = std::stod(arg.substr(8));
+      } else if (arg.rfind("--dataset=", 0) == 0) {
+        args.dataset = arg.substr(10);
+      } else if (arg == "--quick") {
+        args.quick = true;
+        args.scale = 65536.0;
+      } else if (arg == "--help") {
+        std::printf(
+            "options: --scale=<f> (default 16384), --dataset=<name>, "
+            "--quick\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  [[nodiscard]] std::vector<seq::DatasetSpec> datasets() const {
+    if (!dataset.empty()) {
+      return {seq::paper_dataset(dataset, scale)};
+    }
+    return seq::paper_datasets(scale);
+  }
+};
+
+/// Datasets are cached next to the build tree so every bench reuses them.
+inline std::filesystem::path dataset_cache_dir() {
+  return std::filesystem::temp_directory_path() / "lasagna-bench-data";
+}
+
+inline std::filesystem::path materialize(const seq::DatasetSpec& spec) {
+  return seq::materialize_dataset(spec, dataset_cache_dir());
+}
+
+/// Fixed-width cell helpers for paper-style tables.
+inline void print_row(const std::string& label,
+                      const std::vector<std::string>& cells) {
+  std::printf("%-10s", label.c_str());
+  for (const auto& c : cells) std::printf(" %14s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string cell_time(double seconds) {
+  return util::format_duration(seconds);
+}
+
+inline std::string cell_bytes(std::uint64_t bytes) {
+  return util::format_bytes(bytes);
+}
+
+}  // namespace lasagna::bench

@@ -1,0 +1,62 @@
+// Fig 10: distributed execution times per phase on 1-8 SuperMIC-style
+// nodes (K20X + 64 GB, scaled), on the H.Genome dataset. Reports modeled
+// phase times (per-node disk/device/network model; event-driven token
+// model for the reduce phase).
+//
+// Expected shape (paper): total time falls with node count thanks to
+// aggregated I/O bandwidth in map and sort; going beyond one node adds a
+// visible shuffle cost; the reduce phase scales worst because the graph
+// build is serialized by the bit-vector token.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dist/cluster.hpp"
+#include "io/tempdir.hpp"
+
+using namespace lasagna;
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  if (args.dataset.empty()) args.dataset = "H.Genome";
+  const auto spec = seq::paper_dataset(args.dataset, args.scale);
+  const auto fastq = bench::materialize(spec);
+
+  std::printf(
+      "=== Fig 10 — distributed phase times (modeled), %s at scale %.0f\n",
+      spec.name.c_str(), args.scale);
+
+  auto sweep = [&](dist::ReduceStrategy strategy) {
+    bench::print_row("nodes", {"map", "shuffle", "sort", "reduce",
+                               "compress", "total", "wall"});
+    for (const unsigned nodes : {1u, 2u, 4u, 8u}) {
+      dist::ClusterConfig config =
+          dist::ClusterConfig::supermic(nodes, args.scale);
+      config.min_overlap = spec.min_overlap;
+      config.reduce_strategy = strategy;
+
+      io::ScopedTempDir out("lasagna-fig10");
+      util::WallTimer timer;
+      const auto result =
+          dist::run_distributed(fastq, out.file("contigs.fa"), config);
+      const double wall = timer.seconds();
+
+      std::vector<std::string> cells;
+      for (const char* phase :
+           {"map", "shuffle", "sort", "reduce", "compress"}) {
+        cells.push_back(
+            bench::cell_time(result.stats.phase(phase).modeled_seconds));
+      }
+      cells.push_back(
+          bench::cell_time(result.stats.total_modeled_seconds()));
+      cells.push_back(bench::cell_time(wall));
+      bench::print_row(std::to_string(nodes), cells);
+    }
+  };
+
+  std::printf("-- length-token reduce (the paper's design) --\n");
+  sweep(dist::ReduceStrategy::kLengthToken);
+  std::printf(
+      "\n-- fingerprint-BSP reduce (the paper's IV-D future work) --\n");
+  sweep(dist::ReduceStrategy::kFingerprintBsp);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation (paper section III-A motivation): block-per-read Hillis-Steele
+// fingerprint kernel vs the naive thread-per-read rolling hash. Uses
+// google-benchmark for the wall-time comparison and reports the modeled
+// device time (where the paper's "memory throttling" penalty shows) as
+// counters.
+#include <benchmark/benchmark.h>
+
+#include "fingerprint/kernels.hpp"
+#include "seq/genome.hpp"
+
+using namespace lasagna;
+
+namespace {
+
+std::vector<std::string> make_reads(std::size_t count, unsigned length) {
+  std::vector<std::string> reads;
+  reads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    reads.push_back(seq::random_genome(length, i * 17 + 5));
+  }
+  return reads;
+}
+
+void run_strategy(benchmark::State& state,
+                  fingerprint::KernelStrategy strategy) {
+  const auto reads =
+      make_reads(static_cast<std::size_t>(state.range(0)),
+                 static_cast<unsigned>(state.range(1)));
+  const fingerprint::PlaceTable places(
+      fingerprint::FingerprintConfig::standard(), 512);
+
+  double modeled = 0.0;
+  for (auto _ : state) {
+    gpu::Device device(gpu::GpuProfile::k40(), 256ull << 20);
+    const auto fps =
+        fingerprint::compute_batch_fingerprints(device, reads, places,
+                                                strategy);
+    benchmark::DoNotOptimize(fps.prefix.data());
+    modeled = device.modeled_seconds();
+  }
+  state.counters["modeled_us"] = modeled * 1e6;
+  state.counters["bases"] = static_cast<double>(reads.size()) *
+                            static_cast<double>(state.range(1));
+}
+
+void BM_BlockPerRead(benchmark::State& state) {
+  run_strategy(state, fingerprint::KernelStrategy::kBlockPerRead);
+}
+
+void BM_ThreadPerRead(benchmark::State& state) {
+  run_strategy(state, fingerprint::KernelStrategy::kThreadPerRead);
+}
+
+}  // namespace
+
+BENCHMARK(BM_BlockPerRead)
+    ->Args({512, 100})
+    ->Args({512, 150})
+    ->Args({2048, 100})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ThreadPerRead)
+    ->Args({512, 100})
+    ->Args({512, 150})
+    ->Args({2048, 100})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

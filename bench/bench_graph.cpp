@@ -1,0 +1,87 @@
+// Ablation (paper section II-A2 heuristic choice): greedy string graph vs
+// full graph + Myers transitive reduction, on overlaps from a simulated
+// genome tiling. Greedy is O(candidates) with O(V) memory; the full graph
+// stores every edge and pays the reduction.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/string_graph.hpp"
+#include "graph/transitive.hpp"
+
+using namespace lasagna;
+
+namespace {
+
+struct Overlap {
+  graph::VertexId u;
+  graph::VertexId v;
+  std::uint16_t len;
+};
+
+/// All-pair overlaps of a perfect tiling: read i starts at i*step, length
+/// L, so read i overlaps read j (i<j) by L - (j-i)*step while positive.
+std::vector<Overlap> tiling_overlaps(std::uint32_t reads, unsigned length,
+                                     unsigned step, unsigned min_overlap) {
+  std::vector<Overlap> out;
+  for (std::uint32_t i = 0; i < reads; ++i) {
+    for (std::uint32_t j = i + 1; j < reads; ++j) {
+      const std::uint64_t shift = static_cast<std::uint64_t>(j - i) * step;
+      if (shift >= length) break;
+      const unsigned l = length - static_cast<unsigned>(shift);
+      if (l < min_overlap || l >= length) continue;
+      out.push_back({graph::forward_vertex(i), graph::forward_vertex(j),
+                     static_cast<std::uint16_t>(l)});
+    }
+  }
+  // Descending length, as the reduce phase delivers them.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Overlap& a, const Overlap& b) {
+                     return a.len > b.len;
+                   });
+  return out;
+}
+
+void BM_GreedyGraph(benchmark::State& state) {
+  const auto reads = static_cast<std::uint32_t>(state.range(0));
+  const auto overlaps = tiling_overlaps(reads, 100, 5, 40);
+  std::uint64_t edges = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    graph::StringGraph g(reads);
+    for (const Overlap& o : overlaps) g.try_add_edge(o.u, o.v, o.len);
+    edges = g.edge_count();
+    bytes = g.memory_bytes();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["candidates"] = static_cast<double>(overlaps.size());
+  state.counters["graph_MB"] = static_cast<double>(bytes) / 1e6;
+}
+
+void BM_FullGraphWithReduction(benchmark::State& state) {
+  const auto reads = static_cast<std::uint32_t>(state.range(0));
+  const auto overlaps = tiling_overlaps(reads, 100, 5, 40);
+  const std::vector<std::uint32_t> lengths(reads, 100);
+  std::uint64_t edges = 0;
+  std::uint64_t removed = 0;
+  for (auto _ : state) {
+    graph::FullStringGraph g(reads, lengths);
+    for (const Overlap& o : overlaps) g.add_edge(o.u, o.v, o.len);
+    removed = g.reduce();
+    edges = g.edge_count();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["edges_after"] = static_cast<double>(edges);
+  state.counters["removed"] = static_cast<double>(removed);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GreedyGraph)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullGraphWithReduction)
+    ->Arg(2000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

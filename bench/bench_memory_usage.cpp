@@ -1,0 +1,57 @@
+// Tables IV and V: peak host and device memory per phase on both machine
+// shapes. Expected shape (paper): device usage is near-constant across
+// datasets (a fixed budget is allocated per phase and fully used), host
+// usage grows with the dataset and peaks in the sort phase.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "io/tempdir.hpp"
+
+using namespace lasagna;
+
+namespace {
+
+void run_machine(const core::MachineConfig& machine,
+                 const bench::BenchArgs& args, const char* table_name) {
+  std::printf("=== %s — peak memory, machine %s, scale %.0f\n", table_name,
+              machine.name.c_str(), args.scale);
+
+  bench::print_row("dataset", {"map-host", "sort-host", "red-host",
+                               "cmp-host", "map-dev", "sort-dev",
+                               "red-dev"});
+  for (const auto& spec : args.datasets()) {
+    const auto fastq = bench::materialize(spec);
+    io::ScopedTempDir out("lasagna-bench");
+
+    core::AssemblyConfig config;
+    config.machine = machine;
+    config.min_overlap = spec.min_overlap;
+    core::Assembler assembler(config);
+    const auto result = assembler.run(fastq, out.file("contigs.fa"));
+
+    std::vector<std::string> cells;
+    for (const char* phase : {"map", "sort", "reduce", "compress"}) {
+      cells.push_back(
+          bench::cell_bytes(result.stats.phase(phase).peak_host_bytes));
+    }
+    for (const char* phase : {"map", "sort", "reduce"}) {
+      cells.push_back(
+          bench::cell_bytes(result.stats.phase(phase).peak_device_bytes));
+    }
+    bench::print_row(spec.name, cells);
+  }
+  std::printf("device capacity: %s\n\n",
+              util::format_bytes(machine.device_memory_bytes).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  run_machine(core::MachineConfig::queenbee_k40(args.scale), args,
+              "Table IV");
+  run_machine(core::MachineConfig::supermic_k20(args.scale), args,
+              "Table V");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fig 8: average sorting time per partition vs host and device block
+// sizes, on the K40 machine. The paper sweeps host blocks 0.16-2.56
+// billion pairs and device blocks 20/40/80 million on a 2.56-billion-pair
+// H.Genome partition; everything here is divided by --scale.
+//
+// Expected shape: time falls roughly logarithmically with host block size
+// (fewer disk passes) and saturates at 2.56 B/scale (single pass); device
+// block size has a visible but much smaller effect.
+#include <cstdio>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/sort_phase.hpp"
+#include "gpu/device.hpp"
+#include "io/record_stream.hpp"
+#include "io/tempdir.hpp"
+
+using namespace lasagna;
+
+namespace {
+
+void make_partition_file(const std::filesystem::path& path,
+                         std::uint64_t records, io::IoStats& io) {
+  std::mt19937_64 rng(4242);
+  io::RecordWriter<core::FpRecord> writer(path, io);
+  std::vector<core::FpRecord> chunk(1 << 14);
+  std::uint64_t remaining = records;
+  while (remaining > 0) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(chunk.size(),
+                                                         remaining));
+    for (std::size_t i = 0; i < n; ++i) {
+      chunk[i] = core::FpRecord{gpu::Key128{rng(), rng()},
+                                static_cast<std::uint32_t>(rng()), 0};
+    }
+    writer.write(std::span<const core::FpRecord>(chunk.data(), n));
+    remaining -= n;
+  }
+  writer.close();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto machine = core::MachineConfig::queenbee_k40(args.scale);
+
+  // One H.Genome partition: 2.56 B key-value pairs / scale.
+  const std::uint64_t records =
+      static_cast<std::uint64_t>(2.56e9 / args.scale);
+  std::printf(
+      "=== Fig 8 — sort time vs host/device block size (K40), %llu "
+      "records (2.56B / %.0f)\n",
+      static_cast<unsigned long long>(records), args.scale);
+
+  io::ScopedTempDir dir("lasagna-fig8");
+  io::IoStats setup_io;
+  make_partition_file(dir.file("partition.bin"), records, setup_io);
+
+  std::vector<std::uint64_t> host_blocks;
+  for (double b : {0.16e9, 0.32e9, 0.64e9, 1.28e9, 2.56e9}) {
+    host_blocks.push_back(static_cast<std::uint64_t>(b / args.scale));
+  }
+  std::vector<std::uint64_t> device_blocks;
+  for (double b : {20e6, 40e6, 80e6}) {
+    device_blocks.push_back(
+        std::max<std::uint64_t>(64, static_cast<std::uint64_t>(b / args.scale)));
+  }
+
+  bench::print_row("host-blk", {"dev-blk", "wall", "modeled", "passes",
+                                "disk-bytes"});
+  for (const std::uint64_t hb : host_blocks) {
+    for (const std::uint64_t db : device_blocks) {
+      gpu::Device device(machine.gpu_profile,
+                         machine.device_memory_bytes * 8);  // sweep freely
+      util::MemoryTracker host("bench-host");
+      io::IoStats io;
+      core::Workspace ws{&device, &host, &io, dir.path()};
+
+      core::BlockGeometry geometry;
+      geometry.host_block_records = hb;
+      geometry.device_block_records = db;
+
+      util::WallTimer timer;
+      const auto stats = core::external_sort_file(
+          ws, dir.file("partition.bin"), dir.file("sorted.bin"), geometry);
+      const double wall = timer.seconds();
+      const std::uint64_t disk_bytes = io.bytes_read() + io.bytes_written();
+      const double modeled =
+          device.modeled_seconds() * args.scale +
+          static_cast<double>(disk_bytes) /
+              machine.disk_bandwidth_bytes_per_sec;
+
+      bench::print_row(
+          std::to_string(hb),
+          {std::to_string(db), bench::cell_time(wall),
+           bench::cell_time(modeled), std::to_string(stats.disk_passes),
+           bench::cell_bytes(disk_bytes)});
+      std::filesystem::remove(dir.file("sorted.bin"));
+    }
+  }
+  return 0;
+}

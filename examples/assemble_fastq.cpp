@@ -1,0 +1,94 @@
+// Command-line assembler over a real FASTQ/FASTA file:
+//
+//   $ ./examples/assemble_fastq reads.fastq contigs.fasta
+//         [--min-overlap=63] [--host-mem-mb=32] [--device-mem-mb=3]
+//         [--gpu=k40|k20x|p40|p100|v100] [--singletons] [--verify]
+//
+// This is the "downstream user" entry point: point it at any Illumina-style
+// short-read file and get contigs plus the paper-style phase breakdown.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "gpu/profile.hpp"
+
+using namespace lasagna;
+
+namespace {
+
+const gpu::GpuProfile& profile_by_name(const std::string& name) {
+  if (name == "k40") return gpu::GpuProfile::k40();
+  if (name == "k20x") return gpu::GpuProfile::k20x();
+  if (name == "p40") return gpu::GpuProfile::p40();
+  if (name == "p100") return gpu::GpuProfile::p100();
+  if (name == "v100") return gpu::GpuProfile::v100();
+  throw std::invalid_argument("unknown GPU profile: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <reads.fastq> <contigs.fasta> "
+                 "[--min-overlap=N] [--host-mem-mb=N] [--device-mem-mb=N] "
+                 "[--gpu=name] [--singletons] [--verify] [--gfa=graph.gfa] "
+                 "[--min-contig=N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  core::AssemblyConfig config;
+  config.machine.name = "custom";
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--min-overlap=", 0) == 0) {
+      config.min_overlap = static_cast<unsigned>(std::stoul(arg.substr(14)));
+    } else if (arg.rfind("--host-mem-mb=", 0) == 0) {
+      config.machine.host_memory_bytes = std::stoull(arg.substr(14)) << 20;
+    } else if (arg.rfind("--device-mem-mb=", 0) == 0) {
+      config.machine.device_memory_bytes =
+          std::stoull(arg.substr(16)) << 20;
+    } else if (arg.rfind("--gpu=", 0) == 0) {
+      config.machine.gpu_profile = profile_by_name(arg.substr(6));
+    } else if (arg == "--singletons") {
+      config.include_singletons = true;
+    } else if (arg == "--verify") {
+      config.verify_overlaps = true;
+    } else if (arg.rfind("--gfa=", 0) == 0) {
+      config.gfa_output = arg.substr(6);
+    } else if (arg.rfind("--min-contig=", 0) == 0) {
+      config.min_contig_length =
+          static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    core::Assembler assembler(config);
+    const core::AssemblyResult result = assembler.run(argv[1], argv[2]);
+    std::printf("%s\n", result.stats.to_table().c_str());
+    std::printf("reads:          %u (%llu bases)\n", result.read_count,
+                static_cast<unsigned long long>(result.total_bases));
+    std::printf("candidates:     %llu",
+                static_cast<unsigned long long>(result.candidate_edges));
+    if (config.verify_overlaps) {
+      std::printf("  (false positives: %llu)",
+                  static_cast<unsigned long long>(result.false_positives));
+    }
+    std::printf("\ngraph edges:    %llu\n",
+                static_cast<unsigned long long>(result.graph_edges));
+    std::printf("contigs:        %llu, total %llu bases, N50 %llu\n",
+                static_cast<unsigned long long>(result.contigs.count),
+                static_cast<unsigned long long>(result.contigs.total_bases),
+                static_cast<unsigned long long>(result.contigs.n50));
+    std::printf("wrote %s\n", argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "assembly failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

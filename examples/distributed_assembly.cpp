@@ -1,0 +1,55 @@
+// Distributed scenario: assemble one dataset on simulated clusters of
+// growing size and watch where the speedup comes from (and where it
+// stops) — the paper's Fig 10 story at example scale.
+//
+//   $ ./examples/distributed_assembly
+#include <cstdio>
+
+#include "dist/cluster.hpp"
+#include "io/tempdir.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+#include "util/timer.hpp"
+
+using namespace lasagna;
+
+int main() {
+  io::ScopedTempDir dir("distributed");
+
+  const std::string genome = seq::random_genome(120000, 33);
+  seq::SequencingSpec sequencing;
+  sequencing.read_length = 100;
+  sequencing.coverage = 25.0;
+  sequencing.seed = 34;
+  const auto reads =
+      seq::simulate_to_fastq(genome, sequencing, dir.file("reads.fastq"));
+  std::printf("dataset: %llu reads from a %zu-base genome\n\n",
+              static_cast<unsigned long long>(reads), genome.size());
+
+  std::printf("%-6s %10s %10s %10s %10s %10s %12s\n", "nodes", "map",
+              "shuffle", "sort", "reduce", "compress", "total(model)");
+  for (const unsigned nodes : {1u, 2u, 4u, 8u}) {
+    dist::ClusterConfig config = dist::ClusterConfig::supermic(nodes);
+    config.min_overlap = 63;
+
+    const auto result = dist::run_distributed(
+        dir.file("reads.fastq"),
+        dir.file("contigs" + std::to_string(nodes) + ".fasta"), config);
+
+    std::printf("%-6u", nodes);
+    for (const char* phase :
+         {"map", "shuffle", "sort", "reduce", "compress"}) {
+      std::printf(" %10.3fs",
+                  result.stats.phase(phase).modeled_seconds);
+    }
+    std::printf(" %11.3fs\n", result.stats.total_modeled_seconds());
+  }
+
+  std::printf(
+      "\nreading the table: map and sort shrink with the node count "
+      "(aggregated disk bandwidth); shuffle appears only with >1 node "
+      "(all-to-all partition exchange); reduce scales worst because the "
+      "greedy graph build is serialized by the out-degree bit-vector "
+      "token (paper III-E3).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Dataset generator: simulate an Illumina-style sequencing run to FASTQ,
+// optionally writing the reference genome for later evaluation.
+//
+//   $ ./examples/simulate_reads out.fastq --genome-length=500000
+//         --coverage=35 --read-length=100 --error-rate=0.001
+//         --repeat-fraction=0.05 --seed=7 --reference=ref.fasta
+//
+// Pairs with assemble_fastq: generate, assemble, evaluate.
+#include <cstdio>
+#include <string>
+
+#include "io/fastq.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+using namespace lasagna;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(
+        stderr,
+        "usage: %s <out.fastq> [--genome-length=N] [--coverage=F]\n"
+        "          [--read-length=N] [--error-rate=F] "
+        "[--repeat-fraction=F]\n"
+        "          [--seed=N] [--reference=ref.fasta]\n",
+        argv[0]);
+    return 2;
+  }
+
+  seq::GenomeSpec genome_spec;
+  genome_spec.length = 200000;
+  seq::SequencingSpec sequencing;
+  sequencing.read_length = 100;
+  sequencing.coverage = 30.0;
+  std::string reference_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--genome-length=", 0) == 0) {
+      genome_spec.length = std::stoull(arg.substr(16));
+    } else if (arg.rfind("--coverage=", 0) == 0) {
+      sequencing.coverage = std::stod(arg.substr(11));
+    } else if (arg.rfind("--read-length=", 0) == 0) {
+      sequencing.read_length =
+          static_cast<unsigned>(std::stoul(arg.substr(14)));
+    } else if (arg.rfind("--error-rate=", 0) == 0) {
+      sequencing.error_rate = std::stod(arg.substr(13));
+    } else if (arg.rfind("--repeat-fraction=", 0) == 0) {
+      genome_spec.repeat_fraction = std::stod(arg.substr(18));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      genome_spec.seed = std::stoull(arg.substr(7));
+      sequencing.seed = genome_spec.seed * 31 + 7;
+    } else if (arg.rfind("--reference=", 0) == 0) {
+      reference_path = arg.substr(12);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    const std::string genome = seq::generate_genome(genome_spec);
+    const std::uint64_t reads =
+        seq::simulate_to_fastq(genome, sequencing, argv[1]);
+    if (!reference_path.empty()) {
+      io::write_fasta_file(reference_path, {{"reference", genome, ""}});
+    }
+    std::printf(
+        "wrote %llu reads (%u bp, %.1fx coverage, %.3f%% error) from a "
+        "%llu-base genome to %s\n",
+        static_cast<unsigned long long>(reads), sequencing.read_length,
+        sequencing.coverage, sequencing.error_rate * 100.0,
+        static_cast<unsigned long long>(genome_spec.length), argv[1]);
+    if (!reference_path.empty()) {
+      std::printf("reference written to %s\n", reference_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "simulation failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "baseline/containment.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baseline/fm_index.hpp"
+#include "io/fastq.hpp"
+#include "seq/dna.hpp"
+
+namespace lasagna::baseline {
+
+namespace {
+
+// Same text layout as the SGA pipeline: 0 = terminator, 1 = separator,
+// 2..5 = bases; entry 2r = forward strand of read r, 2r+1 = its reverse
+// complement.
+constexpr std::uint8_t kTerminator = 0;
+constexpr std::uint8_t kSeparator = 1;
+constexpr unsigned kAlphabet = 6;
+
+struct Text {
+  std::vector<std::uint8_t> symbols;
+  std::vector<std::uint32_t> entry_starts;
+  std::vector<std::uint32_t> entry_lengths;
+};
+
+Text build_text(const std::vector<std::string>& reads) {
+  Text text;
+  text.symbols.push_back(kSeparator);
+  for (const auto& r : reads) {
+    const std::string rc = seq::reverse_complement(r);
+    for (const std::string* strand : {&r, &rc}) {
+      text.entry_starts.push_back(
+          static_cast<std::uint32_t>(text.symbols.size()));
+      text.entry_lengths.push_back(
+          static_cast<std::uint32_t>(strand->size()));
+      for (const char c : *strand) {
+        text.symbols.push_back(
+            static_cast<std::uint8_t>(seq::encode_base(c)) + 2);
+      }
+      text.symbols.push_back(kSeparator);
+    }
+  }
+  text.symbols.back() = kTerminator;
+  return text;
+}
+
+}  // namespace
+
+ContainmentStats remove_contained_reads(const std::filesystem::path& input,
+                                        const std::filesystem::path& output,
+                                        unsigned sa_sample_rate) {
+  ContainmentStats stats;
+
+  std::vector<io::SequenceRecord> records;
+  io::for_each_sequence(input, [&records](const io::SequenceRecord& rec) {
+    io::SequenceRecord clean = rec;
+    if (!seq::is_acgt(clean.bases)) {
+      clean.bases = seq::sanitize(clean.bases, records.size());
+    }
+    records.push_back(std::move(clean));
+  });
+  stats.reads_in = records.size();
+
+  std::vector<std::string> reads;
+  reads.reserve(records.size());
+  for (const auto& r : records) reads.push_back(r.bases);
+
+  std::vector<bool> drop(records.size(), false);
+  if (!reads.empty()) {
+    const Text text = build_text(reads);
+    const FmIndex index(text.symbols, kAlphabet, sa_sample_rate);
+
+    std::vector<std::uint8_t> pattern;
+    for (std::uint32_t r = 0; r < reads.size(); ++r) {
+      pattern.clear();
+      for (const char c : reads[r]) {
+        pattern.push_back(static_cast<std::uint8_t>(seq::encode_base(c)) +
+                          2);
+      }
+      const FmIndex::Range range = index.search(pattern);
+      bool is_duplicate = false;
+      bool is_contained = false;
+      for (std::uint64_t row = range.lo;
+           row < range.hi && !is_contained; ++row) {
+        const std::uint64_t pos = index.locate(row);
+        // Entry containing this occurrence.
+        const auto it = std::upper_bound(text.entry_starts.begin(),
+                                         text.entry_starts.end(), pos);
+        if (it == text.entry_starts.begin()) continue;
+        const std::size_t entry =
+            static_cast<std::size_t>(it - text.entry_starts.begin()) - 1;
+        const std::uint32_t start = text.entry_starts[entry];
+        const std::uint32_t len = text.entry_lengths[entry];
+        if (pos + reads[r].size() > start + len) continue;  // spans the gap
+        const std::uint32_t owner = static_cast<std::uint32_t>(entry / 2);
+        if (owner == r) continue;  // its own strands
+        if (len > reads[r].size()) {
+          is_contained = true;  // proper substring of a longer read
+        } else if (owner < r) {
+          is_duplicate = true;  // equal length: keep the smallest id
+        }
+      }
+      if (is_contained) {
+        drop[r] = true;
+        ++stats.contained_removed;
+      } else if (is_duplicate) {
+        drop[r] = true;
+        ++stats.duplicates_removed;
+      }
+    }
+  }
+
+  std::ofstream out(output);
+  if (!out) {
+    throw std::runtime_error("cannot create " + output.string());
+  }
+  for (std::uint32_t r = 0; r < records.size(); ++r) {
+    if (drop[r]) continue;
+    ++stats.reads_kept;
+    out << '@' << records[r].id << '\n' << records[r].bases << "\n+\n"
+        << (records[r].quality.size() == records[r].bases.size()
+                ? records[r].quality
+                : std::string(records[r].bases.size(), 'I'))
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + output.string());
+  return stats;
+}
+
+}  // namespace lasagna::baseline

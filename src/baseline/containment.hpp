@@ -1,0 +1,30 @@
+// Contained-read removal (paper section II-A: "a read that is completely
+// contained in another one may also be removed").
+//
+// With uniform-length Illumina reads containment cannot happen below
+// l_max, but after quality trimming (seq/preprocess) read lengths vary and
+// contained reads only add redundant graph vertices. This pass indexes all
+// reads (both strands) with the FM-index and drops every read that occurs
+// inside a longer read — and all but one copy of exact duplicates
+// (including reverse-complement duplicates).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+namespace lasagna::baseline {
+
+struct ContainmentStats {
+  std::uint64_t reads_in = 0;
+  std::uint64_t reads_kept = 0;
+  std::uint64_t duplicates_removed = 0;  ///< same length (either strand)
+  std::uint64_t contained_removed = 0;   ///< proper substring of a longer read
+};
+
+/// Filter `input` FASTQ/FASTA into `output`, keeping read ids' relative
+/// order. Deterministic: among duplicates the smallest read id survives.
+ContainmentStats remove_contained_reads(const std::filesystem::path& input,
+                                        const std::filesystem::path& output,
+                                        unsigned sa_sample_rate = 16);
+
+}  // namespace lasagna::baseline

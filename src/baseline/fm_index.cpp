@@ -1,0 +1,127 @@
+#include "baseline/fm_index.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "baseline/suffix_array.hpp"
+
+namespace lasagna::baseline {
+
+FmIndex::FmIndex(std::span<const std::uint8_t> text, unsigned alphabet,
+                 unsigned sa_sample_rate)
+    : size_(text.size()), alphabet_(alphabet), sample_rate_(sa_sample_rate) {
+  if (text.empty()) throw std::invalid_argument("FmIndex: empty text");
+  if (sa_sample_rate == 0) {
+    throw std::invalid_argument("FmIndex: zero sample rate");
+  }
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] <= text.back()) {
+      throw std::invalid_argument(
+          "FmIndex: text terminator must be unique and smallest");
+    }
+  }
+
+  const std::vector<std::uint32_t> sa = build_suffix_array(text, alphabet);
+  bwt_ = bwt_from_suffix_array(text, sa);
+
+  // C array.
+  c_.assign(alphabet_ + 1, 0);
+  for (const std::uint8_t ch : text) ++c_[ch + 1];
+  for (unsigned ch = 0; ch < alphabet_; ++ch) c_[ch + 1] += c_[ch];
+
+  // Occurrence checkpoints.
+  const std::uint64_t blocks = (size_ + kCheckpoint - 1) / kCheckpoint + 1;
+  checkpoints_.assign(blocks * alphabet_, 0);
+  std::vector<std::uint32_t> running(alphabet_, 0);
+  for (std::uint64_t i = 0; i < size_; ++i) {
+    if (i % kCheckpoint == 0) {
+      std::copy(running.begin(), running.end(),
+                checkpoints_.begin() + (i / kCheckpoint) * alphabet_);
+    }
+    ++running[bwt_[i]];
+  }
+  std::copy(running.begin(), running.end(),
+            checkpoints_.begin() + ((size_ + kCheckpoint - 1) / kCheckpoint) *
+                                       alphabet_);
+
+  // Sampled SA with rank support.
+  sample_mask_.assign((size_ + 63) / 64, 0);
+  std::uint32_t sampled = 0;
+  for (std::uint64_t row = 0; row < size_; ++row) {
+    if (sa[row] % sample_rate_ == 0) {
+      sample_mask_[row >> 6] |= std::uint64_t{1} << (row & 63);
+      ++sampled;
+    }
+  }
+  sample_rank_.assign(sample_mask_.size() + 1, 0);
+  for (std::size_t w = 0; w < sample_mask_.size(); ++w) {
+    sample_rank_[w + 1] =
+        sample_rank_[w] +
+        static_cast<std::uint32_t>(std::popcount(sample_mask_[w]));
+  }
+  samples_.assign(sampled, 0);
+  for (std::uint64_t row = 0; row < size_; ++row) {
+    if ((sample_mask_[row >> 6] >> (row & 63)) & 1u) {
+      const std::uint32_t rank =
+          sample_rank_[row >> 6] +
+          static_cast<std::uint32_t>(std::popcount(
+              sample_mask_[row >> 6] & ((std::uint64_t{1} << (row & 63)) - 1)));
+      samples_[rank] = sa[row];
+    }
+  }
+}
+
+std::uint64_t FmIndex::occ(std::uint8_t c, std::uint64_t i) const {
+  if (c >= alphabet_) throw std::out_of_range("FmIndex::occ: bad symbol");
+  if (i > size_) throw std::out_of_range("FmIndex::occ: bad position");
+  const std::uint64_t block = i / kCheckpoint;
+  std::uint64_t count = checkpoints_[block * alphabet_ + c];
+  for (std::uint64_t j = block * kCheckpoint; j < i; ++j) {
+    count += bwt_[j] == c;
+  }
+  return count;
+}
+
+FmIndex::Range FmIndex::extend_left(Range range, std::uint8_t c) const {
+  if (range.empty()) return {0, 0};
+  return Range{c_[c] + occ(c, range.lo), c_[c] + occ(c, range.hi)};
+}
+
+FmIndex::Range FmIndex::search(std::span<const std::uint8_t> pattern) const {
+  Range range = full_range();
+  for (std::size_t i = pattern.size(); i-- > 0 && !range.empty();) {
+    range = extend_left(range, pattern[i]);
+  }
+  return range;
+}
+
+std::uint64_t FmIndex::lf(std::uint64_t row) const {
+  const std::uint8_t c = bwt_[row];
+  return c_[c] + occ(c, row);
+}
+
+std::uint64_t FmIndex::locate(std::uint64_t row) const {
+  if (row >= size_) throw std::out_of_range("FmIndex::locate: bad row");
+  std::uint64_t steps = 0;
+  std::uint64_t r = row;
+  while (((sample_mask_[r >> 6] >> (r & 63)) & 1u) == 0) {
+    r = lf(r);
+    ++steps;
+    if (steps > size_) {
+      throw std::logic_error("FmIndex::locate: LF walk did not terminate");
+    }
+  }
+  const std::uint32_t rank =
+      sample_rank_[r >> 6] +
+      static_cast<std::uint32_t>(std::popcount(
+          sample_mask_[r >> 6] & ((std::uint64_t{1} << (r & 63)) - 1)));
+  return (samples_[rank] + steps) % size_;
+}
+
+std::uint64_t FmIndex::memory_bytes() const {
+  return bwt_.size() + c_.size() * 8 + checkpoints_.size() * 4 +
+         sample_mask_.size() * 8 + sample_rank_.size() * 4 +
+         samples_.size() * 4;
+}
+
+}  // namespace lasagna::baseline

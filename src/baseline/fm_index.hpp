@@ -1,0 +1,75 @@
+// FM-index: BWT + checkpointed occurrence counts + sampled suffix array.
+//
+// This is the index behind the CPU baseline's overlap detection, the same
+// family of structure SGA's `index` phase builds (the paper runs SGA with
+// the ropebwt indexer, Table VI). Backward search extends a pattern one
+// symbol to the left per step using the LF mapping; `locate` maps a BWT row
+// back to a text position via the sampled suffix array.
+//
+// Convention: the text must end with a unique, smallest symbol (the global
+// terminator). Patterns never contain it, which keeps the one irregular
+// BWT row (sa[i] == 0) out of every occurrence count a search can ask for.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lasagna::baseline {
+
+class FmIndex {
+ public:
+  /// Build from `text` over symbols 0..alphabet-1; text.back() must be the
+  /// unique smallest symbol. `sa_sample_rate` trades locate speed for
+  /// memory (a sample every k text positions).
+  FmIndex(std::span<const std::uint8_t> text, unsigned alphabet,
+          unsigned sa_sample_rate = 16);
+
+  /// Half-open BWT row range [lo, hi).
+  struct Range {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    [[nodiscard]] std::uint64_t count() const { return hi - lo; }
+    [[nodiscard]] bool empty() const { return lo >= hi; }
+  };
+
+  /// Range of all rows (the empty pattern).
+  [[nodiscard]] Range full_range() const { return {0, size_}; }
+
+  /// One backward-search step: rows whose suffix starts with c followed by
+  /// the pattern matched so far.
+  [[nodiscard]] Range extend_left(Range range, std::uint8_t c) const;
+
+  /// Full backward search of a pattern (rightmost symbol first internally).
+  [[nodiscard]] Range search(std::span<const std::uint8_t> pattern) const;
+
+  /// Text position of row `row` (walks LF to the nearest sample).
+  [[nodiscard]] std::uint64_t locate(std::uint64_t row) const;
+
+  /// Number of occurrences of symbol c in bwt[0, i).
+  [[nodiscard]] std::uint64_t occ(std::uint8_t c, std::uint64_t i) const;
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] unsigned alphabet() const { return alphabet_; }
+
+  /// Resident bytes of the index structures.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
+ private:
+  [[nodiscard]] std::uint64_t lf(std::uint64_t row) const;
+
+  std::uint64_t size_ = 0;
+  unsigned alphabet_ = 0;
+  unsigned sample_rate_ = 16;
+  std::vector<std::uint8_t> bwt_;
+  std::vector<std::uint64_t> c_;  // C[c] = rows whose suffix starts < c
+  // Occurrence checkpoints every kCheckpoint rows, row-major by row block.
+  static constexpr std::uint64_t kCheckpoint = 64;
+  std::vector<std::uint32_t> checkpoints_;
+  // Sampled SA: bitmask of sampled rows + rank blocks + dense samples.
+  std::vector<std::uint64_t> sample_mask_;
+  std::vector<std::uint32_t> sample_rank_;
+  std::vector<std::uint32_t> samples_;
+};
+
+}  // namespace lasagna::baseline

@@ -1,0 +1,178 @@
+#include "baseline/sga.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "baseline/fm_index.hpp"
+#include "io/fastq.hpp"
+#include "seq/dna.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace lasagna::baseline {
+
+namespace {
+
+// Text alphabet: 0 = global terminator (unique, last), 1 = entry separator,
+// 2..5 = A, C, G, T.
+constexpr std::uint8_t kTerminator = 0;
+constexpr std::uint8_t kSeparator = 1;
+constexpr unsigned kAlphabet = 6;
+
+std::uint8_t base_symbol(char c) {
+  return static_cast<std::uint8_t>(seq::encode_base(c)) + 2;
+}
+
+struct IndexText {
+  std::vector<std::uint8_t> symbols;
+  std::vector<std::uint32_t> entry_starts;  ///< per vertex (2 per read)
+  std::vector<std::uint16_t> entry_lengths;
+};
+
+/// Entry 2r = forward strand of read r, entry 2r+1 = reverse complement —
+/// the same vertex numbering as the GPU pipeline's graph.
+IndexText build_text(const std::vector<std::string>& reads) {
+  IndexText text;
+  std::uint64_t total = 1;  // leading separator
+  for (const auto& r : reads) total += 2 * (r.size() + 1);
+  text.symbols.reserve(total + 1);
+  text.symbols.push_back(kSeparator);
+  for (const auto& r : reads) {
+    const std::string rc = seq::reverse_complement(r);
+    for (const std::string* strand : {&r, &rc}) {
+      text.entry_starts.push_back(
+          static_cast<std::uint32_t>(text.symbols.size()));
+      text.entry_lengths.push_back(static_cast<std::uint16_t>(strand->size()));
+      for (const char c : *strand) text.symbols.push_back(base_symbol(c));
+      text.symbols.push_back(kSeparator);
+    }
+  }
+  // Replace the final separator with the unique terminator.
+  text.symbols.back() = kTerminator;
+  return text;
+}
+
+/// Map an occurrence of a separator-anchored pattern to the entry (vertex)
+/// starting right after the separator; returns false for the terminator
+/// position (no entry follows).
+bool entry_at(const IndexText& text, std::uint64_t separator_pos,
+              std::uint32_t& vertex) {
+  const std::uint32_t start = static_cast<std::uint32_t>(separator_pos + 1);
+  const auto it = std::lower_bound(text.entry_starts.begin(),
+                                   text.entry_starts.end(), start);
+  if (it == text.entry_starts.end() || *it != start) return false;
+  vertex = static_cast<std::uint32_t>(it - text.entry_starts.begin());
+  return true;
+}
+
+struct Candidate {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
+}  // namespace
+
+SgaResult run_sga_pipeline(const std::filesystem::path& fastq,
+                           const SgaConfig& config) {
+  SgaResult result;
+
+  // ---- preprocess ---------------------------------------------------------
+  std::vector<std::string> reads;
+  unsigned max_len = 0;
+  {
+    util::WallTimer timer;
+    io::for_each_sequence(fastq, [&reads, &max_len](
+                                     const io::SequenceRecord& rec) {
+      std::string bases = seq::is_acgt(rec.bases)
+                              ? rec.bases
+                              : seq::sanitize(rec.bases, reads.size());
+      max_len = std::max(max_len, static_cast<unsigned>(bases.size()));
+      reads.push_back(std::move(bases));
+    });
+    util::PhaseStats phase;
+    phase.name = "preprocess";
+    phase.wall_seconds = timer.seconds();
+    phase.modeled_seconds = timer.seconds();
+    phase.disk_bytes_read = std::filesystem::file_size(fastq);
+    result.stats.add(std::move(phase));
+  }
+  result.read_count = static_cast<std::uint32_t>(reads.size());
+
+  // ---- index --------------------------------------------------------------
+  std::unique_ptr<IndexText> text;
+  std::unique_ptr<FmIndex> index;
+  {
+    util::WallTimer timer;
+    text = std::make_unique<IndexText>(build_text(reads));
+    index = std::make_unique<FmIndex>(text->symbols, kAlphabet,
+                                      config.sa_sample_rate);
+    util::PhaseStats phase;
+    phase.name = "index";
+    phase.wall_seconds = timer.seconds();
+    phase.modeled_seconds = timer.seconds();
+    // SA construction keeps ~5 bytes per char live on top of the text.
+    phase.peak_host_bytes =
+        text->symbols.size() * 6 + index->memory_bytes();
+    result.stats.add(std::move(phase));
+    result.text_bytes = text->symbols.size();
+    result.index_memory_bytes = index->memory_bytes();
+  }
+
+  // ---- overlap ------------------------------------------------------------
+  {
+    util::WallTimer timer;
+    result.graph = std::make_unique<graph::StringGraph>(result.read_count);
+
+    // Candidate buckets per overlap length; filled by one backward scan per
+    // entry, consumed longest-first for greedy parity with the GPU pipeline.
+    std::vector<std::vector<Candidate>> buckets(max_len);
+
+    const std::uint32_t vertex_count =
+        static_cast<std::uint32_t>(text->entry_starts.size());
+    std::vector<std::uint8_t> pattern;
+    for (std::uint32_t u = 0; u < vertex_count; ++u) {
+      const std::uint32_t start = text->entry_starts[u];
+      const std::uint16_t len = text->entry_lengths[u];
+      // Backward scan: after step k the range covers suffix u[len-k..len).
+      FmIndex::Range range = index->full_range();
+      for (unsigned k = 1; k < len && !range.empty(); ++k) {
+        range = index->extend_left(range,
+                                   text->symbols[start + len - k]);
+        if (k < config.min_overlap || range.empty()) continue;
+        // Extend with the separator: occurrences are entries whose prefix
+        // equals this suffix.
+        const FmIndex::Range hits =
+            index->extend_left(range, kSeparator);
+        for (std::uint64_t row = hits.lo; row < hits.hi; ++row) {
+          std::uint32_t v;
+          if (!entry_at(*text, index->locate(row), v)) continue;
+          buckets[k].push_back(Candidate{u, v});
+          ++result.candidate_edges;
+        }
+      }
+    }
+
+    for (unsigned l = max_len; l-- > config.min_overlap;) {
+      for (const Candidate& c : buckets[l]) {
+        if (result.graph->try_add_edge(c.src, c.dst,
+                                       static_cast<std::uint16_t>(l))) {
+          ++result.accepted_edges;
+        }
+      }
+    }
+
+    util::PhaseStats phase;
+    phase.name = "overlap";
+    phase.wall_seconds = timer.seconds();
+    phase.modeled_seconds = timer.seconds();
+    phase.peak_host_bytes =
+        index->memory_bytes() + result.candidate_edges * sizeof(Candidate);
+    result.stats.add(std::move(phase));
+  }
+
+  LOG_INFO << "sga: " << result.candidate_edges << " candidates, "
+           << result.accepted_edges << " accepted";
+  return result;
+}
+
+}  // namespace lasagna::baseline

@@ -1,0 +1,47 @@
+// CPU string-graph baseline (SGA-style), for the paper's Table VI.
+//
+// Mirrors the three SGA phases the paper times:
+//   preprocess — parse/sanitize reads, lay out the index text,
+//   index      — build the FM-index (suffix array -> BWT -> occ/samples),
+//   overlap    — for every read strand, backward-search all suffixes of
+//                length [l_min, l_max) and extend by the separator symbol
+//                to find reads whose *prefix* equals that suffix; feed the
+//                candidates, longest first, to the same greedy string graph
+//                LaSAGNA builds.
+//
+// Both pipelines discover the identical candidate-overlap set on the same
+// input (tested; LaSAGNA's 128-bit fingerprints are collision-free there),
+// so the comparison isolates the overlap-computation strategy exactly as
+// the paper's Table VI does. Greedy tie-breaking within one overlap length
+// may differ, so the final graphs can differ on conflicting candidates.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+
+#include "graph/string_graph.hpp"
+#include "util/stats.hpp"
+
+namespace lasagna::baseline {
+
+struct SgaConfig {
+  unsigned min_overlap = 63;
+  unsigned sa_sample_rate = 16;
+};
+
+struct SgaResult {
+  util::RunStats stats;  ///< phases: preprocess, index, overlap
+  std::uint32_t read_count = 0;
+  std::uint64_t text_bytes = 0;
+  std::uint64_t index_memory_bytes = 0;
+  std::uint64_t candidate_edges = 0;
+  std::uint64_t accepted_edges = 0;
+  std::unique_ptr<graph::StringGraph> graph;
+};
+
+/// Run preprocess+index+overlap over a FASTQ file.
+[[nodiscard]] SgaResult run_sga_pipeline(const std::filesystem::path& fastq,
+                                         const SgaConfig& config);
+
+}  // namespace lasagna::baseline

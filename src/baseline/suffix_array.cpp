@@ -1,0 +1,218 @@
+#include "baseline/suffix_array.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string_view>
+
+namespace lasagna::baseline {
+
+namespace {
+
+// SA-IS over an integer alphabet. `text` values must be < alphabet.
+// Implementation follows the classical induced-sorting formulation with an
+// explicit appended sentinel (0), so callers' symbols are shifted by +1.
+class SaIs {
+ public:
+  static std::vector<std::uint32_t> run(std::span<const std::uint8_t> text,
+                                        unsigned alphabet) {
+    // Shift symbols by +1 and append the unique smallest sentinel 0.
+    std::vector<std::uint32_t> s(text.size() + 1);
+    for (std::size_t i = 0; i < text.size(); ++i) s[i] = text[i] + 1u;
+    s.back() = 0;
+    std::vector<std::uint32_t> sa = compute(s, alphabet + 1);
+    // Drop the sentinel's suffix (always first).
+    return {sa.begin() + 1, sa.end()};
+  }
+
+ private:
+  static std::vector<std::uint32_t> compute(
+      const std::vector<std::uint32_t>& s, std::uint32_t alphabet) {
+    const std::size_t n = s.size();
+    std::vector<std::uint32_t> sa(n, kEmpty);
+    if (n == 1) {
+      sa[0] = 0;
+      return sa;
+    }
+
+    // Classify suffixes: S-type (true) or L-type (false).
+    std::vector<bool> is_s(n);
+    is_s[n - 1] = true;
+    for (std::size_t i = n - 1; i-- > 0;) {
+      is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    auto is_lms = [&](std::size_t i) {
+      return i > 0 && is_s[i] && !is_s[i - 1];
+    };
+
+    // Bucket boundaries by symbol.
+    std::vector<std::uint32_t> bucket_sizes(alphabet, 0);
+    for (const std::uint32_t c : s) ++bucket_sizes[c];
+
+    std::vector<std::uint32_t> lms;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (is_lms(i)) lms.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    // First induction pass with LMS suffixes in text order.
+    induce(s, sa, is_s, bucket_sizes, lms);
+
+    // Name LMS substrings in the order they appear in sa.
+    std::vector<std::uint32_t> order;
+    order.reserve(lms.size());
+    for (const std::uint32_t pos : sa) {
+      if (pos != kEmpty && is_lms(pos)) order.push_back(pos);
+    }
+    std::vector<std::uint32_t> names(n, kEmpty);
+    std::uint32_t next_name = 0;
+    std::uint32_t prev = kEmpty;
+    for (const std::uint32_t pos : order) {
+      if (prev != kEmpty && !lms_substrings_equal(s, is_s, prev, pos)) {
+        ++next_name;
+      }
+      names[pos] = next_name;
+      prev = pos;
+    }
+
+    // Order the LMS suffixes.
+    std::vector<std::uint32_t> lms_sorted(lms.size());
+    if (next_name + 1 == lms.size()) {
+      // All names unique: order directly from names.
+      for (const std::uint32_t pos : lms) {
+        lms_sorted[names[pos]] = pos;
+      }
+    } else {
+      // Recurse on the reduced string of LMS names (in text order).
+      std::vector<std::uint32_t> reduced;
+      reduced.reserve(lms.size());
+      for (const std::uint32_t pos : lms) reduced.push_back(names[pos]);
+      const std::vector<std::uint32_t> sub_sa =
+          compute(reduced, next_name + 1);
+      for (std::size_t i = 0; i < sub_sa.size(); ++i) {
+        lms_sorted[i] = lms[sub_sa[i]];
+      }
+    }
+
+    // Final induction with LMS suffixes in sorted order.
+    std::fill(sa.begin(), sa.end(), kEmpty);
+    induce(s, sa, is_s, bucket_sizes, lms_sorted);
+    return sa;
+  }
+
+  static constexpr std::uint32_t kEmpty =
+      std::numeric_limits<std::uint32_t>::max();
+
+  static void induce(const std::vector<std::uint32_t>& s,
+                     std::vector<std::uint32_t>& sa,
+                     const std::vector<bool>& is_s,
+                     const std::vector<std::uint32_t>& bucket_sizes,
+                     const std::vector<std::uint32_t>& lms) {
+    const std::size_t n = s.size();
+    const std::size_t alphabet = bucket_sizes.size();
+    std::vector<std::uint32_t> heads(alphabet);
+    std::vector<std::uint32_t> tails(alphabet);
+
+    auto reset_heads = [&] {
+      std::uint32_t sum = 0;
+      for (std::size_t c = 0; c < alphabet; ++c) {
+        heads[c] = sum;
+        sum += bucket_sizes[c];
+      }
+    };
+    auto reset_tails = [&] {
+      std::uint32_t sum = 0;
+      for (std::size_t c = 0; c < alphabet; ++c) {
+        sum += bucket_sizes[c];
+        tails[c] = sum;
+      }
+    };
+
+    // Place LMS suffixes at their buckets' tails (in the given order,
+    // filling tails backwards).
+    std::fill(sa.begin(), sa.end(), kEmpty);
+    reset_tails();
+    for (std::size_t i = lms.size(); i-- > 0;) {
+      const std::uint32_t pos = lms[i];
+      sa[--tails[s[pos]]] = pos;
+    }
+
+    // Induce L-types left to right.
+    reset_heads();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t pos = sa[i];
+      if (pos == kEmpty || pos == 0) continue;
+      const std::uint32_t prev = pos - 1;
+      if (!is_s[prev]) sa[heads[s[prev]]++] = prev;
+    }
+
+    // Induce S-types right to left (overwrites the provisional LMS spots).
+    reset_tails();
+    for (std::size_t i = n; i-- > 0;) {
+      const std::uint32_t pos = sa[i];
+      if (pos == kEmpty || pos == 0) continue;
+      const std::uint32_t prev = pos - 1;
+      if (is_s[prev]) sa[--tails[s[prev]]] = prev;
+    }
+  }
+
+  static bool lms_substrings_equal(const std::vector<std::uint32_t>& s,
+                                   const std::vector<bool>& is_s,
+                                   std::uint32_t a, std::uint32_t b) {
+    const std::size_t n = s.size();
+    auto is_lms = [&](std::size_t i) {
+      return i > 0 && is_s[i] && !is_s[i - 1];
+    };
+    for (std::size_t k = 0;; ++k) {
+      const bool a_end = a + k >= n || (k > 0 && is_lms(a + k));
+      const bool b_end = b + k >= n || (k > 0 && is_lms(b + k));
+      if (a_end && b_end) return true;
+      if (a_end != b_end) return false;
+      if (s[a + k] != s[b + k]) return false;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> build_suffix_array(
+    std::span<const std::uint8_t> text, unsigned alphabet) {
+  if (alphabet == 0 || alphabet > 254) {
+    throw std::invalid_argument("build_suffix_array: bad alphabet size");
+  }
+  for (const std::uint8_t c : text) {
+    if (c >= alphabet) {
+      throw std::invalid_argument(
+          "build_suffix_array: symbol outside alphabet");
+    }
+  }
+  if (text.empty()) return {};
+  return SaIs::run(text, alphabet);
+}
+
+std::vector<std::uint8_t> bwt_from_suffix_array(
+    std::span<const std::uint8_t> text, std::span<const std::uint32_t> sa) {
+  if (text.size() != sa.size()) {
+    throw std::invalid_argument("bwt_from_suffix_array: size mismatch");
+  }
+  std::vector<std::uint8_t> bwt(sa.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    bwt[i] = sa[i] == 0 ? text.back() : text[sa[i] - 1];
+  }
+  return bwt;
+}
+
+std::vector<std::uint32_t> build_suffix_array_naive(
+    std::span<const std::uint8_t> text) {
+  std::vector<std::uint32_t> sa(text.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    sa[i] = static_cast<std::uint32_t>(i);
+  }
+  const std::string_view view(reinterpret_cast<const char*>(text.data()),
+                              text.size());
+  std::sort(sa.begin(), sa.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return view.substr(a) < view.substr(b);
+  });
+  return sa;
+}
+
+}  // namespace lasagna::baseline

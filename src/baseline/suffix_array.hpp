@@ -1,0 +1,32 @@
+// Suffix array construction (SA-IS, linear time).
+//
+// The CPU baseline (an SGA-style string-graph assembler, paper Table VI)
+// needs a BWT/FM-index over the concatenated read set; the suffix array is
+// its construction intermediate. SA-IS (Nong, Zhang & Chan 2009) is used by
+// real assembler indexers and is linear in the text length.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lasagna::baseline {
+
+/// Suffix array of `text` (values 0..alphabet-1; the text does NOT need a
+/// unique terminator — an implicit sentinel smaller than every symbol is
+/// assumed at the end). Returns sa with sa[i] = start of the i-th smallest
+/// suffix. O(n) time, O(n) extra space.
+[[nodiscard]] std::vector<std::uint32_t> build_suffix_array(
+    std::span<const std::uint8_t> text, unsigned alphabet);
+
+/// Burrows-Wheeler transform from a suffix array: bwt[i] =
+/// text[sa[i] - 1] (text.back() when sa[i] == 0 — i.e. the implicit
+/// sentinel's predecessor convention used by our FM-index).
+[[nodiscard]] std::vector<std::uint8_t> bwt_from_suffix_array(
+    std::span<const std::uint8_t> text, std::span<const std::uint32_t> sa);
+
+/// O(n^2 log n) reference for tests.
+[[nodiscard]] std::vector<std::uint32_t> build_suffix_array_naive(
+    std::span<const std::uint8_t> text);
+
+}  // namespace lasagna::baseline

@@ -1,0 +1,61 @@
+// Compress phase (paper section III-D): traverse the greedy string graph
+// into paths, compute contig offsets on the device with exclusive scans,
+// distribute per-read (offset, overhang) slots with a gather keyed by
+// read-ID, then re-stream the reads and write each read's overhang into its
+// contig position. Emits FASTA.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/string_graph.hpp"
+
+namespace lasagna::core {
+
+struct CompressOptions {
+  bool include_singletons = false;
+  /// Contigs shorter than this are dropped from the output (0 = keep all).
+  std::uint32_t min_contig_length = 0;
+  /// Read lengths by id, if the caller already knows them (the map phase
+  /// records them); empty = compress re-streams the input to collect them.
+  std::vector<std::uint16_t> read_lengths;
+};
+
+struct ContigStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_bases = 0;
+  std::uint64_t max_length = 0;
+  std::uint64_t n50 = 0;
+};
+
+struct CompressResult {
+  ContigStats stats;
+  std::uint64_t paths = 0;
+  std::uint64_t reads_placed = 0;
+};
+
+/// Generate contigs from `graph`, re-streaming the original reads from
+/// `fastq`, and write them as FASTA to `output`.
+[[nodiscard]] CompressResult run_compress_phase(
+    Workspace& ws, const graph::StringGraph& graph,
+    const std::vector<std::filesystem::path>& fastqs,
+    const std::filesystem::path& output, const CompressOptions& options);
+
+inline CompressResult run_compress_phase(Workspace& ws,
+                                         const graph::StringGraph& graph,
+                                         const std::filesystem::path& fastq,
+                                         const std::filesystem::path& output,
+                                         const CompressOptions& options) {
+  return run_compress_phase(ws, graph,
+                            std::vector<std::filesystem::path>{fastq},
+                            output, options);
+}
+
+/// N50 of a set of contig lengths (length L such that contigs >= L hold at
+/// least half the total bases).
+[[nodiscard]] std::uint64_t compute_n50(std::vector<std::uint64_t> lengths);
+
+}  // namespace lasagna::core

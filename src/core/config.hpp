@@ -1,0 +1,153 @@
+// Pipeline configuration: machine shape (host/device memory, GPU profile,
+// disk bandwidth), assembly parameters, and the shared per-run workspace.
+//
+// Scaling rule: the paper runs 398 GB datasets against 64-128 GB hosts and
+// 6-12 GB GPUs; the scaled presets divide all three by the same factor so
+// that pass counts — the quantity that drives the phase profile — are
+// preserved (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "fingerprint/rabin_karp.hpp"
+#include "gpu/device.hpp"
+#include "gpu/profile.hpp"
+#include "io/io_stats.hpp"
+#include "util/memory_tracker.hpp"
+
+namespace lasagna::core {
+
+/// The machine a run models.
+struct MachineConfig {
+  std::string name = "k40-128";
+  std::uint64_t host_memory_bytes = 32ull << 20;    ///< scaled 128 GB
+  std::uint64_t device_memory_bytes = 3ull << 20;   ///< scaled 12 GB
+  gpu::GpuProfile gpu_profile = gpu::GpuProfile::k40();
+  /// Modeled disk bandwidth. The paper's clusters stream 100-500 MB/s per
+  /// node; scaled runs keep the ratio of compute to I/O by scaling this
+  /// with the memory scale.
+  double disk_bandwidth_bytes_per_sec = 500e6 / 4096.0;
+  /// The dataset/memory scale factor this machine models. Disk bandwidth
+  /// is divided by it (above), which keeps disk time in full-size-world
+  /// units; device kernels run on scaled data at *real* GPU rates, so
+  /// modeled device seconds are multiplied by this factor to land in the
+  /// same units.
+  double time_scale = 4096.0;
+  /// Fraction of host memory usable as a single sort block m_h (the rest
+  /// is double-buffering and pipeline overhead).
+  double host_sort_fraction = 0.5;
+
+  /// QueenBee II node: 128 GB host + K40 12 GB (Tables II/IV), divided by
+  /// `scale`.
+  static MachineConfig queenbee_k40(double scale = 4096.0);
+  /// SuperMIC node: 64 GB host + K20X 6 GB (Tables III/V), divided by
+  /// `scale`.
+  static MachineConfig supermic_k20(double scale = 4096.0);
+
+  static MachineConfig with_gpu(const gpu::GpuProfile& profile,
+                                double scale = 4096.0);
+};
+
+inline MachineConfig MachineConfig::queenbee_k40(double scale) {
+  MachineConfig m;
+  m.name = "k40-128";
+  m.host_memory_bytes =
+      static_cast<std::uint64_t>(128.0 * (1ull << 30) / scale);
+  m.device_memory_bytes =
+      static_cast<std::uint64_t>(12.0 * (1ull << 30) / scale);
+  m.gpu_profile = gpu::GpuProfile::k40();
+  m.disk_bandwidth_bytes_per_sec = 500e6 / scale;
+  m.time_scale = scale;
+  return m;
+}
+
+inline MachineConfig MachineConfig::supermic_k20(double scale) {
+  MachineConfig m;
+  m.name = "k20-64";
+  m.host_memory_bytes =
+      static_cast<std::uint64_t>(64.0 * (1ull << 30) / scale);
+  m.device_memory_bytes =
+      static_cast<std::uint64_t>(6.0 * (1ull << 30) / scale);
+  m.gpu_profile = gpu::GpuProfile::k20x();
+  m.disk_bandwidth_bytes_per_sec = 500e6 / scale;
+  m.time_scale = scale;
+  return m;
+}
+
+inline MachineConfig MachineConfig::with_gpu(const gpu::GpuProfile& profile,
+                                             double scale) {
+  MachineConfig m = queenbee_k40(scale);
+  m.name = profile.name;
+  m.gpu_profile = profile;
+  m.device_memory_bytes =
+      static_cast<std::uint64_t>(
+          static_cast<double>(profile.memory_bytes) / scale);
+  return m;
+}
+
+/// Assembly parameters.
+struct AssemblyConfig {
+  MachineConfig machine;
+  unsigned min_overlap = 63;  ///< l_min (paper IV-A: SGA-suggested values)
+  fingerprint::FingerprintConfig fingerprints =
+      fingerprint::FingerprintConfig::standard();
+  /// Emit reads with no overlaps as singleton contigs.
+  bool include_singletons = false;
+  /// Drop contigs shorter than this from the FASTA output (0 = keep all).
+  std::uint32_t min_contig_length = 0;
+  /// Verify candidate overlaps against the actual sequences and drop
+  /// false-positive fingerprint matches (test/diagnostic mode; requires
+  /// keeping the packed reads in host memory).
+  bool verify_overlaps = false;
+  /// Working directory for intermediate files (empty = fresh temp dir).
+  std::filesystem::path work_dir;
+  /// When set, the greedy string graph is also written here as GFA 1.0
+  /// (for Bandage and other graph tooling).
+  std::filesystem::path gfa_output;
+};
+
+/// Per-run mutable context threaded through the phases. The distributed
+/// driver creates one per node (private disk + device); the single-node
+/// pipeline creates exactly one.
+struct Workspace {
+  gpu::Device* device = nullptr;
+  util::MemoryTracker* host = nullptr;  ///< host working-memory tracker
+  io::IoStats* io = nullptr;            ///< this node's disk counters
+  std::filesystem::path dir;            ///< this node's private storage
+};
+
+/// On-disk record emitted by the map phase: a 128-bit fingerprint plus the
+/// source vertex (read/strand). 24 bytes (the paper's 20-byte tuple plus
+/// alignment padding).
+struct FpRecord {
+  gpu::Key128 fp;
+  std::uint32_t vertex = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(FpRecord) == 24);
+
+/// Derived streaming geometry.
+struct BlockGeometry {
+  std::uint64_t host_block_records = 0;    ///< m_h in records
+  std::uint64_t device_block_records = 0;  ///< m_d in records
+
+  /// m_h from the host budget; m_d from the device budget. The device sort
+  /// needs input + double buffer (2x) plus staging, hence the divisor 4;
+  /// see gpu::sort_pairs.
+  static BlockGeometry from(const MachineConfig& machine);
+};
+
+inline BlockGeometry BlockGeometry::from(const MachineConfig& machine) {
+  BlockGeometry g;
+  g.host_block_records = std::max<std::uint64_t>(
+      16, static_cast<std::uint64_t>(machine.host_sort_fraction *
+                                     machine.host_memory_bytes) /
+              sizeof(FpRecord));
+  g.device_block_records = std::max<std::uint64_t>(
+      16, machine.device_memory_bytes / (4 * sizeof(FpRecord)));
+  return g;
+}
+
+}  // namespace lasagna::core

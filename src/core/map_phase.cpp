@@ -1,0 +1,145 @@
+#include "core/map_phase.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "seq/dna.hpp"
+#include "seq/read_store.hpp"
+#include "util/logging.hpp"
+
+namespace lasagna::core {
+
+namespace {
+
+/// Batch size in *input* bases: each input base occupies two strands
+/// (forward + reverse complement) on the device, and each strand base
+/// costs 1 byte of codes plus two 16-byte fingerprints; keep 1/8 of the
+/// device free for the lengths array and allocator slack.
+std::uint64_t batch_bases_for(const gpu::Device& dev) {
+  constexpr std::uint64_t per_base = 2 * (1 + 2 * sizeof(gpu::Key128)) + 2;
+  const std::uint64_t usable = dev.memory().capacity() * 7 / 8;
+  return std::max<std::uint64_t>(64, usable / per_base);
+}
+
+}  // namespace
+
+MapResult run_map_phase(Workspace& ws,
+                        const std::vector<std::filesystem::path>& fastqs,
+                        const MapOptions& options) {
+  MapResult result;
+  result.suffixes = std::make_unique<io::PartitionSet<FpRecord>>(
+      ws.dir / "map", "sfx", *ws.io);
+  result.prefixes = std::make_unique<io::PartitionSet<FpRecord>>(
+      ws.dir / "map", "pfx", *ws.io);
+
+  // The PlaceTable wants the longest read length up front; Illumina reads
+  // are uniform, so we allocate for the longest supported and slice later.
+  constexpr unsigned kMaxReadLength = 512;
+  const fingerprint::PlaceTable places(options.fingerprints, kMaxReadLength);
+
+  const std::uint64_t batch_bases = batch_bases_for(*ws.device);
+  seq::ReadBatchStream stream(fastqs, batch_bases);
+
+  // Per-length staging buffers flushed after every batch.
+  std::map<unsigned, std::vector<FpRecord>> sfx_stage;
+  std::map<unsigned, std::vector<FpRecord>> pfx_stage;
+
+  seq::ReadBatch batch;
+  std::vector<std::string> strands;
+  while (stream.next(batch)) {
+    // Skip batches before the assigned range; stop after it (distributed
+    // map: the master assigns [first_read, first_read + max_reads)).
+    const std::uint64_t batch_first = batch.first_id;
+    const std::uint64_t batch_last = batch_first + batch.size();
+    if (batch_last <= options.first_read) continue;
+    if (options.max_reads != UINT64_MAX &&
+        batch_first >= options.first_read + options.max_reads) {
+      break;
+    }
+
+    // Forward and reverse-complement strands interleaved: strand of read i
+    // sits at 2i (forward) and 2i+1 (reverse), matching the vertex ids.
+    strands.clear();
+    strands.reserve(batch.reads.size() * 2);
+    std::vector<std::uint32_t> read_ids;
+    for (std::uint32_t i = 0; i < batch.size(); ++i) {
+      const std::uint64_t global_id = batch_first + i;
+      if (global_id < options.first_read ||
+          global_id >= options.first_read + options.max_reads) {
+        continue;
+      }
+      strands.push_back(batch.reads[i]);
+      strands.push_back(seq::reverse_complement(batch.reads[i]));
+      read_ids.push_back(static_cast<std::uint32_t>(global_id));
+    }
+    if (strands.empty()) continue;
+
+    util::TrackedAllocation strand_mem(
+        *ws.host, strands.size() * (strands.front().size() + 32));
+
+    const fingerprint::BatchFingerprints fps =
+        fingerprint::compute_batch_fingerprints(*ws.device, strands, places,
+                                                options.strategy);
+
+    util::TrackedAllocation fp_mem(
+        *ws.host, (fps.prefix.size() + fps.suffix.size()) *
+                      sizeof(gpu::Key128));
+
+    for (std::size_t s = 0; s < strands.size(); ++s) {
+      const unsigned len = static_cast<unsigned>(strands[s].size());
+      const std::uint32_t read_id = read_ids[s / 2];
+      const std::uint32_t vertex =
+          (read_id << 1) | static_cast<std::uint32_t>(s & 1);
+      const gpu::Key128* prefix_row = fps.prefix.data() + s * fps.stride;
+      const gpu::Key128* suffix_row = fps.suffix.data() + s * fps.stride;
+
+      // Keep overlap lengths l in [l_min, len): the l = len partition is
+      // dropped to avoid self-loops (paper III-A).
+      const unsigned buckets = std::max(1u, options.fingerprint_buckets);
+      for (unsigned l = options.min_overlap; l < len; ++l) {
+        const gpu::Key128 pfp = prefix_row[l - 1];
+        const gpu::Key128 sfp = suffix_row[len - l];
+        pfx_stage[partition_key(
+                      l, static_cast<unsigned>(pfp.hi % buckets), buckets)]
+            .push_back(FpRecord{pfp, vertex, 0});
+        sfx_stage[partition_key(
+                      l, static_cast<unsigned>(sfp.hi % buckets), buckets)]
+            .push_back(FpRecord{sfp, vertex, 0});
+        result.tuples_emitted += 2;
+      }
+      result.max_read_length = std::max(result.max_read_length, len);
+      result.total_bases += len;
+      if ((s & 1) == 0) {
+        if (result.read_lengths.size() <= read_id) {
+          result.read_lengths.resize(read_id + 1, 0);
+        }
+        result.read_lengths[read_id] = static_cast<std::uint16_t>(len);
+      }
+    }
+    result.read_count += static_cast<std::uint32_t>(read_ids.size());
+
+    for (auto& [l, records] : sfx_stage) {
+      if (!records.empty()) {
+        result.suffixes->append(l, std::span<const FpRecord>(records));
+        records.clear();
+      }
+    }
+    for (auto& [l, records] : pfx_stage) {
+      if (!records.empty()) {
+        result.prefixes->append(l, std::span<const FpRecord>(records));
+        records.clear();
+      }
+    }
+  }
+
+  // total_bases counted both strands; report input bases (one strand).
+  result.total_bases /= 2;
+  result.suffixes->finalize();
+  result.prefixes->finalize();
+  LOG_INFO << "map: " << result.read_count << " reads, "
+           << result.tuples_emitted << " tuples";
+  return result;
+}
+
+}  // namespace lasagna::core

@@ -1,0 +1,182 @@
+#include "core/pipeline.hpp"
+
+#include "graph/gfa.hpp"
+#include "seq/read_store.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace lasagna::core {
+
+namespace {
+
+/// Collects one phase's deltas: wall clock, device modeled clock, disk
+/// counters and memory peaks.
+class PhaseScope {
+ public:
+  PhaseScope(std::string name, Workspace& ws, const MachineConfig& machine,
+             util::RunStats& stats, double extra_input_bytes = 0.0)
+      : name_(std::move(name)),
+        ws_(ws),
+        machine_(machine),
+        stats_(stats),
+        extra_input_bytes_(extra_input_bytes),
+        io_before_(ws.io->snapshot()),
+        device_before_(ws.device->modeled_seconds()) {
+    ws.host->reset_peak();
+    ws.device->memory().reset_peak();
+  }
+
+  ~PhaseScope() {
+    util::PhaseStats phase;
+    phase.name = name_;
+    phase.wall_seconds = timer_.seconds();
+    const auto io_after = ws_.io->snapshot();
+    phase.disk_bytes_read =
+        io_after.bytes_read - io_before_.bytes_read +
+        static_cast<std::uint64_t>(extra_input_bytes_);
+    phase.disk_bytes_written =
+        io_after.bytes_written - io_before_.bytes_written;
+    phase.peak_host_bytes = ws_.host->peak();
+    phase.peak_device_bytes = ws_.device->memory().peak();
+    // Device kernels process scaled data at real GPU rates; multiplying by
+    // time_scale expresses them in the same full-size-world units as the
+    // (bandwidth-scaled) disk time.
+    const double device_seconds =
+        (ws_.device->modeled_seconds() - device_before_) *
+        machine_.time_scale;
+    const double disk_seconds =
+        static_cast<double>(phase.disk_bytes_read +
+                            phase.disk_bytes_written) /
+        machine_.disk_bandwidth_bytes_per_sec;
+    phase.modeled_seconds = device_seconds + disk_seconds;
+    stats_.add(std::move(phase));
+  }
+
+ private:
+  std::string name_;
+  Workspace& ws_;
+  const MachineConfig& machine_;
+  util::RunStats& stats_;
+  double extra_input_bytes_;
+  io::IoStats::Snapshot io_before_;
+  double device_before_;
+  util::WallTimer timer_;
+};
+
+}  // namespace
+
+Assembler::Assembler(AssemblyConfig config) : config_(std::move(config)) {}
+
+AssemblyResult Assembler::run(const std::filesystem::path& fastq,
+                              const std::filesystem::path& output_fasta) {
+  return run(std::vector<std::filesystem::path>{fastq}, output_fasta);
+}
+
+AssemblyResult Assembler::run(
+    const std::vector<std::filesystem::path>& fastqs,
+    const std::filesystem::path& output_fasta) {
+  AssemblyResult result;
+
+  device_ = std::make_unique<gpu::Device>(
+      config_.machine.gpu_profile, config_.machine.device_memory_bytes);
+  util::MemoryTracker host_tracker("host", 0);
+  io::IoStats io_stats;
+
+  std::optional<io::ScopedTempDir> temp;
+  std::filesystem::path work = config_.work_dir;
+  if (work.empty()) {
+    temp.emplace("lasagna-run");
+    work = temp->path();
+  } else {
+    std::filesystem::create_directories(work);
+  }
+
+  Workspace ws{device_.get(), &host_tracker, &io_stats, work};
+  double fastq_bytes = 0.0;
+  for (const auto& f : fastqs) {
+    fastq_bytes += static_cast<double>(std::filesystem::file_size(f));
+  }
+
+  // ---- Load: one pass over the input to validate it and (in verify mode)
+  // pin the packed reads in host memory.
+  std::optional<seq::PackedReads> packed;
+  {
+    PhaseScope scope("load", ws, config_.machine, result.stats, fastq_bytes);
+    if (config_.verify_overlaps) {
+      packed.emplace(seq::PackedReads::from_files(fastqs));
+      host_tracker.allocate(packed->memory_bytes());
+    } else {
+      seq::ReadBatchStream stream(fastqs, 1 << 20);
+      seq::ReadBatch batch;
+      while (stream.next(batch)) {
+      }
+      result.read_count = stream.reads_seen();
+    }
+  }
+
+  // ---- Map.
+  MapOptions map_options;
+  map_options.min_overlap = config_.min_overlap;
+  map_options.fingerprints = config_.fingerprints;
+  MapResult map;
+  {
+    PhaseScope scope("map", ws, config_.machine, result.stats, fastq_bytes);
+    map = run_map_phase(ws, fastqs, map_options);
+  }
+  result.read_count = map.read_count;
+  result.total_bases = map.total_bases;
+  result.tuples_emitted = map.tuples_emitted;
+
+  // ---- Sort.
+  const BlockGeometry geometry = BlockGeometry::from(config_.machine);
+  SortResult sorted;
+  {
+    PhaseScope scope("sort", ws, config_.machine, result.stats);
+    sorted = run_sort_phase(ws, map, geometry);
+  }
+  result.records_sorted = sorted.records_sorted;
+  result.sort_disk_passes = sorted.max_disk_passes;
+
+  // ---- Reduce.
+  ReduceOptions reduce_options;
+  reduce_options.verify_overlaps = config_.verify_overlaps;
+  reduce_options.reads = packed.has_value() ? &*packed : nullptr;
+  ReduceResult reduced;
+  {
+    PhaseScope scope("reduce", ws, config_.machine, result.stats);
+    reduced = run_reduce_phase(ws, sorted, map.read_count, reduce_options);
+  }
+  result.candidate_edges = reduced.candidate_edges;
+  result.accepted_edges = reduced.accepted_edges;
+  result.false_positives = reduced.false_positives;
+  result.graph_edges = reduced.graph->edge_count();
+
+  if (!config_.gfa_output.empty()) {
+    graph::GfaOptions gfa_options;
+    gfa_options.read_length = [&map](graph::ReadId r) {
+      return static_cast<std::uint32_t>(map.read_lengths[r]);
+    };
+    gfa_options.skip_isolated_segments = !config_.include_singletons;
+    graph::write_gfa_file(config_.gfa_output, *reduced.graph, gfa_options);
+  }
+
+  // ---- Compress.
+  CompressOptions compress_options;
+  compress_options.include_singletons = config_.include_singletons;
+  compress_options.min_contig_length = config_.min_contig_length;
+  compress_options.read_lengths = std::move(map.read_lengths);
+  CompressResult compressed;
+  {
+    PhaseScope scope("compress", ws, config_.machine, result.stats,
+                     fastq_bytes);  // one re-stream (placement pass)
+    compressed = run_compress_phase(ws, *reduced.graph, fastqs,
+                                    output_fasta, compress_options);
+  }
+  result.paths = compressed.paths;
+  result.contigs = compressed.stats;
+
+  if (packed.has_value()) host_tracker.release(packed->memory_bytes());
+  return result;
+}
+
+}  // namespace lasagna::core

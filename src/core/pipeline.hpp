@@ -1,0 +1,61 @@
+// Single-node (single-GPU) assembly pipeline driver: Load -> Map -> Sort ->
+// Reduce -> Compress, with per-phase wall time, modeled time (device cost
+// model + disk bandwidth model), peak memory and disk traffic — the
+// measurements behind the paper's Tables II-V.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/compress_phase.hpp"
+#include "core/config.hpp"
+#include "core/map_phase.hpp"
+#include "core/reduce_phase.hpp"
+#include "core/sort_phase.hpp"
+#include "io/tempdir.hpp"
+#include "util/stats.hpp"
+
+namespace lasagna::core {
+
+struct AssemblyResult {
+  util::RunStats stats;            ///< phases: load, map, sort, reduce, compress
+  std::uint32_t read_count = 0;
+  std::uint64_t total_bases = 0;
+  std::uint64_t tuples_emitted = 0;
+  std::uint64_t records_sorted = 0;
+  unsigned sort_disk_passes = 0;   ///< max per-partition disk passes
+  std::uint64_t candidate_edges = 0;
+  std::uint64_t accepted_edges = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t graph_edges = 0;
+  std::uint64_t paths = 0;
+  ContigStats contigs;
+};
+
+/// One assembly run. Construct with a config, call run().
+class Assembler {
+ public:
+  explicit Assembler(AssemblyConfig config);
+
+  /// Assemble `fastq` and write contigs to `output_fasta`.
+  [[nodiscard]] AssemblyResult run(const std::filesystem::path& fastq,
+                                   const std::filesystem::path& output_fasta);
+
+  /// Assemble several input files (read ids are assigned across them in
+  /// order — sequencing runs usually ship as multiple FASTQ files).
+  [[nodiscard]] AssemblyResult run(
+      const std::vector<std::filesystem::path>& fastqs,
+      const std::filesystem::path& output_fasta);
+
+  /// The device used by the last run (valid after run()).
+  [[nodiscard]] const gpu::Device& device() const { return *device_; }
+
+ private:
+  AssemblyConfig config_;
+  std::unique_ptr<gpu::Device> device_;
+};
+
+}  // namespace lasagna::core

@@ -1,0 +1,237 @@
+#include "core/reduce_phase.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "gpu/primitives.hpp"
+#include "io/record_stream.hpp"
+#include "seq/dna.hpp"
+#include "util/logging.hpp"
+
+namespace lasagna::core {
+
+namespace {
+
+/// Streaming window with carry-over (same shape as the sort phase's
+/// FileWindow, duplicated locally to keep the phases self-contained).
+class StreamWindow {
+ public:
+  StreamWindow(const std::filesystem::path& path, std::size_t window_records,
+               io::IoStats& stats)
+      : reader_(path, stats), window_(window_records) {}
+
+  bool fill() {
+    if (buffer_.size() < window_ && !reader_.eof()) {
+      reader_.read(buffer_, window_ - buffer_.size());
+    }
+    return !buffer_.empty();
+  }
+
+  [[nodiscard]] std::span<const FpRecord> view() const { return buffer_; }
+  void consume(std::size_t n) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  [[nodiscard]] bool stream_done() const { return reader_.eof(); }
+
+  /// Pull records while their fingerprint equals `fp` (window-overflow
+  /// fallback for pathological duplicate runs).
+  void append_run(const gpu::Key128& fp, std::vector<FpRecord>& out) {
+    for (;;) {
+      while (!buffer_.empty() && buffer_.front().fp == fp) {
+        out.push_back(buffer_.front());
+        buffer_.erase(buffer_.begin());
+      }
+      if (!buffer_.empty() || reader_.eof()) return;
+      reader_.read(buffer_, window_);
+      if (buffer_.empty()) return;
+    }
+  }
+
+ private:
+  io::RecordReader<FpRecord> reader_;
+  std::size_t window_;
+  std::vector<FpRecord> buffer_;
+};
+
+/// True when the suffix string of `u` (length l) equals the prefix string
+/// of `v` (length l) — used in verify mode to count false positives.
+bool overlap_is_real(const seq::PackedReads& reads, graph::VertexId u,
+                     graph::VertexId v, unsigned l) {
+  const std::string su = graph::is_reverse(u)
+                             ? reads.decode_rc(graph::read_of(u))
+                             : reads.decode(graph::read_of(u));
+  const std::string sv = graph::is_reverse(v)
+                             ? reads.decode_rc(graph::read_of(v))
+                             : reads.decode(graph::read_of(v));
+  if (su.size() < l || sv.size() < l) return false;
+  return std::equal(su.end() - l, su.end(), sv.begin());
+}
+
+/// Match one pair of equalized windows on the device and emit greedy edges.
+void match_windows(Workspace& ws, std::span<const FpRecord> sfx,
+                   std::span<const FpRecord> pfx, unsigned length,
+                   graph::StringGraph& graph, const ReduceOptions& options,
+                   PartitionReduceStats& stats) {
+  if (sfx.empty() || pfx.empty()) return;
+  gpu::Device& dev = *ws.device;
+
+  std::vector<gpu::Key128> sfx_keys(sfx.size());
+  std::vector<gpu::Key128> pfx_keys(pfx.size());
+  for (std::size_t i = 0; i < sfx.size(); ++i) sfx_keys[i] = sfx[i].fp;
+  for (std::size_t i = 0; i < pfx.size(); ++i) pfx_keys[i] = pfx[i].fp;
+
+  auto d_sfx = dev.alloc<gpu::Key128>(sfx.size());
+  auto d_pfx = dev.alloc<gpu::Key128>(pfx.size());
+  auto d_lower = dev.alloc<std::uint32_t>(sfx.size());
+  auto d_upper = dev.alloc<std::uint32_t>(sfx.size());
+  dev.copy_to_device(std::span<const gpu::Key128>(sfx_keys), d_sfx.span());
+  dev.copy_to_device(std::span<const gpu::Key128>(pfx_keys), d_pfx.span());
+
+  gpu::vector_lower_bound(dev, d_sfx.span(), d_pfx.span(), d_lower.span());
+  gpu::vector_upper_bound(dev, d_sfx.span(), d_pfx.span(), d_upper.span());
+
+  std::vector<std::uint32_t> lower(sfx.size());
+  std::vector<std::uint32_t> upper(sfx.size());
+  dev.copy_to_host(std::span<const std::uint32_t>(d_lower.span()),
+                   std::span<std::uint32_t>(lower));
+  dev.copy_to_host(std::span<const std::uint32_t>(d_upper.span()),
+                   std::span<std::uint32_t>(upper));
+
+  // Host-side greedy graph update (paper III-C: the graph lives in host
+  // memory; GPU atomics for edge insertion were found detrimental).
+  for (std::size_t i = 0; i < sfx.size(); ++i) {
+    const std::uint32_t count = upper[i] - lower[i];
+    if (count == 0) continue;
+    const graph::VertexId u = sfx[i].vertex;
+    for (std::uint32_t j = lower[i]; j < upper[i]; ++j) {
+      const graph::VertexId v = pfx[j].vertex;
+      ++stats.candidates;
+      if (options.verify_overlaps && options.reads != nullptr &&
+          !overlap_is_real(*options.reads, u, v, length)) {
+        ++stats.false_positives;
+        continue;
+      }
+      if (options.candidate_sink) {
+        options.candidate_sink(u, v);
+      } else if (graph.try_add_edge(u, v,
+                                    static_cast<std::uint16_t>(length))) {
+        ++stats.accepted;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PartitionReduceStats reduce_partition(Workspace& ws,
+                                      const SortedPartition& partition,
+                                      graph::StringGraph& graph,
+                                      const ReduceOptions& options) {
+  PartitionReduceStats stats;
+  gpu::Device& dev = *ws.device;
+
+  // Windows sized so suffix + prefix keys plus both bound arrays fit the
+  // device alongside transfer staging.
+  const std::size_t window = std::max<std::size_t>(
+      16, dev.memory().capacity() / (8 * sizeof(FpRecord)));
+  util::TrackedAllocation window_mem(*ws.host,
+                                     2 * window * sizeof(FpRecord));
+
+  StreamWindow sfx(partition.suffix_file, window, *ws.io);
+  StreamWindow pfx(partition.prefix_file, window, *ws.io);
+  std::vector<FpRecord> run_sfx;
+  std::vector<FpRecord> run_pfx;
+
+  while (true) {
+    const bool has_s = sfx.fill();
+    const bool has_p = pfx.fill();
+    if (!has_s || !has_p) break;  // no further matches possible
+
+    std::span<const FpRecord> vs = sfx.view();
+    std::span<const FpRecord> vp = pfx.view();
+
+    // Equalize both windows to the same fingerprint range (Algorithm 2
+    // lines 5-7). The boundary fingerprint f = min of last keys may
+    // continue beyond a window; its run may only be matched once it is
+    // complete on BOTH sides (a side's run is complete if its stream is
+    // drained or its window extends past f), otherwise both sides defer
+    // the run to the next iteration.
+    const gpu::Key128 f = std::min(vs.back().fp, vp.back().fp);
+    const bool s_complete = sfx.stream_done() || vs.back().fp != f;
+    const bool p_complete = pfx.stream_done() || vp.back().fp != f;
+    const bool include_f = s_complete && p_complete;
+    auto cut = [&f, include_f](std::span<const FpRecord> w) {
+      const FpRecord probe{f, 0, 0};
+      return static_cast<std::size_t>(
+          (include_f
+               ? std::upper_bound(w.begin(), w.end(), probe, fp_less)
+               : std::lower_bound(w.begin(), w.end(), probe, fp_less)) -
+          w.begin());
+    };
+    const std::size_t cut_s = cut(vs);
+    const std::size_t cut_p = cut(vp);
+
+    if (cut_s == 0 && cut_p == 0) {
+      // Both windows start inside the same oversized fingerprint run. All
+      // records in the run share fingerprint f, so every (suffix, prefix)
+      // pair is a candidate — no device bounds needed; drain the run from
+      // both sides in host memory and match all pairs directly.
+      run_sfx.clear();
+      run_pfx.clear();
+      sfx.append_run(f, run_sfx);
+      pfx.append_run(f, run_pfx);
+      for (const FpRecord& s : run_sfx) {
+        for (const FpRecord& p : run_pfx) {
+          ++stats.candidates;
+          if (options.verify_overlaps && options.reads != nullptr &&
+              !overlap_is_real(*options.reads, s.vertex, p.vertex,
+                               partition.length)) {
+            ++stats.false_positives;
+            continue;
+          }
+          if (options.candidate_sink) {
+            options.candidate_sink(s.vertex, p.vertex);
+          } else if (graph.try_add_edge(s.vertex, p.vertex,
+                                        static_cast<std::uint16_t>(
+                                            partition.length))) {
+            ++stats.accepted;
+          }
+        }
+      }
+      continue;
+    }
+
+    match_windows(ws, vs.first(cut_s), vp.first(cut_p), partition.length,
+                  graph, options, stats);
+    sfx.consume(cut_s);
+    pfx.consume(cut_p);
+  }
+  return stats;
+}
+
+ReduceResult run_reduce_phase(Workspace& ws, const SortResult& sorted,
+                              std::uint32_t read_count,
+                              const ReduceOptions& options) {
+  ReduceResult result;
+  result.graph = std::make_unique<graph::StringGraph>(read_count);
+  util::TrackedAllocation graph_mem(*ws.host,
+                                    result.graph->memory_bytes());
+
+  // Descending length order: the greedy heuristic must see the longest
+  // overlaps first (paper III-C / III-E3).
+  for (auto it = sorted.partitions.rbegin(); it != sorted.partitions.rend();
+       ++it) {
+    const PartitionReduceStats stats =
+        reduce_partition(ws, *it, *result.graph, options);
+    result.candidate_edges += stats.candidates;
+    result.accepted_edges += stats.accepted;
+    result.false_positives += stats.false_positives;
+  }
+  LOG_INFO << "reduce: " << result.candidate_edges << " candidates, "
+           << result.accepted_edges << " accepted, "
+           << result.false_positives << " false positives";
+  return result;
+}
+
+}  // namespace lasagna::core

@@ -1,0 +1,413 @@
+#include "core/sort_phase.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "gpu/primitives.hpp"
+#include "io/record_stream.hpp"
+#include "util/logging.hpp"
+
+namespace lasagna::core {
+
+namespace {
+
+/// AoS -> SoA split for the device primitives.
+void split_records(std::span<const FpRecord> records,
+                   std::vector<gpu::Key128>& keys,
+                   std::vector<std::uint64_t>& vals) {
+  keys.resize(records.size());
+  vals.resize(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    keys[i] = records[i].fp;
+    vals[i] = records[i].vertex;
+  }
+}
+
+void join_records(std::span<const gpu::Key128> keys,
+                  std::span<const std::uint64_t> vals,
+                  std::span<FpRecord> out) {
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    out[i] = FpRecord{keys[i], static_cast<std::uint32_t>(vals[i]), 0};
+  }
+}
+
+/// Device radix sort of one chunk (must fit m_d).
+void device_sort_chunk(Workspace& ws, std::span<FpRecord> chunk) {
+  if (chunk.size() < 2) return;
+  gpu::Device& dev = *ws.device;
+
+  std::vector<gpu::Key128> keys;
+  std::vector<std::uint64_t> vals;
+  split_records(chunk, keys, vals);
+
+  auto d_keys = dev.alloc<gpu::Key128>(chunk.size());
+  auto d_vals = dev.alloc<std::uint64_t>(chunk.size());
+  dev.copy_to_device(std::span<const gpu::Key128>(keys), d_keys.span());
+  dev.copy_to_device(std::span<const std::uint64_t>(vals), d_vals.span());
+
+  gpu::sort_pairs<std::uint64_t>(dev, d_keys.span(), d_vals.span());
+
+  dev.copy_to_host(std::span<const gpu::Key128>(d_keys.span()),
+                   std::span<gpu::Key128>(keys));
+  dev.copy_to_host(std::span<const std::uint64_t>(d_vals.span()),
+                   std::span<std::uint64_t>(vals));
+  join_records(keys, vals, chunk);
+}
+
+/// Device merge of two host windows that both fit on the device together.
+void device_merge_windows(Workspace& ws, std::span<const FpRecord> a,
+                          std::span<const FpRecord> b,
+                          std::vector<FpRecord>& out) {
+  gpu::Device& dev = *ws.device;
+  out.resize(a.size() + b.size());
+  if (a.empty()) {
+    std::copy(b.begin(), b.end(), out.begin());
+    return;
+  }
+  if (b.empty()) {
+    std::copy(a.begin(), a.end(), out.begin());
+    return;
+  }
+
+  std::vector<gpu::Key128> keys_a;
+  std::vector<std::uint64_t> vals_a;
+  std::vector<gpu::Key128> keys_b;
+  std::vector<std::uint64_t> vals_b;
+  split_records(a, keys_a, vals_a);
+  split_records(b, keys_b, vals_b);
+
+  auto d_ka = dev.alloc<gpu::Key128>(a.size());
+  auto d_va = dev.alloc<std::uint64_t>(a.size());
+  auto d_kb = dev.alloc<gpu::Key128>(b.size());
+  auto d_vb = dev.alloc<std::uint64_t>(b.size());
+  auto d_ko = dev.alloc<gpu::Key128>(out.size());
+  auto d_vo = dev.alloc<std::uint64_t>(out.size());
+
+  dev.copy_to_device(std::span<const gpu::Key128>(keys_a), d_ka.span());
+  dev.copy_to_device(std::span<const std::uint64_t>(vals_a), d_va.span());
+  dev.copy_to_device(std::span<const gpu::Key128>(keys_b), d_kb.span());
+  dev.copy_to_device(std::span<const std::uint64_t>(vals_b), d_vb.span());
+
+  gpu::merge_pairs<std::uint64_t>(
+      dev, d_ka.span(), d_va.span(), d_kb.span(), d_vb.span(), d_ko.span(),
+      d_vo.span());
+
+  std::vector<gpu::Key128> keys_out(out.size());
+  std::vector<std::uint64_t> vals_out(out.size());
+  dev.copy_to_host(std::span<const gpu::Key128>(d_ko.span()),
+                   std::span<gpu::Key128>(keys_out));
+  dev.copy_to_host(std::span<const std::uint64_t>(d_vo.span()),
+                   std::span<std::uint64_t>(vals_out));
+  join_records(keys_out, vals_out, out);
+}
+
+}  // namespace
+
+void device_windowed_merge(
+    Workspace& ws, std::span<const FpRecord> a, std::span<const FpRecord> b,
+    std::uint64_t device_block_records,
+    const std::function<void(std::span<const FpRecord>)>& sink) {
+  const std::size_t half =
+      std::max<std::size_t>(1, device_block_records / 2);
+  std::vector<FpRecord> merged;
+
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    std::span<const FpRecord> wa = a.subspan(ia, std::min(half, a.size() - ia));
+    std::span<const FpRecord> wb = b.subspan(ib, std::min(half, b.size() - ib));
+
+    // Algorithm 1 lines 5-6: disjoint windows pass straight through.
+    if (!fp_less(wb.front(), wa.back()) && wa.back().fp != wb.front().fp) {
+      sink(wa);
+      ia += wa.size();
+      continue;
+    }
+    if (!fp_less(wa.front(), wb.back()) && wb.back().fp != wa.front().fp) {
+      sink(wb);
+      ib += wb.size();
+      continue;
+    }
+
+    // Lines 8-15: equalize so the larger-tailed window is cut at the
+    // upper bound of the smaller of the two last keys.
+    const gpu::Key128 k = std::min(wa.back().fp, wb.back().fp);
+    auto cut = [&k](std::span<const FpRecord> w) {
+      const FpRecord probe{k, 0, 0};
+      return static_cast<std::size_t>(
+          std::upper_bound(w.begin(), w.end(), probe, fp_less) - w.begin());
+    };
+    if (k == wa.back().fp) {
+      wb = wb.first(cut(wb));
+    } else {
+      wa = wa.first(cut(wa));
+    }
+
+    device_merge_windows(ws, wa, wb, merged);
+    sink(merged);
+    ia += wa.size();
+    ib += wb.size();
+  }
+
+  if (ia < a.size()) sink(a.subspan(ia));
+  if (ib < b.size()) sink(b.subspan(ib));
+}
+
+void sort_host_block(Workspace& ws, std::span<FpRecord> block,
+                     std::uint64_t device_block_records) {
+  const std::size_t m_d = std::max<std::uint64_t>(2, device_block_records);
+  // Level 2a: device-sort each m_d chunk.
+  std::vector<std::span<FpRecord>> runs;
+  for (std::size_t off = 0; off < block.size(); off += m_d) {
+    auto run = block.subspan(off, std::min(m_d, block.size() - off));
+    device_sort_chunk(ws, run);
+    runs.push_back(run);
+  }
+
+  // Level 2b: iterative pairwise windowed merges until one run remains.
+  // Ping-pong between the block storage and a tracked scratch buffer.
+  std::vector<FpRecord> scratch;
+  while (runs.size() > 1) {
+    util::TrackedAllocation scratch_mem(*ws.host,
+                                        block.size() * sizeof(FpRecord));
+    scratch.resize(block.size());
+    std::vector<std::span<FpRecord>> next;
+    std::size_t out_off = 0;
+    for (std::size_t i = 0; i < runs.size(); i += 2) {
+      if (i + 1 == runs.size()) {
+        std::copy(runs[i].begin(), runs[i].end(), scratch.begin() + out_off);
+        next.push_back(
+            std::span<FpRecord>(scratch).subspan(out_off, runs[i].size()));
+        out_off += runs[i].size();
+        continue;
+      }
+      const std::size_t merged_size = runs[i].size() + runs[i + 1].size();
+      std::size_t cursor = out_off;
+      device_windowed_merge(
+          ws, runs[i], runs[i + 1], device_block_records,
+          [&scratch, &cursor](std::span<const FpRecord> part) {
+            std::copy(part.begin(), part.end(), scratch.begin() + cursor);
+            cursor += part.size();
+          });
+      next.push_back(
+          std::span<FpRecord>(scratch).subspan(out_off, merged_size));
+      out_off += merged_size;
+    }
+    std::copy(scratch.begin(), scratch.end(), block.begin());
+    // Spans in `next` point into scratch; rebase them onto `block`.
+    runs.clear();
+    std::size_t off = 0;
+    for (const auto& r : next) {
+      runs.push_back(block.subspan(off, r.size()));
+      off += r.size();
+    }
+  }
+}
+
+namespace {
+
+/// Streaming window over a sorted record file, with carry-over support for
+/// the disk-level Algorithm 1.
+class FileWindow {
+ public:
+  FileWindow(const std::filesystem::path& path, std::size_t window_records,
+             io::IoStats& stats)
+      : reader_(path, stats), window_(window_records) {}
+
+  /// Top up the buffer to the window size; returns false when no data
+  /// remains at all.
+  bool fill() {
+    if (buffer_.size() < window_ && !reader_.eof()) {
+      reader_.read(buffer_, window_ - buffer_.size());
+    }
+    return !buffer_.empty();
+  }
+
+  [[nodiscard]] std::span<const FpRecord> view() const { return buffer_; }
+
+  void consume(std::size_t n) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
+  [[nodiscard]] bool exhausted() const {
+    return reader_.eof() && buffer_.empty();
+  }
+
+ private:
+  io::RecordReader<FpRecord> reader_;
+  std::size_t window_;
+  std::vector<FpRecord> buffer_;
+};
+
+/// Algorithm 1: merge two sorted files into one, with host windows of
+/// m_h / 2 records equalized by upper bound, and the actual merging done
+/// by the device-windowed merge.
+void merge_files(Workspace& ws, const std::filesystem::path& in_a,
+                 const std::filesystem::path& in_b,
+                 const std::filesystem::path& out_path,
+                 const BlockGeometry& geometry) {
+  const std::size_t half = std::max<std::uint64_t>(
+      2, geometry.host_block_records / 2);
+  util::TrackedAllocation window_mem(*ws.host,
+                                     2 * half * sizeof(FpRecord));
+
+  FileWindow wa(in_a, half, *ws.io);
+  FileWindow wb(in_b, half, *ws.io);
+  io::RecordWriter<FpRecord> out(out_path, *ws.io);
+  auto sink = [&out](std::span<const FpRecord> part) { out.write(part); };
+
+  while (true) {
+    const bool has_a = wa.fill();
+    const bool has_b = wb.fill();
+    if (!has_a && !has_b) break;
+    if (!has_a) {
+      sink(wb.view());
+      wb.consume(wb.view().size());
+      continue;
+    }
+    if (!has_b) {
+      sink(wa.view());
+      wa.consume(wa.view().size());
+      continue;
+    }
+
+    std::span<const FpRecord> va = wa.view();
+    std::span<const FpRecord> vb = wb.view();
+
+    if (!fp_less(vb.front(), va.back()) && va.back().fp != vb.front().fp) {
+      sink(va);
+      wa.consume(va.size());
+      continue;
+    }
+    if (!fp_less(va.front(), vb.back()) && vb.back().fp != va.front().fp) {
+      sink(vb);
+      wb.consume(vb.size());
+      continue;
+    }
+
+    // Equalize: cut the window with the larger last key at the upper bound
+    // of the smaller last key (Algorithm 1 lines 8-15). The cut-off tail
+    // stays in that side's buffer and is re-considered next iteration, so
+    // cutting is always safe — even at end of file.
+    const gpu::Key128 k = std::min(va.back().fp, vb.back().fp);
+    auto cut = [&k](std::span<const FpRecord> w) {
+      const FpRecord probe{k, 0, 0};
+      return static_cast<std::size_t>(
+          std::upper_bound(w.begin(), w.end(), probe, fp_less) - w.begin());
+    };
+    if (k == va.back().fp) {
+      vb = vb.first(cut(vb));
+    } else {
+      va = va.first(cut(va));
+    }
+
+    device_windowed_merge(ws, va, vb, geometry.device_block_records, sink);
+    wa.consume(va.size());
+    wb.consume(vb.size());
+  }
+  out.close();
+}
+
+}  // namespace
+
+SortFileStats external_sort_file(Workspace& ws,
+                                 const std::filesystem::path& input,
+                                 const std::filesystem::path& output,
+                                 const BlockGeometry& geometry) {
+  SortFileStats stats;
+  const std::filesystem::path run_dir = output.parent_path();
+  std::filesystem::create_directories(run_dir);
+
+  // Level 1: produce sorted host-block runs.
+  std::vector<std::filesystem::path> runs;
+  {
+    io::RecordReader<FpRecord> reader(input, *ws.io);
+    std::vector<FpRecord> block;
+    util::TrackedAllocation block_mem(
+        *ws.host, geometry.host_block_records * sizeof(FpRecord));
+    while (true) {
+      block.clear();
+      reader.read(block, geometry.host_block_records);
+      if (block.empty()) break;
+      stats.records += block.size();
+      sort_host_block(ws, block, geometry.device_block_records);
+      const std::filesystem::path run_path =
+          output.string() + ".run" + std::to_string(runs.size());
+      io::write_all_records(run_path, std::span<const FpRecord>(block),
+                            *ws.io);
+      runs.push_back(run_path);
+    }
+  }
+  stats.host_blocks = static_cast<unsigned>(runs.size());
+  stats.disk_passes = 1;
+
+  if (runs.empty()) {
+    io::RecordWriter<FpRecord> empty(output, *ws.io);
+    empty.close();
+    return stats;
+  }
+
+  // Level 2: pairwise Algorithm-1 merges until one run remains.
+  unsigned generation = 0;
+  while (runs.size() > 1) {
+    ++stats.disk_passes;
+    std::vector<std::filesystem::path> next;
+    for (std::size_t i = 0; i < runs.size(); i += 2) {
+      if (i + 1 == runs.size()) {
+        next.push_back(runs[i]);
+        continue;
+      }
+      const std::filesystem::path merged =
+          output.string() + ".gen" + std::to_string(generation) + "." +
+          std::to_string(i / 2);
+      merge_files(ws, runs[i], runs[i + 1], merged, geometry);
+      std::filesystem::remove(runs[i]);
+      std::filesystem::remove(runs[i + 1]);
+      next.push_back(merged);
+    }
+    runs = std::move(next);
+    ++generation;
+  }
+
+  std::filesystem::rename(runs.front(), output);
+  return stats;
+}
+
+SortResult run_sort_phase(Workspace& ws, MapResult& map,
+                          const BlockGeometry& geometry) {
+  SortResult result;
+  const std::filesystem::path sorted_dir = ws.dir / "sorted";
+  std::filesystem::create_directories(sorted_dir);
+
+  for (unsigned length : map.suffixes->lengths()) {
+    SortedPartition part;
+    part.length = length;
+    part.suffix_records = map.suffixes->count(length);
+    part.prefix_records = map.prefixes->count(length);
+
+    char name[64];
+    std::snprintf(name, sizeof(name), "sfx_%05u.sorted", length);
+    part.suffix_file = sorted_dir / name;
+    std::snprintf(name, sizeof(name), "pfx_%05u.sorted", length);
+    part.prefix_file = sorted_dir / name;
+
+    const SortFileStats s1 = external_sort_file(
+        ws, map.suffixes->path(length), part.suffix_file, geometry);
+    map.suffixes->drop(length);
+    const SortFileStats s2 = external_sort_file(
+        ws, map.prefixes->path(length), part.prefix_file, geometry);
+    map.prefixes->drop(length);
+
+    result.records_sorted += s1.records + s2.records;
+    result.max_disk_passes =
+        std::max({result.max_disk_passes, s1.disk_passes, s2.disk_passes});
+    result.partitions.push_back(std::move(part));
+  }
+  LOG_INFO << "sort: " << result.records_sorted << " records, "
+           << result.partitions.size() << " partitions, max passes "
+           << result.max_disk_passes;
+  return result;
+}
+
+}  // namespace lasagna::core

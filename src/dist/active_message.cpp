@@ -1,0 +1,76 @@
+#include "dist/active_message.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace lasagna::dist {
+
+Network::Network(unsigned node_count, double bandwidth_bytes_per_sec,
+                 double latency_seconds)
+    : bandwidth_(bandwidth_bytes_per_sec), latency_(latency_seconds) {
+  if (node_count == 0) throw std::invalid_argument("Network: zero nodes");
+  nodes_.reserve(node_count);
+  for (unsigned i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<NodeState>());
+  }
+}
+
+void Network::register_handler(unsigned node, std::uint16_t type,
+                               Handler handler) {
+  NodeState& state = *nodes_.at(node);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.handlers.size() <= type) state.handlers.resize(type + 1);
+  state.handlers[type] = std::move(handler);
+}
+
+Payload Network::request(unsigned src, unsigned dst, std::uint16_t type,
+                         std::span<const std::byte> payload) {
+  NodeState& target = *nodes_.at(dst);
+  NodeState& source = *nodes_.at(src);
+
+  Payload reply;
+  {
+    std::lock_guard<std::mutex> lock(target.mutex);
+    if (type >= target.handlers.size() || !target.handlers[type]) {
+      throw std::logic_error("no handler registered for AM type " +
+                             std::to_string(type));
+    }
+    reply = target.handlers[type](src, payload);
+  }
+
+  if (src != dst) {
+    source.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
+    target.bytes_sent.fetch_add(reply.size(), std::memory_order_relaxed);
+    charge(source, payload.size() + reply.size());
+    charge(target, payload.size() + reply.size());
+  }
+  return reply;
+}
+
+void Network::charge(NodeState& node, std::uint64_t bytes) const {
+  const double seconds =
+      2 * latency_ + static_cast<double>(bytes) / bandwidth_;
+  node.comm_picoseconds.fetch_add(
+      static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
+      std::memory_order_relaxed);
+}
+
+double Network::modeled_seconds(unsigned node) const {
+  return static_cast<double>(
+             nodes_.at(node)->comm_picoseconds.load()) *
+         1e-12;
+}
+
+std::uint64_t Network::bytes_sent(unsigned node) const {
+  return nodes_.at(node)->bytes_sent.load();
+}
+
+void Network::reset_counters() {
+  for (auto& node : nodes_) {
+    node->bytes_sent.store(0);
+    node->comm_picoseconds.store(0);
+  }
+}
+
+}  // namespace lasagna::dist

@@ -1,0 +1,96 @@
+// GASNet-style active-message layer for the in-process cluster simulation
+// (paper section III-E: "GASNet active messaging library handles the remote
+// spawning of processes and subsequent communications").
+//
+// A message carries a type tag and a byte payload; delivering it runs the
+// handler registered by the destination node and returns the handler's
+// reply to the sender (request/reply AM semantics). Every transfer charges
+// a per-node modeled network clock: latency + bytes / bandwidth, both ways.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace lasagna::dist {
+
+using Payload = std::vector<std::byte>;
+
+class Network {
+ public:
+  /// `bandwidth` in bytes/second per link, `latency` in seconds one-way.
+  Network(unsigned node_count, double bandwidth_bytes_per_sec,
+          double latency_seconds);
+
+  using Handler =
+      std::function<Payload(unsigned src_node, std::span<const std::byte>)>;
+
+  [[nodiscard]] unsigned node_count() const {
+    return static_cast<unsigned>(nodes_.size());
+  }
+
+  /// Register the handler for message type `type` at `node`. Must happen
+  /// before any request of that type arrives.
+  void register_handler(unsigned node, std::uint16_t type, Handler handler);
+
+  /// Send an active message from `src` to `dst` and return the reply.
+  /// Handlers at one node run serialized (per-node mutex), mirroring the
+  /// single AM-polling thread per process. Local sends (src == dst) skip
+  /// the network charge.
+  Payload request(unsigned src, unsigned dst, std::uint16_t type,
+                  std::span<const std::byte> payload);
+
+  /// Modeled communication seconds accumulated at `node` (send + receive).
+  [[nodiscard]] double modeled_seconds(unsigned node) const;
+
+  /// Payload bytes sent from `node` (requests) plus replies it produced.
+  [[nodiscard]] std::uint64_t bytes_sent(unsigned node) const;
+
+  /// Reset per-node clocks/counters (phase boundaries).
+  void reset_counters();
+
+ private:
+  struct NodeState {
+    std::mutex mutex;
+    std::vector<Handler> handlers;
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> comm_picoseconds{0};
+  };
+
+  void charge(NodeState& node, std::uint64_t bytes) const;
+
+  double bandwidth_;
+  double latency_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+};
+
+// -- payload helpers ---------------------------------------------------------
+
+/// Append a trivially copyable value to a payload.
+template <typename T>
+void put(Payload& payload, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+  payload.insert(payload.end(), bytes, bytes + sizeof(T));
+}
+
+/// Read a trivially copyable value at `offset`, advancing it.
+template <typename T>
+T get(std::span<const std::byte> payload, std::size_t& offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (offset + sizeof(T) > payload.size()) {
+    throw std::out_of_range("active message payload underflow");
+  }
+  T value;
+  std::memcpy(&value, payload.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace lasagna::dist

@@ -1,0 +1,572 @@
+#include "dist/cluster.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "core/map_phase.hpp"
+#include "core/reduce_phase.hpp"
+#include "core/sort_phase.hpp"
+#include "dist/active_message.hpp"
+#include "graph/string_graph.hpp"
+#include "io/file_stream.hpp"
+#include "io/tempdir.hpp"
+#include "seq/read_store.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace lasagna::dist {
+
+namespace {
+
+// Active-message types.
+constexpr std::uint16_t kGetBlock = 0;        ///< master: next input block
+constexpr std::uint16_t kFetchPartition = 1;  ///< peer: partition file chunk
+constexpr std::uint16_t kGatherEdges = 2;     ///< node: its edge set
+
+constexpr std::uint64_t kShuffleChunkBytes = 256 << 10;
+
+/// One simulated compute node: private device, disk counters and storage.
+struct NodeContext {
+  unsigned id = 0;
+  std::unique_ptr<gpu::Device> device;
+  util::MemoryTracker host{"node-host"};
+  io::IoStats io;
+  std::filesystem::path dir;
+  core::Workspace ws;
+
+  // Map output: one MapResult per input block this node processed.
+  std::vector<core::MapResult> map_blocks;
+  // Shuffle output: merged raw partitions this node owns.
+  std::map<unsigned, std::filesystem::path> owned_sfx;
+  std::map<unsigned, std::filesystem::path> owned_pfx;
+  // Sort output.
+  std::vector<core::SortedPartition> sorted;
+  // Reduce output: this node's disjoint edge set.
+  std::unique_ptr<graph::StringGraph> graph;
+
+  // Snapshots for per-phase deltas.
+  io::IoStats::Snapshot io_mark;
+  double device_mark = 0.0;
+
+  void mark() {
+    io_mark = io.snapshot();
+    device_mark = device->modeled_seconds();
+  }
+};
+
+/// Run `body(node)` for every node on its own thread and wait (a phase
+/// barrier). Node bodies use the global pool for device kernels, which is
+/// safe because these threads are not pool workers.
+void for_each_node(std::vector<NodeContext>& nodes,
+                   const std::function<void(NodeContext&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(nodes.size());
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (auto& node : nodes) {
+    threads.emplace_back([&body, &node, &error_mutex, &first_error] {
+      try {
+        body(node);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+struct PhaseAccounting {
+  util::PhaseStats stats;
+  std::vector<NodePhaseBreakdown> nodes;
+};
+
+/// Close a parallel phase: modeled time = max over nodes of that node's
+/// disk + device + network deltas.
+PhaseAccounting close_phase(const std::string& name, double wall_seconds,
+                            std::vector<NodeContext>& nodes,
+                            const ClusterConfig& config, Network& net) {
+  PhaseAccounting out;
+  out.stats.name = name;
+  out.stats.wall_seconds = wall_seconds;
+  double slowest = 0.0;
+  for (auto& node : nodes) {
+    NodePhaseBreakdown b;
+    const auto now = node.io.snapshot();
+    const std::uint64_t disk_bytes =
+        now.bytes_read - node.io_mark.bytes_read + now.bytes_written -
+        node.io_mark.bytes_written;
+    b.disk_seconds = static_cast<double>(disk_bytes) /
+                     config.machine.disk_bandwidth_bytes_per_sec;
+    b.device_seconds = (node.device->modeled_seconds() - node.device_mark) *
+                       config.machine.time_scale;
+    b.network_seconds = net.modeled_seconds(node.id);
+    slowest = std::max(slowest, b.total());
+    out.stats.disk_bytes_read += now.bytes_read - node.io_mark.bytes_read;
+    out.stats.disk_bytes_written +=
+        now.bytes_written - node.io_mark.bytes_written;
+    out.stats.peak_host_bytes =
+        std::max(out.stats.peak_host_bytes, node.host.peak());
+    out.stats.peak_device_bytes =
+        std::max(out.stats.peak_device_bytes, node.device->memory().peak());
+    out.nodes.push_back(b);
+    node.mark();
+    node.host.reset_peak();
+    node.device->memory().reset_peak();
+  }
+  net.reset_counters();
+  out.stats.modeled_seconds = slowest;
+  return out;
+}
+
+unsigned owner_of(unsigned length, unsigned node_count) {
+  return length % node_count;
+}
+
+/// Shuffle protocol payloads.
+struct FetchRequest {
+  std::uint8_t role = 0;  // 0 = sfx, 1 = pfx
+  std::uint8_t pad[3] = {};
+  std::uint32_t length = 0;
+  std::uint32_t block = 0;     // index into the peer's map_blocks
+  std::uint64_t offset = 0;    // byte offset within that block's file
+};
+
+}  // namespace
+
+ClusterConfig ClusterConfig::supermic(unsigned nodes, double scale) {
+  ClusterConfig config;
+  config.node_count = nodes;
+  config.machine = core::MachineConfig::supermic_k20(scale);
+  config.network_bandwidth_bytes_per_sec = 7e9 / scale;  // 56 Gb/s
+  config.graph_insert_seconds = 50e-9 * scale;
+  return config;
+}
+
+DistributedResult run_distributed(const std::filesystem::path& fastq,
+                                  const std::filesystem::path& output_fasta,
+                                  const ClusterConfig& config) {
+  if (config.node_count == 0) {
+    throw std::invalid_argument("run_distributed: zero nodes");
+  }
+  DistributedResult result;
+  io::ScopedTempDir temp("lasagna-cluster");
+  Network net(config.node_count, config.network_bandwidth_bytes_per_sec,
+              config.network_latency_seconds);
+
+  std::vector<NodeContext> nodes(config.node_count);
+  for (unsigned i = 0; i < config.node_count; ++i) {
+    NodeContext& node = nodes[i];
+    node.id = i;
+    node.device = std::make_unique<gpu::Device>(
+        config.machine.gpu_profile, config.machine.device_memory_bytes);
+    node.dir = temp.subdir("node" + std::to_string(i));
+    node.ws = core::Workspace{node.device.get(), &node.host, &node.io,
+                              node.dir};
+    node.mark();
+  }
+
+  // Pre-scan the shared input once (master): read count for block
+  // assignment and graph sizing.
+  {
+    seq::ReadBatchStream stream(fastq, 1 << 20);
+    seq::ReadBatch batch;
+    while (stream.next(batch)) {
+    }
+    result.read_count = stream.reads_seen();
+  }
+
+  // ---- map -----------------------------------------------------------------
+  // The master (node 0) hands out input blocks on request; two blocks per
+  // node on average exercises the protocol while keeping the FASTQ re-scan
+  // overhead bounded.
+  {
+    // One block per node pair of work on average; a single node gets one
+    // block covering everything (it then skips the shuffle copy entirely,
+    // like the paper's single-node runs).
+    const std::uint64_t block_reads =
+        config.node_count == 1
+            ? std::max<std::uint64_t>(1, result.read_count)
+            : std::max<std::uint64_t>(
+                  1, (result.read_count + config.node_count * 2 - 1) /
+                         (config.node_count * 2));
+    std::atomic<std::uint64_t> next_block{0};
+    net.register_handler(
+        0, kGetBlock,
+        [&next_block, block_reads, total = result.read_count](
+            unsigned, std::span<const std::byte>) {
+          Payload reply;
+          const std::uint64_t first =
+              next_block.fetch_add(1) * block_reads;
+          if (first >= total) return reply;  // empty = no more work
+          put(reply, first);
+          put(reply, std::min<std::uint64_t>(block_reads, total - first));
+          return reply;
+        });
+
+    util::WallTimer wall;
+    for_each_node(nodes, [&](NodeContext& node) {
+      for (;;) {
+        const Payload reply = net.request(node.id, 0, kGetBlock, {});
+        if (reply.empty()) break;
+        std::size_t off = 0;
+        const auto first = get<std::uint64_t>(reply, off);
+        const auto count = get<std::uint64_t>(reply, off);
+
+        core::MapOptions options;
+        options.min_overlap = config.min_overlap;
+        options.fingerprints = config.fingerprints;
+        options.first_read = first;
+        options.max_reads = count;
+        // Fingerprint-BSP mode: one bucket per node, so partition key
+        // modulo node count IS the owning node and every node gets a slice
+        // of every length.
+        options.fingerprint_buckets =
+            config.reduce_strategy == ReduceStrategy::kFingerprintBsp
+                ? config.node_count
+                : 1;
+        core::Workspace block_ws = node.ws;
+        block_ws.dir =
+            node.dir / ("block" + std::to_string(node.map_blocks.size()));
+        node.map_blocks.push_back(
+            core::run_map_phase(block_ws, fastq, options));
+      }
+    });
+    auto acct = close_phase("map", wall.seconds(), nodes, config, net);
+    // Reading the shared input is part of the map cost.
+    const auto fastq_bytes = std::filesystem::file_size(fastq);
+    acct.stats.disk_bytes_read += fastq_bytes * 2;  // block scan + skip scan
+    acct.stats.modeled_seconds +=
+        static_cast<double>(fastq_bytes) * 2 / config.node_count /
+        config.machine.disk_bandwidth_bytes_per_sec;
+    result.stats.add(acct.stats);
+    result.per_node.push_back(std::move(acct.nodes));
+  }
+
+  // All lengths that exist anywhere.
+  std::vector<unsigned> lengths;
+  for (const auto& node : nodes) {
+    for (const auto& block : node.map_blocks) {
+      for (const unsigned l : block.suffixes->lengths()) {
+        if (std::find(lengths.begin(), lengths.end(), l) == lengths.end()) {
+          lengths.push_back(l);
+        }
+      }
+    }
+  }
+  std::sort(lengths.begin(), lengths.end());
+
+  // ---- shuffle ---------------------------------------------------------------
+  {
+    // Peers serve chunks of their block partition files.
+    for (auto& node : nodes) {
+      net.register_handler(
+          node.id, kFetchPartition,
+          [&node](unsigned, std::span<const std::byte> payload) {
+            std::size_t off = 0;
+            const auto req = get<FetchRequest>(payload, off);
+            Payload reply;
+            if (req.block >= node.map_blocks.size()) return reply;
+            const auto& block = node.map_blocks[req.block];
+            const auto& set =
+                req.role == 0 ? *block.suffixes : *block.prefixes;
+            if (set.count(req.length) == 0) return reply;
+            // Chunked positional read (the serving node's disk allows
+            // random access to its private files); only the bytes actually
+            // delivered are charged.
+            std::FILE* f = std::fopen(set.path(req.length).c_str(), "rb");
+            if (f == nullptr) return reply;
+            std::fseek(f, static_cast<long>(req.offset), SEEK_SET);
+            reply.resize(kShuffleChunkBytes);
+            reply.resize(std::fread(reply.data(), 1, reply.size(), f));
+            std::fclose(f);
+            if (!reply.empty()) node.io.add_read(reply.size());
+            return reply;
+          });
+    }
+
+    util::WallTimer wall;
+    for_each_node(nodes, [&](NodeContext& node) {
+      const std::filesystem::path shuffle_dir = node.dir / "shuffle";
+      std::filesystem::create_directories(shuffle_dir);
+      for (const unsigned l : lengths) {
+        if (owner_of(l, config.node_count) != node.id) continue;
+        for (const std::uint8_t role : {std::uint8_t{0}, std::uint8_t{1}}) {
+          const std::filesystem::path merged =
+              shuffle_dir / ((role == 0 ? "sfx_" : "pfx_") +
+                             std::to_string(l) + ".bin");
+          // Single node, single map block: the map output already is the
+          // merged partition — adopt it without copying.
+          if (config.node_count == 1 && node.map_blocks.size() == 1) {
+            const auto& set = role == 0 ? *node.map_blocks[0].suffixes
+                                        : *node.map_blocks[0].prefixes;
+            if (set.count(l) > 0) {
+              std::filesystem::rename(set.path(l), merged);
+            } else {
+              io::WriteOnlyStream(merged, node.io).close();
+            }
+            (role == 0 ? node.owned_sfx : node.owned_pfx)[l] = merged;
+            continue;
+          }
+          io::WriteOnlyStream out(merged, node.io);
+          for (unsigned peer = 0; peer < config.node_count; ++peer) {
+            const auto peer_blocks =
+                static_cast<std::uint32_t>(nodes[peer].map_blocks.size());
+            for (std::uint32_t block = 0; block < peer_blocks; ++block) {
+              std::uint64_t offset = 0;
+              for (;;) {
+                FetchRequest req;
+                req.role = role;
+                req.length = l;
+                req.block = block;
+                req.offset = offset;
+                Payload payload;
+                put(payload, req);
+                const Payload chunk =
+                    net.request(node.id, peer, kFetchPartition, payload);
+                if (chunk.empty()) break;
+                out.write_bytes(chunk);
+                offset += chunk.size();
+                if (chunk.size() < kShuffleChunkBytes) break;
+              }
+            }
+          }
+          out.close();
+          (role == 0 ? node.owned_sfx : node.owned_pfx)[l] = merged;
+        }
+      }
+    });
+    for (unsigned i = 0; i < config.node_count; ++i) {
+      result.shuffle_bytes += net.bytes_sent(i);
+    }
+    auto acct = close_phase("shuffle", wall.seconds(), nodes, config, net);
+    result.stats.add(acct.stats);
+    result.per_node.push_back(std::move(acct.nodes));
+  }
+
+  // Map intermediates can go now.
+  for (auto& node : nodes) node.map_blocks.clear();
+
+  // ---- sort ------------------------------------------------------------------
+  {
+    const core::BlockGeometry geometry =
+        core::BlockGeometry::from(config.machine);
+    util::WallTimer wall;
+    for_each_node(nodes, [&](NodeContext& node) {
+      const std::filesystem::path sorted_dir = node.dir / "sorted";
+      std::filesystem::create_directories(sorted_dir);
+      for (const auto& [l, raw] : node.owned_sfx) {
+        core::SortedPartition part;
+        part.length = l;
+        part.suffix_file = sorted_dir / ("sfx_" + std::to_string(l));
+        part.prefix_file = sorted_dir / ("pfx_" + std::to_string(l));
+        (void)core::external_sort_file(node.ws, raw, part.suffix_file,
+                                       geometry);
+        (void)core::external_sort_file(node.ws, node.owned_pfx.at(l),
+                                       part.prefix_file, geometry);
+        std::filesystem::remove(raw);
+        std::filesystem::remove(node.owned_pfx.at(l));
+        node.sorted.push_back(std::move(part));
+      }
+    });
+    auto acct = close_phase("sort", wall.seconds(), nodes, config, net);
+    result.stats.add(acct.stats);
+    result.per_node.push_back(std::move(acct.nodes));
+  }
+
+  // ---- reduce ----------------------------------------------------------------
+  // The merged graph used by the compress phase: token mode gathers per-node
+  // edge sets afterwards; BSP mode builds it directly on the master.
+  graph::StringGraph merged(result.read_count);
+  if (config.reduce_strategy == ReduceStrategy::kLengthToken) {
+    for (auto& node : nodes) {
+      node.graph = std::make_unique<graph::StringGraph>(result.read_count);
+    }
+    util::AtomicBitVector token(static_cast<std::size_t>(result.read_count) *
+                                2);
+    const double token_transfer_seconds =
+        2 * config.network_latency_seconds +
+        static_cast<double>(token.byte_size()) /
+            config.network_bandwidth_bytes_per_sec;
+
+    // Event-driven model: overlap-finding parallel per owner, graph build
+    // serialized by the token (paper III-E3).
+    std::vector<double> owner_busy(config.node_count, 0.0);
+    double token_time = 0.0;
+    unsigned previous_owner = UINT32_MAX;
+
+    util::WallTimer wall;
+    for (auto it = lengths.rbegin(); it != lengths.rend(); ++it) {
+      const unsigned l = *it;
+      NodeContext& node = nodes[owner_of(l, config.node_count)];
+      const auto part_it =
+          std::find_if(node.sorted.begin(), node.sorted.end(),
+                       [l](const auto& p) { return p.length == l; });
+      if (part_it == node.sorted.end()) continue;
+
+      const auto io_before = node.io.snapshot();
+      const double dev_before = node.device->modeled_seconds();
+
+      node.graph->set_out_degree_bits(token);
+      const core::PartitionReduceStats stats =
+          core::reduce_partition(node.ws, *part_it, *node.graph, {});
+      token = node.graph->out_degree_bits();
+
+      result.candidate_edges += stats.candidates;
+      result.accepted_edges += stats.accepted;
+
+      // Model: t_o from this partition's disk+device cost, t_g from the
+      // candidate volume.
+      const auto io_after = node.io.snapshot();
+      const double t_o =
+          static_cast<double>(io_after.bytes_read - io_before.bytes_read +
+                              io_after.bytes_written -
+                              io_before.bytes_written) /
+              config.machine.disk_bandwidth_bytes_per_sec +
+          (node.device->modeled_seconds() - dev_before) *
+              config.machine.time_scale;
+      const double t_g =
+          static_cast<double>(stats.candidates) *
+          config.graph_insert_seconds;
+
+      double& busy = owner_busy[node.id];
+      busy += t_o;  // overlap-finding proceeds without the token
+      double arrival = token_time;
+      if (previous_owner != node.id) arrival += token_transfer_seconds;
+      token_time = std::max(busy, arrival) + t_g;
+      previous_owner = node.id;
+    }
+
+    auto acct = close_phase("reduce", wall.seconds(), nodes, config, net);
+    acct.stats.modeled_seconds = token_time;  // event model, not max-node
+    result.stats.add(acct.stats);
+    result.per_node.push_back(std::move(acct.nodes));
+  } else {
+    // Fingerprint-BSP reduce (paper IV-D): one superstep per length,
+    // descending. All nodes scan their fingerprint slice of that length in
+    // parallel and emit raw candidates; the master resolves them greedily
+    // and (conceptually) broadcasts the updated out-degree bit-vector.
+    std::vector<unsigned> real_lengths;
+    for (const unsigned key : lengths) {
+      const unsigned l = core::key_length(key, config.node_count);
+      if (real_lengths.empty() || real_lengths.back() != l) {
+        real_lengths.push_back(l);
+      }
+    }
+
+    const double broadcast_seconds =
+        2 * config.network_latency_seconds +
+        static_cast<double>((result.read_count * 2 + 7) / 8) /
+            config.network_bandwidth_bytes_per_sec;
+
+    double reduce_modeled = 0.0;
+    util::WallTimer wall;
+    for (auto it = real_lengths.rbegin(); it != real_lengths.rend(); ++it) {
+      const unsigned l = *it;
+      std::vector<std::vector<std::pair<graph::VertexId, graph::VertexId>>>
+          proposals(config.node_count);
+      std::vector<double> node_t_o(config.node_count, 0.0);
+
+      for_each_node(nodes, [&](NodeContext& node) {
+        const unsigned key =
+            core::partition_key(l, node.id, config.node_count);
+        const auto part_it =
+            std::find_if(node.sorted.begin(), node.sorted.end(),
+                         [key](const auto& p) { return p.length == key; });
+        if (part_it == node.sorted.end()) return;
+
+        const auto io_before = node.io.snapshot();
+        const double dev_before = node.device->modeled_seconds();
+        core::ReduceOptions options;
+        auto& mine = proposals[node.id];
+        options.candidate_sink = [&mine](graph::VertexId u,
+                                         graph::VertexId v) {
+          mine.emplace_back(u, v);
+        };
+        graph::StringGraph scratch(0);  // unused in sink mode
+        (void)core::reduce_partition(node.ws, *part_it, scratch, options);
+        const auto io_after = node.io.snapshot();
+        node_t_o[node.id] =
+            static_cast<double>(io_after.bytes_read -
+                                io_before.bytes_read +
+                                io_after.bytes_written -
+                                io_before.bytes_written) /
+                config.machine.disk_bandwidth_bytes_per_sec +
+            (node.device->modeled_seconds() - dev_before) *
+                config.machine.time_scale;
+      });
+
+      // Master: deterministic greedy resolution for this superstep.
+      std::vector<std::pair<graph::VertexId, graph::VertexId>> all;
+      for (auto& p : proposals) {
+        all.insert(all.end(), p.begin(), p.end());
+      }
+      std::sort(all.begin(), all.end());
+      for (const auto& [u, v] : all) {
+        ++result.candidate_edges;
+        if (merged.try_add_edge(u, v, static_cast<std::uint16_t>(l))) {
+          ++result.accepted_edges;
+        }
+      }
+
+      reduce_modeled +=
+          *std::max_element(node_t_o.begin(), node_t_o.end()) +
+          static_cast<double>(all.size()) * config.graph_insert_seconds +
+          (config.node_count > 1 ? broadcast_seconds : 0.0);
+    }
+
+    auto acct = close_phase("reduce", wall.seconds(), nodes, config, net);
+    acct.stats.modeled_seconds = reduce_modeled;
+    result.stats.add(acct.stats);
+    result.per_node.push_back(std::move(acct.nodes));
+  }
+
+  // ---- compress (node 0 holds or gathers the merged graph) --------------------
+  {
+    for (auto& node : nodes) {
+      net.register_handler(
+          node.id, kGatherEdges,
+          [&node](unsigned, std::span<const std::byte>) {
+            Payload reply;
+            if (node.graph == nullptr) return reply;
+            for (const graph::Edge& e : node.graph->edges()) put(reply, e);
+            return reply;
+          });
+    }
+
+    util::WallTimer wall;
+    if (config.reduce_strategy == ReduceStrategy::kLengthToken) {
+      for (unsigned i = 0; i < config.node_count; ++i) {
+        const Payload reply = net.request(0, i, kGatherEdges, {});
+        std::vector<graph::Edge> edges(reply.size() / sizeof(graph::Edge));
+        std::memcpy(edges.data(), reply.data(),
+                    edges.size() * sizeof(graph::Edge));
+        merged.import_edges(edges);
+      }
+    }
+
+    core::CompressOptions options;
+    options.include_singletons = config.include_singletons;
+    const core::CompressResult compressed = core::run_compress_phase(
+        nodes[0].ws, merged, fastq, output_fasta, options);
+    result.contigs = compressed.stats;
+
+    auto acct = close_phase("compress", wall.seconds(), nodes, config, net);
+    acct.stats.modeled_seconds =
+        acct.nodes[0].total() +
+        static_cast<double>(std::filesystem::file_size(fastq)) * 2 /
+            config.machine.disk_bandwidth_bytes_per_sec;
+    result.stats.add(acct.stats);
+    result.per_node.push_back(std::move(acct.nodes));
+  }
+
+  LOG_INFO << "distributed: " << result.read_count << " reads on "
+           << config.node_count << " nodes, " << result.accepted_edges
+           << " edges";
+  return result;
+}
+
+}  // namespace lasagna::dist

@@ -1,0 +1,283 @@
+#include "fingerprint/kernels.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "seq/dna.hpp"
+#include "util/modmath.hpp"
+
+namespace lasagna::fingerprint {
+
+using util::addmod;
+using util::mulmod;
+using util::submod;
+
+PlaceTable::PlaceTable(const FingerprintConfig& cfg, unsigned max_length)
+    : cfg_(cfg), pow_a_(max_length), pow_b_(max_length) {
+  std::uint64_t a = 1 % cfg.primary.modulus;
+  std::uint64_t b = 1 % cfg.secondary.modulus;
+  for (unsigned i = 0; i < max_length; ++i) {
+    pow_a_[i] = a;
+    pow_b_[i] = b;
+    a = mulmod(a, cfg.primary.radix, cfg.primary.modulus);
+    b = mulmod(b, cfg.secondary.radix, cfg.secondary.modulus);
+  }
+}
+
+namespace {
+
+/// Device-side encoded batch: base codes, one byte per base, row-major with
+/// a fixed stride (reads shorter than the stride leave a tail unused).
+struct EncodedBatch {
+  gpu::DeviceBuffer<std::uint8_t> codes;
+  gpu::DeviceBuffer<std::uint16_t> lengths;
+  unsigned stride = 0;
+  unsigned count = 0;
+};
+
+EncodedBatch encode_and_upload(gpu::Device& dev,
+                               std::span<const std::string> reads) {
+  EncodedBatch batch;
+  batch.count = static_cast<unsigned>(reads.size());
+  for (const auto& r : reads) {
+    batch.stride = std::max(batch.stride, static_cast<unsigned>(r.size()));
+  }
+  std::vector<std::uint8_t> host_codes(
+      static_cast<std::size_t>(batch.count) * batch.stride, 0);
+  std::vector<std::uint16_t> host_lengths(batch.count);
+  for (unsigned r = 0; r < batch.count; ++r) {
+    const auto& read = reads[r];
+    if (read.size() > 0xffff) {
+      throw std::invalid_argument("read longer than 65535 bases");
+    }
+    host_lengths[r] = static_cast<std::uint16_t>(read.size());
+    for (std::size_t i = 0; i < read.size(); ++i) {
+      host_codes[static_cast<std::size_t>(r) * batch.stride + i] =
+          static_cast<std::uint8_t>(seq::encode_base(read[i]));
+    }
+  }
+  batch.codes = dev.alloc<std::uint8_t>(host_codes.size());
+  batch.lengths = dev.alloc<std::uint16_t>(host_lengths.size());
+  dev.copy_to_device(std::span<const std::uint8_t>(host_codes),
+                     batch.codes.span());
+  dev.copy_to_device(std::span<const std::uint16_t>(host_lengths),
+                     batch.lengths.span());
+  return batch;
+}
+
+/// The Hillis-Steele prefix scan for one hash function, executed inside one
+/// block. `work` and `next` are shared-memory arrays of block_dim elements.
+void block_prefix_scan(const gpu::BlockContext& ctx, unsigned len,
+                       const HashParams& params,
+                       std::span<const std::uint8_t> codes,
+                       std::span<std::uint64_t> work,
+                       std::span<std::uint64_t> next,
+                       std::span<std::uint64_t> out) {
+  const std::uint64_t q = params.modulus;
+
+  // Phase 0: each thread encodes its base into shared memory (array E in
+  // Fig 5 -- codes are already 0..3, so this is a plain load).
+  ctx.for_each_thread([&](unsigned tid) {
+    if (tid < len) work[tid] = codes[tid] % q;
+  });
+
+  // Doubling steps. M[offset] = sigma^offset mod q is recomputed per step
+  // (cheap) rather than read from the device table, matching the shared-
+  // memory-resident loop of the real kernel.
+  std::uint64_t place = params.radix % q;  // sigma^offset for offset=1
+  for (unsigned offset = 1; offset < len; offset <<= 1) {
+    ctx.for_each_thread([&](unsigned tid) {
+      if (tid >= len) return;
+      next[tid] = tid >= offset
+                      ? addmod(mulmod(work[tid - offset], place, q),
+                               work[tid], q)
+                      : work[tid];
+    });
+    std::swap(work, next);
+    place = mulmod(place, place, q);  // sigma^(2*offset)
+  }
+
+  ctx.for_each_thread([&](unsigned tid) {
+    if (tid < len) out[tid] = work[tid];
+  });
+}
+
+/// Suffix fingerprints from prefix fingerprints (Fig 6):
+///   S[0] = P[len-1];  S[i] = (P[len-1] - P[i-1] * sigma^(len-i)) mod q.
+void block_suffix_from_prefix(const gpu::BlockContext& ctx, unsigned len,
+                              const HashParams& params,
+                              const PlaceTable& places, bool primary,
+                              std::span<const std::uint64_t> prefix,
+                              std::span<std::uint64_t> out) {
+  const std::uint64_t q = params.modulus;
+  const std::uint64_t whole = prefix[len - 1];
+  ctx.for_each_thread([&](unsigned tid) {
+    if (tid >= len) return;
+    if (tid == 0) {
+      out[0] = whole;
+      return;
+    }
+    const std::uint64_t place =
+        primary ? places.primary(len - tid) : places.secondary(len - tid);
+    out[tid] = submod(whole, mulmod(prefix[tid - 1], place, q), q);
+  });
+}
+
+BatchFingerprints run_block_per_read(gpu::Device& dev,
+                                     const EncodedBatch& batch,
+                                     const PlaceTable& places) {
+  const FingerprintConfig& cfg = places.config();
+  const unsigned stride = batch.stride;
+  const std::size_t total = static_cast<std::size_t>(batch.count) * stride;
+
+  auto d_prefix = dev.alloc<gpu::Key128>(total);
+  auto d_suffix = dev.alloc<gpu::Key128>(total);
+
+  // Shared memory per block: two double-buffered u64 arrays (work/next) plus
+  // one output staging array per hash function.
+  const std::size_t shared_bytes = static_cast<std::size_t>(stride) * 8 * 3;
+
+  dev.launch(batch.count, stride, shared_bytes, [&](gpu::BlockContext& ctx) {
+    const unsigned r = ctx.block_idx();
+    const unsigned len = batch.lengths[r];
+    if (len == 0) return;
+    const std::span<const std::uint8_t> codes =
+        batch.codes.span().subspan(static_cast<std::size_t>(r) * stride, len);
+    auto work = ctx.shared_as<std::uint64_t>(3 * stride);
+    auto buf0 = work.subspan(0, stride);
+    auto buf1 = work.subspan(stride, stride);
+    auto stage = work.subspan(2 * static_cast<std::size_t>(stride), stride);
+
+    gpu::Key128* prefix_row =
+        d_prefix.data() + static_cast<std::size_t>(r) * stride;
+    gpu::Key128* suffix_row =
+        d_suffix.data() + static_cast<std::size_t>(r) * stride;
+
+    // Primary hash: prefix scan then suffix derivation.
+    block_prefix_scan(ctx, len, cfg.primary, codes, buf0, buf1, stage);
+    ctx.for_each_thread([&](unsigned tid) {
+      if (tid < len) prefix_row[tid].hi = stage[tid];
+    });
+    block_suffix_from_prefix(ctx, len, cfg.primary, places, true, stage,
+                             buf0);
+    ctx.for_each_thread([&](unsigned tid) {
+      if (tid < len) suffix_row[tid].hi = buf0[tid];
+    });
+
+    // Secondary hash.
+    block_prefix_scan(ctx, len, cfg.secondary, codes, buf0, buf1, stage);
+    ctx.for_each_thread([&](unsigned tid) {
+      if (tid < len) prefix_row[tid].lo = stage[tid];
+    });
+    block_suffix_from_prefix(ctx, len, cfg.secondary, places, false, stage,
+                             buf0);
+    ctx.for_each_thread([&](unsigned tid) {
+      if (tid < len) suffix_row[tid].lo = buf0[tid];
+    });
+  });
+
+  // Cost model: coalesced reads of the codes, coalesced writes of both
+  // fingerprint arrays; ~2 modmul ops per element per doubling step per hash.
+  const unsigned steps = stride <= 1 ? 1 : std::bit_width(stride - 1);
+  dev.charge_kernel(total * (1 + 2 * sizeof(gpu::Key128)),
+                    static_cast<std::uint64_t>(total) * steps * 2 * 2);
+
+  BatchFingerprints out;
+  out.stride = stride;
+  out.prefix.resize(total);
+  out.suffix.resize(total);
+  dev.copy_to_host(std::span<const gpu::Key128>(d_prefix.span()),
+                   std::span<gpu::Key128>(out.prefix));
+  dev.copy_to_host(std::span<const gpu::Key128>(d_suffix.span()),
+                   std::span<gpu::Key128>(out.suffix));
+  return out;
+}
+
+BatchFingerprints run_thread_per_read(gpu::Device& dev,
+                                      const EncodedBatch& batch,
+                                      const PlaceTable& places) {
+  const FingerprintConfig& cfg = places.config();
+  const unsigned stride = batch.stride;
+  const std::size_t total = static_cast<std::size_t>(batch.count) * stride;
+
+  auto d_prefix = dev.alloc<gpu::Key128>(total);
+  auto d_suffix = dev.alloc<gpu::Key128>(total);
+
+  // One thread handles one whole read with a sequential rolling hash; block
+  // size is an arbitrary tiling of the read array.
+  constexpr unsigned kBlock = 128;
+  const unsigned blocks = (batch.count + kBlock - 1) / kBlock;
+  dev.launch(blocks, kBlock, 0, [&](gpu::BlockContext& ctx) {
+    ctx.for_each_thread([&](unsigned tid) {
+      const std::size_t r =
+          static_cast<std::size_t>(ctx.block_idx()) * kBlock + tid;
+      if (r >= batch.count) return;
+      const unsigned len = batch.lengths[r];
+      const std::uint8_t* codes = batch.codes.data() + r * stride;
+      gpu::Key128* prefix_row = d_prefix.data() + r * stride;
+      gpu::Key128* suffix_row = d_suffix.data() + r * stride;
+
+      std::uint64_t ha = 0;
+      std::uint64_t hb = 0;
+      for (unsigned i = 0; i < len; ++i) {
+        ha = addmod(mulmod(ha, cfg.primary.radix, cfg.primary.modulus),
+                    codes[i], cfg.primary.modulus);
+        hb = addmod(mulmod(hb, cfg.secondary.radix, cfg.secondary.modulus),
+                    codes[i], cfg.secondary.modulus);
+        prefix_row[i] = gpu::Key128{ha, hb};
+      }
+      std::uint64_t sa = 0;
+      std::uint64_t sb = 0;
+      for (unsigned i = len; i-- > 0;) {
+        sa = addmod(mulmod(static_cast<std::uint64_t>(codes[i]),
+                           places.primary(len - 1 - i),
+                           cfg.primary.modulus),
+                    sa, cfg.primary.modulus);
+        sb = addmod(mulmod(static_cast<std::uint64_t>(codes[i]),
+                           places.secondary(len - 1 - i),
+                           cfg.secondary.modulus),
+                    sb, cfg.secondary.modulus);
+        suffix_row[i] = gpu::Key128{sa, sb};
+      }
+    });
+  });
+
+  // Cost model: every access is strided by the read length, so transactions
+  // are uncoalesced -- charge the 8x transaction-expansion penalty that the
+  // paper's "excessive memory throttling" observation corresponds to.
+  constexpr std::uint64_t kUncoalescedPenalty = 8;
+  dev.charge_kernel(
+      kUncoalescedPenalty * total * (1 + 2 * sizeof(gpu::Key128)),
+      static_cast<std::uint64_t>(total) * 2 * 2);
+
+  BatchFingerprints out;
+  out.stride = stride;
+  out.prefix.resize(total);
+  out.suffix.resize(total);
+  dev.copy_to_host(std::span<const gpu::Key128>(d_prefix.span()),
+                   std::span<gpu::Key128>(out.prefix));
+  dev.copy_to_host(std::span<const gpu::Key128>(d_suffix.span()),
+                   std::span<gpu::Key128>(out.suffix));
+  return out;
+}
+
+}  // namespace
+
+BatchFingerprints compute_batch_fingerprints(gpu::Device& dev,
+                                             std::span<const std::string> reads,
+                                             const PlaceTable& places,
+                                             KernelStrategy strategy) {
+  if (reads.empty()) return {};
+  for (const auto& r : reads) {
+    if (r.size() > places.max_length()) {
+      throw std::invalid_argument(
+          "read longer than the PlaceTable max_length");
+    }
+  }
+  const EncodedBatch batch = encode_and_upload(dev, reads);
+  return strategy == KernelStrategy::kBlockPerRead
+             ? run_block_per_read(dev, batch, places)
+             : run_thread_per_read(dev, batch, places);
+}
+
+}  // namespace lasagna::fingerprint

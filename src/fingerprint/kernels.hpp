@@ -1,0 +1,72 @@
+// Device kernels for fingerprint generation (paper section III-A).
+//
+// The paper's key kernel processes one read per *thread block* and computes
+// the fingerprints of all prefixes with a Hillis-Steele scan (Fig 5): at
+// step `offset`, thread i (i >= offset) folds the element `offset` positions
+// to its left into its own, multiplying by the place value sigma^offset; the
+// offset doubles each step. Suffix fingerprints are then derived from the
+// prefix fingerprints and the place-value table in one more phase (Fig 6):
+//   S[i] = (P[n-1] - P[i-1] * sigma^(n-i)) mod q.
+//
+// The naive alternative (one read per *thread*, sequential rolling hash) is
+// also provided: the paper reports it suffers "excessive memory throttling";
+// in our cost model its per-thread strided global accesses are charged the
+// uncoalesced-transaction penalty, reproducing that comparison (ablation
+// bench bench_fingerprint_kernels).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fingerprint/rabin_karp.hpp"
+#include "gpu/device.hpp"
+#include "gpu/key128.hpp"
+
+namespace lasagna::fingerprint {
+
+/// Precomputed place values sigma^i mod q for both hash functions,
+/// "done once for the entire program and reused for all reads".
+class PlaceTable {
+ public:
+  PlaceTable(const FingerprintConfig& cfg, unsigned max_length);
+
+  [[nodiscard]] std::uint64_t primary(unsigned i) const { return pow_a_[i]; }
+  [[nodiscard]] std::uint64_t secondary(unsigned i) const { return pow_b_[i]; }
+  [[nodiscard]] unsigned max_length() const {
+    return static_cast<unsigned>(pow_a_.size());
+  }
+  [[nodiscard]] const FingerprintConfig& config() const { return cfg_; }
+
+ private:
+  FingerprintConfig cfg_;
+  std::vector<std::uint64_t> pow_a_;
+  std::vector<std::uint64_t> pow_b_;
+};
+
+enum class KernelStrategy {
+  kBlockPerRead,   ///< Hillis-Steele scan, one block per read (the paper's)
+  kThreadPerRead,  ///< naive rolling hash, one thread per read (baseline)
+};
+
+/// Fingerprints of every prefix and suffix of a batch of reads.
+///
+/// Layout: entry [r * stride + i] holds, for read r,
+///   prefix[i] = fingerprint of the prefix of length i+1,
+///   suffix[i] = fingerprint of the suffix starting at i (length len-i),
+/// where stride = max read length in the batch; entries beyond a read's
+/// length are unspecified.
+struct BatchFingerprints {
+  unsigned stride = 0;
+  std::vector<gpu::Key128> prefix;
+  std::vector<gpu::Key128> suffix;
+};
+
+/// Run the fingerprint kernel over a batch of reads on `dev`.
+/// Transfers (encoded reads in, fingerprints out) are charged to the device.
+[[nodiscard]] BatchFingerprints compute_batch_fingerprints(
+    gpu::Device& dev, std::span<const std::string> reads,
+    const PlaceTable& places,
+    KernelStrategy strategy = KernelStrategy::kBlockPerRead);
+
+}  // namespace lasagna::fingerprint

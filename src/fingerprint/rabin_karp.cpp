@@ -1,0 +1,74 @@
+#include "fingerprint/rabin_karp.hpp"
+
+#include "seq/dna.hpp"
+#include "util/modmath.hpp"
+#include "util/prime.hpp"
+
+namespace lasagna::fingerprint {
+
+using util::addmod;
+using util::mulmod;
+using util::powmod;
+using util::submod;
+
+FingerprintConfig FingerprintConfig::standard() { return {}; }
+
+FingerprintConfig FingerprintConfig::randomized(std::uint64_t seed) {
+  FingerprintConfig cfg;
+  cfg.primary.modulus = util::random_prime(1ull << 60, (1ull << 61) - 1, seed);
+  cfg.secondary.modulus =
+      util::random_prime(1ull << 61, (1ull << 62) - 1, seed ^ 0xabcdef);
+  return cfg;
+}
+
+FingerprintConfig FingerprintConfig::weak(std::uint64_t modulus_a,
+                                          std::uint64_t modulus_b) {
+  FingerprintConfig cfg;
+  cfg.primary.modulus = modulus_a;
+  cfg.secondary.modulus = modulus_b;
+  return cfg;
+}
+
+std::uint64_t hash_sequence(std::string_view s, const HashParams& p) {
+  std::uint64_t h = 0;
+  for (char c : s) {
+    h = addmod(mulmod(h, p.radix, p.modulus),
+               static_cast<std::uint64_t>(seq::encode_base(c)), p.modulus);
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> prefix_hashes(std::string_view s,
+                                         const HashParams& p) {
+  std::vector<std::uint64_t> out(s.size());
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    h = addmod(mulmod(h, p.radix, p.modulus),
+               static_cast<std::uint64_t>(seq::encode_base(s[i])), p.modulus);
+    out[i] = h;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> suffix_hashes(std::string_view s,
+                                         const HashParams& p) {
+  std::vector<std::uint64_t> out(s.size());
+  std::uint64_t h = 0;
+  std::uint64_t place = 1;  // radix^(length of suffix built so far)
+  for (std::size_t i = s.size(); i-- > 0;) {
+    h = addmod(
+        mulmod(static_cast<std::uint64_t>(seq::encode_base(s[i])), place,
+               p.modulus),
+        h, p.modulus);
+    out[i] = h;
+    place = mulmod(place, p.radix, p.modulus);
+  }
+  return out;
+}
+
+gpu::Key128 fingerprint(std::string_view s, const FingerprintConfig& cfg) {
+  return gpu::Key128{hash_sequence(s, cfg.primary),
+                     hash_sequence(s, cfg.secondary)};
+}
+
+}  // namespace lasagna::fingerprint

@@ -1,0 +1,53 @@
+#include "gpu/device.hpp"
+
+#include <cmath>
+
+namespace lasagna::gpu {
+
+Device::Device(const GpuProfile& profile, std::uint64_t capacity_bytes,
+               util::ThreadPool* pool)
+    : profile_(profile),
+      memory_("device[" + profile.name + "]",
+              capacity_bytes == 0 ? profile.memory_bytes : capacity_bytes),
+      pool_(pool != nullptr ? pool : &util::ThreadPool::global()) {}
+
+void Device::launch(unsigned grid_dim, unsigned block_dim,
+                    std::size_t shared_bytes, const Kernel& kernel) {
+  if (grid_dim == 0 || block_dim == 0) return;
+  // One shared-memory arena per *worker* would race under work stealing;
+  // simplest correct scheme: one arena per block, allocated up front.
+  std::vector<std::vector<std::byte>> shared(grid_dim);
+  pool_->parallel_for_chunked(
+      grid_dim, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          shared[b].resize(shared_bytes);
+          BlockContext ctx(static_cast<unsigned>(b), block_dim,
+                           std::span<std::byte>(shared[b]));
+          kernel(ctx);
+        }
+      });
+}
+
+void Device::charge_kernel(std::uint64_t bytes_moved,
+                           std::uint64_t operations) {
+  const double seconds = profile_.kernel_seconds(bytes_moved, operations);
+  modeled_picoseconds_.fetch_add(
+      static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
+      std::memory_order_relaxed);
+}
+
+void Device::charge_transfer(std::uint64_t bytes) {
+  const double seconds = profile_.transfer_seconds(bytes);
+  modeled_picoseconds_.fetch_add(
+      static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
+      std::memory_order_relaxed);
+  transferred_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+double Device::modeled_seconds() const {
+  return static_cast<double>(
+             modeled_picoseconds_.load(std::memory_order_relaxed)) *
+         1e-12;
+}
+
+}  // namespace lasagna::gpu

@@ -1,0 +1,142 @@
+// The simulated CUDA device: capacity-enforced memory, a grid/block kernel
+// launcher running on a host thread pool, explicit host<->device transfers,
+// and a modeled clock driven by the GpuProfile cost model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gpu/device_buffer.hpp"
+#include "gpu/profile.hpp"
+#include "util/memory_tracker.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lasagna::gpu {
+
+/// Execution context handed to a kernel, one per thread block.
+///
+/// A kernel body is written as a sequence of SIMT phases: each call to
+/// `for_each_thread` runs the lambda for every thread id in the block and
+/// acts as an implicit __syncthreads() before the next phase — which is
+/// exactly the structure of the paper's Hillis-Steele fingerprint kernels
+/// (Figs 5/6), where every doubling step is one phase.
+class BlockContext {
+ public:
+  BlockContext(unsigned block_idx, unsigned block_dim,
+               std::span<std::byte> shared)
+      : block_idx_(block_idx), block_dim_(block_dim), shared_(shared) {}
+
+  [[nodiscard]] unsigned block_idx() const { return block_idx_; }
+  [[nodiscard]] unsigned block_dim() const { return block_dim_; }
+
+  /// Raw per-block shared memory.
+  [[nodiscard]] std::span<std::byte> shared_bytes() const { return shared_; }
+
+  /// Shared memory viewed as `n` elements of T (asserts it fits).
+  template <typename T>
+  [[nodiscard]] std::span<T> shared_as(std::size_t n) const {
+    if (n * sizeof(T) > shared_.size()) {
+      throw std::logic_error("shared memory overflow");
+    }
+    return {reinterpret_cast<T*>(shared_.data()), n};
+  }
+
+  /// One SIMT phase: body(tid) for every tid in [0, block_dim).
+  void for_each_thread(const std::function<void(unsigned)>& body) const {
+    for (unsigned tid = 0; tid < block_dim_; ++tid) body(tid);
+  }
+
+ private:
+  unsigned block_idx_;
+  unsigned block_dim_;
+  std::span<std::byte> shared_;
+};
+
+/// Kernel body: invoked once per block.
+using Kernel = std::function<void(BlockContext&)>;
+
+class Device {
+ public:
+  /// `capacity_bytes` overrides the profile's memory size (scaled runs);
+  /// 0 keeps the profile capacity.
+  explicit Device(const GpuProfile& profile = GpuProfile::k40(),
+                  std::uint64_t capacity_bytes = 0,
+                  util::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const GpuProfile& profile() const { return profile_; }
+  [[nodiscard]] util::MemoryTracker& memory() { return memory_; }
+  [[nodiscard]] const util::MemoryTracker& memory() const { return memory_; }
+
+  /// Allocate a device buffer of `count` elements; throws
+  /// util::MemoryTracker::CapacityError when the device is full.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> alloc(std::size_t count) {
+    return DeviceBuffer<T>(memory_, count);
+  }
+
+  /// Largest element count of type T that fits in the remaining capacity.
+  template <typename T>
+  [[nodiscard]] std::size_t max_elements() const {
+    const std::uint64_t free = memory_.capacity() - memory_.current();
+    return static_cast<std::size_t>(free / sizeof(T));
+  }
+
+  // -- transfers -----------------------------------------------------------
+
+  /// Host -> device copy (charges PCIe transfer time).
+  template <typename T>
+  void copy_to_device(std::span<const T> src, std::span<T> dst) {
+    if (src.size() > dst.size()) {
+      throw std::logic_error("copy_to_device: destination too small");
+    }
+    std::copy(src.begin(), src.end(), dst.begin());
+    charge_transfer(src.size_bytes());
+  }
+
+  /// Device -> host copy (charges PCIe transfer time).
+  template <typename T>
+  void copy_to_host(std::span<const T> src, std::span<T> dst) {
+    if (src.size() > dst.size()) {
+      throw std::logic_error("copy_to_host: destination too small");
+    }
+    std::copy(src.begin(), src.end(), dst.begin());
+    charge_transfer(src.size_bytes());
+  }
+
+  // -- kernels -------------------------------------------------------------
+
+  /// Launch `grid_dim` blocks of `block_dim` threads; blocks run in parallel
+  /// on the host pool, each with `shared_bytes` of private shared memory.
+  /// Blocks must not synchronize with each other (as on a real GPU).
+  void launch(unsigned grid_dim, unsigned block_dim, std::size_t shared_bytes,
+              const Kernel& kernel);
+
+  // -- modeled clock -------------------------------------------------------
+
+  /// Charge a kernel's modeled cost (bytes moved through device memory and
+  /// arithmetic/compare operations executed).
+  void charge_kernel(std::uint64_t bytes_moved, std::uint64_t operations);
+
+  /// Charge a host<->device transfer's modeled cost.
+  void charge_transfer(std::uint64_t bytes);
+
+  /// Modeled device-time consumed so far, in seconds.
+  [[nodiscard]] double modeled_seconds() const;
+
+  /// Cumulative transferred bytes (both directions).
+  [[nodiscard]] std::uint64_t transferred_bytes() const {
+    return transferred_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  GpuProfile profile_;
+  util::MemoryTracker memory_;
+  util::ThreadPool* pool_;
+  std::atomic<std::uint64_t> modeled_picoseconds_{0};
+  std::atomic<std::uint64_t> transferred_bytes_{0};
+};
+
+}  // namespace lasagna::gpu

@@ -1,0 +1,40 @@
+// 128-bit sortable key, the shape of LaSAGNA's fingerprints.
+//
+// The paper uses "128-bit fingerprints (two 64-bit values generated with
+// different radixes and primes)" (section IV-B); the sort and reduce phases
+// treat them as opaque totally-ordered keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace lasagna::gpu {
+
+struct Key128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  // Lexicographic (hi, lo) ordering — member order matters.
+  friend auto operator<=>(const Key128&, const Key128&) = default;
+
+  /// Byte `b` (0 = least significant) for LSD radix sorting.
+  [[nodiscard]] constexpr std::uint8_t digit(unsigned b) const {
+    return b < 8 ? static_cast<std::uint8_t>(lo >> (8 * b))
+                 : static_cast<std::uint8_t>(hi >> (8 * (b - 8)));
+  }
+
+  static constexpr unsigned kDigits = 16;  ///< radix-sort passes (8-bit)
+};
+
+static_assert(sizeof(Key128) == 16);
+
+}  // namespace lasagna::gpu
+
+template <>
+struct std::hash<lasagna::gpu::Key128> {
+  std::size_t operator()(const lasagna::gpu::Key128& k) const noexcept {
+    // Simple mix; fingerprints are already well distributed.
+    return static_cast<std::size_t>(k.hi * 0x9e3779b97f4a7c15ull ^ k.lo);
+  }
+};

@@ -1,0 +1,17 @@
+// The primitives are header-only templates; this translation unit forces a
+// standalone compile of the header (catches missing includes) and pins the
+// common instantiations so downstream targets link faster.
+#include "gpu/primitives.hpp"
+
+namespace lasagna::gpu {
+
+template void sort_pairs<std::uint32_t>(Device&, std::span<Key128>,
+                                        std::span<std::uint32_t>);
+template void sort_pairs<std::uint64_t>(Device&, std::span<Key128>,
+                                        std::span<std::uint64_t>);
+template void merge_pairs<std::uint32_t>(
+    Device&, std::span<const Key128>, std::span<const std::uint32_t>,
+    std::span<const Key128>, std::span<const std::uint32_t>,
+    std::span<Key128>, std::span<std::uint32_t>);
+
+}  // namespace lasagna::gpu

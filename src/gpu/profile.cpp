@@ -1,0 +1,48 @@
+#include "gpu/profile.hpp"
+
+namespace lasagna::gpu {
+
+double GpuProfile::kernel_seconds(std::uint64_t bytes_moved,
+                                  std::uint64_t operations) const {
+  const double bw = mem_bandwidth_gbs * 1e9;
+  const double compute = static_cast<double>(cuda_cores) * clock_ghz * 1e9 *
+                         ipc;
+  return static_cast<double>(bytes_moved) / bw +
+         static_cast<double>(operations) / compute;
+}
+
+double GpuProfile::transfer_seconds(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) /
+         (pcie_bandwidth_gbs * 1e9 * transfer_overlap);
+}
+
+namespace {
+constexpr std::uint64_t GiB = 1024ull * 1024 * 1024;
+}
+
+const GpuProfile& GpuProfile::k40() {
+  static const GpuProfile p{"K40", 2880, 0.875, 288.0, 10.0, 12 * GiB, 1.0};
+  return p;
+}
+
+const GpuProfile& GpuProfile::k20x() {
+  static const GpuProfile p{"K20X", 2688, 0.732, 250.0, 8.0, 6 * GiB, 1.0};
+  return p;
+}
+
+const GpuProfile& GpuProfile::p40() {
+  static const GpuProfile p{"P40", 3840, 1.531, 346.0, 12.0, 24 * GiB, 1.0};
+  return p;
+}
+
+const GpuProfile& GpuProfile::p100() {
+  static const GpuProfile p{"P100", 3584, 1.480, 732.0, 12.0, 16 * GiB, 1.0};
+  return p;
+}
+
+const GpuProfile& GpuProfile::v100() {
+  static const GpuProfile p{"V100", 5120, 1.530, 900.0, 12.0, 16 * GiB, 1.0};
+  return p;
+}
+
+}  // namespace lasagna::gpu

@@ -1,0 +1,48 @@
+// GPU hardware profiles and the device cost model.
+//
+// We do not have physical GPUs, so every device operation advances a modeled
+// clock. The model has two additive terms:
+//
+//   time = bytes_moved / memory_bandwidth  +  operations / (cores * clock * ipc)
+//
+// For the data-movement-heavy primitives LaSAGNA uses (radix sort, merge,
+// scans, binary-search batches) the first term dominates on real hardware
+// — which is exactly the paper's Fig 9 observation (P40 with more cores but
+// less bandwidth than P100 loses; everything converges once disk I/O
+// dominates). The profiles below carry the published specs of the paper's
+// five GPUs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lasagna::gpu {
+
+struct GpuProfile {
+  std::string name;
+  unsigned cuda_cores = 0;
+  double clock_ghz = 0.0;          ///< boost clock
+  double mem_bandwidth_gbs = 0.0;  ///< device memory bandwidth, GB/s
+  double pcie_bandwidth_gbs = 0.0; ///< host<->device transfer, GB/s
+  std::uint64_t memory_bytes = 0;  ///< device memory capacity
+  double ipc = 1.0;                ///< sustained useful ops per core-cycle
+  /// Transfers are double-buffered against kernel execution (h2d / kernel
+  /// / d2h streams), so only 1/overlap of the raw PCIe time is exposed.
+  double transfer_overlap = 3.0;
+
+  /// Modeled seconds for a device-side operation.
+  [[nodiscard]] double kernel_seconds(std::uint64_t bytes_moved,
+                                      std::uint64_t operations) const;
+
+  /// Modeled seconds for a host<->device transfer.
+  [[nodiscard]] double transfer_seconds(std::uint64_t bytes) const;
+
+  // The GPUs in the paper's evaluation (published specs).
+  static const GpuProfile& k40();   ///< Tesla K40: 2880c, 288 GB/s, 12 GB
+  static const GpuProfile& k20x();  ///< Tesla K20X: 2688c, 250 GB/s, 6 GB
+  static const GpuProfile& p40();   ///< Tesla P40: 3840c, 346 GB/s, 24 GB
+  static const GpuProfile& p100();  ///< Tesla P100: 3584c, 732 GB/s, 16 GB
+  static const GpuProfile& v100();  ///< Tesla V100: 5120c, 900 GB/s, 16 GB
+};
+
+}  // namespace lasagna::gpu

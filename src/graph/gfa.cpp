@@ -1,0 +1,54 @@
+#include "graph/gfa.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace lasagna::graph {
+
+void write_gfa(std::ostream& out, const StringGraph& graph,
+               const GfaOptions& options) {
+  if (!options.read_sequence && !options.read_length) {
+    throw std::invalid_argument(
+        "write_gfa: need read_sequence or read_length");
+  }
+
+  out << "H\tVN:Z:1.0\n";
+
+  // Segments.
+  for (ReadId r = 0; r < graph.read_count(); ++r) {
+    if (options.skip_isolated_segments &&
+        !graph.has_out_edge(forward_vertex(r)) &&
+        !graph.has_in_edge(forward_vertex(r)) &&
+        !graph.has_out_edge(reverse_vertex(r)) &&
+        !graph.has_in_edge(reverse_vertex(r))) {
+      continue;
+    }
+    out << "S\tread" << r << '\t';
+    if (options.read_sequence) {
+      out << options.read_sequence(r) << '\n';
+    } else {
+      out << "*\tLN:i:" << options.read_length(r) << '\n';
+    }
+  }
+
+  // Links: one per complement pair. The canonical representative is the
+  // edge whose source vertex is <= the complement of its target (the same
+  // rule path deduplication uses).
+  for (const Edge& e : graph.edges()) {
+    if (e.src > complement_vertex(e.dst)) continue;
+    out << "L\tread" << read_of(e.src) << '\t'
+        << (is_reverse(e.src) ? '-' : '+') << "\tread" << read_of(e.dst)
+        << '\t' << (is_reverse(e.dst) ? '-' : '+') << '\t' << e.overlap
+        << "M\n";
+  }
+}
+
+void write_gfa_file(const std::filesystem::path& path,
+                    const StringGraph& graph, const GfaOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create " + path.string());
+  write_gfa(out, graph, options);
+  if (!out) throw std::runtime_error("write failed: " + path.string());
+}
+
+}  // namespace lasagna::graph

@@ -1,0 +1,37 @@
+// GFA 1.0 export of the string graph.
+//
+// GFA (Graphical Fragment Assembly) is the interchange format modern
+// assembly tooling (Bandage, gfatools, ...) consumes. Each read becomes a
+// segment; each overlap edge becomes a link with a <overlap>M CIGAR. Since
+// the string graph stores both an edge and its Watson-Crick twin, only the
+// canonical one of each pair is emitted (GFA links are traversable in both
+// directions).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <ostream>
+
+#include "graph/string_graph.hpp"
+
+namespace lasagna::graph {
+
+struct GfaOptions {
+  /// Supplies the sequence for a read id; when empty, segments carry '*'
+  /// plus an LN tag with the length from `read_length`.
+  std::function<std::string(ReadId)> read_sequence;
+  std::function<std::uint32_t(ReadId)> read_length;
+  /// Skip segments that participate in no link.
+  bool skip_isolated_segments = false;
+};
+
+/// Write the graph as GFA 1.0.
+void write_gfa(std::ostream& out, const StringGraph& graph,
+               const GfaOptions& options);
+
+void write_gfa_file(const std::filesystem::path& path,
+                    const StringGraph& graph, const GfaOptions& options);
+
+}  // namespace lasagna::graph

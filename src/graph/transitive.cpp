@@ -1,0 +1,127 @@
+#include "graph/transitive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lasagna::graph {
+
+FullStringGraph::FullStringGraph(
+    std::uint32_t read_count, const std::vector<std::uint32_t>& read_lengths)
+    : vertex_length_(static_cast<std::size_t>(read_count) * 2),
+      adjacency_(static_cast<std::size_t>(read_count) * 2) {
+  if (read_lengths.size() != read_count) {
+    throw std::invalid_argument("FullStringGraph: length vector mismatch");
+  }
+  for (std::uint32_t r = 0; r < read_count; ++r) {
+    vertex_length_[forward_vertex(r)] = read_lengths[r];
+    vertex_length_[reverse_vertex(r)] = read_lengths[r];
+  }
+}
+
+void FullStringGraph::add_edge(VertexId u, VertexId v, std::uint16_t overlap) {
+  if (u >= vertex_count() || v >= vertex_count()) {
+    throw std::out_of_range("FullStringGraph::add_edge: bad vertex");
+  }
+  if (u == v || v == complement_vertex(u)) return;
+
+  auto upsert = [this](VertexId src, VertexId dst, std::uint16_t len) {
+    for (Edge& e : adjacency_[src]) {
+      if (e.dst == dst) {
+        e.overlap = std::max(e.overlap, len);
+        return;
+      }
+    }
+    adjacency_[src].push_back(Edge{src, dst, len});
+  };
+  upsert(u, v, overlap);
+  upsert(complement_vertex(v), complement_vertex(u), overlap);
+}
+
+std::uint64_t FullStringGraph::edge_count() const {
+  std::uint64_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return total;
+}
+
+void FullStringGraph::sort_adjacency() {
+  for (auto& adj : adjacency_) {
+    std::sort(adj.begin(), adj.end(), [](const Edge& a, const Edge& b) {
+      return a.overlap != b.overlap ? a.overlap > b.overlap : a.dst < b.dst;
+    });
+  }
+}
+
+std::uint64_t FullStringGraph::reduce() {
+  sort_adjacency();
+
+  // Myers' algorithm. For edge (v, w): overhang(v, w) = len(v) - overlap.
+  // Edge (v, x) is transitive if some w in adj(v) has (w, x) with
+  // overhang(v, w) + overhang(w, x) == overhang(v, x).
+  enum class Mark : std::uint8_t { kVacant, kInPlay, kEliminated };
+  std::vector<Mark> mark(vertex_count(), Mark::kVacant);
+  std::vector<std::uint8_t> reduce_flag;
+
+  std::uint64_t removed = 0;
+  for (VertexId v = 0; v < vertex_count(); ++v) {
+    auto& adj = adjacency_[v];
+    if (adj.empty()) continue;
+    const std::uint32_t len_v = vertex_length_[v];
+
+    for (const Edge& e : adj) mark[e.dst] = Mark::kInPlay;
+
+    // Walk targets from longest overlap (shortest overhang) outward; any
+    // in-play vertex reachable with a matching combined overhang is
+    // transitive.
+    for (const Edge& vw : adj) {
+      if (mark[vw.dst] != Mark::kInPlay) continue;
+      const std::uint32_t overhang_vw = len_v - vw.overlap;
+      for (const Edge& wx : adjacency_[vw.dst]) {
+        if (mark[wx.dst] != Mark::kInPlay) continue;
+        const std::uint32_t overhang_wx =
+            vertex_length_[vw.dst] - wx.overlap;
+        // Does v -> w -> x line up exactly with a direct edge v -> x?
+        for (const Edge& vx : adj) {
+          if (vx.dst != wx.dst) continue;
+          if (len_v - vx.overlap == overhang_vw + overhang_wx) {
+            mark[wx.dst] = Mark::kEliminated;
+          }
+          break;
+        }
+      }
+    }
+
+    reduce_flag.assign(adj.size(), 0);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      if (mark[adj[i].dst] == Mark::kEliminated) reduce_flag[i] = 1;
+    }
+    for (const Edge& e : adj) mark[e.dst] = Mark::kVacant;
+
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      if (reduce_flag[i] == 0) adj[keep++] = adj[i];
+    }
+    removed += adj.size() - keep;
+    adj.resize(keep);
+  }
+  return removed;
+}
+
+StringGraph FullStringGraph::to_greedy() const {
+  StringGraph greedy(vertex_count() / 2);
+  // Candidates in descending overlap order, mirroring the reduce phase's
+  // longest-first partition processing.
+  std::vector<Edge> all;
+  all.reserve(edge_count());
+  for (const auto& adj : adjacency_) {
+    all.insert(all.end(), adj.begin(), adj.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Edge& a, const Edge& b) {
+    if (a.overlap != b.overlap) return a.overlap > b.overlap;
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  for (const Edge& e : all) greedy.try_add_edge(e.src, e.dst, e.overlap);
+  return greedy;
+}
+
+}  // namespace lasagna::graph

@@ -1,0 +1,54 @@
+// Full (non-greedy) string graph with transitive reduction.
+//
+// The paper's background (II-A2) describes the classical alternative to the
+// greedy heuristic: keep *all* overlap edges, then remove transitive edges
+// (Myers 2005) — if r_i overlaps r_j and r_k, and r_j overlaps r_k
+// "in line", the edge (r_i, r_k) carries no extra information. LaSAGNA
+// itself uses the greedy graph; this module exists for the design-choice
+// ablation (bench_graph) and for validating the greedy output against the
+// reduced full graph on small inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/string_graph.hpp"
+
+namespace lasagna::graph {
+
+class FullStringGraph {
+ public:
+  explicit FullStringGraph(std::uint32_t read_count,
+                           const std::vector<std::uint32_t>& read_lengths);
+
+  /// Add an overlap edge and its complementary twin. Duplicate (src, dst)
+  /// pairs keep only the longest overlap.
+  void add_edge(VertexId u, VertexId v, std::uint16_t overlap);
+
+  [[nodiscard]] std::uint32_t vertex_count() const {
+    return static_cast<std::uint32_t>(adjacency_.size());
+  }
+  [[nodiscard]] std::uint64_t edge_count() const;
+
+  /// Outgoing edges of `v`, sorted by descending overlap.
+  [[nodiscard]] const std::vector<Edge>& out_edges(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  /// Myers' transitive-reduction: mark-and-sweep removal of edges implied
+  /// by two-hop paths with matching overhangs. Returns the number of edges
+  /// removed. Must be called after all add_edge calls; sorts adjacency.
+  std::uint64_t reduce();
+
+  /// Convert to a greedy StringGraph by keeping, per vertex, the longest
+  /// surviving out-edge whose target still has a free in-slot.
+  [[nodiscard]] StringGraph to_greedy() const;
+
+ private:
+  void sort_adjacency();
+
+  std::vector<std::uint32_t> vertex_length_;  // read length per vertex
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace lasagna::graph

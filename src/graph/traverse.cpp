@@ -1,0 +1,74 @@
+#include "graph/traverse.hpp"
+
+#include <stdexcept>
+
+namespace lasagna::graph {
+
+namespace {
+
+/// Canonical representative of a path / complement-path pair: compare the
+/// path's first vertex with the complement of its last. The twin of path
+/// v1 -> ... -> vk is vk' -> ... -> v1', whose head is vk'; keeping the
+/// lexicographically smaller head picks exactly one of the two (a
+/// self-complementary path has v1 == vk' and is always kept).
+bool is_canonical(VertexId head, VertexId tail) {
+  return head <= complement_vertex(tail);
+}
+
+}  // namespace
+
+std::vector<Path> extract_paths(
+    const StringGraph& graph,
+    const std::function<std::uint32_t(ReadId)>& read_length,
+    const TraverseOptions& options) {
+  std::vector<Path> paths;
+  const VertexId n = graph.vertex_count();
+
+  for (VertexId seed = 0; seed < n; ++seed) {
+    const bool has_out = graph.has_out_edge(seed);
+    const bool has_in = graph.has_in_edge(seed);
+
+    if (!has_out && !has_in) {
+      // Isolated read: forward strand only (the reverse twin is implied).
+      if (options.include_singletons && !is_reverse(seed)) {
+        paths.push_back(Path{{seed, read_length(read_of(seed))}});
+      }
+      continue;
+    }
+    if (has_in || !has_out) continue;  // not a seed
+
+    Path path;
+    VertexId v = seed;
+    std::uint64_t guard = 0;
+    for (;;) {
+      if (++guard > n) {
+        throw std::logic_error("extract_paths: cycle reached from a seed");
+      }
+      const auto edge = graph.out_edge(v);
+      if (!edge.has_value()) {
+        path.push_back({v, read_length(read_of(v))});
+        break;
+      }
+      const std::uint32_t len = read_length(read_of(v));
+      if (edge->overlap >= len) {
+        throw std::logic_error("extract_paths: overlap >= read length");
+      }
+      path.push_back({v, len - edge->overlap});
+      v = edge->dst;
+    }
+
+    if (!options.dedupe_complements ||
+        is_canonical(path.front().vertex, path.back().vertex)) {
+      paths.push_back(std::move(path));
+    }
+  }
+  return paths;
+}
+
+std::uint64_t path_contig_length(const Path& path) {
+  std::uint64_t total = 0;
+  for (const auto& step : path) total += step.overhang;
+  return total;
+}
+
+}  // namespace lasagna::graph

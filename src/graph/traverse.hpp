@@ -1,0 +1,43 @@
+// Path extraction — the first stage of the Compress phase (paper III-D).
+//
+// A path is a maximal unambiguous walk: it starts at a seed (in-degree 0,
+// out-degree 1) and follows single out-edges until a vertex without one.
+// Each step records the vertex and its *overhang length* — for a read r_u
+// overlapping r_v by o, the overhang is len(r_u) - o; the final read of a
+// path (and any isolated read) has overhang equal to its full length.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/string_graph.hpp"
+
+namespace lasagna::graph {
+
+struct PathStep {
+  VertexId vertex = 0;
+  std::uint32_t overhang = 0;
+};
+
+using Path = std::vector<PathStep>;
+
+struct TraverseOptions {
+  /// Emit isolated reads (no overlaps at all) as singleton paths.
+  bool include_singletons = true;
+  /// The graph is strand-symmetric, so every path has a reverse-complement
+  /// twin; when true only the canonical one of each pair is emitted.
+  bool dedupe_complements = true;
+};
+
+/// Extract all paths. `read_length(read_id)` supplies read lengths for
+/// overhang computation.
+[[nodiscard]] std::vector<Path> extract_paths(
+    const StringGraph& graph,
+    const std::function<std::uint32_t(ReadId)>& read_length,
+    const TraverseOptions& options = {});
+
+/// Total bases of the contig a path spells (sum of overhangs).
+[[nodiscard]] std::uint64_t path_contig_length(const Path& path);
+
+}  // namespace lasagna::graph

@@ -1,0 +1,65 @@
+#include "io/file_stream.hpp"
+
+#include <cerrno>
+#include <system_error>
+
+namespace lasagna::io {
+
+namespace {
+
+detail::FileHandle open_file(const std::filesystem::path& path,
+                             const char* mode) {
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) {
+    throw std::system_error(errno, std::generic_category(),
+                            "open " + path.string());
+  }
+  return detail::FileHandle(f);
+}
+
+}  // namespace
+
+ReadOnlyStream::ReadOnlyStream(const std::filesystem::path& path,
+                               IoStats& stats)
+    : path_(path), file_(open_file(path, "rb")), stats_(&stats) {
+  size_ = std::filesystem::file_size(path);
+}
+
+std::size_t ReadOnlyStream::read_bytes(std::span<std::byte> out) {
+  if (out.empty()) return 0;
+  const std::size_t got =
+      std::fread(out.data(), 1, out.size(), file_.get());
+  if (got < out.size()) {
+    if (std::ferror(file_.get()) != 0) {
+      throw std::system_error(errno, std::generic_category(),
+                              "read " + path_.string());
+    }
+    eof_ = true;
+  }
+  offset_ += got;
+  if (got > 0) stats_->add_read(got);
+  return got;
+}
+
+WriteOnlyStream::WriteOnlyStream(const std::filesystem::path& path,
+                                 IoStats& stats)
+    : path_(path), file_(open_file(path, "wb")), stats_(&stats) {}
+
+void WriteOnlyStream::write_bytes(std::span<const std::byte> data) {
+  if (data.empty()) return;
+  if (file_ == nullptr) {
+    throw std::logic_error("write to closed stream " + path_.string());
+  }
+  const std::size_t put =
+      std::fwrite(data.data(), 1, data.size(), file_.get());
+  if (put != data.size()) {
+    throw std::system_error(errno, std::generic_category(),
+                            "write " + path_.string());
+  }
+  offset_ += put;
+  stats_->add_write(put);
+}
+
+void WriteOnlyStream::close() { file_.reset(); }
+
+}  // namespace lasagna::io

@@ -1,0 +1,83 @@
+// Sequential binary file streams — the concrete form of the paper's
+// "read-only memory" and "write-only memory" (Fig 3): files may be read
+// or written strictly sequentially, never both at once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <span>
+
+#include "io/io_stats.hpp"
+
+namespace lasagna::io {
+
+namespace detail {
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace detail
+
+/// Sequentially readable binary file. All reads are charged to `stats`.
+class ReadOnlyStream {
+ public:
+  /// Open `path` for reading; throws std::system_error on failure.
+  explicit ReadOnlyStream(const std::filesystem::path& path,
+                          IoStats& stats = IoStats::global());
+
+  /// Read up to `out.size()` bytes; returns the number actually read
+  /// (less than requested only at end of file).
+  std::size_t read_bytes(std::span<std::byte> out);
+
+  /// True once a read has hit end of file.
+  [[nodiscard]] bool eof() const { return eof_; }
+
+  /// Total file size in bytes.
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  /// Bytes remaining from the current position to end of file.
+  [[nodiscard]] std::uint64_t remaining() const { return size_ - offset_; }
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  detail::FileHandle file_;
+  IoStats* stats_;
+  std::uint64_t size_ = 0;
+  std::uint64_t offset_ = 0;
+  bool eof_ = false;
+};
+
+/// Sequentially writable binary file. All writes are charged to `stats`.
+class WriteOnlyStream {
+ public:
+  /// Create/truncate `path` for writing; throws std::system_error on failure.
+  explicit WriteOnlyStream(const std::filesystem::path& path,
+                           IoStats& stats = IoStats::global());
+
+  /// Append `data` to the file; throws std::system_error on short writes.
+  void write_bytes(std::span<const std::byte> data);
+
+  /// Bytes written so far.
+  [[nodiscard]] std::uint64_t size() const { return offset_; }
+
+  /// Flush and close; further writes are invalid. Called by the destructor
+  /// if not called explicitly (errors in the destructor path are swallowed).
+  void close();
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  detail::FileHandle file_;
+  IoStats* stats_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace lasagna::io

@@ -1,0 +1,10 @@
+#include "io/io_stats.hpp"
+
+namespace lasagna::io {
+
+IoStats& IoStats::global() {
+  static IoStats stats;
+  return stats;
+}
+
+}  // namespace lasagna::io

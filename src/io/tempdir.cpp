@@ -1,0 +1,56 @@
+#include "io/tempdir.hpp"
+
+#include <atomic>
+#include <random>
+#include <system_error>
+
+namespace lasagna::io {
+
+namespace {
+std::string unique_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t boot = std::random_device{}();
+  return std::to_string(boot ^ 0x9e3779b97f4a7c15ull) + "-" +
+         std::to_string(counter.fetch_add(1));
+}
+}  // namespace
+
+ScopedTempDir::ScopedTempDir(const std::string& prefix,
+                             const std::filesystem::path& base) {
+  const std::filesystem::path root =
+      base.empty() ? std::filesystem::temp_directory_path() : base;
+  path_ = root / (prefix + "-" + unique_suffix());
+  std::filesystem::create_directories(path_);
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;  // best-effort cleanup; ignore failures
+    std::filesystem::remove_all(path_, ec);
+  }
+}
+
+ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+std::filesystem::path ScopedTempDir::subdir(const std::string& name) const {
+  const std::filesystem::path sub = path_ / name;
+  std::filesystem::create_directories(sub);
+  return sub;
+}
+
+}  // namespace lasagna::io

@@ -1,0 +1,38 @@
+// Scoped temporary workspaces for intermediate partition/sort files.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace lasagna::io {
+
+/// Creates a unique directory on construction and removes it (recursively)
+/// on destruction. Movable, not copyable.
+class ScopedTempDir {
+ public:
+  /// Create under `base` (defaults to std::filesystem::temp_directory_path())
+  /// with the given prefix.
+  explicit ScopedTempDir(const std::string& prefix = "lasagna",
+                         const std::filesystem::path& base = {});
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+  ScopedTempDir(ScopedTempDir&& other) noexcept;
+  ScopedTempDir& operator=(ScopedTempDir&& other) noexcept;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Path of a file inside the directory.
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+  /// Create and return a subdirectory (for per-node private storage).
+  [[nodiscard]] std::filesystem::path subdir(const std::string& name) const;
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace lasagna::io

@@ -1,0 +1,199 @@
+#include "seq/correction.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/fastq.hpp"
+#include "seq/dna.hpp"
+
+namespace lasagna::seq {
+
+namespace {
+
+/// Pack the k bases at `pos` into 2-bit codes, high bits first.
+std::uint64_t pack_forward(const std::string& bases, std::size_t pos,
+                           unsigned k) {
+  std::uint64_t code = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    code = (code << 2) |
+           static_cast<std::uint64_t>(encode_base(bases[pos + i]));
+  }
+  return code;
+}
+
+/// Reverse complement of a packed k-mer.
+std::uint64_t rc_code(std::uint64_t code, unsigned k) {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    out = (out << 2) | ((code ^ 3u) & 3u);
+    code >>= 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+KmerSpectrum::KmerSpectrum(unsigned k) : k_(k) {
+  if (k == 0 || k > 32) {
+    throw std::invalid_argument("KmerSpectrum: k must be in [1, 32]");
+  }
+  mask_ = k == 32 ? ~std::uint64_t{0} : (std::uint64_t{1} << (2 * k)) - 1;
+}
+
+std::uint64_t KmerSpectrum::canonical_at(const std::string& bases,
+                                         std::size_t pos) const {
+  const std::uint64_t fwd = pack_forward(bases, pos, k_);
+  return std::min(fwd, rc_code(fwd, k_));
+}
+
+void KmerSpectrum::add_read(const std::string& bases) {
+  if (bases.size() < k_) return;
+  // Rolling forward/reverse codes to avoid re-packing per position.
+  std::uint64_t fwd = pack_forward(bases, 0, k_);
+  std::uint64_t rev = rc_code(fwd, k_);
+  ++counts_[std::min(fwd, rev)];
+  for (std::size_t pos = 1; pos + k_ <= bases.size(); ++pos) {
+    const auto code =
+        static_cast<std::uint64_t>(encode_base(bases[pos + k_ - 1]));
+    fwd = ((fwd << 2) | code) & mask_;
+    rev = (rev >> 2) | ((code ^ 3u) << (2 * (k_ - 1)));
+    ++counts_[std::min(fwd, rev)];
+  }
+}
+
+std::uint32_t KmerSpectrum::count(std::uint64_t canonical_kmer) const {
+  const auto it = counts_.find(canonical_kmer);
+  return it == counts_.end() ? 0u : it->second;
+}
+
+namespace {
+
+bool window_strong(const std::string& bases, std::size_t pos,
+                   const KmerSpectrum& spectrum,
+                   const CorrectionConfig& config) {
+  return spectrum.is_strong(spectrum.canonical_at(bases, pos),
+                            config.min_count);
+}
+
+/// Any weak k-mer in the read?
+bool has_weak(const std::string& bases, const KmerSpectrum& spectrum,
+              const CorrectionConfig& config) {
+  if (bases.size() < config.k) return false;
+  for (std::size_t pos = 0; pos + config.k <= bases.size(); ++pos) {
+    if (!window_strong(bases, pos, spectrum, config)) return true;
+  }
+  return false;
+}
+
+/// How many consecutive k-mers starting at `pos` are strong (capped).
+unsigned strong_run(const std::string& bases, std::size_t pos,
+                    const KmerSpectrum& spectrum,
+                    const CorrectionConfig& config, unsigned cap) {
+  unsigned run = 0;
+  while (run < cap && pos + config.k <= bases.size() &&
+         window_strong(bases, pos, spectrum, config)) {
+    ++run;
+    ++pos;
+  }
+  return run;
+}
+
+}  // namespace
+
+unsigned correct_read(std::string& bases, const KmerSpectrum& spectrum,
+                      const CorrectionConfig& config, bool& fully_corrected) {
+  const unsigned k = config.k;
+  fully_corrected = true;
+  if (bases.size() < k) return 0;
+
+  unsigned changed = 0;
+  // Left-to-right greedy spectral walk: when the k-mer at `pos` is weak,
+  // the error is most plausibly at its last base (everything before was
+  // validated by earlier strong windows); pick the substitution whose
+  // following windows stay strong the longest.
+  for (std::size_t pos = 0; pos + k <= bases.size(); ++pos) {
+    if (window_strong(bases, pos, spectrum, config)) continue;
+
+    const std::size_t fix_at = pos + k - 1;
+    const char original = bases[fix_at];
+    char best = original;
+    // Baseline: keeping the base as-is scores its current strong run.
+    unsigned best_run =
+        strong_run(bases, pos, spectrum, config, /*cap=*/k + 1);
+    for (const char candidate : {'A', 'C', 'G', 'T'}) {
+      if (candidate == original) continue;
+      bases[fix_at] = candidate;
+      const unsigned run =
+          strong_run(bases, pos, spectrum, config, /*cap=*/k + 1);
+      if (run > best_run) {
+        best_run = run;
+        best = candidate;
+      }
+    }
+    bases[fix_at] = best;
+    if (best != original) {
+      ++changed;
+      if (changed > config.max_corrections_per_read) {
+        // Too many edits: revert is pointless (earlier edits were each
+        // individually validated); just stop editing.
+        break;
+      }
+    }
+  }
+  fully_corrected = !has_weak(bases, spectrum, config);
+  return changed;
+}
+
+CorrectionStats correct_reads_file(const std::filesystem::path& input_fastq,
+                                   const std::filesystem::path& output_fastq,
+                                   const CorrectionConfig& config) {
+  CorrectionStats stats;
+
+  // Pass 1: spectrum.
+  KmerSpectrum spectrum(config.k);
+  io::for_each_sequence(input_fastq, [&](const io::SequenceRecord& rec) {
+    const std::string clean = is_acgt(rec.bases)
+                                  ? rec.bases
+                                  : sanitize(rec.bases, stats.reads);
+    spectrum.add_read(clean);
+    ++stats.reads;
+  });
+  stats.distinct_kmers = spectrum.distinct();
+  stats.reads = 0;
+
+  // Pass 2: correct and rewrite.
+  std::ofstream out(output_fastq);
+  if (!out) {
+    throw std::runtime_error("cannot create " + output_fastq.string());
+  }
+  io::for_each_sequence(input_fastq, [&](const io::SequenceRecord& rec) {
+    std::string bases = is_acgt(rec.bases)
+                            ? rec.bases
+                            : sanitize(rec.bases, stats.reads);
+    ++stats.reads;
+    if (has_weak(bases, spectrum, config)) {
+      ++stats.reads_with_weak_kmers;
+      bool fully = false;
+      const unsigned changed =
+          correct_read(bases, spectrum, config, fully);
+      stats.bases_corrected += changed;
+      if (fully) {
+        ++stats.reads_corrected;
+      } else {
+        ++stats.reads_uncorrectable;
+      }
+    }
+    out << '@' << rec.id << '\n' << bases << "\n+\n"
+        << (rec.quality.size() == bases.size()
+                ? rec.quality
+                : std::string(bases.size(), 'I'))
+        << '\n';
+  });
+  if (!out) {
+    throw std::runtime_error("write failed: " + output_fastq.string());
+  }
+  return stats;
+}
+
+}  // namespace lasagna::seq

@@ -1,0 +1,78 @@
+// K-mer-spectrum read error correction.
+//
+// Real assembler pipelines (SGA included) correct sequencing errors before
+// overlap computation; the paper excludes SGA's correction stage from its
+// comparison but real deployments of LaSAGNA would run one. This module
+// implements the classic spectral approach: count canonical k-mers across
+// the dataset, call k-mers below a coverage threshold "weak" (an error
+// creates k consecutive weak k-mers), and for each read greedily substitute
+// bases so that every window becomes strong.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+
+namespace lasagna::seq {
+
+struct CorrectionConfig {
+  unsigned k = 21;          ///< k-mer size (must be <= 32)
+  unsigned min_count = 3;   ///< k-mers seen fewer times are weak
+  unsigned max_corrections_per_read = 4;  ///< give up beyond this
+};
+
+struct CorrectionStats {
+  std::uint64_t reads = 0;
+  std::uint64_t reads_with_weak_kmers = 0;
+  std::uint64_t reads_corrected = 0;   ///< fully repaired (no weak k-mers left)
+  std::uint64_t bases_corrected = 0;
+  std::uint64_t reads_uncorrectable = 0;
+  std::uint64_t distinct_kmers = 0;
+};
+
+/// The k-mer coverage spectrum of a read set (canonical k-mers packed into
+/// 64 bits, so k <= 32).
+class KmerSpectrum {
+ public:
+  explicit KmerSpectrum(unsigned k);
+
+  /// Count every k-mer of `bases` (both strands via canonicalization).
+  void add_read(const std::string& bases);
+
+  [[nodiscard]] std::uint32_t count(std::uint64_t canonical_kmer) const;
+
+  /// True if the canonical k-mer at `code` has count >= min_count.
+  [[nodiscard]] bool is_strong(std::uint64_t canonical_kmer,
+                               unsigned min_count) const {
+    return count(canonical_kmer) >= min_count;
+  }
+
+  [[nodiscard]] unsigned k() const { return k_; }
+  [[nodiscard]] std::uint64_t distinct() const { return counts_.size(); }
+
+  /// Canonical code of the k-mer starting at `pos` in `bases`
+  /// (min of forward and reverse-complement packings).
+  [[nodiscard]] std::uint64_t canonical_at(const std::string& bases,
+                                           std::size_t pos) const;
+
+ private:
+  unsigned k_;
+  std::uint64_t mask_;
+  std::unordered_map<std::uint64_t, std::uint32_t> counts_;
+};
+
+/// Correct a single read in place against a spectrum.
+/// Returns the number of bases changed; sets `fully_corrected` to true when
+/// no weak k-mers remain afterwards.
+unsigned correct_read(std::string& bases, const KmerSpectrum& spectrum,
+                      const CorrectionConfig& config, bool& fully_corrected);
+
+/// Two-pass file correction: build the spectrum, then rewrite each read.
+/// Reads that remain weak after correction are kept (not discarded) so the
+/// caller can still assemble them.
+CorrectionStats correct_reads_file(const std::filesystem::path& input_fastq,
+                                   const std::filesystem::path& output_fastq,
+                                   const CorrectionConfig& config);
+
+}  // namespace lasagna::seq

@@ -1,0 +1,92 @@
+#include "seq/datasets.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna::seq {
+
+namespace {
+
+// Real genome sizes behind the paper's datasets (approximate, used only to
+// derive coverage): human chr14 ~107 Mb, bumblebee ~236 Mb, parakeet ~1.2 Gb,
+// human genome ~3.1 Gb.
+struct PaperRow {
+  const char* name;
+  unsigned read_length;
+  unsigned min_overlap;
+  std::uint64_t reads;
+  std::uint64_t bases;
+  double genome_mb;
+  std::uint64_t seed;
+};
+
+constexpr PaperRow kRows[] = {
+    {"H.Chr14", 101, 63, 45'711'162ull, 4'559'613'772ull, 107.0, 101},
+    {"Bumblebee", 124, 85, 316'172'570ull, 33'562'702'234ull, 236.0, 124},
+    {"Parakeet", 150, 111, 608'709'922ull, 91'306'488'300ull, 1200.0, 150},
+    {"H.Genome", 100, 63, 1'247'518'392ull, 124'751'839'200ull, 3100.0, 100},
+};
+
+DatasetSpec make_spec(const PaperRow& row, double scale) {
+  if (scale < 1.0) throw std::invalid_argument("dataset scale must be >= 1");
+  DatasetSpec spec;
+  spec.name = row.name;
+  spec.read_length = row.read_length;
+  spec.min_overlap = row.min_overlap;
+  spec.paper_reads = row.reads;
+  spec.paper_bases = row.bases;
+  spec.read_count = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(row.reads) / scale));
+  spec.genome_length = static_cast<std::uint64_t>(
+      std::llround(row.genome_mb * 1e6 / scale));
+  // Keep tiny scaled runs assemble-able.
+  spec.genome_length =
+      std::max<std::uint64_t>(spec.genome_length, row.read_length * 4);
+  spec.read_count = std::max<std::uint64_t>(spec.read_count, 16);
+  spec.seed = row.seed;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> paper_datasets(double scale) {
+  std::vector<DatasetSpec> out;
+  out.reserve(std::size(kRows));
+  for (const auto& row : kRows) out.push_back(make_spec(row, scale));
+  return out;
+}
+
+DatasetSpec paper_dataset(const std::string& name, double scale) {
+  for (const auto& row : kRows) {
+    if (name == row.name) return make_spec(row, scale);
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+std::filesystem::path materialize_dataset(const DatasetSpec& spec,
+                                          const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path fastq =
+      dir / (spec.name + "-" + std::to_string(spec.read_count) + ".fastq");
+  if (std::filesystem::exists(fastq)) return fastq;
+
+  GenomeSpec genome_spec;
+  genome_spec.length = spec.genome_length;
+  genome_spec.seed = spec.seed;
+  genome_spec.repeat_fraction = spec.repeat_fraction;
+  const std::string genome = generate_genome(genome_spec);
+
+  SequencingSpec seq_spec;
+  seq_spec.read_length = spec.read_length;
+  seq_spec.coverage = static_cast<double>(spec.read_count) *
+                      spec.read_length /
+                      static_cast<double>(spec.genome_length);
+  seq_spec.seed = spec.seed * 7919 + 13;
+  simulate_to_fastq(genome, seq_spec, fastq);
+  return fastq;
+}
+
+}  // namespace lasagna::seq

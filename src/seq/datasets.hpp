@@ -1,0 +1,53 @@
+// Scaled stand-ins for the paper's evaluation datasets (Table I).
+//
+// The paper assembles four Illumina datasets (9.2 GB - 398 GB). We cannot
+// ship those, so each descriptor here reproduces the dataset's *shape* —
+// read length, minimum overlap (as suggested by SGA and quoted in section
+// IV-A), and coverage — at a size divided by `scale`. Because every
+// algorithm in LaSAGNA is driven by the ratios dataset/host-memory and
+// host-memory/device-memory, scaling data and memory budgets together
+// preserves disk-pass and merge-pass counts, and hence the phase profile.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace lasagna::seq {
+
+struct DatasetSpec {
+  std::string name;
+  unsigned read_length = 0;
+  unsigned min_overlap = 0;        ///< l_min from the paper (SGA-suggested)
+  std::uint64_t paper_reads = 0;   ///< reads in the real dataset
+  std::uint64_t paper_bases = 0;   ///< bases in the real dataset
+  std::uint64_t genome_length = 0; ///< synthetic genome length (scaled)
+  std::uint64_t read_count = 0;    ///< simulated reads (scaled)
+  double repeat_fraction = 0.05;   ///< repeat content of the synthetic genome
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] double coverage() const {
+    return static_cast<double>(read_count) * read_length /
+           static_cast<double>(genome_length);
+  }
+  [[nodiscard]] std::uint64_t total_bases() const {
+    return read_count * read_length;
+  }
+};
+
+/// The paper's four datasets, divided by `scale` (default 2^12 = 4096).
+/// With the default, H.Genome becomes ~30 M bases / ~305 K reads.
+[[nodiscard]] std::vector<DatasetSpec> paper_datasets(double scale = 4096.0);
+
+/// One dataset by name ("H.Chr14", "Bumblebee", "Parakeet", "H.Genome").
+[[nodiscard]] DatasetSpec paper_dataset(const std::string& name,
+                                        double scale = 4096.0);
+
+/// Generate the synthetic genome + FASTQ for a spec into `dir`;
+/// returns the FASTQ path. Skips generation if the file already exists
+/// with a matching size marker.
+std::filesystem::path materialize_dataset(const DatasetSpec& spec,
+                                          const std::filesystem::path& dir);
+
+}  // namespace lasagna::seq

@@ -1,0 +1,76 @@
+#include "seq/dna.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lasagna::seq {
+
+bool try_encode_base(char c, Base& out) {
+  switch (c) {
+    case 'A':
+    case 'a':
+      out = Base::A;
+      return true;
+    case 'C':
+    case 'c':
+      out = Base::C;
+      return true;
+    case 'G':
+    case 'g':
+      out = Base::G;
+      return true;
+    case 'T':
+    case 't':
+      out = Base::T;
+      return true;
+    default:
+      return false;
+  }
+}
+
+Base encode_base(char c) {
+  Base b;
+  if (!try_encode_base(c, b)) {
+    throw std::invalid_argument(std::string("not an ACGT base: '") + c + "'");
+  }
+  return b;
+}
+
+char decode_base(Base b) {
+  static constexpr char kChars[4] = {'A', 'C', 'G', 'T'};
+  return kChars[static_cast<std::uint8_t>(b) & 3u];
+}
+
+char complement(char c) { return decode_base(complement(encode_base(c))); }
+
+std::string reverse_complement(std::string_view s) {
+  std::string out(s.size(), '\0');
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    out[s.size() - 1 - i] = complement(s[i]);
+  }
+  return out;
+}
+
+bool is_acgt(std::string_view s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    Base b;
+    return try_encode_base(c, b);
+  });
+}
+
+std::string sanitize(std::string_view s, std::uint64_t seed) {
+  std::string out(s);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Base b;
+    if (!try_encode_base(out[i], b)) {
+      // splitmix64-style position hash for a reproducible substitute base
+      std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * (i + 1);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      out[i] = decode_base(static_cast<Base>((x >> 33) & 3u));
+    }
+  }
+  return out;
+}
+
+}  // namespace lasagna::seq

@@ -1,0 +1,141 @@
+#include "seq/evaluate.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "io/fastq.hpp"
+#include "seq/dna.hpp"
+
+namespace lasagna::seq {
+
+namespace {
+
+// Local N50 (core::compute_n50 lives above this library in the dependency
+// order).
+std::uint64_t n50_of(std::vector<std::uint64_t> lengths) {
+  if (lengths.empty()) return 0;
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  const std::uint64_t total =
+      std::accumulate(lengths.begin(), lengths.end(), std::uint64_t{0});
+  std::uint64_t running = 0;
+  for (const std::uint64_t len : lengths) {
+    running += len;
+    if (running * 2 >= total) return len;
+  }
+  return lengths.back();
+}
+
+/// Can `contig` be placed on `ref` (one strand) with only isolated base
+/// errors? Seed with short windows from the front, middle and back; for
+/// each exact seed occurrence, overlay the whole contig at the implied
+/// position and count substitutions (the simulator introduces no indels).
+bool anchors_with_few_mismatches(const std::string& ref,
+                                 const std::string& contig) {
+  const std::size_t len = contig.size();
+  const std::size_t window =
+      std::min<std::size_t>(64, std::max<std::size_t>(16, len / 4));
+  if (len < window) return false;
+  const std::uint64_t budget = std::max<std::uint64_t>(3, len / 200);
+
+  for (const std::size_t w :
+       {std::size_t{0}, len / 2 - std::min(len / 2, window / 2),
+        len - window}) {
+    const std::size_t pos =
+        ref.find(std::string_view(contig).substr(w, window));
+    if (pos == std::string::npos || pos < w || pos - w + len > ref.size()) {
+      continue;
+    }
+    const std::size_t start = pos - w;
+    std::uint64_t mismatches = 0;
+    for (std::size_t i = 0; i < len && mismatches <= budget; ++i) {
+      mismatches += contig[i] != ref[start + i];
+    }
+    if (mismatches <= budget) return true;
+  }
+  return false;
+}
+
+/// Canonical (strand-independent) hash of a window.
+std::size_t window_hash(std::string_view w) {
+  const std::string rc = reverse_complement(w);
+  const std::string_view canon =
+      std::string_view(rc) < w ? std::string_view(rc) : w;
+  return std::hash<std::string_view>{}(canon);
+}
+
+}  // namespace
+
+AssemblyEvaluation evaluate_assembly(std::string_view reference,
+                                     const std::vector<std::string>& contigs,
+                                     const EvaluationConfig& config) {
+  AssemblyEvaluation eval;
+  eval.reference_length = reference.size();
+
+  // Index every contig window (stride 1 on contigs so any sampled reference
+  // window can hit, at the cost of contig-side memory).
+  std::unordered_set<std::size_t> contig_windows;
+  std::vector<std::uint64_t> lengths;
+  const std::string ref_fwd(reference);
+  const std::string ref_rc = reverse_complement(reference);
+  for (const auto& c : contigs) {
+    if (c.size() < config.min_contig) continue;
+    ++eval.contigs;
+    eval.total_bases += c.size();
+    eval.largest = std::max<std::uint64_t>(eval.largest, c.size());
+    lengths.push_back(c.size());
+    for (std::size_t pos = 0; pos + config.window <= c.size(); ++pos) {
+      contig_windows.insert(
+          window_hash(std::string_view(c).substr(pos, config.window)));
+    }
+
+    // Correctness classification: exact substring; else try to anchor the
+    // contig on the reference with a short error-free window and count
+    // substitutions over the full span — few substitutions means isolated
+    // base errors ("mismatch contig"), anything else (no consistent
+    // anchor, or a mismatch burst such as a chimeric junction) is a
+    // misassembly candidate.
+    if (ref_fwd.find(c) != std::string::npos ||
+        ref_rc.find(c) != std::string::npos) {
+      ++eval.exact_contigs;
+    } else if (anchors_with_few_mismatches(ref_fwd, c) ||
+               anchors_with_few_mismatches(ref_rc, c)) {
+      ++eval.mismatch_contigs;
+    } else {
+      ++eval.misassembled;
+    }
+  }
+  eval.n50 = n50_of(std::move(lengths));
+
+  // Genome fraction: sampled reference windows present in some contig.
+  std::uint64_t sampled = 0;
+  std::uint64_t covered = 0;
+  for (std::size_t pos = 0; pos + config.window <= reference.size();
+       pos += config.stride) {
+    ++sampled;
+    covered += contig_windows.count(
+        window_hash(reference.substr(pos, config.window)));
+  }
+  eval.genome_fraction =
+      sampled == 0 ? 0.0 : static_cast<double>(covered) / sampled;
+  const double covered_bases =
+      eval.genome_fraction * static_cast<double>(reference.size());
+  eval.duplication_ratio =
+      covered_bases <= 0.0
+          ? 0.0
+          : static_cast<double>(eval.total_bases) / covered_bases;
+  return eval;
+}
+
+AssemblyEvaluation evaluate_assembly_file(std::string_view reference,
+                                          const std::string& contig_fasta_path,
+                                          const EvaluationConfig& config) {
+  std::vector<std::string> contigs;
+  io::for_each_sequence(contig_fasta_path,
+                        [&contigs](const io::SequenceRecord& rec) {
+                          contigs.push_back(rec.bases);
+                        });
+  return evaluate_assembly(reference, contigs, config);
+}
+
+}  // namespace lasagna::seq

@@ -1,0 +1,52 @@
+// Reference-based assembly evaluation (QUAST-style, simplified).
+//
+// Given the reference a dataset was simulated from and the contigs an
+// assembler produced, report completeness (genome fraction via k-mer
+// windows), correctness (exact-substring contigs, mismatch contigs,
+// junction-misassembly candidates), contiguity (N50 over the evaluated
+// set) and duplication. Used by the examples and by tests that assert the
+// pipeline's output quality end to end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lasagna::seq {
+
+struct EvaluationConfig {
+  unsigned window = 100;  ///< reference window size for genome fraction
+  unsigned stride = 20;   ///< window sampling stride
+  /// Contigs shorter than this are ignored (QUAST's min-contig analog).
+  std::uint64_t min_contig = 0;
+};
+
+struct AssemblyEvaluation {
+  std::uint64_t reference_length = 0;
+  std::uint64_t contigs = 0;         ///< evaluated (>= min_contig)
+  std::uint64_t total_bases = 0;
+  std::uint64_t n50 = 0;
+  std::uint64_t largest = 0;
+  /// Fraction of sampled reference windows found in some contig (either
+  /// orientation).
+  double genome_fraction = 0.0;
+  /// total_bases / covered reference bases (>1 = redundant assembly).
+  double duplication_ratio = 0.0;
+  std::uint64_t exact_contigs = 0;    ///< exact substring of the reference
+  std::uint64_t mismatch_contigs = 0; ///< not exact, both halves exact
+                                      ///< (isolated base errors)
+  std::uint64_t misassembled = 0;     ///< neither (structural suspicion)
+};
+
+/// Evaluate contigs against a reference.
+[[nodiscard]] AssemblyEvaluation evaluate_assembly(
+    std::string_view reference, const std::vector<std::string>& contigs,
+    const EvaluationConfig& config = {});
+
+/// Convenience overload reading contigs from a FASTA file.
+[[nodiscard]] AssemblyEvaluation evaluate_assembly_file(
+    std::string_view reference, const std::string& contig_fasta_path,
+    const EvaluationConfig& config = {});
+
+}  // namespace lasagna::seq

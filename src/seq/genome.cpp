@@ -1,0 +1,45 @@
+#include "seq/genome.hpp"
+
+#include <random>
+
+#include "seq/dna.hpp"
+
+namespace lasagna::seq {
+
+std::string random_genome(std::uint64_t length, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> base(0, 3);
+  std::string g(length, '\0');
+  for (auto& c : g) c = decode_base(static_cast<Base>(base(rng)));
+  return g;
+}
+
+std::string generate_genome(const GenomeSpec& spec) {
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<int> base(0, 3);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  std::string g;
+  g.reserve(spec.length);
+  const unsigned seg = std::max(1u, spec.repeat_segment);
+  while (g.size() < spec.length) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(seg, spec.length - g.size());
+    if (spec.repeat_fraction > 0.0 && g.size() > seg &&
+        coin(rng) < spec.repeat_fraction) {
+      // Copy an earlier segment; half the time reverse-complemented
+      // (inverted repeat).
+      std::uniform_int_distribution<std::uint64_t> pos(0, g.size() - want);
+      std::string copy = g.substr(pos(rng), want);
+      if (coin(rng) < 0.5) copy = reverse_complement(copy);
+      g += copy;
+    } else {
+      for (std::uint64_t i = 0; i < want; ++i) {
+        g += decode_base(static_cast<Base>(base(rng)));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace lasagna::seq

@@ -1,0 +1,29 @@
+// Synthetic reference genomes.
+//
+// We do not ship the paper's SRA datasets, so experiments sequence synthetic
+// genomes instead. Genomes are generated segment-by-segment; with probability
+// `repeat_fraction` a segment is copied from earlier material (optionally
+// reverse-complemented), giving the repeat structure that makes real string
+// graphs interesting (transitive edges, ambiguous joins).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lasagna::seq {
+
+struct GenomeSpec {
+  std::uint64_t length = 100000;  ///< bases
+  std::uint64_t seed = 1;
+  double repeat_fraction = 0.0;   ///< fraction of segments copied from earlier
+  unsigned repeat_segment = 500;  ///< segment size for repeat copying
+};
+
+/// Generate a genome according to `spec`. Deterministic in the seed.
+[[nodiscard]] std::string generate_genome(const GenomeSpec& spec);
+
+/// Uniform random ACGT string (no repeat structure).
+[[nodiscard]] std::string random_genome(std::uint64_t length,
+                                        std::uint64_t seed);
+
+}  // namespace lasagna::seq

@@ -1,0 +1,74 @@
+#include "seq/preprocess.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/fastq.hpp"
+#include "seq/dna.hpp"
+
+namespace lasagna::seq {
+
+unsigned quality_trim(std::string& bases, std::string& quality,
+                      char quality_floor) {
+  if (quality.size() != bases.size()) return 0;  // no quality -> no trim
+  std::size_t begin = 0;
+  std::size_t end = bases.size();
+  while (begin < end && quality[begin] < quality_floor) ++begin;
+  while (end > begin && quality[end - 1] < quality_floor) --end;
+  const unsigned removed =
+      static_cast<unsigned>(bases.size() - (end - begin));
+  if (removed > 0) {
+    bases = bases.substr(begin, end - begin);
+    quality = quality.substr(begin, end - begin);
+  }
+  return removed;
+}
+
+PreprocessStats preprocess_reads_file(const std::filesystem::path& input,
+                                      const std::filesystem::path& output,
+                                      const PreprocessConfig& config) {
+  PreprocessStats stats;
+  std::ofstream out(output);
+  if (!out) throw std::runtime_error("cannot create " + output.string());
+
+  io::for_each_sequence(input, [&](const io::SequenceRecord& rec) {
+    ++stats.reads_in;
+    stats.bases_in += rec.bases.size();
+
+    std::string bases = rec.bases;
+    std::string quality = rec.quality;
+    const unsigned removed = quality_trim(bases, quality,
+                                          config.quality_floor);
+    if (removed > 0) ++stats.reads_trimmed;
+
+    if (bases.size() < config.min_length) {
+      ++stats.reads_dropped_short;
+      return;
+    }
+
+    std::size_t ambiguous = 0;
+    for (const char c : bases) {
+      Base b;
+      ambiguous += !try_encode_base(c, b);
+    }
+    if (static_cast<double>(ambiguous) >
+        config.max_ambiguous_fraction * static_cast<double>(bases.size())) {
+      ++stats.reads_dropped_ambiguous;
+      return;
+    }
+    if (ambiguous > 0) bases = sanitize(bases, stats.reads_in);
+
+    ++stats.reads_out;
+    stats.bases_out += bases.size();
+    out << '@' << rec.id << '\n' << bases << "\n+\n"
+        << (quality.size() == bases.size()
+                ? quality
+                : std::string(bases.size(), 'I'))
+        << '\n';
+  });
+  if (!out) throw std::runtime_error("write failed: " + output.string());
+  return stats;
+}
+
+}  // namespace lasagna::seq

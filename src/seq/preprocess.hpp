@@ -1,0 +1,42 @@
+// Read preprocessing (the baseline pipeline's "preprocess" stage, modeled
+// on SGA's): quality-trim read ends, filter reads that end up too short or
+// carry too many ambiguous bases, and emit clean FASTQ for the assembler.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace lasagna::seq {
+
+struct PreprocessConfig {
+  /// Bases with Phred+33 quality below this are trimmed from both ends
+  /// ('5' = Q20). Reads without quality strings are left untrimmed.
+  char quality_floor = '5';
+  /// Reads shorter than this after trimming are dropped.
+  unsigned min_length = 40;
+  /// Reads whose fraction of non-ACGT bases exceeds this are dropped;
+  /// surviving ambiguous bases are replaced deterministically.
+  double max_ambiguous_fraction = 0.1;
+};
+
+struct PreprocessStats {
+  std::uint64_t reads_in = 0;
+  std::uint64_t reads_out = 0;
+  std::uint64_t bases_in = 0;
+  std::uint64_t bases_out = 0;
+  std::uint64_t reads_trimmed = 0;    ///< at least one base removed
+  std::uint64_t reads_dropped_short = 0;
+  std::uint64_t reads_dropped_ambiguous = 0;
+};
+
+/// Trim one read in place (bases + quality); returns bases removed.
+unsigned quality_trim(std::string& bases, std::string& quality,
+                      char quality_floor);
+
+/// Preprocess a whole FASTQ/FASTA file into `output`.
+PreprocessStats preprocess_reads_file(const std::filesystem::path& input,
+                                      const std::filesystem::path& output,
+                                      const PreprocessConfig& config);
+
+}  // namespace lasagna::seq

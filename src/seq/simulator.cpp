@@ -1,0 +1,82 @@
+#include "seq/simulator.hpp"
+
+#include <fstream>
+#include <random>
+#include <stdexcept>
+
+#include "seq/dna.hpp"
+
+namespace lasagna::seq {
+
+namespace {
+
+std::uint64_t read_count_for(std::string_view genome,
+                             const SequencingSpec& spec) {
+  if (spec.read_length == 0 || genome.size() < spec.read_length) {
+    throw std::invalid_argument("simulate_reads: genome shorter than reads");
+  }
+  return static_cast<std::uint64_t>(
+      spec.coverage * static_cast<double>(genome.size()) /
+      static_cast<double>(spec.read_length));
+}
+
+SimulatedRead sample_one(std::string_view genome, const SequencingSpec& spec,
+                         std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::uint64_t> pos_dist(
+      0, genome.size() - spec.read_length);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> base_dist(0, 3);
+
+  SimulatedRead read;
+  read.position = pos_dist(rng);
+  read.bases = std::string(genome.substr(read.position, spec.read_length));
+  read.reverse = coin(rng) < spec.reverse_probability;
+  if (read.reverse) read.bases = reverse_complement(read.bases);
+  if (spec.error_rate > 0.0) {
+    for (auto& c : read.bases) {
+      if (coin(rng) < spec.error_rate) {
+        // Substitute with a *different* base.
+        char replacement = c;
+        while (replacement == c) {
+          replacement = decode_base(static_cast<Base>(base_dist(rng)));
+        }
+        c = replacement;
+      }
+    }
+  }
+  return read;
+}
+
+}  // namespace
+
+std::vector<SimulatedRead> simulate_reads(std::string_view genome,
+                                          const SequencingSpec& spec) {
+  const std::uint64_t count = read_count_for(genome, spec);
+  std::mt19937_64 rng(spec.seed);
+  std::vector<SimulatedRead> reads;
+  reads.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    reads.push_back(sample_one(genome, spec, rng));
+  }
+  return reads;
+}
+
+std::uint64_t simulate_to_fastq(std::string_view genome,
+                                const SequencingSpec& spec,
+                                const std::filesystem::path& path) {
+  const std::uint64_t count = read_count_for(genome, spec);
+  std::mt19937_64 rng(spec.seed);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create " + path.string());
+  const std::string quality(spec.read_length, 'I');
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const SimulatedRead read = sample_one(genome, spec, rng);
+    out << "@r" << i << " pos=" << read.position << " strand="
+        << (read.reverse ? '-' : '+') << '\n'
+        << read.bases << "\n+\n" << quality << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path.string());
+  return count;
+}
+
+}  // namespace lasagna::seq

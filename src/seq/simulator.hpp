@@ -1,0 +1,42 @@
+// Shotgun sequencing simulator (paper Fig 1).
+//
+// Samples fixed-length reads uniformly from a genome, flips each to the
+// reverse strand with probability 0.5 (Illumina reads come from either
+// strand), and optionally injects substitution errors at a per-base rate.
+// Ground-truth positions can be retained for tests.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lasagna::seq {
+
+struct SequencingSpec {
+  unsigned read_length = 100;
+  double coverage = 40.0;          ///< average depth; read count derived
+  double error_rate = 0.0;         ///< per-base substitution probability
+  double reverse_probability = 0.5;
+  std::uint64_t seed = 7;
+};
+
+/// One simulated read plus its ground truth.
+struct SimulatedRead {
+  std::string bases;
+  std::uint64_t position = 0;  ///< 0-based start on the forward strand
+  bool reverse = false;        ///< true if sampled from the reverse strand
+};
+
+/// Sample reads covering `genome` per `spec`. Deterministic in the seed.
+[[nodiscard]] std::vector<SimulatedRead> simulate_reads(
+    std::string_view genome, const SequencingSpec& spec);
+
+/// Simulate and write straight to a FASTQ file, returning the read count.
+/// Headers encode the ground truth as "r<idx> pos=<p> strand=<+/->".
+std::uint64_t simulate_to_fastq(std::string_view genome,
+                                const SequencingSpec& spec,
+                                const std::filesystem::path& path);
+
+}  // namespace lasagna::seq

@@ -1,0 +1,51 @@
+// Minimal leveled logger. Single global sink (stderr), thread-safe.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lasagna::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level. Messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one log line (used by the LOG macros; rarely called directly).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace lasagna::util
+
+#define LASAGNA_LOG(level)                                      \
+  if (static_cast<int>(level) <                                 \
+      static_cast<int>(::lasagna::util::log_level())) {         \
+  } else                                                        \
+    ::lasagna::util::detail::LogLine(level)
+
+#define LOG_DEBUG LASAGNA_LOG(::lasagna::util::LogLevel::kDebug)
+#define LOG_INFO LASAGNA_LOG(::lasagna::util::LogLevel::kInfo)
+#define LOG_WARN LASAGNA_LOG(::lasagna::util::LogLevel::kWarn)
+#define LOG_ERROR LASAGNA_LOG(::lasagna::util::LogLevel::kError)

@@ -1,0 +1,38 @@
+#include "util/memory_tracker.hpp"
+
+#include "util/timer.hpp"
+
+namespace lasagna::util {
+
+void MemoryTracker::allocate(std::uint64_t bytes) {
+  std::uint64_t prev = current_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next = prev + bytes;
+    if (capacity_ != 0 && next > capacity_) {
+      throw CapacityError(name_ + ": allocation of " + format_bytes(bytes) +
+                          " exceeds capacity " + format_bytes(capacity_) +
+                          " (in use: " + format_bytes(prev) + ")");
+    }
+    if (current_.compare_exchange_weak(prev, next,
+                                       std::memory_order_relaxed)) {
+      // Advance the peak monotonically.
+      std::uint64_t seen = peak_.load(std::memory_order_relaxed);
+      while (seen < next &&
+             !peak_.compare_exchange_weak(seen, next,
+                                          std::memory_order_relaxed)) {
+      }
+      return;
+    }
+  }
+}
+
+void MemoryTracker::release(std::uint64_t bytes) {
+  const std::uint64_t prev =
+      current_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (prev < bytes) {
+    current_.store(0, std::memory_order_relaxed);
+    throw std::logic_error(name_ + ": release of more bytes than allocated");
+  }
+}
+
+}  // namespace lasagna::util

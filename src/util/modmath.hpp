@@ -1,0 +1,44 @@
+// 64-bit modular arithmetic helpers (via unsigned __int128) for the
+// Rabin-Karp fingerprint machinery and Miller-Rabin primality testing.
+#pragma once
+
+#include <cstdint>
+
+namespace lasagna::util {
+
+using u128 = unsigned __int128;
+
+/// (a * b) mod m without overflow for any 64-bit operands.
+[[nodiscard]] constexpr std::uint64_t mulmod(std::uint64_t a, std::uint64_t b,
+                                             std::uint64_t m) {
+  return static_cast<std::uint64_t>((static_cast<u128>(a) * b) % m);
+}
+
+/// (a + b) mod m without overflow for any a, b < m.
+[[nodiscard]] constexpr std::uint64_t addmod(std::uint64_t a, std::uint64_t b,
+                                             std::uint64_t m) {
+  const std::uint64_t s = a + b;
+  return (s >= m || s < a) ? s - m : s;
+}
+
+/// (a - b) mod m for a, b < m.
+[[nodiscard]] constexpr std::uint64_t submod(std::uint64_t a, std::uint64_t b,
+                                             std::uint64_t m) {
+  return a >= b ? a - b : a + (m - b);
+}
+
+/// (base ^ exp) mod m.
+[[nodiscard]] constexpr std::uint64_t powmod(std::uint64_t base,
+                                             std::uint64_t exp,
+                                             std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace lasagna::util

@@ -1,0 +1,73 @@
+#include "util/prime.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "util/modmath.hpp"
+
+namespace lasagna::util {
+
+namespace {
+
+// Returns true if n passes the Miller-Rabin round for witness a.
+bool miller_rabin_round(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                        int r) {
+  std::uint64_t x = powmod(a % n, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 0; i < r - 1; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64.
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (!miller_rabin_round(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  for (;; n += 2) {
+    if (n < 2) throw std::overflow_error("next_prime: search overflowed");
+    if (is_prime(n)) return n;
+  }
+}
+
+std::uint64_t random_prime(std::uint64_t lo, std::uint64_t hi,
+                           std::uint64_t seed) {
+  if (lo > hi) throw std::invalid_argument("random_prime: empty range");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  // Expected gap between primes near 2^61 is ~42, so a few thousand draws
+  // plus a forward walk is overwhelmingly sufficient.
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    std::uint64_t candidate = dist(rng);
+    while (candidate <= hi) {
+      if (is_prime(candidate)) return candidate;
+      ++candidate;
+    }
+  }
+  throw std::runtime_error("random_prime: no prime found in range");
+}
+
+}  // namespace lasagna::util

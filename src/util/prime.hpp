@@ -1,0 +1,25 @@
+// Primality testing and prime generation for Rabin-Karp moduli.
+//
+// The paper's map phase (section III-A) hashes every prefix/suffix with a
+// rolling hash whose modulus is "a large prime number" and whose radix is
+// "a small prime larger than the alphabet size"; LaSAGNA pairs two such
+// hashes into a 128-bit fingerprint. These helpers pick those primes.
+#pragma once
+
+#include <cstdint>
+
+namespace lasagna::util {
+
+/// Deterministic Miller-Rabin for 64-bit integers (exact, not probabilistic).
+[[nodiscard]] bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n (n <= 2^63 for sane use; throws if search overflows).
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t n);
+
+/// A pseudo-random prime in [lo, hi], reproducible from `seed`.
+/// Used to draw independent fingerprint moduli. Throws if the range is empty
+/// or contains no prime reachable within the search budget.
+[[nodiscard]] std::uint64_t random_prime(std::uint64_t lo, std::uint64_t hi,
+                                         std::uint64_t seed);
+
+}  // namespace lasagna::util

@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace lasagna::util {
+
+const PhaseStats& RunStats::phase(const std::string& name) const {
+  for (const auto& p : phases_) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("RunStats: no phase named " + name);
+}
+
+bool RunStats::has_phase(const std::string& name) const {
+  for (const auto& p : phases_) {
+    if (p.name == name) return true;
+  }
+  return false;
+}
+
+double RunStats::total_wall_seconds() const {
+  double total = 0.0;
+  for (const auto& p : phases_) total += p.wall_seconds;
+  return total;
+}
+
+double RunStats::total_modeled_seconds() const {
+  double total = 0.0;
+  for (const auto& p : phases_) total += p.modeled_seconds;
+  return total;
+}
+
+std::uint64_t RunStats::total_disk_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& p : phases_) {
+    total += p.disk_bytes_read + p.disk_bytes_written;
+  }
+  return total;
+}
+
+std::string RunStats::to_table() const {
+  std::ostringstream out;
+  std::array<char, 256> line{};
+  out << "phase       wall        modeled     peak-host   peak-dev    "
+         "disk-read   disk-write\n";
+  for (const auto& p : phases_) {
+    std::snprintf(line.data(), line.size(),
+                  "%-11s %-11s %-11s %-11s %-11s %-11s %-11s\n",
+                  p.name.c_str(), format_duration(p.wall_seconds).c_str(),
+                  format_duration(p.modeled_seconds).c_str(),
+                  format_bytes(p.peak_host_bytes).c_str(),
+                  format_bytes(p.peak_device_bytes).c_str(),
+                  format_bytes(p.disk_bytes_read).c_str(),
+                  format_bytes(p.disk_bytes_written).c_str());
+    out << line.data();
+  }
+  std::snprintf(line.data(), line.size(), "%-11s %-11s %-11s\n", "total",
+                format_duration(total_wall_seconds()).c_str(),
+                format_duration(total_modeled_seconds()).c_str());
+  out << line.data();
+  return out.str();
+}
+
+}  // namespace lasagna::util

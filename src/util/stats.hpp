@@ -1,0 +1,45 @@
+// Per-phase statistics collected by the pipeline and reported by benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lasagna::util {
+
+/// Everything we record about one pipeline phase (map/sort/reduce/...).
+struct PhaseStats {
+  std::string name;
+  double wall_seconds = 0.0;     ///< measured wall-clock time
+  double modeled_seconds = 0.0;  ///< modeled time (device+disk+network model)
+  std::uint64_t peak_host_bytes = 0;
+  std::uint64_t peak_device_bytes = 0;
+  std::uint64_t disk_bytes_read = 0;
+  std::uint64_t disk_bytes_written = 0;
+};
+
+/// Ordered collection of phase stats for one pipeline run.
+class RunStats {
+ public:
+  void add(PhaseStats phase) { phases_.push_back(std::move(phase)); }
+
+  [[nodiscard]] const std::vector<PhaseStats>& phases() const {
+    return phases_;
+  }
+
+  /// Find a phase by name; throws std::out_of_range if absent.
+  [[nodiscard]] const PhaseStats& phase(const std::string& name) const;
+  [[nodiscard]] bool has_phase(const std::string& name) const;
+
+  [[nodiscard]] double total_wall_seconds() const;
+  [[nodiscard]] double total_modeled_seconds() const;
+  [[nodiscard]] std::uint64_t total_disk_bytes() const;
+
+  /// Render an aligned table like the paper's Tables II/III.
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  std::vector<PhaseStats> phases_;
+};
+
+}  // namespace lasagna::util

@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace lasagna::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(count, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min(count, size() * 4);
+  const std::size_t step = (count + chunks - 1) / chunks;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;
+  std::exception_ptr first_error;
+  for (std::size_t begin = 0; begin < count; begin += step) ++remaining;
+
+  for (std::size_t begin = 0; begin < count; begin += step) {
+    const std::size_t end = std::min(count, begin + step);
+    submit([&, begin, end] {
+      std::exception_ptr error;
+      try {
+        body(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (error != nullptr && first_error == nullptr) first_error = error;
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  // Rethrow the first failure in the caller (a faulting kernel surfaces
+  // where the launch happened, like a CUDA error code would).
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lasagna::util

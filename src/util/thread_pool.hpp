@@ -1,0 +1,64 @@
+// Fixed-size worker pool with a blocking parallel_for, used by the simulated
+// GPU to execute thread-blocks and by the cluster simulator to run nodes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lasagna::util {
+
+/// A fixed pool of worker threads executing queued tasks.
+///
+/// Tasks must not throw; exceptions escaping a task terminate the process
+/// (matching the CUDA model where a faulting kernel kills the context).
+/// Use `parallel_for` for bulk data-parallel work.
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (0 -> hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Run `body(i)` for every i in [0, count), split into `size()`-ish chunks,
+  /// and block until all iterations complete. `body` must be thread-safe.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Run `body(begin, end)` over contiguous index ranges covering [0, count).
+  /// Lower overhead than per-index dispatch for tight loops.
+  void parallel_for_chunked(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace lasagna::util

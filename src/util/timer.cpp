@@ -1,0 +1,52 @@
+#include "util/timer.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace lasagna::util {
+
+std::string format_duration(double seconds) {
+  std::array<char, 64> buf{};
+  if (seconds < 1.0) {
+    std::snprintf(buf.data(), buf.size(), "%.3fs", seconds);
+    return buf.data();
+  }
+  auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  const std::uint64_t h = total / 3600;
+  const std::uint64_t m = (total % 3600) / 60;
+  const std::uint64_t s = total % 60;
+  if (h > 0) {
+    std::snprintf(buf.data(), buf.size(), "%lluh %llum %llus",
+                  static_cast<unsigned long long>(h),
+                  static_cast<unsigned long long>(m),
+                  static_cast<unsigned long long>(s));
+  } else if (m > 0) {
+    std::snprintf(buf.data(), buf.size(), "%llum %llus",
+                  static_cast<unsigned long long>(m),
+                  static_cast<unsigned long long>(s));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%llus",
+                  static_cast<unsigned long long>(s));
+  }
+  return buf.data();
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::array<char, 64> buf{};
+  if (unit == 0) {
+    std::snprintf(buf.data(), buf.size(), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf.data();
+}
+
+}  // namespace lasagna::util

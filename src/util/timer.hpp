@@ -1,0 +1,41 @@
+// Wall-clock timing utilities used throughout the pipeline and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace lasagna::util {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// Starts running on construction; `seconds()` / `millis()` report elapsed
+/// time since construction or the last `reset()`.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start/reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start/reset.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Format a duration in seconds the way the paper's tables do,
+/// e.g. 125.0 -> "2m 5s", 36065.0 -> "10h 1m 5s", 0.42 -> "0.42s".
+[[nodiscard]] std::string format_duration(double seconds);
+
+/// Format a byte count with binary units, e.g. 3221225472 -> "3.00 GiB".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace lasagna::util

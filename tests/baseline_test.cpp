@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "baseline/fm_index.hpp"
+#include "baseline/sga.hpp"
+#include "baseline/suffix_array.hpp"
+#include "core/pipeline.hpp"
+#include "io/fastq.hpp"
+#include "io/tempdir.hpp"
+#include "seq/dna.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna::baseline {
+namespace {
+
+std::vector<std::uint8_t> to_symbols(std::string_view s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    out.push_back(static_cast<std::uint8_t>(seq::encode_base(c)) + 2);
+  }
+  return out;
+}
+
+TEST(SuffixArray, MatchesNaiveOnRandomTexts) {
+  std::mt19937_64 rng(3);
+  for (const std::size_t n : {1ull, 2ull, 3ull, 10ull, 100ull, 1000ull}) {
+    std::vector<std::uint8_t> text(n);
+    for (auto& c : text) c = rng() % 4 + 1;
+    const auto fast = build_suffix_array(text, 6);
+    const auto slow = build_suffix_array_naive(text);
+    EXPECT_EQ(fast, slow) << "n=" << n;
+  }
+}
+
+TEST(SuffixArray, HighlyRepetitiveTexts) {
+  // Runs and periodic strings are the classic SA-IS stress cases.
+  for (const char* raw :
+       {"AAAAAAAAAA", "ABABABABAB", "ABAABAAABAAAAB", "BANANA$"}) {
+    std::vector<std::uint8_t> text;
+    for (const char* p = raw; *p != '\0'; ++p) {
+      text.push_back(static_cast<std::uint8_t>(*p - '$'));
+    }
+    const unsigned alphabet =
+        *std::max_element(text.begin(), text.end()) + 1u;
+    EXPECT_EQ(build_suffix_array(text, alphabet),
+              build_suffix_array_naive(text))
+        << raw;
+  }
+}
+
+TEST(SuffixArray, RejectsBadInput) {
+  std::vector<std::uint8_t> text{1, 2, 9};
+  EXPECT_THROW(build_suffix_array(text, 4), std::invalid_argument);
+  EXPECT_THROW(build_suffix_array(text, 0), std::invalid_argument);
+  EXPECT_TRUE(build_suffix_array({}, 4).empty());
+}
+
+TEST(SuffixArray, BwtOfBanana) {
+  // banana$ with $=0, a=1, b=2, n=3 -> BWT "annb$aa" by the standard
+  // convention (text ends with unique smallest symbol).
+  const std::vector<std::uint8_t> text{2, 1, 3, 1, 3, 1, 0};
+  const auto sa = build_suffix_array(text, 4);
+  const auto bwt = bwt_from_suffix_array(text, sa);
+  const std::vector<std::uint8_t> expected{1, 3, 3, 2, 0, 1, 1};
+  EXPECT_EQ(bwt, expected);
+}
+
+std::vector<std::uint8_t> with_terminator(std::string_view s) {
+  auto text = to_symbols(s);
+  text.push_back(0);
+  return text;
+}
+
+TEST(FmIndex, CountsMatchBruteForce) {
+  const std::string s = seq::random_genome(2000, 8);
+  const FmIndex index(with_terminator(s), 6);
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t len = 1 + rng() % 12;
+    const std::size_t at = rng() % (s.size() - len);
+    const std::string pattern = s.substr(at, len);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i + len <= s.size(); ++i) {
+      expected += s.compare(i, len, pattern) == 0;
+    }
+    EXPECT_EQ(index.search(to_symbols(pattern)).count(), expected)
+        << pattern;
+  }
+}
+
+TEST(FmIndex, AbsentPatternGivesEmptyRange) {
+  const FmIndex index(with_terminator("ACGTACGTAAAA"), 6);
+  // Pattern with a base that never appears after crafting: "TTTT" absent.
+  EXPECT_TRUE(index.search(to_symbols("TTTT")).empty());
+  EXPECT_FALSE(index.search(to_symbols("ACGT")).empty());
+}
+
+TEST(FmIndex, LocateRecoversAllPositions) {
+  const std::string s = "ACGTACGTACGTACGT";
+  const FmIndex index(with_terminator(s), 6, /*sa_sample_rate=*/4);
+  const auto range = index.search(to_symbols("ACGT"));
+  ASSERT_EQ(range.count(), 4u);
+  std::vector<std::uint64_t> positions;
+  for (std::uint64_t row = range.lo; row < range.hi; ++row) {
+    positions.push_back(index.locate(row));
+  }
+  std::sort(positions.begin(), positions.end());
+  EXPECT_EQ(positions, (std::vector<std::uint64_t>{0, 4, 8, 12}));
+}
+
+TEST(FmIndex, LocateWithSparseSampling) {
+  const std::string s = seq::random_genome(512, 10);
+  const FmIndex index(with_terminator(s), 6, /*sa_sample_rate=*/64);
+  for (std::size_t at : {0ull, 100ull, 500ull}) {
+    const std::string pattern = s.substr(at, 10);
+    const auto range = index.search(to_symbols(pattern));
+    ASSERT_GE(range.count(), 1u);
+    bool found = false;
+    for (std::uint64_t row = range.lo; row < range.hi; ++row) {
+      found |= index.locate(row) == at;
+    }
+    EXPECT_TRUE(found) << at;
+  }
+}
+
+TEST(FmIndex, RejectsNonUniqueTerminator) {
+  std::vector<std::uint8_t> text{2, 0, 3, 0};
+  EXPECT_THROW(FmIndex(text, 6), std::invalid_argument);
+}
+
+io::ScopedTempDir make_dataset(std::string& genome, double coverage,
+                               unsigned read_len, std::uint64_t seed = 77) {
+  io::ScopedTempDir dir("lasagna-sga");
+  genome = seq::random_genome(4000, seed);
+  seq::SequencingSpec spec;
+  spec.read_length = read_len;
+  spec.coverage = coverage;
+  spec.seed = seed + 1;
+  seq::simulate_to_fastq(genome, spec, dir.file("reads.fq"));
+  return dir;
+}
+
+TEST(Sga, FindsSameCandidateOverlapsAsLasagna) {
+  std::string genome;
+  const auto dir = make_dataset(genome, 15.0, 90);
+
+  SgaConfig sga_config;
+  sga_config.min_overlap = 55;
+  const SgaResult sga = run_sga_pipeline(dir.file("reads.fq"), sga_config);
+
+  core::AssemblyConfig config;
+  config.min_overlap = 55;
+  config.machine.host_memory_bytes = 1 << 20;
+  config.machine.device_memory_bytes = 1 << 16;
+  core::Assembler assembler(config);
+  const auto lasagna =
+      assembler.run(dir.file("reads.fq"), dir.file("contigs.fa"));
+
+  EXPECT_GT(sga.candidate_edges, 0u);
+  EXPECT_EQ(sga.candidate_edges, lasagna.candidate_edges)
+      << "exact FM-index overlaps and fingerprint overlaps must agree";
+  EXPECT_EQ(sga.read_count, lasagna.read_count);
+}
+
+TEST(Sga, IdenticalGraphOnConflictFreeChain) {
+  // A tiling of reads every 20 bases with no duplicates: greedy has no
+  // ties, so both pipelines must produce the same edges.
+  io::ScopedTempDir dir("lasagna-sga");
+  const std::string genome = seq::random_genome(1000, 5);
+  std::vector<io::SequenceRecord> records;
+  for (std::size_t pos = 0; pos + 100 <= genome.size(); pos += 20) {
+    records.push_back({"r" + std::to_string(pos), genome.substr(pos, 100),
+                       ""});
+  }
+  io::write_fastq_file(dir.file("reads.fq"), records);
+
+  SgaConfig sga_config;
+  sga_config.min_overlap = 60;
+  const SgaResult sga = run_sga_pipeline(dir.file("reads.fq"), sga_config);
+
+  core::AssemblyConfig config;
+  config.min_overlap = 60;
+  core::Assembler assembler(config);
+  const auto lasagna =
+      assembler.run(dir.file("reads.fq"), dir.file("contigs.fa"));
+
+  EXPECT_EQ(sga.accepted_edges, lasagna.accepted_edges);
+  // Every read links to the next by an 80-overlap edge.
+  for (std::uint32_t r = 0; r + 1 < records.size(); ++r) {
+    const auto e = sga.graph->out_edge(graph::forward_vertex(r));
+    ASSERT_TRUE(e.has_value()) << r;
+    EXPECT_EQ(e->dst, graph::forward_vertex(r + 1));
+    EXPECT_EQ(e->overlap, 80u);
+  }
+}
+
+TEST(Sga, PhasesAreTimed) {
+  std::string genome;
+  const auto dir = make_dataset(genome, 8.0, 80);
+  const SgaResult result =
+      run_sga_pipeline(dir.file("reads.fq"), SgaConfig{50, 16});
+  for (const char* phase : {"preprocess", "index", "overlap"}) {
+    EXPECT_TRUE(result.stats.has_phase(phase)) << phase;
+  }
+  EXPECT_GT(result.index_memory_bytes, 0u);
+  EXPECT_GT(result.text_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace lasagna::baseline

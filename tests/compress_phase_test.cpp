@@ -1,0 +1,163 @@
+// Direct unit tests of the compress phase: contig spelling from constructed
+// graphs, reverse-complement placement, offsets, singletons and filtering.
+#include <gtest/gtest.h>
+
+#include "core/compress_phase.hpp"
+#include "graph/string_graph.hpp"
+#include "io/fastq.hpp"
+#include "seq/dna.hpp"
+#include "test_workspace.hpp"
+
+namespace lasagna::core {
+namespace {
+
+using lasagna::testing::TestWorkspace;
+
+std::filesystem::path write_reads(const TestWorkspace& tw,
+                                  const std::vector<std::string>& reads) {
+  std::vector<io::SequenceRecord> records;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    records.push_back({"r" + std::to_string(i), reads[i], ""});
+  }
+  const auto path = tw.dir().file("reads.fq");
+  io::write_fastq_file(path, records);
+  return path;
+}
+
+TEST(CompressPhase, SpellsChainContig) {
+  TestWorkspace tw;
+  // Genome ACGTACGTGGTTCCAA tiled by 8-mers overlapping by 4.
+  const std::string genome = "ACGTACGTGGTTCCAA";
+  const std::vector<std::string> reads{
+      genome.substr(0, 8), genome.substr(4, 8), genome.substr(8, 8)};
+  const auto path = write_reads(tw, reads);
+
+  graph::StringGraph g(3);
+  ASSERT_TRUE(g.try_add_edge(graph::forward_vertex(0),
+                             graph::forward_vertex(1), 4));
+  ASSERT_TRUE(g.try_add_edge(graph::forward_vertex(1),
+                             graph::forward_vertex(2), 4));
+
+  const auto result = run_compress_phase(
+      tw.ws(), g, path, tw.dir().file("contigs.fa"), {});
+  EXPECT_EQ(result.paths, 1u);
+  EXPECT_EQ(result.reads_placed, 3u);
+  const auto contigs = io::read_sequence_file(tw.dir().file("contigs.fa"));
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].bases, genome);
+  EXPECT_EQ(result.stats.total_bases, genome.size());
+  EXPECT_EQ(result.stats.n50, genome.size());
+}
+
+TEST(CompressPhase, ReverseStrandReadsPlacedAsComplement) {
+  TestWorkspace tw;
+  const std::string genome = "ACGTACGTGGTT";
+  // Read 1 is sequenced from the reverse strand.
+  const std::vector<std::string> reads{
+      genome.substr(0, 8), seq::reverse_complement(genome.substr(4, 8))};
+  const auto path = write_reads(tw, reads);
+
+  graph::StringGraph g(2);
+  // Forward of read 0 overlaps the REVERSE vertex of read 1 by 4.
+  ASSERT_TRUE(g.try_add_edge(graph::forward_vertex(0),
+                             graph::reverse_vertex(1), 4));
+
+  const auto result = run_compress_phase(
+      tw.ws(), g, path, tw.dir().file("contigs.fa"), {});
+  EXPECT_EQ(result.reads_placed, 2u);
+  const auto contigs = io::read_sequence_file(tw.dir().file("contigs.fa"));
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].bases, genome);
+}
+
+TEST(CompressPhase, SingletonEmissionControlledByOption) {
+  TestWorkspace tw;
+  const auto path = write_reads(tw, {"ACGTACGT", "TTTTGGGG"});
+  graph::StringGraph g(2);  // no edges at all
+
+  CompressOptions with;
+  with.include_singletons = true;
+  const auto a = run_compress_phase(tw.ws(), g, path,
+                                    tw.dir().file("with.fa"), with);
+  EXPECT_EQ(a.stats.count, 2u);
+  const auto contigs = io::read_sequence_file(tw.dir().file("with.fa"));
+  EXPECT_EQ(contigs[0].bases, "ACGTACGT");
+
+  CompressOptions without;
+  without.include_singletons = false;
+  const auto b = run_compress_phase(tw.ws(), g, path,
+                                    tw.dir().file("without.fa"), without);
+  EXPECT_EQ(b.stats.count, 0u);
+}
+
+TEST(CompressPhase, MinContigLengthFilters) {
+  TestWorkspace tw;
+  const std::string genome = "ACGTACGTGGTTCCAA";
+  const auto path = write_reads(
+      tw, {genome.substr(0, 8), genome.substr(4, 8), "TTTTCCCC"});
+  graph::StringGraph g(3);
+  ASSERT_TRUE(g.try_add_edge(graph::forward_vertex(0),
+                             graph::forward_vertex(1), 4));
+
+  CompressOptions options;
+  options.include_singletons = true;
+  options.min_contig_length = 10;
+  const auto result = run_compress_phase(
+      tw.ws(), g, path, tw.dir().file("contigs.fa"), options);
+  // The 12-base chain passes; the 8-base singleton is dropped from the
+  // FASTA (and from the stats).
+  EXPECT_EQ(result.stats.count, 1u);
+  const auto contigs = io::read_sequence_file(tw.dir().file("contigs.fa"));
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].bases.size(), 12u);
+}
+
+TEST(CompressPhase, ProvidedReadLengthsSkipRestream) {
+  TestWorkspace tw;
+  const std::string genome = "ACGTACGTGGTT";
+  const std::vector<std::string> reads{genome.substr(0, 8),
+                                       genome.substr(4, 8)};
+  const auto path = write_reads(tw, reads);
+  graph::StringGraph g(2);
+  ASSERT_TRUE(g.try_add_edge(graph::forward_vertex(0),
+                             graph::forward_vertex(1), 4));
+
+  CompressOptions options;
+  options.read_lengths = {8, 8};
+  const auto result = run_compress_phase(
+      tw.ws(), g, path, tw.dir().file("contigs.fa"), options);
+  const auto contigs = io::read_sequence_file(tw.dir().file("contigs.fa"));
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].bases, genome);
+  (void)result;
+}
+
+TEST(CompressPhase, MultiplePathsGetDistinctOffsets) {
+  TestWorkspace tw;
+  // Two independent chains.
+  const std::string g1 = "ACGTACGTGGTT";
+  const std::string g2 = "TTGGCCAATTGG";
+  const std::vector<std::string> reads{
+      g1.substr(0, 8), g1.substr(4, 8), g2.substr(0, 8), g2.substr(4, 8)};
+  const auto path = write_reads(tw, reads);
+
+  graph::StringGraph g(4);
+  ASSERT_TRUE(g.try_add_edge(graph::forward_vertex(0),
+                             graph::forward_vertex(1), 4));
+  ASSERT_TRUE(g.try_add_edge(graph::forward_vertex(2),
+                             graph::forward_vertex(3), 4));
+
+  const auto result = run_compress_phase(
+      tw.ws(), g, path, tw.dir().file("contigs.fa"), {});
+  EXPECT_EQ(result.paths, 2u);
+  const auto contigs = io::read_sequence_file(tw.dir().file("contigs.fa"));
+  ASSERT_EQ(contigs.size(), 2u);
+  std::vector<std::string> bases{contigs[0].bases, contigs[1].bases};
+  std::sort(bases.begin(), bases.end());
+  std::vector<std::string> expected{g1, g2};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(bases, expected);
+}
+
+}  // namespace
+}  // namespace lasagna::core

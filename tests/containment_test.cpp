@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "baseline/containment.hpp"
+#include "io/fastq.hpp"
+#include "io/tempdir.hpp"
+#include "seq/dna.hpp"
+#include "seq/genome.hpp"
+
+namespace lasagna::baseline {
+namespace {
+
+ContainmentStats run(io::ScopedTempDir& dir,
+                     const std::vector<std::string>& reads,
+                     std::vector<io::SequenceRecord>& out) {
+  std::vector<io::SequenceRecord> records;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    records.push_back({"r" + std::to_string(i), reads[i], ""});
+  }
+  io::write_fastq_file(dir.file("in.fq"), records);
+  const auto stats =
+      remove_contained_reads(dir.file("in.fq"), dir.file("out.fq"));
+  out = io::read_sequence_file(dir.file("out.fq"));
+  return stats;
+}
+
+TEST(Containment, DropsSubstringsAndRcSubstrings) {
+  io::ScopedTempDir dir("lasagna-cont");
+  const std::string host = seq::random_genome(60, 91);
+  std::vector<io::SequenceRecord> out;
+  const auto stats = run(dir,
+                         {host,
+                          host.substr(10, 20),                          // contained
+                          seq::reverse_complement(host.substr(30, 25)),  // RC-contained
+                          seq::random_genome(40, 92)},                  // unrelated
+                         out);
+  EXPECT_EQ(stats.reads_in, 4u);
+  EXPECT_EQ(stats.contained_removed, 2u);
+  EXPECT_EQ(stats.duplicates_removed, 0u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, "r0");
+  EXPECT_EQ(out[1].id, "r3");
+}
+
+TEST(Containment, KeepsOneOfDuplicates) {
+  io::ScopedTempDir dir("lasagna-cont");
+  const std::string read = seq::random_genome(50, 93);
+  std::vector<io::SequenceRecord> out;
+  const auto stats =
+      run(dir, {read, read, seq::reverse_complement(read)}, out);
+  EXPECT_EQ(stats.duplicates_removed, 2u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, "r0") << "smallest id must survive";
+}
+
+TEST(Containment, KeepsOverlappingButNotContainedReads) {
+  io::ScopedTempDir dir("lasagna-cont");
+  const std::string genome = seq::random_genome(200, 94);
+  std::vector<io::SequenceRecord> out;
+  const auto stats = run(
+      dir, {genome.substr(0, 80), genome.substr(40, 80)}, out);
+  EXPECT_EQ(stats.contained_removed, 0u);
+  EXPECT_EQ(out.size(), 2u);
+  (void)stats;
+}
+
+TEST(Containment, EmptyInputOk) {
+  io::ScopedTempDir dir("lasagna-cont");
+  std::vector<io::SequenceRecord> out;
+  const auto stats = run(dir, {}, out);
+  EXPECT_EQ(stats.reads_in, 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Containment, PropertyNoSurvivorContainedInAnother) {
+  // Variable-length reads (as after quality trimming) sampled from one
+  // genome: after filtering, no surviving read may be a substring of
+  // another surviving read or of its reverse complement.
+  io::ScopedTempDir dir("lasagna-cont");
+  const std::string genome = seq::random_genome(300, 95);
+  std::mt19937_64 rng(96);
+  std::vector<std::string> reads;
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t len = 20 + rng() % 60;
+    const std::size_t pos = rng() % (genome.size() - len);
+    std::string r = genome.substr(pos, len);
+    if (rng() % 2) r = seq::reverse_complement(r);
+    reads.push_back(std::move(r));
+  }
+  std::vector<io::SequenceRecord> out;
+  const auto stats = run(dir, reads, out);
+  EXPECT_EQ(stats.reads_kept, out.size());
+  EXPECT_LT(out.size(), reads.size()) << "dataset surely has containments";
+
+  for (std::size_t a = 0; a < out.size(); ++a) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      if (a == b) continue;
+      const std::string& small = out[a].bases;
+      const std::string& big = out[b].bases;
+      if (small.size() > big.size()) continue;
+      const bool contained =
+          big.find(small) != std::string::npos ||
+          seq::reverse_complement(big).find(small) != std::string::npos;
+      if (small.size() < big.size()) {
+        EXPECT_FALSE(contained)
+            << out[a].id << " still contained in " << out[b].id;
+      } else {
+        EXPECT_FALSE(contained) << "duplicate survived: " << out[a].id
+                                << " == " << out[b].id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lasagna::baseline

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "io/fastq.hpp"
+#include "io/tempdir.hpp"
+#include "seq/correction.hpp"
+#include "seq/dna.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna::seq {
+namespace {
+
+TEST(KmerSpectrum, CountsCanonicalKmers) {
+  KmerSpectrum spectrum(4);
+  spectrum.add_read("ACGTACGT");  // 4-mers: ACGT x2, CGTA, GTAC, TACG
+  EXPECT_EQ(spectrum.count(spectrum.canonical_at("ACGT", 0)), 2u);
+  // CGTA and TACG are reverse complements, so they share a canonical code.
+  EXPECT_EQ(spectrum.count(spectrum.canonical_at("CGTA", 0)), 2u);
+  EXPECT_EQ(spectrum.canonical_at("CGTA", 0),
+            spectrum.canonical_at("TACG", 0));
+  EXPECT_EQ(spectrum.count(spectrum.canonical_at("GTAC", 0)), 1u);
+  EXPECT_EQ(spectrum.count(spectrum.canonical_at("AAAA", 0)), 0u);
+}
+
+TEST(KmerSpectrum, StrandIndependence) {
+  KmerSpectrum spectrum(5);
+  spectrum.add_read("ACGTT");
+  // The reverse complement AACGT must hit the same canonical k-mer.
+  EXPECT_EQ(spectrum.canonical_at("ACGTT", 0),
+            spectrum.canonical_at("AACGT", 0));
+  EXPECT_EQ(spectrum.count(spectrum.canonical_at("AACGT", 0)), 1u);
+}
+
+TEST(KmerSpectrum, RollingMatchesDirectPacking) {
+  KmerSpectrum spectrum(21);
+  const std::string read = random_genome(200, 6);
+  spectrum.add_read(read);
+  for (std::size_t pos = 0; pos + 21 <= read.size(); ++pos) {
+    EXPECT_GE(spectrum.count(spectrum.canonical_at(read, pos)), 1u) << pos;
+  }
+}
+
+TEST(KmerSpectrum, RejectsBadK) {
+  EXPECT_THROW(KmerSpectrum(0), std::invalid_argument);
+  EXPECT_THROW(KmerSpectrum(33), std::invalid_argument);
+  KmerSpectrum ok(32);
+  ok.add_read(random_genome(64, 1));
+  EXPECT_GT(ok.distinct(), 0u);
+}
+
+TEST(CorrectRead, RepairsSingleSubstitution) {
+  // Spectrum from many error-free copies of the region; one read carries a
+  // substitution in the middle.
+  const std::string truth = random_genome(120, 9);
+  KmerSpectrum spectrum(21);
+  for (int i = 0; i < 10; ++i) spectrum.add_read(truth);
+
+  std::string read = truth;
+  read[60] = read[60] == 'A' ? 'C' : 'A';
+  CorrectionConfig config;
+  config.min_count = 3;
+  bool fully = false;
+  const unsigned changed = correct_read(read, spectrum, config, fully);
+  EXPECT_EQ(changed, 1u);
+  EXPECT_TRUE(fully);
+  EXPECT_EQ(read, truth);
+}
+
+TEST(CorrectRead, LeavesCleanReadsAlone) {
+  const std::string truth = random_genome(120, 10);
+  KmerSpectrum spectrum(21);
+  for (int i = 0; i < 10; ++i) spectrum.add_read(truth);
+  std::string read = truth;
+  bool fully = false;
+  EXPECT_EQ(correct_read(read, spectrum, CorrectionConfig{}, fully), 0u);
+  EXPECT_TRUE(fully);
+  EXPECT_EQ(read, truth);
+}
+
+TEST(CorrectRead, RepairsMultipleWellSeparatedErrors) {
+  const std::string truth = random_genome(200, 11);
+  KmerSpectrum spectrum(21);
+  for (int i = 0; i < 10; ++i) spectrum.add_read(truth);
+
+  std::string read = truth;
+  for (const std::size_t at : {40ull, 100ull, 160ull}) {
+    read[at] = complement(read[at]);
+  }
+  CorrectionConfig config;
+  bool fully = false;
+  const unsigned changed = correct_read(read, spectrum, config, fully);
+  EXPECT_EQ(read, truth);
+  EXPECT_EQ(changed, 3u);
+  EXPECT_TRUE(fully);
+}
+
+TEST(CorrectionFile, EndToEndRecoversMostErrors) {
+  io::ScopedTempDir dir("lasagna-correct");
+  const std::string genome = random_genome(20000, 12);
+  SequencingSpec spec;
+  spec.read_length = 100;
+  spec.coverage = 30.0;
+  spec.error_rate = 0.005;
+  spec.seed = 13;
+  simulate_to_fastq(genome, spec, dir.file("raw.fq"));
+
+  CorrectionConfig config;
+  config.k = 21;
+  config.min_count = 4;
+  const CorrectionStats stats =
+      correct_reads_file(dir.file("raw.fq"), dir.file("fixed.fq"), config);
+  EXPECT_EQ(stats.reads, 6000u);
+  EXPECT_GT(stats.reads_with_weak_kmers, 1000u);  // ~39% have >=1 error
+  // Most error reads become fully strong.
+  EXPECT_GT(stats.reads_corrected,
+            stats.reads_with_weak_kmers * 7 / 10);
+
+  // Measure the real residual error rate against the ground truth encoded
+  // in the headers.
+  std::uint64_t mismatches = 0;
+  std::uint64_t bases = 0;
+  io::for_each_sequence(dir.file("fixed.fq"), [&](
+                                                  const io::SequenceRecord&
+                                                      rec) {
+    const auto pos_at = rec.id.find("pos=");
+    const auto strand_at = rec.id.find("strand=");
+    ASSERT_NE(pos_at, std::string::npos);
+    const std::uint64_t pos = std::stoull(rec.id.substr(pos_at + 4));
+    const bool reverse = rec.id[strand_at + 7] == '-';
+    std::string truth = genome.substr(pos, rec.bases.size());
+    if (reverse) truth = reverse_complement(truth);
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      mismatches += truth[i] != rec.bases[i];
+    }
+    bases += truth.size();
+  });
+  const double residual = static_cast<double>(mismatches) / bases;
+  EXPECT_LT(residual, 0.005 / 4)
+      << "correction must cut the error rate by at least 4x";
+}
+
+TEST(CorrectionFile, PreservesReadCountAndLengths) {
+  io::ScopedTempDir dir("lasagna-correct");
+  const std::string genome = random_genome(3000, 14);
+  SequencingSpec spec;
+  spec.read_length = 80;
+  spec.coverage = 10.0;
+  spec.error_rate = 0.01;
+  simulate_to_fastq(genome, spec, dir.file("raw.fq"));
+
+  const auto stats = correct_reads_file(dir.file("raw.fq"),
+                                        dir.file("fixed.fq"), {});
+  const auto raw = io::read_sequence_file(dir.file("raw.fq"));
+  const auto fixed = io::read_sequence_file(dir.file("fixed.fq"));
+  ASSERT_EQ(raw.size(), fixed.size());
+  EXPECT_EQ(stats.reads, raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(raw[i].id, fixed[i].id);
+    EXPECT_EQ(raw[i].bases.size(), fixed[i].bases.size());
+  }
+}
+
+}  // namespace
+}  // namespace lasagna::seq

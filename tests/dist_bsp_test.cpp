@@ -1,0 +1,160 @@
+// Tests for the fingerprint-BSP distributed reduce (the paper's IV-D
+// future work implemented): correctness parity with the token-ring reduce
+// and the scalability advantage it was proposed for.
+#include <gtest/gtest.h>
+
+#include "core/map_phase.hpp"
+#include "dist/cluster.hpp"
+#include "io/fastq.hpp"
+#include "io/tempdir.hpp"
+#include "seq/dna.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna::dist {
+namespace {
+
+TEST(PartitionKey, RoundTrips) {
+  using core::key_bucket;
+  using core::key_length;
+  using core::partition_key;
+  for (unsigned buckets : {1u, 3u, 8u}) {
+    for (unsigned l : {63u, 100u, 149u}) {
+      for (unsigned b = 0; b < buckets; ++b) {
+        const unsigned key = partition_key(l, b, buckets);
+        EXPECT_EQ(key_length(key, buckets), l);
+        EXPECT_EQ(key_bucket(key, buckets), b);
+      }
+    }
+  }
+  EXPECT_EQ(core::partition_key(80, 0, 1), 80u);  // identity at buckets=1
+}
+
+struct Dataset {
+  io::ScopedTempDir dir{"lasagna-bsp"};
+  std::string genome;
+};
+
+Dataset make_dataset() {
+  Dataset d;
+  d.genome = seq::random_genome(5000, 51);
+  seq::SequencingSpec spec;
+  spec.read_length = 90;
+  spec.coverage = 16.0;
+  spec.seed = 52;
+  seq::simulate_to_fastq(d.genome, spec, d.dir.file("reads.fq"));
+  return d;
+}
+
+ClusterConfig cluster(unsigned nodes, ReduceStrategy strategy) {
+  ClusterConfig config = ClusterConfig::supermic(nodes, 4096.0);
+  config.min_overlap = 55;
+  config.machine.host_memory_bytes = 1 << 19;
+  config.machine.device_memory_bytes = 1 << 16;
+  config.reduce_strategy = strategy;
+  return config;
+}
+
+TEST(FingerprintBsp, SameCandidatesAsTokenReduce) {
+  const Dataset d = make_dataset();
+  const auto token = run_distributed(
+      d.dir.file("reads.fq"), d.dir.file("a.fa"),
+      cluster(3, ReduceStrategy::kLengthToken));
+  const auto bsp = run_distributed(
+      d.dir.file("reads.fq"), d.dir.file("b.fa"),
+      cluster(3, ReduceStrategy::kFingerprintBsp));
+
+  // The fingerprint split is complete (matching fingerprints share a
+  // bucket), so the candidate set is identical.
+  EXPECT_EQ(bsp.candidate_edges, token.candidate_edges);
+  // Greedy tie order may differ, but the assembled volume must be close.
+  EXPECT_NEAR(static_cast<double>(bsp.accepted_edges),
+              static_cast<double>(token.accepted_edges),
+              0.02 * token.accepted_edges + 2);
+}
+
+TEST(FingerprintBsp, ContigsAreGenomeSubstrings) {
+  const Dataset d = make_dataset();
+  const auto result = run_distributed(
+      d.dir.file("reads.fq"), d.dir.file("c.fa"),
+      cluster(4, ReduceStrategy::kFingerprintBsp));
+  const auto contigs = io::read_sequence_file(d.dir.file("c.fa"));
+  ASSERT_GT(contigs.size(), 0u);
+  for (const auto& c : contigs) {
+    EXPECT_TRUE(d.genome.find(c.bases) != std::string::npos ||
+                d.genome.find(seq::reverse_complement(c.bases)) !=
+                    std::string::npos);
+  }
+}
+
+TEST(FingerprintBsp, ReduceCompetitiveWithTokenAndScales) {
+  // Measured behaviour of the future-work design (recorded in DESIGN.md):
+  // fingerprint partitioning spreads each length's overlap scan across all
+  // nodes, but greedy resolution remains serialized (that part is why the
+  // paper left it as future work), so at the paper's t_o/t_g ratio the BSP
+  // reduce matches the token ring rather than beating it — and must still
+  // scale with node count.
+  const Dataset d = make_dataset();
+  const auto token = run_distributed(
+      d.dir.file("reads.fq"), d.dir.file("t8.fa"),
+      cluster(8, ReduceStrategy::kLengthToken));
+  const auto bsp8 = run_distributed(
+      d.dir.file("reads.fq"), d.dir.file("b8.fa"),
+      cluster(8, ReduceStrategy::kFingerprintBsp));
+  const auto bsp2 = run_distributed(
+      d.dir.file("reads.fq"), d.dir.file("b2.fa"),
+      cluster(2, ReduceStrategy::kFingerprintBsp));
+  EXPECT_LT(bsp8.stats.phase("reduce").modeled_seconds,
+            token.stats.phase("reduce").modeled_seconds * 2.0);
+  EXPECT_LT(bsp8.stats.phase("reduce").modeled_seconds,
+            bsp2.stats.phase("reduce").modeled_seconds);
+}
+
+TEST(FingerprintBsp, SingleNodeDegeneratesGracefully) {
+  const Dataset d = make_dataset();
+  const auto result = run_distributed(
+      d.dir.file("reads.fq"), d.dir.file("s.fa"),
+      cluster(1, ReduceStrategy::kFingerprintBsp));
+  EXPECT_GT(result.accepted_edges, 0u);
+  EXPECT_GT(result.contigs.count, 0u);
+}
+
+TEST(MapBuckets, SplitRecordsCoverSameTuples) {
+  // Property: bucketed partitioning is a refinement — per length, bucket
+  // counts sum to the unbucketed count.
+  io::ScopedTempDir dir("lasagna-buckets");
+  const std::string genome = seq::random_genome(2000, 53);
+  seq::SequencingSpec spec;
+  spec.read_length = 80;
+  spec.coverage = 6.0;
+  spec.seed = 54;
+  seq::simulate_to_fastq(genome, spec, dir.file("reads.fq"));
+
+  gpu::Device device(gpu::GpuProfile::k40(), 1 << 20);
+  util::MemoryTracker host("t");
+  io::IoStats io;
+
+  core::MapOptions plain;
+  plain.min_overlap = 60;
+  core::Workspace ws1{&device, &host, &io, dir.path() / "plain"};
+  const auto unbucketed = core::run_map_phase(ws1, dir.file("reads.fq"),
+                                              plain);
+
+  core::MapOptions bucketed = plain;
+  bucketed.fingerprint_buckets = 4;
+  core::Workspace ws2{&device, &host, &io, dir.path() / "bucketed"};
+  const auto split = core::run_map_phase(ws2, dir.file("reads.fq"),
+                                         bucketed);
+
+  EXPECT_EQ(split.tuples_emitted, unbucketed.tuples_emitted);
+  for (const unsigned l : unbucketed.suffixes->lengths()) {
+    std::uint64_t total = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      total += split.suffixes->count(core::partition_key(l, b, 4));
+    }
+    EXPECT_EQ(total, unbucketed.suffixes->count(l)) << "length " << l;
+  }
+}
+
+}  // namespace
+}  // namespace lasagna::dist

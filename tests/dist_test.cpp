@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "dist/active_message.hpp"
+#include "dist/cluster.hpp"
+#include "io/fastq.hpp"
+#include "io/tempdir.hpp"
+#include "seq/dna.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna::dist {
+namespace {
+
+TEST(ActiveMessage, RequestReplyRoundTrip) {
+  Network net(3, 1e9, 1e-6);
+  net.register_handler(1, 7, [](unsigned src, std::span<const std::byte> in) {
+    Payload reply;
+    std::size_t off = 0;
+    const auto x = get<std::uint64_t>(in, off);
+    put(reply, x * 2 + src);
+    return reply;
+  });
+  Payload msg;
+  put(msg, std::uint64_t{21});
+  const Payload reply = net.request(0, 1, 7, msg);
+  std::size_t off = 0;
+  EXPECT_EQ(get<std::uint64_t>(reply, off), 42u);
+}
+
+TEST(ActiveMessage, ChargesBothEndpoints) {
+  Network net(2, 1e6, 1e-3);
+  net.register_handler(1, 0, [](unsigned, std::span<const std::byte>) {
+    return Payload(1000);
+  });
+  net.request(0, 1, 0, Payload(500));
+  EXPECT_EQ(net.bytes_sent(0), 500u);   // request payload
+  EXPECT_EQ(net.bytes_sent(1), 1000u);  // reply payload
+  // 2 x latency + 1500 bytes at 1 MB/s = 2ms + 1.5ms per endpoint.
+  EXPECT_NEAR(net.modeled_seconds(0), 0.0035, 1e-4);
+  EXPECT_NEAR(net.modeled_seconds(1), 0.0035, 1e-4);
+  net.reset_counters();
+  EXPECT_EQ(net.bytes_sent(0), 0u);
+  EXPECT_DOUBLE_EQ(net.modeled_seconds(0), 0.0);
+}
+
+TEST(ActiveMessage, LocalDeliveryIsFree) {
+  Network net(2, 1e6, 1e-3);
+  net.register_handler(0, 0, [](unsigned, std::span<const std::byte>) {
+    return Payload(100);
+  });
+  net.request(0, 0, 0, Payload(100));
+  EXPECT_EQ(net.bytes_sent(0), 0u);
+  EXPECT_DOUBLE_EQ(net.modeled_seconds(0), 0.0);
+}
+
+TEST(ActiveMessage, MissingHandlerThrows) {
+  Network net(2, 1e6, 1e-3);
+  EXPECT_THROW(net.request(0, 1, 3, {}), std::logic_error);
+}
+
+TEST(ActiveMessage, PayloadUnderflowThrows) {
+  Payload p;
+  put(p, std::uint32_t{5});
+  std::size_t off = 0;
+  EXPECT_EQ(get<std::uint32_t>(p, off), 5u);
+  EXPECT_THROW(get<std::uint32_t>(p, off), std::out_of_range);
+}
+
+struct Dataset {
+  io::ScopedTempDir dir{"lasagna-dist"};
+  std::string genome;
+};
+
+Dataset make_dataset(std::uint64_t genome_len = 6000, double coverage = 18.0,
+                     unsigned read_len = 90) {
+  Dataset d;
+  d.genome = seq::random_genome(genome_len, 31);
+  seq::SequencingSpec spec;
+  spec.read_length = read_len;
+  spec.coverage = coverage;
+  spec.seed = 32;
+  seq::simulate_to_fastq(d.genome, spec, d.dir.file("reads.fq"));
+  return d;
+}
+
+ClusterConfig small_cluster(unsigned nodes) {
+  ClusterConfig config = ClusterConfig::supermic(nodes, 4096.0);
+  config.min_overlap = 55;
+  config.machine.host_memory_bytes = 1 << 19;
+  config.machine.device_memory_bytes = 1 << 16;
+  return config;
+}
+
+TEST(Cluster, MatchesSingleNodeAssembly) {
+  const Dataset d = make_dataset();
+
+  // Single-node reference.
+  core::AssemblyConfig single;
+  single.min_overlap = 55;
+  single.machine.host_memory_bytes = 1 << 19;
+  single.machine.device_memory_bytes = 1 << 16;
+  core::Assembler assembler(single);
+  const auto reference =
+      assembler.run(d.dir.file("reads.fq"), d.dir.file("single.fa"));
+
+  for (const unsigned nodes : {1u, 3u}) {
+    const DistributedResult dist = run_distributed(
+        d.dir.file("reads.fq"),
+        d.dir.file("dist" + std::to_string(nodes) + ".fa"),
+        small_cluster(nodes));
+    EXPECT_EQ(dist.read_count, reference.read_count);
+    EXPECT_EQ(dist.candidate_edges, reference.candidate_edges)
+        << nodes << " nodes";
+    if (nodes == 1) {
+      // With one node the record order matches the single-node pipeline
+      // exactly, so the greedy graph and contigs are identical.
+      EXPECT_EQ(dist.accepted_edges, reference.accepted_edges);
+      EXPECT_EQ(dist.contigs.total_bases, reference.contigs.total_bases);
+      EXPECT_EQ(dist.contigs.n50, reference.contigs.n50);
+    } else {
+      // Across nodes only the tie-breaking order among equal fingerprints
+      // can differ, so the graph agrees up to conflicting duplicates.
+      EXPECT_NEAR(static_cast<double>(dist.accepted_edges),
+                  static_cast<double>(reference.accepted_edges),
+                  0.02 * reference.accepted_edges + 2);
+      EXPECT_NEAR(static_cast<double>(dist.contigs.total_bases),
+                  static_cast<double>(reference.contigs.total_bases),
+                  0.05 * reference.contigs.total_bases + 10);
+    }
+  }
+}
+
+TEST(Cluster, ContigsAreGenomeSubstrings) {
+  const Dataset d = make_dataset(4000, 20.0, 80);
+  ClusterConfig config = small_cluster(4);
+  config.min_overlap = 50;
+  const DistributedResult result = run_distributed(
+      d.dir.file("reads.fq"), d.dir.file("contigs.fa"), config);
+  const auto contigs = io::read_sequence_file(d.dir.file("contigs.fa"));
+  ASSERT_GT(contigs.size(), 0u);
+  for (const auto& c : contigs) {
+    EXPECT_TRUE(d.genome.find(c.bases) != std::string::npos ||
+                d.genome.find(seq::reverse_complement(c.bases)) !=
+                    std::string::npos);
+  }
+}
+
+TEST(Cluster, PhasesRecorded) {
+  const Dataset d = make_dataset(3000, 12.0, 80);
+  ClusterConfig config = small_cluster(2);
+  config.min_overlap = 50;
+  const DistributedResult result = run_distributed(
+      d.dir.file("reads.fq"), d.dir.file("contigs.fa"), config);
+  for (const char* phase :
+       {"map", "shuffle", "sort", "reduce", "compress"}) {
+    EXPECT_TRUE(result.stats.has_phase(phase)) << phase;
+    EXPECT_GT(result.stats.phase(phase).modeled_seconds, 0.0) << phase;
+  }
+  ASSERT_EQ(result.per_node.size(), 5u);
+  EXPECT_EQ(result.per_node[0].size(), 2u);
+}
+
+TEST(Cluster, ShuffleMovesBytesOnlyWithMultipleNodes) {
+  const Dataset d = make_dataset(3000, 12.0, 80);
+  const auto one = run_distributed(d.dir.file("reads.fq"),
+                                   d.dir.file("c1.fa"), small_cluster(1));
+  const auto four = run_distributed(d.dir.file("reads.fq"),
+                                    d.dir.file("c4.fa"), small_cluster(4));
+  EXPECT_EQ(one.shuffle_bytes, 0u);
+  EXPECT_GT(four.shuffle_bytes, 0u);
+}
+
+TEST(Cluster, ModeledSortTimeScalesDown) {
+  // The paper's core distributed claim: more nodes -> more aggregate I/O
+  // bandwidth -> faster map and sort phases.
+  const Dataset d = make_dataset(8000, 20.0, 90);
+  const auto n1 = run_distributed(d.dir.file("reads.fq"),
+                                  d.dir.file("s1.fa"), small_cluster(1));
+  const auto n4 = run_distributed(d.dir.file("reads.fq"),
+                                  d.dir.file("s4.fa"), small_cluster(4));
+  EXPECT_LT(n4.stats.phase("sort").modeled_seconds,
+            n1.stats.phase("sort").modeled_seconds);
+  EXPECT_LT(n4.stats.phase("map").modeled_seconds,
+            n1.stats.phase("map").modeled_seconds);
+  // Total time improves despite the added shuffle.
+  EXPECT_LT(n4.stats.total_modeled_seconds(),
+            n1.stats.total_modeled_seconds());
+}
+
+}  // namespace
+}  // namespace lasagna::dist

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "io/tempdir.hpp"
+#include "seq/dna.hpp"
+#include "seq/evaluate.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna::seq {
+namespace {
+
+TEST(Evaluate, PerfectAssemblyScoresFullMarks) {
+  const std::string genome = random_genome(5000, 40);
+  EvaluationConfig config;
+  config.window = 100;
+  config.stride = 10;
+  const auto eval = evaluate_assembly(genome, {genome}, config);
+  EXPECT_EQ(eval.contigs, 1u);
+  EXPECT_DOUBLE_EQ(eval.genome_fraction, 1.0);
+  EXPECT_EQ(eval.exact_contigs, 1u);
+  EXPECT_EQ(eval.misassembled, 0u);
+  EXPECT_NEAR(eval.duplication_ratio, 1.0, 0.01);
+  EXPECT_EQ(eval.n50, genome.size());
+}
+
+TEST(Evaluate, ReverseComplementContigCounts) {
+  const std::string genome = random_genome(2000, 41);
+  const auto eval = evaluate_assembly(
+      genome, {reverse_complement(genome.substr(200, 800))});
+  EXPECT_EQ(eval.exact_contigs, 1u);
+  EXPECT_GT(eval.genome_fraction, 0.3);
+}
+
+TEST(Evaluate, HalfCoverageMeasured) {
+  const std::string genome = random_genome(10000, 42);
+  EvaluationConfig config;
+  config.stride = 10;
+  const auto eval =
+      evaluate_assembly(genome, {genome.substr(0, 5000)}, config);
+  EXPECT_NEAR(eval.genome_fraction, 0.5, 0.03);
+}
+
+TEST(Evaluate, MismatchContigClassified) {
+  std::string genome = random_genome(4000, 43);
+  std::string contig = genome.substr(500, 1000);
+  contig[500] = complement(contig[500]);  // one error in the middle
+  const auto eval = evaluate_assembly(genome, {contig});
+  EXPECT_EQ(eval.exact_contigs, 0u);
+  EXPECT_EQ(eval.mismatch_contigs, 1u);
+  EXPECT_EQ(eval.misassembled, 0u);
+}
+
+TEST(Evaluate, ChimericContigFlaggedAsMisassembly) {
+  const std::string genome = random_genome(4000, 44);
+  // Join two distant regions — a junction no read supports.
+  const std::string chimera =
+      genome.substr(100, 600) + genome.substr(3000, 600);
+  const auto eval = evaluate_assembly(genome, {chimera});
+  EXPECT_EQ(eval.exact_contigs, 0u);
+  EXPECT_EQ(eval.misassembled, 1u);
+}
+
+TEST(Evaluate, MinContigFilter) {
+  const std::string genome = random_genome(3000, 45);
+  EvaluationConfig config;
+  config.min_contig = 500;
+  const auto eval = evaluate_assembly(
+      genome, {genome.substr(0, 1000), genome.substr(0, 100)}, config);
+  EXPECT_EQ(eval.contigs, 1u);
+}
+
+TEST(Evaluate, DuplicationDetected) {
+  const std::string genome = random_genome(3000, 46);
+  const std::string piece = genome.substr(0, 1500);
+  const auto eval = evaluate_assembly(genome, {piece, piece});
+  EXPECT_NEAR(eval.duplication_ratio, 2.0, 0.15);
+}
+
+TEST(Evaluate, EndToEndPipelineQuality) {
+  // The full-system quality gate: error-free 25x assembly must cover
+  // nearly the whole genome with zero misassemblies.
+  io::ScopedTempDir dir("lasagna-eval");
+  const std::string genome = random_genome(20000, 47);
+  SequencingSpec spec;
+  spec.read_length = 100;
+  spec.coverage = 25.0;
+  spec.seed = 48;
+  simulate_to_fastq(genome, spec, dir.file("reads.fq"));
+
+  core::AssemblyConfig config;
+  config.min_overlap = 63;
+  core::Assembler assembler(config);
+  (void)assembler.run(dir.file("reads.fq"), dir.file("contigs.fa"));
+
+  const auto eval = evaluate_assembly_file(
+      genome, dir.file("contigs.fa").string());
+  EXPECT_GT(eval.genome_fraction, 0.95);
+  EXPECT_EQ(eval.misassembled, 0u);
+  EXPECT_EQ(eval.mismatch_contigs, 0u) << "reads were error-free";
+}
+
+}  // namespace
+}  // namespace lasagna::seq

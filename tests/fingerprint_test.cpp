@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "fingerprint/kernels.hpp"
+#include "fingerprint/rabin_karp.hpp"
+#include "gpu/device.hpp"
+#include "seq/dna.hpp"
+#include "seq/genome.hpp"
+#include "util/modmath.hpp"
+
+namespace lasagna::fingerprint {
+namespace {
+
+gpu::Device test_device() {
+  return gpu::Device(gpu::GpuProfile::k40(), 64ull << 20);
+}
+
+/// Brute-force hash for cross-checking: sum of code * radix^(n-1-i) mod q.
+std::uint64_t naive_hash(std::string_view s, const HashParams& p) {
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto code =
+        static_cast<std::uint64_t>(seq::encode_base(s[i]));
+    h = util::addmod(
+        h,
+        util::mulmod(code, util::powmod(p.radix, s.size() - 1 - i, p.modulus),
+                     p.modulus),
+        p.modulus);
+  }
+  return h;
+}
+
+TEST(RabinKarp, PaperWorkedExample) {
+  // Fig 5: read GATACCAGTA, radix 4, prime 13 -> prefixes G=3, GA=12, GAT=11.
+  // (The paper encodes G=3 in its example ordering; ours encodes A=0 C=1 G=2
+  // T=3, so we verify against the naive hash rather than the figure's
+  // literal digits, plus the figure's *structure*: prefix i has length i+1.)
+  const HashParams p{4, 13};
+  const std::string read = "GATACCAGTA";
+  const auto prefixes = prefix_hashes(read, p);
+  ASSERT_EQ(prefixes.size(), read.size());
+  for (std::size_t i = 0; i < read.size(); ++i) {
+    EXPECT_EQ(prefixes[i], naive_hash(read.substr(0, i + 1), p)) << i;
+  }
+  const auto suffixes = suffix_hashes(read, p);
+  for (std::size_t i = 0; i < read.size(); ++i) {
+    EXPECT_EQ(suffixes[i], naive_hash(read.substr(i), p)) << i;
+  }
+  // Fig 6 invariant: suffix starting at 0 is the whole-string hash.
+  EXPECT_EQ(suffixes[0], prefixes.back());
+}
+
+TEST(RabinKarp, HashMatchesNaiveOnRandomStrings) {
+  const HashParams p = FingerprintConfig::standard().primary;
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string s = seq::random_genome(1 + rng() % 200, rng());
+    EXPECT_EQ(hash_sequence(s, p), naive_hash(s, p));
+  }
+}
+
+TEST(RabinKarp, EqualStringsEqualFingerprints) {
+  const auto cfg = FingerprintConfig::standard();
+  const std::string s = "ACGGTTACGGTA";
+  EXPECT_EQ(fingerprint(s, cfg), fingerprint(std::string(s), cfg));
+  EXPECT_NE(fingerprint(s, cfg), fingerprint("ACGGTTACGGTT", cfg));
+}
+
+TEST(RabinKarp, SuffixPrefixMatchDetection) {
+  // The core overlap property: l-suffix of A equals l-prefix of B iff the
+  // fingerprints match (no false negatives ever; collisions negligible).
+  const auto cfg = FingerprintConfig::standard();
+  const std::string a = "ACGTTGCAGG";
+  const std::string b = "GCAGGTTTTT";  // shares the 5-mer GCAGG
+  const auto sa = suffix_hashes(a, cfg.primary);
+  const auto pb = prefix_hashes(b, cfg.primary);
+  EXPECT_EQ(sa[a.size() - 5], pb[4]);  // match at l = 5
+  EXPECT_NE(sa[a.size() - 6], pb[5]);  // no match at l = 6
+}
+
+TEST(RabinKarp, RandomizedConfigDrawsDistinctPrimes) {
+  const auto cfg1 = FingerprintConfig::randomized(1);
+  const auto cfg2 = FingerprintConfig::randomized(2);
+  EXPECT_NE(cfg1.primary.modulus, cfg2.primary.modulus);
+  EXPECT_NE(cfg1.primary.modulus, cfg1.secondary.modulus);
+}
+
+TEST(PlaceTable, PowersOfRadix) {
+  const auto cfg = FingerprintConfig::standard();
+  const PlaceTable places(cfg, 64);
+  EXPECT_EQ(places.primary(0), 1u);
+  EXPECT_EQ(places.primary(1), cfg.primary.radix);
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(places.primary(i),
+              util::powmod(cfg.primary.radix, i, cfg.primary.modulus));
+    EXPECT_EQ(places.secondary(i),
+              util::powmod(cfg.secondary.radix, i, cfg.secondary.modulus));
+  }
+}
+
+class KernelStrategies : public ::testing::TestWithParam<KernelStrategy> {};
+
+TEST_P(KernelStrategies, MatchesHostReference) {
+  gpu::Device dev = test_device();
+  const auto cfg = FingerprintConfig::standard();
+  const PlaceTable places(cfg, 256);
+
+  std::vector<std::string> reads;
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 40; ++i) {
+    reads.push_back(seq::random_genome(100, rng()));
+  }
+
+  const BatchFingerprints fps =
+      compute_batch_fingerprints(dev, reads, places, GetParam());
+  ASSERT_EQ(fps.stride, 100u);
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    const auto pa = prefix_hashes(reads[r], cfg.primary);
+    const auto pb = prefix_hashes(reads[r], cfg.secondary);
+    const auto sa = suffix_hashes(reads[r], cfg.primary);
+    const auto sb = suffix_hashes(reads[r], cfg.secondary);
+    for (std::size_t i = 0; i < reads[r].size(); ++i) {
+      EXPECT_EQ(fps.prefix[r * fps.stride + i].hi, pa[i])
+          << "read " << r << " prefix " << i;
+      EXPECT_EQ(fps.prefix[r * fps.stride + i].lo, pb[i]);
+      EXPECT_EQ(fps.suffix[r * fps.stride + i].hi, sa[i])
+          << "read " << r << " suffix " << i;
+      EXPECT_EQ(fps.suffix[r * fps.stride + i].lo, sb[i]);
+    }
+  }
+}
+
+TEST_P(KernelStrategies, HandlesNonPowerOfTwoAndMixedLengths) {
+  gpu::Device dev = test_device();
+  const PlaceTable places(FingerprintConfig::standard(), 256);
+  const std::vector<std::string> reads{"ACGTACG",       // 7 (non-pow2)
+                                       "A",             // minimal
+                                       "ACGTACGTACGTA", // 13
+                                       "AC"};
+  const BatchFingerprints fps =
+      compute_batch_fingerprints(dev, reads, places, GetParam());
+  const auto cfg = FingerprintConfig::standard();
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    const auto pa = prefix_hashes(reads[r], cfg.primary);
+    const auto sa = suffix_hashes(reads[r], cfg.primary);
+    for (std::size_t i = 0; i < reads[r].size(); ++i) {
+      ASSERT_EQ(fps.prefix[r * fps.stride + i].hi, pa[i]);
+      ASSERT_EQ(fps.suffix[r * fps.stride + i].hi, sa[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, KernelStrategies,
+                         ::testing::Values(KernelStrategy::kBlockPerRead,
+                                           KernelStrategy::kThreadPerRead),
+                         [](const auto& info) {
+                           return info.param == KernelStrategy::kBlockPerRead
+                                      ? "BlockPerRead"
+                                      : "ThreadPerRead";
+                         });
+
+TEST(Kernels, EmptyBatchReturnsEmpty) {
+  gpu::Device dev = test_device();
+  const PlaceTable places(FingerprintConfig::standard(), 256);
+  const BatchFingerprints fps = compute_batch_fingerprints(
+      dev, std::span<const std::string>{}, places);
+  EXPECT_EQ(fps.prefix.size(), 0u);
+}
+
+TEST(Kernels, ReadLongerThanPlaceTableThrows) {
+  gpu::Device dev = test_device();
+  const PlaceTable places(FingerprintConfig::standard(), 8);
+  const std::vector<std::string> reads{"ACGTACGTAC"};
+  EXPECT_THROW(compute_batch_fingerprints(dev, reads, places),
+               std::invalid_argument);
+}
+
+TEST(Kernels, ThreadPerReadCostsMoreModeledTime) {
+  // The ablation the paper motivates in III-A: the naive kernel suffers
+  // uncoalesced access and must be slower in the cost model.
+  const PlaceTable places(FingerprintConfig::standard(), 256);
+  std::vector<std::string> reads(64, seq::random_genome(128, 3));
+
+  gpu::Device dev_block = test_device();
+  (void)compute_batch_fingerprints(dev_block, reads, places,
+                                   KernelStrategy::kBlockPerRead);
+  gpu::Device dev_thread = test_device();
+  (void)compute_batch_fingerprints(dev_thread, reads, places,
+                                   KernelStrategy::kThreadPerRead);
+  EXPECT_GT(dev_thread.modeled_seconds(), dev_block.modeled_seconds());
+}
+
+TEST(Fingerprints, CollisionRateMatchesWeakModulus) {
+  // Property behind the paper's 128-bit choice: with a tiny modulus,
+  // distinct strings collide; with the standard config they do not
+  // (on a corpus far below the birthday bound of 2^122).
+  const auto weak = FingerprintConfig::weak(251, 257);
+  const auto strong = FingerprintConfig::standard();
+  std::mt19937_64 rng(23);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> weak_seen;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> strong_seen;
+  std::uint64_t weak_collisions = 0;
+  std::uint64_t strong_collisions = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string s = seq::random_genome(50, rng());
+    const auto fw = fingerprint(s, weak);
+    const auto fs = fingerprint(s, strong);
+    auto [wit, winserted] = weak_seen.emplace(std::pair{fw.hi, fw.lo}, s);
+    if (!winserted && wit->second != s) ++weak_collisions;
+    auto [sit, sinserted] = strong_seen.emplace(std::pair{fs.hi, fs.lo}, s);
+    if (!sinserted && sit->second != s) ++strong_collisions;
+  }
+  EXPECT_GT(weak_collisions, 0u);
+  EXPECT_EQ(strong_collisions, 0u);
+}
+
+}  // namespace
+}  // namespace lasagna::fingerprint

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "graph/gfa.hpp"
+#include "graph/string_graph.hpp"
+
+namespace lasagna::graph {
+namespace {
+
+std::uint32_t fixed_len(ReadId) { return 100; }
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Gfa, HeaderSegmentsAndLinks) {
+  StringGraph g(3);
+  ASSERT_TRUE(g.try_add_edge(forward_vertex(0), forward_vertex(1), 60));
+  ASSERT_TRUE(g.try_add_edge(forward_vertex(1), reverse_vertex(2), 40));
+
+  std::ostringstream out;
+  GfaOptions options;
+  options.read_length = fixed_len;
+  write_gfa(out, g, options);
+  const auto lines = lines_of(out.str());
+
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], "H\tVN:Z:1.0");
+  std::size_t segments = 0;
+  std::size_t links = 0;
+  for (const auto& line : lines) {
+    segments += line.rfind("S\t", 0) == 0;
+    links += line.rfind("L\t", 0) == 0;
+  }
+  EXPECT_EQ(segments, 3u);
+  // Two edge pairs -> two canonical links.
+  EXPECT_EQ(links, 2u);
+  EXPECT_NE(out.str().find("L\tread0\t+\tread1\t+\t60M"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("L\tread1\t+\tread2\t-\t40M"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("S\tread0\t*\tLN:i:100"), std::string::npos);
+}
+
+TEST(Gfa, SequencesInsteadOfLengths) {
+  StringGraph g(2);
+  ASSERT_TRUE(g.try_add_edge(forward_vertex(0), forward_vertex(1), 3));
+  std::ostringstream out;
+  GfaOptions options;
+  options.read_sequence = [](ReadId r) {
+    return r == 0 ? std::string("ACGTA") : std::string("GTACC");
+  };
+  write_gfa(out, g, options);
+  EXPECT_NE(out.str().find("S\tread0\tACGTA"), std::string::npos);
+  EXPECT_NE(out.str().find("S\tread1\tGTACC"), std::string::npos);
+}
+
+TEST(Gfa, SkipIsolatedSegments) {
+  StringGraph g(5);
+  ASSERT_TRUE(g.try_add_edge(forward_vertex(0), forward_vertex(1), 60));
+  std::ostringstream out;
+  GfaOptions options;
+  options.read_length = fixed_len;
+  options.skip_isolated_segments = true;
+  write_gfa(out, g, options);
+  std::size_t segments = 0;
+  for (const auto& line : lines_of(out.str())) {
+    segments += line.rfind("S\t", 0) == 0;
+  }
+  EXPECT_EQ(segments, 2u);
+}
+
+TEST(Gfa, RequiresLengthOrSequenceProvider) {
+  StringGraph g(1);
+  std::ostringstream out;
+  EXPECT_THROW(write_gfa(out, g, GfaOptions{}), std::invalid_argument);
+}
+
+TEST(Gfa, EveryEdgePairEmittedExactlyOnce) {
+  std::mt19937_64 rng(3);
+  StringGraph g(50);
+  for (int i = 0; i < 500; ++i) {
+    g.try_add_edge(rng() % 100, rng() % 100, 30 + rng() % 50);
+  }
+  std::ostringstream out;
+  GfaOptions options;
+  options.read_length = fixed_len;
+  write_gfa(out, g, options);
+  std::size_t links = 0;
+  for (const auto& line : lines_of(out.str())) {
+    links += line.rfind("L\t", 0) == 0;
+  }
+  EXPECT_EQ(links, g.edge_count() / 2);
+}
+
+}  // namespace
+}  // namespace lasagna::graph

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "gpu/device.hpp"
+#include "gpu/key128.hpp"
+#include "gpu/primitives.hpp"
+#include "gpu/profile.hpp"
+
+namespace lasagna::gpu {
+namespace {
+
+Device small_device(std::uint64_t capacity = 64ull << 20) {
+  return Device(GpuProfile::k40(), capacity);
+}
+
+std::vector<Key128> random_keys(std::size_t n, std::uint64_t seed,
+                                std::uint64_t key_space = UINT64_MAX) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> dist(0, key_space);
+  std::vector<Key128> keys(n);
+  for (auto& k : keys) k = Key128{dist(rng), dist(rng)};
+  return keys;
+}
+
+TEST(Key128, OrderingIsLexicographic) {
+  EXPECT_LT((Key128{0, 5}), (Key128{1, 0}));
+  EXPECT_LT((Key128{1, 0}), (Key128{1, 1}));
+  EXPECT_EQ((Key128{2, 3}), (Key128{2, 3}));
+}
+
+TEST(Key128, DigitsReconstructKey) {
+  const Key128 k{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  for (unsigned b = 0; b < 8; ++b) {
+    lo |= static_cast<std::uint64_t>(k.digit(b)) << (8 * b);
+  }
+  for (unsigned b = 8; b < 16; ++b) {
+    hi |= static_cast<std::uint64_t>(k.digit(b)) << (8 * (b - 8));
+  }
+  EXPECT_EQ(lo, k.lo);
+  EXPECT_EQ(hi, k.hi);
+}
+
+TEST(Device, EnforcesCapacity) {
+  Device dev = small_device(1024);
+  auto a = dev.alloc<std::uint64_t>(64);  // 512 bytes
+  EXPECT_EQ(dev.memory().current(), 512u);
+  EXPECT_THROW((void)dev.alloc<std::uint64_t>(128),
+               util::MemoryTracker::CapacityError);
+  a.reset();
+  EXPECT_EQ(dev.memory().current(), 0u);
+  auto b = dev.alloc<std::uint64_t>(128);  // fits now
+  EXPECT_EQ(b.size(), 128u);
+}
+
+TEST(Device, MaxElementsMatchesFreeCapacity) {
+  Device dev = small_device(1000);
+  EXPECT_EQ(dev.max_elements<std::uint64_t>(), 125u);
+  auto a = dev.alloc<std::uint64_t>(100);
+  EXPECT_EQ(dev.max_elements<std::uint64_t>(), 25u);
+}
+
+TEST(Device, TransfersAdvanceModeledClockAndCounter) {
+  Device dev = small_device();
+  const double before = dev.modeled_seconds();
+  std::vector<std::uint64_t> host(1 << 16, 42);
+  auto buf = dev.alloc<std::uint64_t>(host.size());
+  dev.copy_to_device(std::span<const std::uint64_t>(host), buf.span());
+  EXPECT_GT(dev.modeled_seconds(), before);
+  EXPECT_EQ(dev.transferred_bytes(), host.size() * 8);
+}
+
+TEST(Device, LaunchRunsEveryBlockWithPrivateSharedMemory) {
+  Device dev = small_device();
+  constexpr unsigned kBlocks = 37;
+  constexpr unsigned kThreads = 19;
+  std::vector<std::uint64_t> sums(kBlocks, 0);
+  dev.launch(kBlocks, kThreads, kThreads * 8, [&](BlockContext& ctx) {
+    auto shared = ctx.shared_as<std::uint64_t>(kThreads);
+    ctx.for_each_thread([&](unsigned tid) { shared[tid] = tid; });
+    ctx.for_each_thread([&](unsigned tid) {
+      if (tid == 0) {
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i < kThreads; ++i) total += shared[i];
+        sums[ctx.block_idx()] = total + ctx.block_idx();
+      }
+    });
+  });
+  for (unsigned b = 0; b < kBlocks; ++b) {
+    EXPECT_EQ(sums[b], kThreads * (kThreads - 1) / 2 + b);
+  }
+}
+
+TEST(BlockContext, SharedOverflowThrows) {
+  Device dev = small_device();
+  EXPECT_THROW(
+      dev.launch(1, 4, 8,
+                 [&](BlockContext& ctx) {
+                   (void)ctx.shared_as<std::uint64_t>(100);
+                 }),
+      std::logic_error);
+}
+
+TEST(Profiles, PaperSpecsOrdering) {
+  // Fig 9's explanation: P40 has more cores but less bandwidth than P100.
+  EXPECT_GT(GpuProfile::p40().cuda_cores, GpuProfile::p100().cuda_cores);
+  EXPECT_LT(GpuProfile::p40().mem_bandwidth_gbs,
+            GpuProfile::p100().mem_bandwidth_gbs);
+  // V100 is the fastest on both axes among the paper's GPUs.
+  EXPECT_GT(GpuProfile::v100().mem_bandwidth_gbs,
+            GpuProfile::p100().mem_bandwidth_gbs);
+  // Bandwidth-bound op: the cost model must rank P100 faster than P40.
+  const std::uint64_t bytes = 1ull << 30;
+  EXPECT_LT(GpuProfile::p100().kernel_seconds(bytes, bytes / 8),
+            GpuProfile::p40().kernel_seconds(bytes, bytes / 8));
+}
+
+TEST(SortPairs, MatchesStdSortOnRandomKeys) {
+  Device dev = small_device();
+  for (std::size_t n : {0ull, 1ull, 2ull, 100ull, 4097ull, 50000ull}) {
+    auto keys = random_keys(n, n + 1);
+    std::vector<std::uint32_t> vals(n);
+    std::iota(vals.begin(), vals.end(), 0u);
+
+    std::vector<std::pair<Key128, std::uint32_t>> expected;
+    for (std::size_t i = 0; i < n; ++i) expected.emplace_back(keys[i], i);
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+
+    sort_pairs<std::uint32_t>(dev, keys, vals);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(keys[i], expected[i].first) << "n=" << n << " i=" << i;
+      EXPECT_EQ(vals[i], expected[i].second) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SortPairs, StableForEqualKeys) {
+  Device dev = small_device();
+  // Narrow key space forces many duplicates.
+  auto keys = random_keys(20000, 7, 15);
+  for (auto& k : keys) k.hi = 0;
+  std::vector<std::uint32_t> vals(keys.size());
+  std::iota(vals.begin(), vals.end(), 0u);
+  sort_pairs<std::uint32_t>(dev, keys, vals);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LE(keys[i - 1], keys[i]);
+    if (keys[i - 1] == keys[i]) {
+      EXPECT_LT(vals[i - 1], vals[i]) << "stability violated at " << i;
+    }
+  }
+}
+
+TEST(SortPairs, RejectsMismatchedSizes) {
+  Device dev = small_device();
+  std::vector<Key128> keys(4);
+  std::vector<std::uint32_t> vals(3);
+  EXPECT_THROW(sort_pairs<std::uint32_t>(dev, keys, vals),
+               std::invalid_argument);
+}
+
+TEST(SortPairs, ChargesDeviceMemoryForDoubleBuffer) {
+  // Sorting n resident pairs needs another n pairs of double-buffer; a
+  // device sized for the input alone must throw.
+  Device dev(GpuProfile::k40(), 1000 * (16 + 8) + 100);
+  auto keys = dev.alloc<Key128>(1000);
+  auto vals = dev.alloc<std::uint64_t>(1000);
+  const auto host_keys = random_keys(1000, 3);
+  dev.copy_to_device(std::span<const Key128>(host_keys), keys.span());
+  EXPECT_THROW(sort_pairs<std::uint64_t>(dev, keys.span(), vals.span()),
+               util::MemoryTracker::CapacityError);
+}
+
+TEST(MergePairs, MergesAndKeepsStability) {
+  Device dev = small_device();
+  for (auto [na, nb] : {std::pair<std::size_t, std::size_t>{0, 10},
+                        {10, 0},
+                        {1000, 1},
+                        {1024, 4096},
+                        {3333, 2222}}) {
+    auto a = random_keys(na, na * 7 + 1, 500);
+    auto b = random_keys(nb, nb * 13 + 2, 500);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    // Values tag the source: a -> even, b -> odd.
+    std::vector<std::uint32_t> av(na);
+    std::vector<std::uint32_t> bv(nb);
+    for (std::size_t i = 0; i < na; ++i) av[i] = 2 * i;
+    for (std::size_t i = 0; i < nb; ++i) bv[i] = 2 * i + 1;
+
+    std::vector<Key128> out_k(na + nb);
+    std::vector<std::uint32_t> out_v(na + nb);
+    merge_pairs<std::uint32_t>(dev, a, av, b, bv, out_k, out_v);
+
+    ASSERT_TRUE(std::is_sorted(out_k.begin(), out_k.end()));
+    // Ties must take from `a` first: for equal keys, all even tags before
+    // odd tags within the run.
+    for (std::size_t i = 1; i < out_k.size(); ++i) {
+      if (out_k[i - 1] == out_k[i] && out_v[i - 1] % 2 == 1) {
+        EXPECT_EQ(out_v[i] % 2, 1u)
+            << "a-element after b-element in tie run at " << i;
+      }
+    }
+    // Multiset equality via counts.
+    std::vector<Key128> all(a);
+    all.insert(all.end(), b.begin(), b.end());
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(all, out_k);
+  }
+}
+
+TEST(Scans, InclusiveExclusive) {
+  Device dev = small_device();
+  std::vector<std::uint64_t> in{3, 1, 4, 1, 5};
+  std::vector<std::uint64_t> out(in.size());
+  EXPECT_EQ(exclusive_scan<std::uint64_t>(dev, in, out), 14u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+  EXPECT_EQ(inclusive_scan<std::uint64_t>(dev, in, out), 14u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{3, 4, 8, 9, 14}));
+}
+
+TEST(Scans, AliasingInput) {
+  Device dev = small_device();
+  std::vector<std::uint64_t> data{1, 2, 3, 4};
+  exclusive_scan<std::uint64_t>(dev, data, data);
+  EXPECT_EQ(data, (std::vector<std::uint64_t>{0, 1, 3, 6}));
+}
+
+TEST(VectorBounds, MatchStdAlgorithms) {
+  Device dev = small_device();
+  auto haystack = random_keys(5000, 11, 300);
+  std::sort(haystack.begin(), haystack.end());
+  auto needles = random_keys(1000, 13, 300);
+
+  std::vector<std::uint32_t> lower(needles.size());
+  std::vector<std::uint32_t> upper(needles.size());
+  vector_lower_bound(dev, needles, haystack, lower);
+  vector_upper_bound(dev, needles, haystack, upper);
+
+  for (std::size_t i = 0; i < needles.size(); ++i) {
+    const auto lb = std::lower_bound(haystack.begin(), haystack.end(),
+                                     needles[i]) -
+                    haystack.begin();
+    const auto ub = std::upper_bound(haystack.begin(), haystack.end(),
+                                     needles[i]) -
+                    haystack.begin();
+    ASSERT_EQ(lower[i], static_cast<std::uint32_t>(lb));
+    ASSERT_EQ(upper[i], static_cast<std::uint32_t>(ub));
+    // Occurrence count = upper - lower (Algorithm 2's C array).
+    ASSERT_EQ(upper[i] - lower[i],
+              std::count(haystack.begin(), haystack.end(), needles[i]));
+  }
+}
+
+TEST(VectorBounds, EmptyHaystack) {
+  Device dev = small_device();
+  auto needles = random_keys(10, 1);
+  std::vector<Key128> haystack;
+  std::vector<std::uint32_t> lower(needles.size(), 99);
+  vector_lower_bound(dev, needles, haystack, lower);
+  for (auto v : lower) EXPECT_EQ(v, 0u);
+}
+
+TEST(GatherScatter, RoundTrip) {
+  Device dev = small_device();
+  std::vector<std::uint64_t> src{10, 20, 30, 40, 50};
+  std::vector<std::uint32_t> perm{4, 2, 0, 3, 1};
+  std::vector<std::uint64_t> gathered(5);
+  gather<std::uint64_t, std::uint32_t>(dev, src, perm, gathered);
+  EXPECT_EQ(gathered, (std::vector<std::uint64_t>{50, 30, 10, 40, 20}));
+
+  std::vector<std::uint64_t> scattered(5);
+  scatter<std::uint64_t, std::uint32_t>(dev, gathered, perm, scattered);
+  EXPECT_EQ(scattered, src);
+}
+
+TEST(Reduce, Sum) {
+  Device dev = small_device();
+  std::vector<std::uint64_t> in(1000);
+  std::iota(in.begin(), in.end(), 1u);
+  EXPECT_EQ(reduce_sum<std::uint64_t>(dev, in), 500500u);
+}
+
+TEST(CostModel, KernelChargesScaleWithBytes) {
+  Device dev = small_device();
+  const double t0 = dev.modeled_seconds();
+  dev.charge_kernel(1ull << 30, 0);
+  const double t1 = dev.modeled_seconds();
+  dev.charge_kernel(2ull << 30, 0);
+  const double t2 = dev.modeled_seconds();
+  EXPECT_NEAR((t2 - t1) / (t1 - t0), 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace lasagna::gpu

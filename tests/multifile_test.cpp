@@ -1,0 +1,118 @@
+// Multi-file input: several FASTQ files must assemble identically to their
+// concatenation, with consecutive read ids across file boundaries.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/pipeline.hpp"
+#include "io/fastq.hpp"
+#include "io/tempdir.hpp"
+#include "seq/genome.hpp"
+#include "seq/read_store.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna::seq {
+namespace {
+
+TEST(MultiFile, BatchStreamSpansFiles) {
+  io::ScopedTempDir dir("lasagna-multi");
+  for (int f = 0; f < 3; ++f) {
+    std::vector<io::SequenceRecord> records;
+    for (int i = 0; i < 5; ++i) {
+      records.push_back({"f" + std::to_string(f) + "r" + std::to_string(i),
+                         "ACGTACGTAC", ""});
+    }
+    io::write_fastq_file(dir.file("part" + std::to_string(f) + ".fq"),
+                         records);
+  }
+
+  ReadBatchStream stream(
+      {dir.file("part0.fq"), dir.file("part1.fq"), dir.file("part2.fq")},
+      35);
+  ReadBatch batch;
+  std::uint32_t seen = 0;
+  while (stream.next(batch)) {
+    EXPECT_EQ(batch.first_id, seen);
+    seen += batch.size();
+  }
+  EXPECT_EQ(seen, 15u);
+}
+
+TEST(MultiFile, EmptyListThrows) {
+  EXPECT_THROW(ReadBatchStream(std::vector<std::filesystem::path>{}, 100),
+               std::invalid_argument);
+}
+
+TEST(MultiFile, EmptyMiddleFileIsSkipped) {
+  io::ScopedTempDir dir("lasagna-multi");
+  io::write_fastq_file(dir.file("a.fq"), {{"r0", "ACGT", ""}});
+  std::ofstream(dir.file("b.fq"));  // empty
+  io::write_fastq_file(dir.file("c.fq"), {{"r1", "TTTT", ""}});
+  ReadBatchStream stream({dir.file("a.fq"), dir.file("b.fq"),
+                          dir.file("c.fq")},
+                         100);
+  ReadBatch batch;
+  std::uint32_t seen = 0;
+  while (stream.next(batch)) seen += batch.size();
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(MultiFile, AssemblyMatchesConcatenatedSingleFile) {
+  io::ScopedTempDir dir("lasagna-multi");
+  const std::string genome = random_genome(6000, 61);
+  SequencingSpec spec;
+  spec.read_length = 90;
+  spec.coverage = 15.0;
+  spec.seed = 62;
+  simulate_to_fastq(genome, spec, dir.file("all.fq"));
+
+  // Split into three files.
+  const auto records = io::read_sequence_file(dir.file("all.fq"));
+  const std::size_t third = records.size() / 3;
+  io::write_fastq_file(
+      dir.file("p0.fq"),
+      {records.begin(), records.begin() + third});
+  io::write_fastq_file(
+      dir.file("p1.fq"),
+      {records.begin() + third, records.begin() + 2 * third});
+  io::write_fastq_file(dir.file("p2.fq"),
+                       {records.begin() + 2 * third, records.end()});
+
+  core::AssemblyConfig config;
+  config.min_overlap = 55;
+  core::Assembler a1(config);
+  const auto whole = a1.run(dir.file("all.fq"), dir.file("whole.fa"));
+  core::Assembler a2(config);
+  const auto split = a2.run(
+      {dir.file("p0.fq"), dir.file("p1.fq"), dir.file("p2.fq")},
+      dir.file("split.fa"));
+
+  EXPECT_EQ(split.read_count, whole.read_count);
+  EXPECT_EQ(split.tuples_emitted, whole.tuples_emitted);
+  EXPECT_EQ(split.candidate_edges, whole.candidate_edges);
+  EXPECT_EQ(split.accepted_edges, whole.accepted_edges);
+  EXPECT_EQ(split.contigs.total_bases, whole.contigs.total_bases);
+  EXPECT_EQ(split.contigs.n50, whole.contigs.n50);
+
+  // Byte-identical contig output.
+  const auto fasta_a = io::read_sequence_file(dir.file("whole.fa"));
+  const auto fasta_b = io::read_sequence_file(dir.file("split.fa"));
+  ASSERT_EQ(fasta_a.size(), fasta_b.size());
+  for (std::size_t i = 0; i < fasta_a.size(); ++i) {
+    EXPECT_EQ(fasta_a[i].bases, fasta_b[i].bases);
+  }
+}
+
+TEST(MultiFile, PackedReadsFromFiles) {
+  io::ScopedTempDir dir("lasagna-multi");
+  io::write_fastq_file(dir.file("a.fq"), {{"r0", "ACGT", ""}});
+  io::write_fastq_file(dir.file("b.fq"), {{"r1", "GGCC", ""}});
+  const auto store =
+      PackedReads::from_files({dir.file("a.fq"), dir.file("b.fq")});
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.decode(0), "ACGT");
+  EXPECT_EQ(store.decode(1), "GGCC");
+}
+
+}  // namespace
+}  // namespace lasagna::seq

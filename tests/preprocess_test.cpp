@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "io/fastq.hpp"
+#include "io/tempdir.hpp"
+#include "seq/preprocess.hpp"
+
+namespace lasagna::seq {
+namespace {
+
+TEST(QualityTrim, TrimsLowQualityEnds) {
+  std::string bases = "AACCGGTTAA";
+  std::string quality = "##IIIIII##";  // '#' (Q2) < '5' (Q20)
+  EXPECT_EQ(quality_trim(bases, quality, '5'), 4u);
+  EXPECT_EQ(bases, "CCGGTT");
+  EXPECT_EQ(quality, "IIIIII");
+}
+
+TEST(QualityTrim, KeepsInteriorLowQuality) {
+  std::string bases = "AACCGGTT";
+  std::string quality = "II#II#II";  // interior dips stay
+  EXPECT_EQ(quality_trim(bases, quality, '5'), 0u);
+  EXPECT_EQ(bases, "AACCGGTT");
+}
+
+TEST(QualityTrim, AllLowQualityTrimsToEmpty) {
+  std::string bases = "ACGT";
+  std::string quality = "####";
+  EXPECT_EQ(quality_trim(bases, quality, '5'), 4u);
+  EXPECT_TRUE(bases.empty());
+}
+
+TEST(QualityTrim, NoQualityNoTrim) {
+  std::string bases = "ACGT";
+  std::string quality;
+  EXPECT_EQ(quality_trim(bases, quality, '5'), 0u);
+  EXPECT_EQ(bases, "ACGT");
+}
+
+TEST(Preprocess, EndToEnd) {
+  io::ScopedTempDir dir("lasagna-pre");
+  std::vector<io::SequenceRecord> records{
+      // Good read, trimmed tail.
+      {"good", std::string(50, 'A') + "CGT", std::string(50, 'I') + "###"},
+      // Becomes too short after trimming.
+      {"short", "ACGTACGTAC", "##IIIIII##"},
+      // Too many Ns.
+      {"enns", std::string(30, 'N') + std::string(20, 'A'),
+       std::string(50, 'I')},
+      // A few Ns: kept, sanitized.
+      {"fewn", "ACGTNACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT",
+       std::string(45, 'I')},
+  };
+  io::write_fastq_file(dir.file("raw.fq"), records);
+
+  PreprocessConfig config;
+  config.min_length = 20;
+  const auto stats = preprocess_reads_file(dir.file("raw.fq"),
+                                           dir.file("clean.fq"), config);
+  EXPECT_EQ(stats.reads_in, 4u);
+  EXPECT_EQ(stats.reads_out, 2u);
+  EXPECT_EQ(stats.reads_trimmed, 2u);
+  EXPECT_EQ(stats.reads_dropped_short, 1u);
+  EXPECT_EQ(stats.reads_dropped_ambiguous, 1u);
+
+  const auto clean = io::read_sequence_file(dir.file("clean.fq"));
+  ASSERT_EQ(clean.size(), 2u);
+  EXPECT_EQ(clean[0].id, "good");
+  EXPECT_EQ(clean[0].bases, std::string(50, 'A'));
+  EXPECT_EQ(clean[1].id, "fewn");
+  EXPECT_EQ(clean[1].bases.find('N'), std::string::npos);
+  // Quality stays aligned with bases after trimming.
+  EXPECT_EQ(clean[0].quality.size(), clean[0].bases.size());
+}
+
+TEST(Preprocess, BaseAccounting) {
+  io::ScopedTempDir dir("lasagna-pre");
+  io::write_fastq_file(
+      dir.file("raw.fq"),
+      {{"r", std::string(60, 'C'), "##" + std::string(58, 'I')}});
+  PreprocessConfig config;
+  config.min_length = 10;
+  const auto stats = preprocess_reads_file(dir.file("raw.fq"),
+                                           dir.file("clean.fq"), config);
+  EXPECT_EQ(stats.bases_in, 60u);
+  EXPECT_EQ(stats.bases_out, 58u);
+}
+
+}  // namespace
+}  // namespace lasagna::seq

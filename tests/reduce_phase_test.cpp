@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/reduce_phase.hpp"
+#include "fingerprint/rabin_karp.hpp"
+#include "io/record_stream.hpp"
+#include "test_workspace.hpp"
+
+namespace lasagna::core {
+namespace {
+
+using lasagna::testing::TestWorkspace;
+
+/// Build one sorted partition (suffix + prefix files) directly from records.
+SortedPartition make_partition(TestWorkspace& tw, unsigned length,
+                               std::vector<FpRecord> sfx,
+                               std::vector<FpRecord> pfx,
+                               const std::string& tag = "p") {
+  std::sort(sfx.begin(), sfx.end(), fp_less);
+  std::sort(pfx.begin(), pfx.end(), fp_less);
+  SortedPartition part;
+  part.length = length;
+  part.suffix_file = tw.dir().file(tag + "_sfx.bin");
+  part.prefix_file = tw.dir().file(tag + "_pfx.bin");
+  part.suffix_records = sfx.size();
+  part.prefix_records = pfx.size();
+  io::write_all_records<FpRecord>(part.suffix_file, sfx, tw.io());
+  io::write_all_records<FpRecord>(part.prefix_file, pfx, tw.io());
+  return part;
+}
+
+FpRecord rec(std::uint64_t key, graph::VertexId v) {
+  return FpRecord{gpu::Key128{key, key * 3 + 1}, v, 0};
+}
+
+TEST(ReducePartition, MatchesEqualFingerprints) {
+  TestWorkspace tw;
+  // Suffix of vertex 0 matches prefixes of vertices 2 and 4 (key 100);
+  // key 200 appears only as a suffix -> no match.
+  const auto part = make_partition(
+      tw, 50, {rec(100, graph::forward_vertex(0)), rec(200, 6)},
+      {rec(100, graph::forward_vertex(1)), rec(100, graph::forward_vertex(2)),
+       rec(300, graph::forward_vertex(3))});
+
+  graph::StringGraph g(8);
+  const auto stats = reduce_partition(tw.ws(), part, g, {});
+  EXPECT_EQ(stats.candidates, 2u);
+  EXPECT_EQ(stats.accepted, 1u);  // greedy: only one out-edge for vertex 0
+  const auto e = g.out_edge(graph::forward_vertex(0));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->overlap, 50u);
+}
+
+TEST(ReducePartition, StreamsAcrossManyWindows) {
+  // Tiny device -> tiny windows; correctness must be window-size invariant.
+  TestWorkspace tw(/*device_bytes=*/4096);
+  std::vector<FpRecord> sfx;
+  std::vector<FpRecord> pfx;
+  // 500 distinct fingerprints, each suffix i matching prefix of i+500.
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    sfx.push_back(rec(1000 + i, graph::forward_vertex(i)));
+    pfx.push_back(rec(1000 + i, graph::forward_vertex(i + 500)));
+  }
+  const auto part = make_partition(tw, 40, sfx, pfx);
+  graph::StringGraph g(1000);
+  const auto stats = reduce_partition(tw.ws(), part, g, {});
+  EXPECT_EQ(stats.candidates, 500u);
+  EXPECT_EQ(stats.accepted, 500u);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto e = g.out_edge(graph::forward_vertex(i));
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->dst, graph::forward_vertex(i + 500));
+  }
+}
+
+TEST(ReducePartition, OversizedDuplicateRunFallback) {
+  // One fingerprint repeated far beyond the device window on both sides:
+  // the run-drain fallback must still find all pairs (but greedy keeps 1).
+  TestWorkspace tw(/*device_bytes=*/4096);
+  std::vector<FpRecord> sfx;
+  std::vector<FpRecord> pfx;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    sfx.push_back(rec(777, graph::forward_vertex(i)));
+    pfx.push_back(rec(777, graph::forward_vertex(i + 2000)));
+  }
+  const auto part = make_partition(tw, 30, sfx, pfx);
+  graph::StringGraph g(4000);
+  const auto stats = reduce_partition(tw.ws(), part, g, {});
+  EXPECT_EQ(stats.candidates, 2000u * 2000u);
+  EXPECT_EQ(stats.accepted, 2000u);  // perfect matching under greedy
+}
+
+TEST(ReducePartition, EmptySidesShortCircuit) {
+  TestWorkspace tw;
+  const auto part =
+      make_partition(tw, 20, {rec(1, 0), rec(2, 2)}, {});
+  graph::StringGraph g(4);
+  const auto stats = reduce_partition(tw.ws(), part, g, {});
+  EXPECT_EQ(stats.candidates, 0u);
+}
+
+TEST(ReduceRun, DescendingLengthOrderWinsGreedy) {
+  // Vertex 0 can overlap vertex 2 with length 60 and vertex 4 with length
+  // 40; the reduce phase must offer the longer partition first so greedy
+  // keeps the 60-overlap.
+  TestWorkspace tw;
+  SortResult sorted;
+  sorted.partitions.push_back(make_partition(
+      tw, 40, {rec(5, graph::forward_vertex(0))},
+      {rec(5, graph::forward_vertex(2))}, "len40"));
+  sorted.partitions.push_back(make_partition(
+      tw, 60, {rec(9, graph::forward_vertex(0))},
+      {rec(9, graph::forward_vertex(1))}, "len60"));
+
+  const auto result = run_reduce_phase(tw.ws(), sorted, 4, {});
+  const auto e = result.graph->out_edge(graph::forward_vertex(0));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->overlap, 60u);
+  EXPECT_EQ(e->dst, graph::forward_vertex(1));
+}
+
+TEST(ReduceRun, VerifyModeCountsFalsePositives) {
+  // Force a fingerprint collision between unrelated strings by writing the
+  // records directly: suffix of read 0 and prefix of read 1 share a key but
+  // the actual sequences differ.
+  TestWorkspace tw;
+  seq::PackedReads reads;
+  reads.add("ACGTACGTAC");  // read 0
+  reads.add("GGGGGGGGGG");  // read 1: prefix != suffix of read 0
+  reads.add("GTACGTACGT");  // read 2: genuine 8-overlap? crafted below
+
+  SortResult sorted;
+  sorted.partitions.push_back(make_partition(
+      tw, 8,
+      {rec(42, graph::forward_vertex(0))},
+      {rec(42, graph::forward_vertex(1))}, "fake"));
+
+  ReduceOptions options;
+  options.verify_overlaps = true;
+  options.reads = &reads;
+  const auto result = run_reduce_phase(tw.ws(), sorted, 3, options);
+  EXPECT_EQ(result.candidate_edges, 1u);
+  EXPECT_EQ(result.false_positives, 1u);
+  EXPECT_EQ(result.accepted_edges, 0u);
+}
+
+TEST(ReduceRun, VerifyModeAcceptsRealOverlap) {
+  TestWorkspace tw;
+  seq::PackedReads reads;
+  reads.add("ACGTACGTAC");  // suffix(6) = CGTAC? no: GTACGTAC... see below
+  reads.add("GTACGTACGG");  // prefix(8) = GTACGTAC == suffix(8) of read 0
+
+  const auto cfg = fingerprint::FingerprintConfig::standard();
+  const std::string overlap = "GTACGTAC";
+  const auto fp = fingerprint::fingerprint(overlap, cfg);
+
+  SortResult sorted;
+  sorted.partitions.push_back(make_partition(
+      tw, 8,
+      {FpRecord{fp, graph::forward_vertex(0), 0}},
+      {FpRecord{fp, graph::forward_vertex(1), 0}}, "real"));
+
+  ReduceOptions options;
+  options.verify_overlaps = true;
+  options.reads = &reads;
+  const auto result = run_reduce_phase(tw.ws(), sorted, 2, options);
+  EXPECT_EQ(result.false_positives, 0u);
+  EXPECT_EQ(result.accepted_edges, 1u);
+}
+
+}  // namespace
+}  // namespace lasagna::core

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/sort_phase.hpp"
+#include "io/record_stream.hpp"
+#include "test_workspace.hpp"
+
+namespace lasagna::core {
+namespace {
+
+using lasagna::testing::TestWorkspace;
+
+std::vector<FpRecord> random_records(std::size_t n, std::uint64_t seed,
+                                     std::uint64_t key_space = UINT64_MAX) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> dist(0, key_space);
+  std::vector<FpRecord> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = FpRecord{gpu::Key128{dist(rng), dist(rng)},
+                      static_cast<std::uint32_t>(i), 0};
+  }
+  return out;
+}
+
+bool is_sorted_by_fp(std::span<const FpRecord> records) {
+  return std::is_sorted(records.begin(), records.end(), fp_less);
+}
+
+TEST(SortHostBlock, SortsAcrossDeviceChunks) {
+  TestWorkspace tw;
+  auto records = random_records(10000, 1);
+  // Force many device chunks.
+  sort_host_block(tw.ws(), records, 256);
+  EXPECT_TRUE(is_sorted_by_fp(records));
+}
+
+TEST(SortHostBlock, HandlesTinyAndEmptyBlocks) {
+  TestWorkspace tw;
+  std::vector<FpRecord> empty;
+  sort_host_block(tw.ws(), empty, 16);
+  auto one = random_records(1, 2);
+  sort_host_block(tw.ws(), one, 16);
+  auto two = random_records(2, 3);
+  sort_host_block(tw.ws(), two, 16);
+  EXPECT_TRUE(is_sorted_by_fp(two));
+}
+
+TEST(SortHostBlock, ManyDuplicateKeys) {
+  TestWorkspace tw;
+  auto records = random_records(5000, 4, 7);  // 8 distinct lo values
+  for (auto& r : records) r.fp.hi = 0;
+  sort_host_block(tw.ws(), records, 128);
+  EXPECT_TRUE(is_sorted_by_fp(records));
+}
+
+TEST(DeviceWindowedMerge, MergesTwoRuns) {
+  TestWorkspace tw;
+  auto a = random_records(3000, 5, 1000);
+  auto b = random_records(2000, 6, 1000);
+  std::sort(a.begin(), a.end(), fp_less);
+  std::sort(b.begin(), b.end(), fp_less);
+
+  std::vector<FpRecord> merged;
+  device_windowed_merge(tw.ws(), a, b, 128,
+                        [&merged](std::span<const FpRecord> part) {
+                          merged.insert(merged.end(), part.begin(),
+                                        part.end());
+                        });
+  ASSERT_EQ(merged.size(), a.size() + b.size());
+  EXPECT_TRUE(is_sorted_by_fp(merged));
+}
+
+TEST(DeviceWindowedMerge, DisjointRunsFastPath) {
+  TestWorkspace tw;
+  auto a = random_records(500, 7, 100);
+  auto b = random_records(500, 8, 100);
+  for (auto& r : a) r.fp.hi = 0;
+  for (auto& r : b) r.fp.hi = 1;  // strictly above all of a
+  std::sort(a.begin(), a.end(), fp_less);
+  std::sort(b.begin(), b.end(), fp_less);
+
+  std::vector<FpRecord> merged;
+  device_windowed_merge(tw.ws(), a, b, 64,
+                        [&merged](std::span<const FpRecord> part) {
+                          merged.insert(merged.end(), part.begin(),
+                                        part.end());
+                        });
+  EXPECT_TRUE(is_sorted_by_fp(merged));
+  EXPECT_EQ(merged.size(), 1000u);
+  EXPECT_EQ(merged.front().fp.hi, 0u);
+  EXPECT_EQ(merged.back().fp.hi, 1u);
+}
+
+class ExternalSort
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(ExternalSort, ProducesGloballySortedPermutation) {
+  const auto [n, host_block, device_block] = GetParam();
+  TestWorkspace tw;
+  auto records = random_records(n, n * 31 + 7, 5000);
+  io::write_all_records<FpRecord>(tw.dir().file("in.bin"), records, tw.io());
+
+  BlockGeometry geometry;
+  geometry.host_block_records = host_block;
+  geometry.device_block_records = device_block;
+  const SortFileStats stats = external_sort_file(
+      tw.ws(), tw.dir().file("in.bin"), tw.dir().file("out.bin"), geometry);
+
+  EXPECT_EQ(stats.records, n);
+  const auto sorted =
+      io::read_all_records<FpRecord>(tw.dir().file("out.bin"), tw.io());
+  ASSERT_EQ(sorted.size(), n);
+  EXPECT_TRUE(is_sorted_by_fp(sorted));
+
+  // Same multiset: compare against std::sort of the input (stable order of
+  // values within equal keys is not required across disk merges).
+  auto expected = records;
+  std::stable_sort(expected.begin(), expected.end(), fp_less);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sorted[i].fp, expected[i].fp) << i;
+  }
+
+  const unsigned expected_blocks =
+      static_cast<unsigned>((n + host_block - 1) / host_block);
+  EXPECT_EQ(stats.host_blocks, expected_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ExternalSort,
+    ::testing::Values(
+        std::tuple<std::size_t, std::uint64_t, std::uint64_t>{0, 64, 16},
+        std::tuple<std::size_t, std::uint64_t, std::uint64_t>{50, 64, 16},
+        std::tuple<std::size_t, std::uint64_t, std::uint64_t>{1000, 2000,
+                                                              128},
+        std::tuple<std::size_t, std::uint64_t, std::uint64_t>{5000, 512, 64},
+        std::tuple<std::size_t, std::uint64_t, std::uint64_t>{10000, 1000,
+                                                              100},
+        std::tuple<std::size_t, std::uint64_t, std::uint64_t>{4096, 4096,
+                                                              4096}));
+
+TEST(ExternalSortPasses, SinglePassWhenBlockFits) {
+  TestWorkspace tw;
+  auto records = random_records(1000, 9);
+  io::write_all_records<FpRecord>(tw.dir().file("in.bin"), records, tw.io());
+  BlockGeometry g{2000, 100};
+  const auto stats = external_sort_file(tw.ws(), tw.dir().file("in.bin"),
+                                        tw.dir().file("out.bin"), g);
+  EXPECT_EQ(stats.host_blocks, 1u);
+  EXPECT_EQ(stats.disk_passes, 1u);
+}
+
+TEST(ExternalSortPasses, LogPassesWhenBlocksDoNot) {
+  TestWorkspace tw;
+  auto records = random_records(1000, 10);
+  io::write_all_records<FpRecord>(tw.dir().file("in.bin"), records, tw.io());
+  BlockGeometry g{130, 32};  // 8 host blocks -> 3 merge generations
+  const auto stats = external_sort_file(tw.ws(), tw.dir().file("in.bin"),
+                                        tw.dir().file("out.bin"), g);
+  EXPECT_EQ(stats.host_blocks, 8u);
+  EXPECT_EQ(stats.disk_passes, 1u + 3u);
+}
+
+TEST(ExternalSortPasses, HybridReducesDiskTraffic) {
+  // The paper's central claim for the two-level model: with the same device
+  // block, a larger host block means fewer disk passes and less traffic.
+  auto run = [](std::uint64_t host_block) {
+    TestWorkspace tw;
+    auto records = random_records(8192, 11);
+    io::write_all_records<FpRecord>(tw.dir().file("in.bin"), records,
+                                    tw.io());
+    BlockGeometry g{host_block, 64};
+    (void)external_sort_file(tw.ws(), tw.dir().file("in.bin"),
+                             tw.dir().file("out.bin"), g);
+    return tw.io().bytes_read() + tw.io().bytes_written();
+  };
+  const auto small_host = run(128);   // m_h == 2 * m_d
+  const auto large_host = run(8192);  // single pass
+  EXPECT_GT(small_host, 2 * large_host);
+}
+
+}  // namespace
+}  // namespace lasagna::core

@@ -1,0 +1,38 @@
+// Shared fixture: a Workspace with a small simulated device, fresh host
+// tracker, private IoStats and a scoped temp directory.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "gpu/device.hpp"
+#include "io/tempdir.hpp"
+
+namespace lasagna::testing {
+
+class TestWorkspace {
+ public:
+  explicit TestWorkspace(std::uint64_t device_bytes = 1ull << 20)
+      : device_(gpu::GpuProfile::k40(), device_bytes),
+        host_("test-host"),
+        dir_("lasagna-test") {
+    ws_.device = &device_;
+    ws_.host = &host_;
+    ws_.io = &io_;
+    ws_.dir = dir_.path();
+  }
+
+  core::Workspace& ws() { return ws_; }
+  gpu::Device& device() { return device_; }
+  io::IoStats& io() { return io_; }
+  const io::ScopedTempDir& dir() const { return dir_; }
+
+ private:
+  gpu::Device device_;
+  util::MemoryTracker host_;
+  io::IoStats io_;
+  io::ScopedTempDir dir_;
+  core::Workspace ws_;
+};
+
+}  // namespace lasagna::testing
