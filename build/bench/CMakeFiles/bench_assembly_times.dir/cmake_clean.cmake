@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assembly_times.dir/bench_assembly_times.cpp.o"
+  "CMakeFiles/bench_assembly_times.dir/bench_assembly_times.cpp.o.d"
+  "bench_assembly_times"
+  "bench_assembly_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assembly_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correction.dir/bench_correction.cpp.o"
+  "CMakeFiles/bench_correction.dir/bench_correction.cpp.o.d"
+  "bench_correction"
+  "bench_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

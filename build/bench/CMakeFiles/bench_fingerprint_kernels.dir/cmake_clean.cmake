@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fingerprint_kernels.dir/bench_fingerprint_kernels.cpp.o"
+  "CMakeFiles/bench_fingerprint_kernels.dir/bench_fingerprint_kernels.cpp.o.d"
+  "bench_fingerprint_kernels"
+  "bench_fingerprint_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fingerprint_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

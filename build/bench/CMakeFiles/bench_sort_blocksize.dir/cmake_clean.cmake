@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_blocksize.dir/bench_sort_blocksize.cpp.o"
+  "CMakeFiles/bench_sort_blocksize.dir/bench_sort_blocksize.cpp.o.d"
+  "bench_sort_blocksize"
+  "bench_sort_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

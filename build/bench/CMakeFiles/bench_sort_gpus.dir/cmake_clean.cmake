@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_gpus.dir/bench_sort_gpus.cpp.o"
+  "CMakeFiles/bench_sort_gpus.dir/bench_sort_gpus.cpp.o.d"
+  "bench_sort_gpus"
+  "bench_sort_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

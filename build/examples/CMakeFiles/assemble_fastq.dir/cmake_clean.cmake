@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assemble_fastq.dir/assemble_fastq.cpp.o"
+  "CMakeFiles/assemble_fastq.dir/assemble_fastq.cpp.o.d"
+  "assemble_fastq"
+  "assemble_fastq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assemble_fastq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

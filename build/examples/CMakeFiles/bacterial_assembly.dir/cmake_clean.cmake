@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacterial_assembly.dir/bacterial_assembly.cpp.o"
+  "CMakeFiles/bacterial_assembly.dir/bacterial_assembly.cpp.o.d"
+  "bacterial_assembly"
+  "bacterial_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacterial_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

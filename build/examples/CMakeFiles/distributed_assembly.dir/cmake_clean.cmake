@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_assembly.dir/distributed_assembly.cpp.o"
+  "CMakeFiles/distributed_assembly.dir/distributed_assembly.cpp.o.d"
+  "distributed_assembly"
+  "distributed_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_reads.dir/simulate_reads.cpp.o"
+  "CMakeFiles/simulate_reads.dir/simulate_reads.cpp.o.d"
+  "simulate_reads"
+  "simulate_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/containment.cpp" "src/baseline/CMakeFiles/lasagna_baseline.dir/containment.cpp.o" "gcc" "src/baseline/CMakeFiles/lasagna_baseline.dir/containment.cpp.o.d"
+  "/root/repo/src/baseline/fm_index.cpp" "src/baseline/CMakeFiles/lasagna_baseline.dir/fm_index.cpp.o" "gcc" "src/baseline/CMakeFiles/lasagna_baseline.dir/fm_index.cpp.o.d"
+  "/root/repo/src/baseline/sga.cpp" "src/baseline/CMakeFiles/lasagna_baseline.dir/sga.cpp.o" "gcc" "src/baseline/CMakeFiles/lasagna_baseline.dir/sga.cpp.o.d"
+  "/root/repo/src/baseline/suffix_array.cpp" "src/baseline/CMakeFiles/lasagna_baseline.dir/suffix_array.cpp.o" "gcc" "src/baseline/CMakeFiles/lasagna_baseline.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lasagna_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lasagna_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/lasagna_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lasagna_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagna_baseline.dir/containment.cpp.o"
+  "CMakeFiles/lasagna_baseline.dir/containment.cpp.o.d"
+  "CMakeFiles/lasagna_baseline.dir/fm_index.cpp.o"
+  "CMakeFiles/lasagna_baseline.dir/fm_index.cpp.o.d"
+  "CMakeFiles/lasagna_baseline.dir/sga.cpp.o"
+  "CMakeFiles/lasagna_baseline.dir/sga.cpp.o.d"
+  "CMakeFiles/lasagna_baseline.dir/suffix_array.cpp.o"
+  "CMakeFiles/lasagna_baseline.dir/suffix_array.cpp.o.d"
+  "liblasagna_baseline.a"
+  "liblasagna_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagna_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagna_core.dir/compress_phase.cpp.o"
+  "CMakeFiles/lasagna_core.dir/compress_phase.cpp.o.d"
+  "CMakeFiles/lasagna_core.dir/map_phase.cpp.o"
+  "CMakeFiles/lasagna_core.dir/map_phase.cpp.o.d"
+  "CMakeFiles/lasagna_core.dir/pipeline.cpp.o"
+  "CMakeFiles/lasagna_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/lasagna_core.dir/reduce_phase.cpp.o"
+  "CMakeFiles/lasagna_core.dir/reduce_phase.cpp.o.d"
+  "CMakeFiles/lasagna_core.dir/sort_phase.cpp.o"
+  "CMakeFiles/lasagna_core.dir/sort_phase.cpp.o.d"
+  "liblasagna_core.a"
+  "liblasagna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

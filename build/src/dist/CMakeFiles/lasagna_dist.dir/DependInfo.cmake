@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/active_message.cpp" "src/dist/CMakeFiles/lasagna_dist.dir/active_message.cpp.o" "gcc" "src/dist/CMakeFiles/lasagna_dist.dir/active_message.cpp.o.d"
+  "/root/repo/src/dist/cluster.cpp" "src/dist/CMakeFiles/lasagna_dist.dir/cluster.cpp.o" "gcc" "src/dist/CMakeFiles/lasagna_dist.dir/cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lasagna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/lasagna_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/lasagna_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/lasagna_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lasagna_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lasagna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lasagna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

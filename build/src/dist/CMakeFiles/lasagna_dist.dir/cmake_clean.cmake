@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagna_dist.dir/active_message.cpp.o"
+  "CMakeFiles/lasagna_dist.dir/active_message.cpp.o.d"
+  "CMakeFiles/lasagna_dist.dir/cluster.cpp.o"
+  "CMakeFiles/lasagna_dist.dir/cluster.cpp.o.d"
+  "liblasagna_dist.a"
+  "liblasagna_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagna_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/kernels.cpp" "src/fingerprint/CMakeFiles/lasagna_fingerprint.dir/kernels.cpp.o" "gcc" "src/fingerprint/CMakeFiles/lasagna_fingerprint.dir/kernels.cpp.o.d"
+  "/root/repo/src/fingerprint/rabin_karp.cpp" "src/fingerprint/CMakeFiles/lasagna_fingerprint.dir/rabin_karp.cpp.o" "gcc" "src/fingerprint/CMakeFiles/lasagna_fingerprint.dir/rabin_karp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lasagna_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/lasagna_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/lasagna_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lasagna_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagna_fingerprint.dir/kernels.cpp.o"
+  "CMakeFiles/lasagna_fingerprint.dir/kernels.cpp.o.d"
+  "CMakeFiles/lasagna_fingerprint.dir/rabin_karp.cpp.o"
+  "CMakeFiles/lasagna_fingerprint.dir/rabin_karp.cpp.o.d"
+  "liblasagna_fingerprint.a"
+  "liblasagna_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagna_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagna_gpu.dir/device.cpp.o"
+  "CMakeFiles/lasagna_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/lasagna_gpu.dir/primitives.cpp.o"
+  "CMakeFiles/lasagna_gpu.dir/primitives.cpp.o.d"
+  "CMakeFiles/lasagna_gpu.dir/profile.cpp.o"
+  "CMakeFiles/lasagna_gpu.dir/profile.cpp.o.d"
+  "liblasagna_gpu.a"
+  "liblasagna_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagna_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

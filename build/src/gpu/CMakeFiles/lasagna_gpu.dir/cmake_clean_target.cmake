@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblasagna_gpu.a"
+)

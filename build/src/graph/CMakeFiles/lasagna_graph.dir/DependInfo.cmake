@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/gfa.cpp" "src/graph/CMakeFiles/lasagna_graph.dir/gfa.cpp.o" "gcc" "src/graph/CMakeFiles/lasagna_graph.dir/gfa.cpp.o.d"
+  "/root/repo/src/graph/string_graph.cpp" "src/graph/CMakeFiles/lasagna_graph.dir/string_graph.cpp.o" "gcc" "src/graph/CMakeFiles/lasagna_graph.dir/string_graph.cpp.o.d"
+  "/root/repo/src/graph/transitive.cpp" "src/graph/CMakeFiles/lasagna_graph.dir/transitive.cpp.o" "gcc" "src/graph/CMakeFiles/lasagna_graph.dir/transitive.cpp.o.d"
+  "/root/repo/src/graph/traverse.cpp" "src/graph/CMakeFiles/lasagna_graph.dir/traverse.cpp.o" "gcc" "src/graph/CMakeFiles/lasagna_graph.dir/traverse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lasagna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

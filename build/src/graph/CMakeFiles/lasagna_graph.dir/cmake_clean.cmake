@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagna_graph.dir/gfa.cpp.o"
+  "CMakeFiles/lasagna_graph.dir/gfa.cpp.o.d"
+  "CMakeFiles/lasagna_graph.dir/string_graph.cpp.o"
+  "CMakeFiles/lasagna_graph.dir/string_graph.cpp.o.d"
+  "CMakeFiles/lasagna_graph.dir/transitive.cpp.o"
+  "CMakeFiles/lasagna_graph.dir/transitive.cpp.o.d"
+  "CMakeFiles/lasagna_graph.dir/traverse.cpp.o"
+  "CMakeFiles/lasagna_graph.dir/traverse.cpp.o.d"
+  "liblasagna_graph.a"
+  "liblasagna_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagna_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/fastq.cpp" "src/io/CMakeFiles/lasagna_io.dir/fastq.cpp.o" "gcc" "src/io/CMakeFiles/lasagna_io.dir/fastq.cpp.o.d"
+  "/root/repo/src/io/file_stream.cpp" "src/io/CMakeFiles/lasagna_io.dir/file_stream.cpp.o" "gcc" "src/io/CMakeFiles/lasagna_io.dir/file_stream.cpp.o.d"
+  "/root/repo/src/io/io_stats.cpp" "src/io/CMakeFiles/lasagna_io.dir/io_stats.cpp.o" "gcc" "src/io/CMakeFiles/lasagna_io.dir/io_stats.cpp.o.d"
+  "/root/repo/src/io/tempdir.cpp" "src/io/CMakeFiles/lasagna_io.dir/tempdir.cpp.o" "gcc" "src/io/CMakeFiles/lasagna_io.dir/tempdir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lasagna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

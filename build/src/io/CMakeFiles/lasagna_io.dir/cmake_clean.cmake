@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagna_io.dir/fastq.cpp.o"
+  "CMakeFiles/lasagna_io.dir/fastq.cpp.o.d"
+  "CMakeFiles/lasagna_io.dir/file_stream.cpp.o"
+  "CMakeFiles/lasagna_io.dir/file_stream.cpp.o.d"
+  "CMakeFiles/lasagna_io.dir/io_stats.cpp.o"
+  "CMakeFiles/lasagna_io.dir/io_stats.cpp.o.d"
+  "CMakeFiles/lasagna_io.dir/tempdir.cpp.o"
+  "CMakeFiles/lasagna_io.dir/tempdir.cpp.o.d"
+  "liblasagna_io.a"
+  "liblasagna_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagna_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

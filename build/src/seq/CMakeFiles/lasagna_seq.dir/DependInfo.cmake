@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/correction.cpp" "src/seq/CMakeFiles/lasagna_seq.dir/correction.cpp.o" "gcc" "src/seq/CMakeFiles/lasagna_seq.dir/correction.cpp.o.d"
+  "/root/repo/src/seq/datasets.cpp" "src/seq/CMakeFiles/lasagna_seq.dir/datasets.cpp.o" "gcc" "src/seq/CMakeFiles/lasagna_seq.dir/datasets.cpp.o.d"
+  "/root/repo/src/seq/dna.cpp" "src/seq/CMakeFiles/lasagna_seq.dir/dna.cpp.o" "gcc" "src/seq/CMakeFiles/lasagna_seq.dir/dna.cpp.o.d"
+  "/root/repo/src/seq/evaluate.cpp" "src/seq/CMakeFiles/lasagna_seq.dir/evaluate.cpp.o" "gcc" "src/seq/CMakeFiles/lasagna_seq.dir/evaluate.cpp.o.d"
+  "/root/repo/src/seq/genome.cpp" "src/seq/CMakeFiles/lasagna_seq.dir/genome.cpp.o" "gcc" "src/seq/CMakeFiles/lasagna_seq.dir/genome.cpp.o.d"
+  "/root/repo/src/seq/preprocess.cpp" "src/seq/CMakeFiles/lasagna_seq.dir/preprocess.cpp.o" "gcc" "src/seq/CMakeFiles/lasagna_seq.dir/preprocess.cpp.o.d"
+  "/root/repo/src/seq/read_store.cpp" "src/seq/CMakeFiles/lasagna_seq.dir/read_store.cpp.o" "gcc" "src/seq/CMakeFiles/lasagna_seq.dir/read_store.cpp.o.d"
+  "/root/repo/src/seq/simulator.cpp" "src/seq/CMakeFiles/lasagna_seq.dir/simulator.cpp.o" "gcc" "src/seq/CMakeFiles/lasagna_seq.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lasagna_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lasagna_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

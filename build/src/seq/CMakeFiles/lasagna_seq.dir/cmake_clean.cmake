@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagna_seq.dir/correction.cpp.o"
+  "CMakeFiles/lasagna_seq.dir/correction.cpp.o.d"
+  "CMakeFiles/lasagna_seq.dir/datasets.cpp.o"
+  "CMakeFiles/lasagna_seq.dir/datasets.cpp.o.d"
+  "CMakeFiles/lasagna_seq.dir/dna.cpp.o"
+  "CMakeFiles/lasagna_seq.dir/dna.cpp.o.d"
+  "CMakeFiles/lasagna_seq.dir/evaluate.cpp.o"
+  "CMakeFiles/lasagna_seq.dir/evaluate.cpp.o.d"
+  "CMakeFiles/lasagna_seq.dir/genome.cpp.o"
+  "CMakeFiles/lasagna_seq.dir/genome.cpp.o.d"
+  "CMakeFiles/lasagna_seq.dir/preprocess.cpp.o"
+  "CMakeFiles/lasagna_seq.dir/preprocess.cpp.o.d"
+  "CMakeFiles/lasagna_seq.dir/read_store.cpp.o"
+  "CMakeFiles/lasagna_seq.dir/read_store.cpp.o.d"
+  "CMakeFiles/lasagna_seq.dir/simulator.cpp.o"
+  "CMakeFiles/lasagna_seq.dir/simulator.cpp.o.d"
+  "liblasagna_seq.a"
+  "liblasagna_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagna_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitvector.cpp" "src/util/CMakeFiles/lasagna_util.dir/bitvector.cpp.o" "gcc" "src/util/CMakeFiles/lasagna_util.dir/bitvector.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/lasagna_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/lasagna_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/memory_tracker.cpp" "src/util/CMakeFiles/lasagna_util.dir/memory_tracker.cpp.o" "gcc" "src/util/CMakeFiles/lasagna_util.dir/memory_tracker.cpp.o.d"
+  "/root/repo/src/util/prime.cpp" "src/util/CMakeFiles/lasagna_util.dir/prime.cpp.o" "gcc" "src/util/CMakeFiles/lasagna_util.dir/prime.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/lasagna_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/lasagna_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/lasagna_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/lasagna_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/util/CMakeFiles/lasagna_util.dir/timer.cpp.o" "gcc" "src/util/CMakeFiles/lasagna_util.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

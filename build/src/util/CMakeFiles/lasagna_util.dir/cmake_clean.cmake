@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagna_util.dir/bitvector.cpp.o"
+  "CMakeFiles/lasagna_util.dir/bitvector.cpp.o.d"
+  "CMakeFiles/lasagna_util.dir/logging.cpp.o"
+  "CMakeFiles/lasagna_util.dir/logging.cpp.o.d"
+  "CMakeFiles/lasagna_util.dir/memory_tracker.cpp.o"
+  "CMakeFiles/lasagna_util.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/lasagna_util.dir/prime.cpp.o"
+  "CMakeFiles/lasagna_util.dir/prime.cpp.o.d"
+  "CMakeFiles/lasagna_util.dir/stats.cpp.o"
+  "CMakeFiles/lasagna_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lasagna_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lasagna_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/lasagna_util.dir/timer.cpp.o"
+  "CMakeFiles/lasagna_util.dir/timer.cpp.o.d"
+  "liblasagna_util.a"
+  "liblasagna_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagna_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

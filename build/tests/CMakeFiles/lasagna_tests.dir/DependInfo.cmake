@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/compress_phase_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/compress_phase_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/compress_phase_test.cpp.o.d"
+  "/root/repo/tests/containment_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/containment_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/containment_test.cpp.o.d"
+  "/root/repo/tests/correction_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/correction_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/correction_test.cpp.o.d"
+  "/root/repo/tests/dist_bsp_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/dist_bsp_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/dist_bsp_test.cpp.o.d"
+  "/root/repo/tests/dist_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/dist_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/dist_test.cpp.o.d"
+  "/root/repo/tests/evaluate_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/evaluate_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/evaluate_test.cpp.o.d"
+  "/root/repo/tests/failure_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/failure_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/failure_test.cpp.o.d"
+  "/root/repo/tests/fingerprint_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/fingerprint_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/fingerprint_test.cpp.o.d"
+  "/root/repo/tests/gfa_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/gfa_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/gfa_test.cpp.o.d"
+  "/root/repo/tests/gpu_property_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/gpu_property_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/gpu_property_test.cpp.o.d"
+  "/root/repo/tests/gpu_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/gpu_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/gpu_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/map_phase_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/map_phase_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/map_phase_test.cpp.o.d"
+  "/root/repo/tests/multifile_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/multifile_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/multifile_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/preprocess_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/preprocess_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/preprocess_test.cpp.o.d"
+  "/root/repo/tests/reduce_phase_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/reduce_phase_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/reduce_phase_test.cpp.o.d"
+  "/root/repo/tests/reduce_property_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/reduce_property_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/reduce_property_test.cpp.o.d"
+  "/root/repo/tests/seq_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/seq_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/seq_test.cpp.o.d"
+  "/root/repo/tests/sort_phase_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/sort_phase_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/sort_phase_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/lasagna_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/lasagna_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lasagna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/lasagna_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lasagna_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lasagna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/lasagna_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/lasagna_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/lasagna_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lasagna_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lasagna_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
