@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <reads.fastq> <contigs.fasta> "
                  "[--min-overlap=N] [--host-mem-mb=N] [--device-mem-mb=N] "
-                 "[--gpu=name] [--singletons] [--verify] [--gfa=graph.gfa] "
-                 "[--min-contig=N]\n",
+                 "[--gpu=name] [--singletons] [--verify] [--sync-sort] "
+                 "[--gfa=graph.gfa] [--min-contig=N]\n",
                  argv[0]);
     return 2;
   }
@@ -56,6 +56,8 @@ int main(int argc, char** argv) {
       config.include_singletons = true;
     } else if (arg == "--verify") {
       config.verify_overlaps = true;
+    } else if (arg == "--sync-sort") {
+      config.streamed_sort = false;  // serial reference sort path
     } else if (arg.rfind("--gfa=", 0) == 0) {
       config.gfa_output = arg.substr(6);
     } else if (arg.rfind("--min-contig=", 0) == 0) {

@@ -101,6 +101,11 @@ struct AssemblyConfig {
   /// false-positive fingerprint matches (test/diagnostic mode; requires
   /// keeping the packed reads in host memory).
   bool verify_overlaps = false;
+  /// Run the sort phase's streamed pipeline (paper's semi-streaming model:
+  /// disk I/O overlaps device work, device chunks double-buffer across two
+  /// streams). Output is byte-identical either way; only the modeled
+  /// timeline and wall-clock overlap change.
+  bool streamed_sort = true;
   /// Working directory for intermediate files (empty = fresh temp dir).
   std::filesystem::path work_dir;
   /// When set, the greedy string graph is also written here as GFA 1.0
@@ -132,6 +137,11 @@ static_assert(sizeof(FpRecord) == 24);
 struct BlockGeometry {
   std::uint64_t host_block_records = 0;    ///< m_h in records
   std::uint64_t device_block_records = 0;  ///< m_d in records
+  /// Streamed execution of the sort phase: prefetch/drain disk blocks on
+  /// background threads and double-buffer device chunks across two modeled
+  /// streams. The false (synchronous) path produces byte-identical output
+  /// with a strictly serial modeled timeline — keep it for comparisons.
+  bool streamed = false;
 
   /// m_h from the host budget; m_d from the device budget. The device sort
   /// needs input + double buffer (2x) plus staging, hence the divisor 4;

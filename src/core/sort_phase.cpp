@@ -1,15 +1,46 @@
 #include "core/sort_phase.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "gpu/primitives.hpp"
+#include "gpu/stream.hpp"
+#include "io/async_record_stream.hpp"
 #include "io/record_stream.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lasagna::core {
 
 namespace {
+
+/// The two modeled streams the sort phase double-buffers device chunks
+/// across. In synchronous mode both legs alias the default stream, so every
+/// charge sums onto the legacy timeline and modeled values are unchanged.
+struct DeviceStreams {
+  DeviceStreams(gpu::Device& dev, bool streamed) {
+    legs[0] = streamed ? gpu::create_stream(dev) : gpu::default_stream(dev);
+    legs[1] = streamed ? gpu::create_stream(dev) : legs[0];
+  }
+
+  /// Alternate between the two legs (chunk i runs on stream i % 2).
+  gpu::Stream& rotate() {
+    gpu::Stream& s = legs[next];
+    next ^= 1u;
+    return s;
+  }
+
+  gpu::Stream legs[2];
+  unsigned next = 0;
+  /// Completion of the last kernel issued on either leg: the device has one
+  /// compute engine, so kernels serialize across streams while transfers
+  /// overlap them.
+  gpu::Event last_kernel;
+};
 
 /// AoS -> SoA split for the device primitives.
 void split_records(std::span<const FpRecord> records,
@@ -17,22 +48,31 @@ void split_records(std::span<const FpRecord> records,
                    std::vector<std::uint64_t>& vals) {
   keys.resize(records.size());
   vals.resize(records.size());
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    keys[i] = records[i].fp;
-    vals[i] = records[i].vertex;
-  }
+  util::ThreadPool::global().parallel_for_chunked(
+      records.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          keys[i] = records[i].fp;
+          vals[i] = records[i].vertex;
+        }
+      });
 }
 
 void join_records(std::span<const gpu::Key128> keys,
                   std::span<const std::uint64_t> vals,
                   std::span<FpRecord> out) {
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    out[i] = FpRecord{keys[i], static_cast<std::uint32_t>(vals[i]), 0};
-  }
+  util::ThreadPool::global().parallel_for_chunked(
+      keys.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = FpRecord{keys[i], static_cast<std::uint32_t>(vals[i]), 0};
+        }
+      });
 }
 
-/// Device radix sort of one chunk (must fit m_d).
-void device_sort_chunk(Workspace& ws, std::span<FpRecord> chunk) {
+/// Device radix sort of one chunk (must fit m_d). The H2D/sort/D2H legs
+/// charge the chunk's stream; alternating chunks across the two legs models
+/// transfers hidden behind the neighbouring chunk's kernel.
+void device_sort_chunk(Workspace& ws, std::span<FpRecord> chunk,
+                       DeviceStreams& streams) {
   if (chunk.size() < 2) return;
   gpu::Device& dev = *ws.device;
 
@@ -42,22 +82,30 @@ void device_sort_chunk(Workspace& ws, std::span<FpRecord> chunk) {
 
   auto d_keys = dev.alloc<gpu::Key128>(chunk.size());
   auto d_vals = dev.alloc<std::uint64_t>(chunk.size());
-  dev.copy_to_device(std::span<const gpu::Key128>(keys), d_keys.span());
-  dev.copy_to_device(std::span<const std::uint64_t>(vals), d_vals.span());
+  gpu::Stream& s = streams.rotate();
+  s.copy_to_device_async(std::span<const gpu::Key128>(keys), d_keys.span());
+  s.copy_to_device_async(std::span<const std::uint64_t>(vals),
+                         d_vals.span());
 
-  gpu::sort_pairs<std::uint64_t>(dev, d_keys.span(), d_vals.span());
+  s.wait(streams.last_kernel);  // one compute engine: kernels serialize
+  {
+    gpu::StreamScope scope(dev, s);
+    gpu::sort_pairs<std::uint64_t>(dev, d_keys.span(), d_vals.span());
+  }
+  streams.last_kernel = s.record();
 
-  dev.copy_to_host(std::span<const gpu::Key128>(d_keys.span()),
-                   std::span<gpu::Key128>(keys));
-  dev.copy_to_host(std::span<const std::uint64_t>(d_vals.span()),
-                   std::span<std::uint64_t>(vals));
+  s.copy_to_host_async(std::span<const gpu::Key128>(d_keys.span()),
+                       std::span<gpu::Key128>(keys));
+  s.copy_to_host_async(std::span<const std::uint64_t>(d_vals.span()),
+                       std::span<std::uint64_t>(vals));
   join_records(keys, vals, chunk);
 }
 
 /// Device merge of two host windows that both fit on the device together.
 void device_merge_windows(Workspace& ws, std::span<const FpRecord> a,
                           std::span<const FpRecord> b,
-                          std::vector<FpRecord>& out) {
+                          std::vector<FpRecord>& out,
+                          DeviceStreams& streams) {
   gpu::Device& dev = *ws.device;
   out.resize(a.size() + b.size());
   if (a.empty()) {
@@ -83,30 +131,37 @@ void device_merge_windows(Workspace& ws, std::span<const FpRecord> a,
   auto d_ko = dev.alloc<gpu::Key128>(out.size());
   auto d_vo = dev.alloc<std::uint64_t>(out.size());
 
-  dev.copy_to_device(std::span<const gpu::Key128>(keys_a), d_ka.span());
-  dev.copy_to_device(std::span<const std::uint64_t>(vals_a), d_va.span());
-  dev.copy_to_device(std::span<const gpu::Key128>(keys_b), d_kb.span());
-  dev.copy_to_device(std::span<const std::uint64_t>(vals_b), d_vb.span());
+  gpu::Stream& s = streams.rotate();
+  s.copy_to_device_async(std::span<const gpu::Key128>(keys_a), d_ka.span());
+  s.copy_to_device_async(std::span<const std::uint64_t>(vals_a),
+                         d_va.span());
+  s.copy_to_device_async(std::span<const gpu::Key128>(keys_b), d_kb.span());
+  s.copy_to_device_async(std::span<const std::uint64_t>(vals_b),
+                         d_vb.span());
 
-  gpu::merge_pairs<std::uint64_t>(
-      dev, d_ka.span(), d_va.span(), d_kb.span(), d_vb.span(), d_ko.span(),
-      d_vo.span());
+  s.wait(streams.last_kernel);
+  {
+    gpu::StreamScope scope(dev, s);
+    gpu::merge_pairs<std::uint64_t>(
+        dev, d_ka.span(), d_va.span(), d_kb.span(), d_vb.span(), d_ko.span(),
+        d_vo.span());
+  }
+  streams.last_kernel = s.record();
 
   std::vector<gpu::Key128> keys_out(out.size());
   std::vector<std::uint64_t> vals_out(out.size());
-  dev.copy_to_host(std::span<const gpu::Key128>(d_ko.span()),
-                   std::span<gpu::Key128>(keys_out));
-  dev.copy_to_host(std::span<const std::uint64_t>(d_vo.span()),
-                   std::span<std::uint64_t>(vals_out));
+  s.copy_to_host_async(std::span<const gpu::Key128>(d_ko.span()),
+                       std::span<gpu::Key128>(keys_out));
+  s.copy_to_host_async(std::span<const std::uint64_t>(d_vo.span()),
+                       std::span<std::uint64_t>(vals_out));
   join_records(keys_out, vals_out, out);
 }
 
-}  // namespace
-
-void device_windowed_merge(
+void device_windowed_merge_impl(
     Workspace& ws, std::span<const FpRecord> a, std::span<const FpRecord> b,
     std::uint64_t device_block_records,
-    const std::function<void(std::span<const FpRecord>)>& sink) {
+    const std::function<void(std::span<const FpRecord>)>& sink,
+    DeviceStreams& streams) {
   const std::size_t half =
       std::max<std::size_t>(1, device_block_records / 2);
   std::vector<FpRecord> merged;
@@ -143,7 +198,7 @@ void device_windowed_merge(
       wa = wa.first(cut(wa));
     }
 
-    device_merge_windows(ws, wa, wb, merged);
+    device_merge_windows(ws, wa, wb, merged, streams);
     sink(merged);
     ia += wa.size();
     ib += wb.size();
@@ -153,14 +208,15 @@ void device_windowed_merge(
   if (ib < b.size()) sink(b.subspan(ib));
 }
 
-void sort_host_block(Workspace& ws, std::span<FpRecord> block,
-                     std::uint64_t device_block_records) {
+void sort_host_block_impl(Workspace& ws, std::span<FpRecord> block,
+                          std::uint64_t device_block_records,
+                          DeviceStreams& streams) {
   const std::size_t m_d = std::max<std::uint64_t>(2, device_block_records);
   // Level 2a: device-sort each m_d chunk.
   std::vector<std::span<FpRecord>> runs;
   for (std::size_t off = 0; off < block.size(); off += m_d) {
     auto run = block.subspan(off, std::min(m_d, block.size() - off));
-    device_sort_chunk(ws, run);
+    device_sort_chunk(ws, run, streams);
     runs.push_back(run);
   }
 
@@ -183,12 +239,13 @@ void sort_host_block(Workspace& ws, std::span<FpRecord> block,
       }
       const std::size_t merged_size = runs[i].size() + runs[i + 1].size();
       std::size_t cursor = out_off;
-      device_windowed_merge(
+      device_windowed_merge_impl(
           ws, runs[i], runs[i + 1], device_block_records,
           [&scratch, &cursor](std::span<const FpRecord> part) {
             std::copy(part.begin(), part.end(), scratch.begin() + cursor);
             cursor += part.size();
-          });
+          },
+          streams);
       next.push_back(
           std::span<FpRecord>(scratch).subspan(out_off, merged_size));
       out_off += merged_size;
@@ -204,57 +261,86 @@ void sort_host_block(Workspace& ws, std::span<FpRecord> block,
   }
 }
 
+}  // namespace
+
+void device_windowed_merge(
+    Workspace& ws, std::span<const FpRecord> a, std::span<const FpRecord> b,
+    std::uint64_t device_block_records,
+    const std::function<void(std::span<const FpRecord>)>& sink) {
+  DeviceStreams streams(*ws.device, false);
+  device_windowed_merge_impl(ws, a, b, device_block_records, sink, streams);
+}
+
+void sort_host_block(Workspace& ws, std::span<FpRecord> block,
+                     std::uint64_t device_block_records) {
+  DeviceStreams streams(*ws.device, false);
+  sort_host_block_impl(ws, block, device_block_records, streams);
+}
+
+void sort_host_block(Workspace& ws, std::span<FpRecord> block,
+                     const BlockGeometry& geometry) {
+  DeviceStreams streams(*ws.device, geometry.streamed);
+  sort_host_block_impl(ws, block, geometry.device_block_records, streams);
+}
+
 namespace {
 
 /// Streaming window over a sorted record file, with carry-over support for
-/// the disk-level Algorithm 1.
+/// the disk-level Algorithm 1. Templated over the reader so the streamed
+/// path can substitute the prefetching io::AsyncRecordReader — both deliver
+/// the exact same record sequence.
+///
+/// consume() only advances a cursor; the dead prefix is dropped lazily in
+/// fill() once it spans at least one window, so advancing by n records
+/// costs amortized O(n) instead of a tail memmove per window.
+template <class Reader>
 class FileWindow {
  public:
-  FileWindow(const std::filesystem::path& path, std::size_t window_records,
-             io::IoStats& stats)
-      : reader_(path, stats), window_(window_records) {}
+  template <class... ReaderArgs>
+  explicit FileWindow(std::size_t window_records, ReaderArgs&&... args)
+      : reader_(std::forward<ReaderArgs>(args)...), window_(window_records) {}
 
   /// Top up the buffer to the window size; returns false when no data
   /// remains at all.
   bool fill() {
-    if (buffer_.size() < window_ && !reader_.eof()) {
-      reader_.read(buffer_, window_ - buffer_.size());
+    if (head_ >= window_ || head_ >= buffer_.size()) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(head_, buffer_.size())));
+      head_ = 0;
     }
-    return !buffer_.empty();
+    const std::size_t live = buffer_.size() - head_;
+    if (live < window_ && !reader_.eof()) {
+      reader_.read(buffer_, window_ - live);
+    }
+    return head_ < buffer_.size();
   }
 
-  [[nodiscard]] std::span<const FpRecord> view() const { return buffer_; }
-
-  void consume(std::size_t n) {
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  [[nodiscard]] std::span<const FpRecord> view() const {
+    return std::span<const FpRecord>(buffer_).subspan(
+        head_, std::min(window_, buffer_.size() - head_));
   }
+
+  void consume(std::size_t n) { head_ += n; }
 
   [[nodiscard]] bool exhausted() const {
-    return reader_.eof() && buffer_.empty();
+    return reader_.eof() && head_ >= buffer_.size();
   }
 
  private:
-  io::RecordReader<FpRecord> reader_;
+  Reader reader_;
   std::size_t window_;
   std::vector<FpRecord> buffer_;
+  std::size_t head_ = 0;
 };
 
-/// Algorithm 1: merge two sorted files into one, with host windows of
-/// m_h / 2 records equalized by upper bound, and the actual merging done
-/// by the device-windowed merge.
-void merge_files(Workspace& ws, const std::filesystem::path& in_a,
-                 const std::filesystem::path& in_b,
-                 const std::filesystem::path& out_path,
-                 const BlockGeometry& geometry) {
-  const std::size_t half = std::max<std::uint64_t>(
-      2, geometry.host_block_records / 2);
-  util::TrackedAllocation window_mem(*ws.host,
-                                     2 * half * sizeof(FpRecord));
-
-  FileWindow wa(in_a, half, *ws.io);
-  FileWindow wb(in_b, half, *ws.io);
-  io::RecordWriter<FpRecord> out(out_path, *ws.io);
+/// Algorithm 1's outer loop: merge two sorted windows into `out`, with host
+/// windows of m_h / 2 records equalized by upper bound, and the actual
+/// merging done by the device-windowed merge.
+template <class WindowA, class WindowB, class Writer>
+void merge_windows_loop(Workspace& ws, WindowA& wa, WindowB& wb, Writer& out,
+                        const BlockGeometry& geometry,
+                        DeviceStreams& streams) {
   auto sink = [&out](std::span<const FpRecord> part) { out.write(part); };
 
   while (true) {
@@ -302,12 +388,125 @@ void merge_files(Workspace& ws, const std::filesystem::path& in_a,
       va = va.first(cut(va));
     }
 
-    device_windowed_merge(ws, va, vb, geometry.device_block_records, sink);
+    device_windowed_merge_impl(ws, va, vb, geometry.device_block_records,
+                               sink, streams);
     wa.consume(va.size());
     wb.consume(vb.size());
   }
+}
+
+/// Merge two sorted files into one. Streamed mode prefetches both inputs
+/// and drains the output on background threads while device merges
+/// double-buffer across the two streams.
+void merge_files(Workspace& ws, const std::filesystem::path& in_a,
+                 const std::filesystem::path& in_b,
+                 const std::filesystem::path& out_path,
+                 const BlockGeometry& geometry, DeviceStreams& streams) {
+  const std::size_t half = std::max<std::uint64_t>(
+      2, geometry.host_block_records / 2);
+
+  if (geometry.streamed) {
+    // Per side: up to 2x window live in FileWindow (cursor + carry-over)
+    // plus one window of prefetch; output stages about one window.
+    util::TrackedAllocation window_mem(*ws.host,
+                                       7 * half * sizeof(FpRecord));
+    FileWindow<io::AsyncRecordReader<FpRecord>> wa(half, in_a, *ws.io, half,
+                                                   1);
+    FileWindow<io::AsyncRecordReader<FpRecord>> wb(half, in_b, *ws.io, half,
+                                                   1);
+    io::AsyncRecordWriter<FpRecord> out(out_path, *ws.io, half, 2);
+    merge_windows_loop(ws, wa, wb, out, geometry, streams);
+    out.close();
+    return;
+  }
+
+  util::TrackedAllocation window_mem(*ws.host, 2 * half * sizeof(FpRecord));
+  FileWindow<io::RecordReader<FpRecord>> wa(half, in_a, *ws.io);
+  FileWindow<io::RecordReader<FpRecord>> wb(half, in_b, *ws.io);
+  io::RecordWriter<FpRecord> out(out_path, *ws.io);
+  merge_windows_loop(ws, wa, wb, out, geometry, streams);
   out.close();
 }
+
+/// Background writer for finished level-1 runs: one run write in flight
+/// while the device sorts the next host block. Failures surface on the next
+/// submit() or on finish().
+class RunWriter {
+ public:
+  explicit RunWriter(io::IoStats& stats)
+      : stats_(stats), worker_([this] { run(); }) {}
+
+  ~RunWriter() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  void submit(std::filesystem::path path, std::vector<FpRecord> block) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !job_.has_value() || error_ != nullptr; });
+    if (error_ != nullptr) std::rethrow_exception(error_);
+    job_.emplace(Job{std::move(path), std::move(block)});
+    cv_.notify_all();
+  }
+
+  /// Wait for the queue to drain and the worker to exit; rethrows failures.
+  void finish() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] {
+      return (!job_.has_value() && !busy_) || error_ != nullptr;
+    });
+    stop_ = true;
+    cv_.notify_all();
+    lock.unlock();
+    if (worker_.joinable()) worker_.join();
+    if (error_ != nullptr) std::rethrow_exception(error_);
+  }
+
+ private:
+  struct Job {
+    std::filesystem::path path;
+    std::vector<FpRecord> block;
+  };
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      cv_.wait(lock, [this] { return job_.has_value() || stop_; });
+      if (!job_.has_value()) return;  // stop requested, queue empty
+      Job job = std::move(*job_);
+      job_.reset();
+      busy_ = true;
+      cv_.notify_all();
+      lock.unlock();
+      try {
+        io::write_all_records<FpRecord>(
+            job.path, std::span<const FpRecord>(job.block), stats_);
+      } catch (...) {
+        lock.lock();
+        error_ = std::current_exception();
+        busy_ = false;
+        cv_.notify_all();
+        return;
+      }
+      lock.lock();
+      busy_ = false;
+      cv_.notify_all();
+    }
+  }
+
+  io::IoStats& stats_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<Job> job_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::thread worker_;
+};
 
 }  // namespace
 
@@ -319,9 +518,33 @@ SortFileStats external_sort_file(Workspace& ws,
   const std::filesystem::path run_dir = output.parent_path();
   std::filesystem::create_directories(run_dir);
 
+  DeviceStreams streams(*ws.device, geometry.streamed);
+
   // Level 1: produce sorted host-block runs.
   std::vector<std::filesystem::path> runs;
-  {
+  if (geometry.streamed) {
+    // Software pipeline: the reader prefetches block i+1 while the device
+    // sorts block i and the RunWriter drains run i-1 — three host blocks
+    // live at the pipeline's steady state.
+    util::TrackedAllocation block_mem(
+        *ws.host, 3 * geometry.host_block_records * sizeof(FpRecord));
+    io::AsyncRecordReader<FpRecord> reader(input, *ws.io,
+                                           geometry.host_block_records, 1);
+    RunWriter writer(*ws.io);
+    while (true) {
+      std::vector<FpRecord> block;
+      reader.read(block, geometry.host_block_records);
+      if (block.empty()) break;
+      stats.records += block.size();
+      sort_host_block_impl(ws, block, geometry.device_block_records,
+                           streams);
+      std::filesystem::path run_path =
+          output.string() + ".run" + std::to_string(runs.size());
+      runs.push_back(run_path);
+      writer.submit(std::move(run_path), std::move(block));
+    }
+    writer.finish();
+  } else {
     io::RecordReader<FpRecord> reader(input, *ws.io);
     std::vector<FpRecord> block;
     util::TrackedAllocation block_mem(
@@ -331,7 +554,8 @@ SortFileStats external_sort_file(Workspace& ws,
       reader.read(block, geometry.host_block_records);
       if (block.empty()) break;
       stats.records += block.size();
-      sort_host_block(ws, block, geometry.device_block_records);
+      sort_host_block_impl(ws, block, geometry.device_block_records,
+                           streams);
       const std::filesystem::path run_path =
           output.string() + ".run" + std::to_string(runs.size());
       io::write_all_records(run_path, std::span<const FpRecord>(block),
@@ -361,7 +585,7 @@ SortFileStats external_sort_file(Workspace& ws,
       const std::filesystem::path merged =
           output.string() + ".gen" + std::to_string(generation) + "." +
           std::to_string(i / 2);
-      merge_files(ws, runs[i], runs[i + 1], merged, geometry);
+      merge_files(ws, runs[i], runs[i + 1], merged, geometry, streams);
       std::filesystem::remove(runs[i]);
       std::filesystem::remove(runs[i + 1]);
       next.push_back(merged);

@@ -12,6 +12,12 @@
 //
 // The hybrid scheme costs 1 + ceil(log2(n / m_h)) disk passes instead of
 // 1 + ceil(log2(n / m_d)) — the paper's "3-4x fewer" disk passes.
+//
+// With BlockGeometry::streamed the whole phase runs as a software pipeline
+// (the paper's semi-streaming claim): host block i+1 prefetches from disk
+// while the device sorts block i and sorted run i-1 drains to disk, and
+// device chunks double-buffer across two modeled streams. The synchronous
+// path (streamed = false) remains the bitwise reference.
 #pragma once
 
 #include <cstdint>
@@ -30,9 +36,16 @@ inline bool fp_less(const FpRecord& a, const FpRecord& b) {
 }
 
 /// Sort a host-resident block by streaming device-sized chunks through the
-/// GPU (level 2 of the hybrid scheme). In-place.
+/// GPU (level 2 of the hybrid scheme). In-place, synchronous (default
+/// stream).
 void sort_host_block(Workspace& ws, std::span<FpRecord> block,
                      std::uint64_t device_block_records);
+
+/// Geometry-aware variant: with `geometry.streamed` the device chunks are
+/// double-buffered across two modeled streams (H2D/sort/D2H legs overlap
+/// between consecutive chunks; kernels stay serialized through events).
+void sort_host_block(Workspace& ws, std::span<FpRecord> block,
+                     const BlockGeometry& geometry);
 
 /// Merge two sorted host-resident runs by streaming device-sized windows
 /// through the GPU merge; emits output through `sink` in sorted order.

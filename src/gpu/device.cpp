@@ -1,6 +1,9 @@
 #include "gpu/device.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace lasagna::gpu {
 
@@ -9,7 +12,66 @@ Device::Device(const GpuProfile& profile, std::uint64_t capacity_bytes,
     : profile_(profile),
       memory_("device[" + profile.name + "]",
               capacity_bytes == 0 ? profile.memory_bytes : capacity_bytes),
-      pool_(pool != nullptr ? pool : &util::ThreadPool::global()) {}
+      pool_(pool != nullptr ? pool : &util::ThreadPool::global()) {
+  stream_ps_.emplace_back(0);  // the default stream
+}
+
+StreamId Device::create_stream() {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  std::uint64_t frontier = 0;
+  for (const auto& ps : stream_ps_) {
+    frontier = std::max(frontier, ps.load(std::memory_order_relaxed));
+  }
+  stream_ps_.emplace_back(frontier);
+  return static_cast<StreamId>(stream_ps_.size() - 1);
+}
+
+std::size_t Device::stream_count() const {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  return stream_ps_.size();
+}
+
+std::atomic<std::uint64_t>& Device::stream_clock(StreamId stream) const {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  if (stream >= stream_ps_.size()) {
+    throw std::logic_error("unknown stream id " + std::to_string(stream));
+  }
+  return stream_ps_[stream];
+}
+
+void Device::charge_kernel_on(StreamId stream, std::uint64_t bytes_moved,
+                              std::uint64_t operations) {
+  const double seconds = profile_.kernel_seconds(bytes_moved, operations);
+  stream_clock(stream).fetch_add(
+      static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
+      std::memory_order_relaxed);
+}
+
+void Device::charge_transfer_on(StreamId stream, std::uint64_t bytes) {
+  const double seconds = profile_.transfer_seconds(bytes);
+  stream_clock(stream).fetch_add(
+      static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
+      std::memory_order_relaxed);
+  transferred_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+Event Device::record_event(StreamId stream) const {
+  return Event{stream_clock(stream).load(std::memory_order_relaxed)};
+}
+
+void Device::wait_event(StreamId stream, const Event& event) {
+  auto& clock = stream_clock(stream);
+  std::uint64_t current = clock.load(std::memory_order_relaxed);
+  while (current < event.ready_ps &&
+         !clock.compare_exchange_weak(current, event.ready_ps,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void Device::set_current_stream(StreamId stream) {
+  (void)stream_clock(stream);  // validate
+  current_stream_ = stream;
+}
 
 void Device::launch(unsigned grid_dim, unsigned block_dim,
                     std::size_t shared_bytes, const Kernel& kernel) {
@@ -30,23 +92,25 @@ void Device::launch(unsigned grid_dim, unsigned block_dim,
 
 void Device::charge_kernel(std::uint64_t bytes_moved,
                            std::uint64_t operations) {
-  const double seconds = profile_.kernel_seconds(bytes_moved, operations);
-  modeled_picoseconds_.fetch_add(
-      static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
-      std::memory_order_relaxed);
+  charge_kernel_on(current_stream_, bytes_moved, operations);
 }
 
 void Device::charge_transfer(std::uint64_t bytes) {
-  const double seconds = profile_.transfer_seconds(bytes);
-  modeled_picoseconds_.fetch_add(
-      static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
-      std::memory_order_relaxed);
-  transferred_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  charge_transfer_on(current_stream_, bytes);
 }
 
 double Device::modeled_seconds() const {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  std::uint64_t frontier = 0;
+  for (const auto& ps : stream_ps_) {
+    frontier = std::max(frontier, ps.load(std::memory_order_relaxed));
+  }
+  return static_cast<double>(frontier) * 1e-12;
+}
+
+double Device::stream_seconds(StreamId stream) const {
   return static_cast<double>(
-             modeled_picoseconds_.load(std::memory_order_relaxed)) *
+             stream_clock(stream).load(std::memory_order_relaxed)) *
          1e-12;
 }
 

@@ -1,11 +1,18 @@
 // The simulated CUDA device: capacity-enforced memory, a grid/block kernel
 // launcher running on a host thread pool, explicit host<->device transfers,
 // and a modeled clock driven by the GpuProfile cost model.
+//
+// The modeled clock is organized as CUDA-style streams: every charge lands
+// on one stream's timeline, and the device-time consumed so far is the max
+// over stream completion times. Code that never creates a stream charges
+// the default stream, whose timeline is exactly the legacy summed clock.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -15,6 +22,17 @@
 #include "util/thread_pool.hpp"
 
 namespace lasagna::gpu {
+
+/// Identifies one modeled execution stream on a device (cf. cudaStream_t).
+/// Stream 0 is the default stream; all synchronous calls charge it.
+using StreamId = std::uint32_t;
+
+/// A point on a stream's modeled timeline (cf. cudaEvent_t): recording
+/// captures the issuing stream's completion time, and another stream that
+/// waits on the event cannot complete earlier than that time.
+struct Event {
+  std::uint64_t ready_ps = 0;  ///< modeled time (picoseconds) when ready
+};
 
 /// Execution context handed to a kernel, one per thread block.
 ///
@@ -116,15 +134,50 @@ class Device {
 
   // -- modeled clock -------------------------------------------------------
 
+  static constexpr StreamId kDefaultStream = 0;
+
+  /// Create a new modeled stream. The stream joins the device timeline at
+  /// the current frontier (max over existing streams): work issued to it may
+  /// overlap anything issued later, but cannot predate the stream's creation
+  /// — which keeps sequential phases that each create fresh streams additive.
+  [[nodiscard]] StreamId create_stream();
+
+  /// Number of streams created so far (including the default stream).
+  [[nodiscard]] std::size_t stream_count() const;
+
   /// Charge a kernel's modeled cost (bytes moved through device memory and
-  /// arithmetic/compare operations executed).
+  /// arithmetic/compare operations executed) to the current stream.
   void charge_kernel(std::uint64_t bytes_moved, std::uint64_t operations);
 
-  /// Charge a host<->device transfer's modeled cost.
+  /// Charge a host<->device transfer's modeled cost to the current stream.
   void charge_transfer(std::uint64_t bytes);
 
-  /// Modeled device-time consumed so far, in seconds.
+  /// Charge variants addressing an explicit stream (used by gpu::Stream).
+  void charge_kernel_on(StreamId stream, std::uint64_t bytes_moved,
+                        std::uint64_t operations);
+  void charge_transfer_on(StreamId stream, std::uint64_t bytes);
+
+  /// Capture `stream`'s current completion time.
+  [[nodiscard]] Event record_event(StreamId stream) const;
+
+  /// Make `stream` wait for `event`: its timeline cannot complete before
+  /// the event's ready time.
+  void wait_event(StreamId stream, const Event& event);
+
+  /// Modeled device-time consumed so far: the max over stream completion
+  /// times. With only the default stream in use this is the plain sum of
+  /// every charge (the legacy synchronous clock).
   [[nodiscard]] double modeled_seconds() const;
+
+  /// Completion time of one stream, in seconds.
+  [[nodiscard]] double stream_seconds(StreamId stream) const;
+
+  /// Stream that plain charge_kernel/charge_transfer (and therefore every
+  /// primitive in gpu/primitives.hpp) bills to. Reroute with
+  /// gpu::StreamScope. Like a CUDA context, the current stream is per-device
+  /// state: device work must be issued from one thread at a time.
+  [[nodiscard]] StreamId current_stream() const { return current_stream_; }
+  void set_current_stream(StreamId stream);
 
   /// Cumulative transferred bytes (both directions).
   [[nodiscard]] std::uint64_t transferred_bytes() const {
@@ -132,10 +185,19 @@ class Device {
   }
 
  private:
+  /// Stable reference to a stream's picosecond counter (bounds-checked).
+  std::atomic<std::uint64_t>& stream_clock(StreamId stream) const;
+
   GpuProfile profile_;
   util::MemoryTracker memory_;
   util::ThreadPool* pool_;
-  std::atomic<std::uint64_t> modeled_picoseconds_{0};
+  /// One completion-time counter per stream; deque keeps references stable
+  /// while create_stream appends. Guarded by streams_mutex_ for growth and
+  /// indexing; the counters themselves are atomics so concurrent charges to
+  /// different streams need no lock.
+  mutable std::mutex streams_mutex_;
+  mutable std::deque<std::atomic<std::uint64_t>> stream_ps_;
+  StreamId current_stream_ = kDefaultStream;
   std::atomic<std::uint64_t> transferred_bytes_{0};
 };
 

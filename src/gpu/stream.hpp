@@ -1,0 +1,107 @@
+// CUDA-style stream handles over the Device's per-stream modeled timelines.
+//
+// A Stream is a lightweight (device, id) handle. Charges issued through it
+// accumulate on that stream's timeline only; Device::modeled_seconds() is
+// the max over stream completion times, so work charged to different
+// streams is modeled as overlapped unless an Event orders it.
+//
+// The `_async` copies move the data immediately (the device is simulated in
+// host memory) — only the modeled cost is asynchronous, exactly like the
+// rest of the cost model: real work on the host, modeled time on the GPU.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "gpu/device.hpp"
+
+namespace lasagna::gpu {
+
+class Stream {
+ public:
+  /// Invalid handle; assign from default_stream()/create_stream().
+  Stream() = default;
+
+  Stream(Device& device, StreamId id) : device_(&device), id_(id) {}
+
+  [[nodiscard]] StreamId id() const { return id_; }
+  [[nodiscard]] bool valid() const { return device_ != nullptr; }
+
+  /// Charge a kernel's modeled cost to this stream.
+  void charge_kernel(std::uint64_t bytes_moved, std::uint64_t operations) {
+    device_->charge_kernel_on(id_, bytes_moved, operations);
+  }
+
+  /// Charge a transfer's modeled cost to this stream.
+  void charge_transfer(std::uint64_t bytes) {
+    device_->charge_transfer_on(id_, bytes);
+  }
+
+  /// Host -> device copy whose PCIe cost lands on this stream's timeline.
+  template <typename T>
+  void copy_to_device_async(std::span<const T> src, std::span<T> dst) {
+    if (src.size() > dst.size()) {
+      throw std::logic_error("copy_to_device_async: destination too small");
+    }
+    std::copy(src.begin(), src.end(), dst.begin());
+    charge_transfer(src.size_bytes());
+  }
+
+  /// Device -> host copy whose PCIe cost lands on this stream's timeline.
+  template <typename T>
+  void copy_to_host_async(std::span<const T> src, std::span<T> dst) {
+    if (src.size() > dst.size()) {
+      throw std::logic_error("copy_to_host_async: destination too small");
+    }
+    std::copy(src.begin(), src.end(), dst.begin());
+    charge_transfer(src.size_bytes());
+  }
+
+  /// Capture this stream's current completion time.
+  [[nodiscard]] Event record() const { return device_->record_event(id_); }
+
+  /// Serialize after `event`: this stream cannot complete before it.
+  void wait(const Event& event) { device_->wait_event(id_, event); }
+
+  /// This stream's completion time, in seconds.
+  [[nodiscard]] double seconds() const {
+    return device_->stream_seconds(id_);
+  }
+
+ private:
+  Device* device_ = nullptr;
+  StreamId id_ = Device::kDefaultStream;
+};
+
+/// The stream synchronous calls charge (the legacy summed timeline).
+inline Stream default_stream(Device& device) {
+  return Stream(device, Device::kDefaultStream);
+}
+
+/// A fresh stream joining the timeline at the device's current frontier.
+inline Stream create_stream(Device& device) {
+  return Stream(device, device.create_stream());
+}
+
+/// Reroutes the device's synchronous charges — and therefore every primitive
+/// in gpu/primitives.hpp — onto `stream` for the scope's lifetime (cf.
+/// launching a kernel with an explicit stream argument). Not thread-safe:
+/// device work must be issued from one thread at a time, as with a CUDA
+/// context.
+class StreamScope {
+ public:
+  StreamScope(Device& device, const Stream& stream)
+      : device_(device), previous_(device.current_stream()) {
+    device_.set_current_stream(stream.id());
+  }
+  ~StreamScope() { device_.set_current_stream(previous_); }
+
+  StreamScope(const StreamScope&) = delete;
+  StreamScope& operator=(const StreamScope&) = delete;
+
+ private:
+  Device& device_;
+  StreamId previous_;
+};
+
+}  // namespace lasagna::gpu

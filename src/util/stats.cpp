@@ -46,13 +46,14 @@ std::uint64_t RunStats::total_disk_bytes() const {
 std::string RunStats::to_table() const {
   std::ostringstream out;
   std::array<char, 256> line{};
-  out << "phase       wall        modeled     peak-host   peak-dev    "
-         "disk-read   disk-write\n";
+  out << "phase       wall        modeled     overlap  peak-host   "
+         "peak-dev    disk-read   disk-write\n";
   for (const auto& p : phases_) {
     std::snprintf(line.data(), line.size(),
-                  "%-11s %-11s %-11s %-11s %-11s %-11s %-11s\n",
+                  "%-11s %-11s %-11s %-8.2f %-11s %-11s %-11s %-11s\n",
                   p.name.c_str(), format_duration(p.wall_seconds).c_str(),
                   format_duration(p.modeled_seconds).c_str(),
+                  p.overlap_efficiency,
                   format_bytes(p.peak_host_bytes).c_str(),
                   format_bytes(p.peak_device_bytes).c_str(),
                   format_bytes(p.disk_bytes_read).c_str(),

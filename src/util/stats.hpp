@@ -12,6 +12,11 @@ struct PhaseStats {
   std::string name;
   double wall_seconds = 0.0;     ///< measured wall-clock time
   double modeled_seconds = 0.0;  ///< modeled time (device+disk+network model)
+  double device_seconds = 0.0;   ///< modeled device component
+  double disk_seconds = 0.0;     ///< modeled disk component
+  /// (device + disk) / modeled. 1.0 for serial phases; approaches 2.0 when
+  /// an overlapped phase hides one component entirely behind the other.
+  double overlap_efficiency = 1.0;
   std::uint64_t peak_host_bytes = 0;
   std::uint64_t peak_device_bytes = 0;
   std::uint64_t disk_bytes_read = 0;

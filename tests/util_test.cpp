@@ -185,8 +185,20 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
 
 TEST(RunStats, TotalsAndLookup) {
   RunStats stats;
-  stats.add(PhaseStats{"map", 10.0, 8.0, 100, 50, 1000, 2000});
-  stats.add(PhaseStats{"sort", 30.0, 25.0, 200, 60, 5000, 5000});
+  stats.add(PhaseStats{.name = "map",
+                       .wall_seconds = 10.0,
+                       .modeled_seconds = 8.0,
+                       .peak_host_bytes = 100,
+                       .peak_device_bytes = 50,
+                       .disk_bytes_read = 1000,
+                       .disk_bytes_written = 2000});
+  stats.add(PhaseStats{.name = "sort",
+                       .wall_seconds = 30.0,
+                       .modeled_seconds = 25.0,
+                       .peak_host_bytes = 200,
+                       .peak_device_bytes = 60,
+                       .disk_bytes_read = 5000,
+                       .disk_bytes_written = 5000});
   EXPECT_DOUBLE_EQ(stats.total_wall_seconds(), 40.0);
   EXPECT_DOUBLE_EQ(stats.total_modeled_seconds(), 33.0);
   EXPECT_EQ(stats.total_disk_bytes(), 13000u);
