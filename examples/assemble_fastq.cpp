@@ -8,10 +8,12 @@
 // short-read file and get contigs plus the paper-style phase breakdown.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "gpu/profile.hpp"
+#include "io/fault_injector.hpp"
 
 using namespace lasagna;
 
@@ -34,13 +36,15 @@ int main(int argc, char** argv) {
                  "usage: %s <reads.fastq> <contigs.fasta> "
                  "[--min-overlap=N] [--host-mem-mb=N] [--device-mem-mb=N] "
                  "[--gpu=name] [--singletons] [--verify] [--sync-sort] "
-                 "[--gfa=graph.gfa] [--min-contig=N]\n",
+                 "[--gfa=graph.gfa] [--min-contig=N] [--work-dir=DIR] "
+                 "[--resume] [--fault-spec=SPEC]\n",
                  argv[0]);
     return 2;
   }
 
   core::AssemblyConfig config;
   config.machine.name = "custom";
+  std::unique_ptr<io::FaultInjector> injector;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--min-overlap=", 0) == 0) {
@@ -63,16 +67,47 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--min-contig=", 0) == 0) {
       config.min_contig_length =
           static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
+    } else if (arg.rfind("--work-dir=", 0) == 0) {
+      // Persistent workspace: intermediates land here instead of a temp dir
+      // and the run writes a checkpoint manifest (enables --resume).
+      config.work_dir = arg.substr(11);
+    } else if (arg == "--resume") {
+      config.resume = true;
+    } else if (arg.rfind("--fault-spec=", 0) == 0) {
+      // e.g. --fault-spec='seed=7;write:nth=30,match=.run' to kill the run
+      // mid-sort, or rate/transient policies to exercise the retry layer.
+      try {
+        injector = io::FaultInjector::parse(arg.substr(13));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "bad --fault-spec: %s\n", e.what());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return 2;
     }
   }
 
+  if (config.resume && config.work_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --work-dir\n");
+    return 2;
+  }
+
+  io::FaultInjector::ScopedInstall install(injector.get());
   try {
     core::Assembler assembler(config);
     const core::AssemblyResult result = assembler.run(argv[1], argv[2]);
     std::printf("%s\n", result.stats.to_table().c_str());
+    if (result.phases_resumed > 0) {
+      std::printf("resumed:        %u phase(s) restored from checkpoint\n",
+                  result.phases_resumed);
+    }
+    if (injector != nullptr) {
+      std::printf("faults:         %llu injected, %llu retries, %llu fatal\n",
+                  static_cast<unsigned long long>(injector->injected()),
+                  static_cast<unsigned long long>(injector->retried()),
+                  static_cast<unsigned long long>(injector->fatal()));
+    }
     std::printf("reads:          %u (%llu bases)\n", result.read_count,
                 static_cast<unsigned long long>(result.total_bases));
     std::printf("candidates:     %llu",

@@ -1,0 +1,199 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace lasagna::core {
+
+namespace {
+
+constexpr const char* kManifestName = "checkpoint.manifest";
+constexpr const char* kHeader = "lasagna-checkpoint 1";
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t hash, const std::string& s) {
+  return fnv1a(hash, s.data(), s.size());
+}
+
+template <typename T>
+std::uint64_t fnv1a_value(std::uint64_t hash, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a(hash, &value, sizeof(value));
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::filesystem::path dir,
+                                     std::uint64_t input_fingerprint,
+                                     std::uint64_t config_hash)
+    : dir_(std::move(dir)),
+      input_fingerprint_(input_fingerprint),
+      config_hash_(config_hash) {}
+
+bool CheckpointManager::load() {
+  std::ifstream in(dir_ / kManifestName);
+  if (!in) return false;
+
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return false;
+
+  std::uint64_t input = 0;
+  std::uint64_t config = 0;
+  std::map<std::string, Counters> entries;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "input") {
+      fields >> std::hex >> input;
+    } else if (tag == "config") {
+      fields >> std::hex >> config;
+    } else if (tag == "entry") {
+      std::string key;
+      fields >> key;
+      if (key.empty()) return false;  // truncated line: reject the manifest
+      Counters counters;
+      std::string pair;
+      while (fields >> pair) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) return false;
+        counters[pair.substr(0, eq)] = std::stoull(pair.substr(eq + 1));
+      }
+      entries[key] = std::move(counters);
+    } else {
+      return false;  // unknown tag: written by a newer format
+    }
+  }
+  if (input != input_fingerprint_ || config != config_hash_) return false;
+
+  const std::scoped_lock lock(mutex_);
+  entries_ = std::move(entries);
+  return true;
+}
+
+void CheckpointManager::reset() {
+  const std::scoped_lock lock(mutex_);
+  entries_.clear();
+  // Drop every checkpoint.* file (manifest + sidecars) from earlier runs.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.path().filename().string().rfind("checkpoint.", 0) == 0) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  persist_locked();
+}
+
+bool CheckpointManager::has(const std::string& key) const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.count(key) != 0;
+}
+
+CheckpointManager::Counters CheckpointManager::counters(
+    const std::string& key) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? Counters{} : it->second;
+}
+
+std::uint64_t CheckpointManager::counter(const std::string& key,
+                                         const std::string& name,
+                                         std::uint64_t fallback) const {
+  const std::scoped_lock lock(mutex_);
+  const auto entry = entries_.find(key);
+  if (entry == entries_.end()) return fallback;
+  const auto it = entry->second.find(name);
+  return it == entry->second.end() ? fallback : it->second;
+}
+
+std::vector<std::string> CheckpointManager::keys_with_prefix(
+    const std::string& prefix) const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.rfind(prefix, 0) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void CheckpointManager::record(const std::string& key,
+                               const Counters& counters) {
+  const std::scoped_lock lock(mutex_);
+  entries_[key] = counters;
+  persist_locked();
+}
+
+void CheckpointManager::persist_locked() {
+  const std::filesystem::path final_path = dir_ / kManifestName;
+  const std::filesystem::path tmp_path = dir_ / (std::string(kManifestName) + ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot write checkpoint manifest " +
+                               tmp_path.string());
+    }
+    out << kHeader << '\n';
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(input_fingerprint_));
+    out << "input " << hex << '\n';
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(config_hash_));
+    out << "config " << hex << '\n';
+    for (const auto& [key, counters] : entries_) {
+      out << "entry " << key;
+      for (const auto& [name, value] : counters) {
+        out << ' ' << name << '=' << value;
+      }
+      out << '\n';
+    }
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("short write to checkpoint manifest " +
+                               tmp_path.string());
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+std::uint64_t CheckpointManager::fingerprint_inputs(
+    const std::vector<std::filesystem::path>& files) {
+  std::uint64_t hash = kFnvOffset;
+  for (const auto& file : files) {
+    hash = fnv1a_str(hash, file.filename().string());
+    const std::uint64_t size = std::filesystem::file_size(file);
+    hash = fnv1a_value(hash, size);
+  }
+  return hash;
+}
+
+std::uint64_t hash_assembly_config(const AssemblyConfig& config) {
+  std::uint64_t hash = kFnvOffset;
+  hash = fnv1a_value(hash, config.min_overlap);
+  hash = fnv1a_value(hash, config.machine.host_memory_bytes);
+  hash = fnv1a_value(hash, config.machine.device_memory_bytes);
+  hash = fnv1a_value(hash, config.machine.host_sort_fraction);
+  hash = fnv1a_value(hash, config.fingerprints.primary.radix);
+  hash = fnv1a_value(hash, config.fingerprints.primary.modulus);
+  hash = fnv1a_value(hash, config.fingerprints.secondary.radix);
+  hash = fnv1a_value(hash, config.fingerprints.secondary.modulus);
+  hash = fnv1a_value(hash, config.include_singletons);
+  hash = fnv1a_value(hash, config.min_contig_length);
+  return hash;
+}
+
+}  // namespace lasagna::core

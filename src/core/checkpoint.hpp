@@ -1,0 +1,95 @@
+// Phase-granular checkpoint/restart for the assembly pipeline.
+//
+// A CheckpointManager owns a small text manifest in the workspace directory
+// plus binary sidecar files (read lengths, graph edges) written with the
+// usual record streams. Entries are recorded at phase boundaries and — in
+// the sort phase — per level-1 run, so a run killed mid-sort resumes from
+// the last finished run instead of the phase start. The manifest carries an
+// input fingerprint and a config hash; a resume against different inputs or
+// parameters is detected and falls back to a fresh run.
+//
+// Durability model: every record() rewrites the manifest to a temp file and
+// renames it over the old one, so the manifest on disk is always a
+// consistent prefix of the work actually completed (rename is atomic on
+// POSIX). Sidecars are written before the entry that references them.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace lasagna::core {
+
+class CheckpointManager {
+ public:
+  /// Named uint64 counters attached to one manifest entry.
+  using Counters = std::map<std::string, std::uint64_t>;
+
+  /// `dir` is the workspace directory the manifest lives in;
+  /// `input_fingerprint` and `config_hash` guard against resuming across
+  /// different inputs or parameters.
+  CheckpointManager(std::filesystem::path dir,
+                    std::uint64_t input_fingerprint,
+                    std::uint64_t config_hash);
+
+  /// Load an existing manifest. Returns true when one exists and matches
+  /// this run's input fingerprint and config hash (entries become
+  /// queryable); false otherwise (state stays empty).
+  bool load();
+
+  /// Discard any previous checkpoint state in the directory and write a
+  /// fresh manifest header.
+  void reset();
+
+  /// True when `key` was recorded (by this run or a loaded manifest).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// The counters recorded for `key` (empty map if absent).
+  [[nodiscard]] Counters counters(const std::string& key) const;
+
+  /// One counter of one entry, or `fallback` when absent.
+  [[nodiscard]] std::uint64_t counter(const std::string& key,
+                                      const std::string& name,
+                                      std::uint64_t fallback = 0) const;
+
+  /// Entries whose key starts with `prefix`, in lexicographic key order
+  /// (numeric key segments are zero-padded so this is also numeric order).
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(
+      const std::string& prefix) const;
+
+  /// Record (or overwrite) an entry and atomically persist the manifest.
+  /// Thread-safe: the streamed sort marks runs from its writer thread.
+  void record(const std::string& key, const Counters& counters);
+
+  /// Path of a binary sidecar file inside the checkpoint's directory.
+  [[nodiscard]] std::filesystem::path sidecar(const std::string& name) const {
+    return dir_ / ("checkpoint." + name);
+  }
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+  /// FNV-1a over each input's filename and size — cheap, order-sensitive,
+  /// and enough to catch "resumed against a different dataset".
+  static std::uint64_t fingerprint_inputs(
+      const std::vector<std::filesystem::path>& files);
+
+ private:
+  void persist_locked();  ///< rewrite manifest.tmp + rename (mutex held)
+
+  std::filesystem::path dir_;
+  std::uint64_t input_fingerprint_;
+  std::uint64_t config_hash_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Counters> entries_;
+};
+
+/// Hash of the parameters that shape intermediate files — resuming under a
+/// changed value of any of these would splice incompatible state.
+std::uint64_t hash_assembly_config(const AssemblyConfig& config);
+
+}  // namespace lasagna::core

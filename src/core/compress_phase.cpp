@@ -1,10 +1,10 @@
 #include "core/compress_phase.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <numeric>
 
 #include "gpu/primitives.hpp"
+#include "io/file_stream.hpp"
 #include "graph/traverse.hpp"
 #include "seq/dna.hpp"
 #include "seq/read_store.hpp"
@@ -154,26 +154,38 @@ CompressResult run_compress_phase(
     }
   }
 
-  // Emit FASTA.
-  std::ofstream out(output);
-  if (!out) {
-    throw std::runtime_error("cannot create " + output.string());
-  }
+  // Emit FASTA through the injectable write stream, into a temp file that
+  // is renamed over the output only on success — a fault (injected or real)
+  // mid-write never leaves a partial contig file behind.
+  const std::filesystem::path tmp_output = output.string() + ".tmp";
   std::vector<std::uint64_t> kept_lengths;
-  for (std::size_t p = 0; p < paths.size(); ++p) {
-    if (contig_length[p] < options.min_contig_length) continue;
-    out << ">contig_" << p << " reads=" << paths[p].size()
-        << " len=" << contig_length[p] << '\n';
-    const std::string_view view(contig_bases.data() + contig_start[p],
-                                contig_length[p]);
-    for (std::size_t off = 0; off < view.size(); off += 70) {
-      out << view.substr(off, 70) << '\n';
+  try {
+    io::WriteOnlyStream out(tmp_output, *ws.io);
+    std::string record;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (contig_length[p] < options.min_contig_length) continue;
+      record = ">contig_" + std::to_string(p) +
+               " reads=" + std::to_string(paths[p].size()) +
+               " len=" + std::to_string(contig_length[p]) + '\n';
+      const std::string_view view(contig_bases.data() + contig_start[p],
+                                  contig_length[p]);
+      for (std::size_t off = 0; off < view.size(); off += 70) {
+        record += view.substr(off, 70);
+        record += '\n';
+      }
+      out.write_bytes(std::as_bytes(std::span<const char>(record)));
+      kept_lengths.push_back(contig_length[p]);
+      result.stats.total_bases += contig_length[p];
+      result.stats.max_length =
+          std::max<std::uint64_t>(result.stats.max_length, contig_length[p]);
     }
-    kept_lengths.push_back(contig_length[p]);
-    result.stats.total_bases += contig_length[p];
-    result.stats.max_length =
-        std::max<std::uint64_t>(result.stats.max_length, contig_length[p]);
+    out.close();
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_output, ec);
+    throw;
   }
+  std::filesystem::rename(tmp_output, output);
   result.stats.count = kept_lengths.size();
   result.stats.n50 = compute_n50(std::move(kept_lengths));
 

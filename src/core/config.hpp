@@ -19,6 +19,8 @@
 
 namespace lasagna::core {
 
+class CheckpointManager;
+
 /// The machine a run models.
 struct MachineConfig {
   std::string name = "k40-128";
@@ -108,6 +110,12 @@ struct AssemblyConfig {
   bool streamed_sort = true;
   /// Working directory for intermediate files (empty = fresh temp dir).
   std::filesystem::path work_dir;
+  /// Resume from the checkpoint manifest in `work_dir` (if one exists and
+  /// matches this run's inputs and parameters): completed phases and
+  /// finished sort runs are skipped, and the output is byte-identical to an
+  /// uninterrupted run. Requires a persistent `work_dir`; ignored in
+  /// verify_overlaps mode (which pins state that cannot be checkpointed).
+  bool resume = false;
   /// When set, the greedy string graph is also written here as GFA 1.0
   /// (for Bandage and other graph tooling).
   std::filesystem::path gfa_output;
@@ -121,6 +129,9 @@ struct Workspace {
   util::MemoryTracker* host = nullptr;  ///< host working-memory tracker
   io::IoStats* io = nullptr;            ///< this node's disk counters
   std::filesystem::path dir;            ///< this node's private storage
+  /// Checkpoint/restart manager, or nullptr when checkpointing is off
+  /// (verify mode, the distributed driver's per-node workspaces).
+  CheckpointManager* checkpoint = nullptr;
 };
 
 /// On-disk record emitted by the map phase: a 128-bit fingerprint plus the

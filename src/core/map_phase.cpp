@@ -1,6 +1,7 @@
 #include "core/map_phase.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -68,6 +69,14 @@ MapResult run_map_phase(Workspace& ws,
       if (global_id < options.first_read ||
           global_id >= options.first_read + options.max_reads) {
         continue;
+      }
+      if (batch.reads[i].size() > std::numeric_limits<std::uint16_t>::max()) {
+        // read_lengths stores uint16; a silent cast would corrupt every
+        // overhang computed downstream.
+        throw std::runtime_error(
+            "read " + std::to_string(global_id) + " is " +
+            std::to_string(batch.reads[i].size()) +
+            " bases; the pipeline supports reads up to 65535 bases");
       }
       strands.push_back(batch.reads[i]);
       strands.push_back(seq::reverse_complement(batch.reads[i]));

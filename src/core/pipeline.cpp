@@ -1,8 +1,11 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "core/checkpoint.hpp"
 #include "graph/gfa.hpp"
+#include "io/record_stream.hpp"
 #include "seq/read_store.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -32,9 +35,13 @@ class PhaseScope {
     ws.device->memory().reset_peak();
   }
 
+  /// The phase was restored from a checkpoint rather than executed.
+  void mark_resumed() { resumed_ = true; }
+
   ~PhaseScope() {
     util::PhaseStats phase;
     phase.name = name_;
+    phase.resumed = resumed_;
     phase.wall_seconds = timer_.seconds();
     const auto io_after = ws_.io->snapshot();
     phase.disk_bytes_read =
@@ -72,10 +79,160 @@ class PhaseScope {
   util::RunStats& stats_;
   double extra_input_bytes_;
   bool overlapped_;
+  bool resumed_ = false;
   io::IoStats::Snapshot io_before_;
   double device_before_;
   util::WallTimer timer_;
 };
+
+// ---- checkpoint key helpers (zero-padded so lexicographic == numeric) ----
+
+std::string load_key(std::size_t file_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "load:file:%05zu", file_index);
+  return buf;
+}
+
+std::string map_key(const char* role, unsigned length) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "map:%s:%05u", role, length);
+  return buf;
+}
+
+bool file_has_size(const std::filesystem::path& path, std::uint64_t size) {
+  std::error_code ec;
+  const std::uintmax_t actual = std::filesystem::file_size(path, ec);
+  return !ec && actual == size;
+}
+
+// ---- map phase restore ---------------------------------------------------
+
+struct MapRestorePlan {
+  bool ok = false;
+  std::map<unsigned, std::uint64_t> suffix_counts;
+  std::map<unsigned, std::uint64_t> prefix_counts;
+};
+
+/// Metadata-only validation that the recorded map phase is restorable: the
+/// read-length sidecar has the right size and every recorded partition is
+/// either intact on disk or already consumed by a *finished* sort of it
+/// (its `sort:file` entry exists — the records live in the sorted output).
+MapRestorePlan plan_map_restore(const CheckpointManager& cm,
+                                const std::filesystem::path& work_dir) {
+  MapRestorePlan plan;
+  if (!cm.has("phase:map")) return plan;
+  const std::uint64_t read_count = cm.counter("phase:map", "read_count");
+  if (!file_has_size(cm.sidecar("read_lengths.bin"),
+                     read_count * sizeof(std::uint16_t))) {
+    return plan;
+  }
+
+  const std::filesystem::path map_dir = work_dir / "map";
+  for (const char* role : {"sfx", "pfx"}) {
+    auto& counts = role[0] == 's' ? plan.suffix_counts : plan.prefix_counts;
+    const std::string prefix = std::string("map:") + role + ":";
+    for (const std::string& key : cm.keys_with_prefix(prefix)) {
+      const auto length =
+          static_cast<unsigned>(std::stoul(key.substr(prefix.size())));
+      const std::uint64_t records = cm.counter(key, "records");
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s_%05u.bin", role, length);
+      if (!file_has_size(map_dir / name, records * sizeof(FpRecord))) {
+        std::snprintf(name, sizeof(name), "sort:file:%s_%05u.sorted", role,
+                      length);
+        if (!cm.has(name)) return plan;  // partition lost before its sort
+      }
+      counts[length] = records;
+    }
+  }
+  plan.ok = true;
+  return plan;
+}
+
+MapResult restore_map(Workspace& ws, const CheckpointManager& cm,
+                      const MapRestorePlan& plan) {
+  MapResult map;
+  map.read_count =
+      static_cast<std::uint32_t>(cm.counter("phase:map", "read_count"));
+  map.total_bases = cm.counter("phase:map", "total_bases");
+  map.tuples_emitted = cm.counter("phase:map", "tuples_emitted");
+  map.max_read_length =
+      static_cast<unsigned>(cm.counter("phase:map", "max_read_length"));
+  map.read_lengths = io::read_all_records<std::uint16_t>(
+      cm.sidecar("read_lengths.bin"), *ws.io);
+  if (map.read_lengths.size() != map.read_count) {
+    throw std::runtime_error("checkpoint read_lengths sidecar corrupt");
+  }
+  map.suffixes = std::make_unique<io::PartitionSet<FpRecord>>(
+      ws.dir / "map", "sfx", *ws.io);
+  map.suffixes->restore_finalized(plan.suffix_counts);
+  map.prefixes = std::make_unique<io::PartitionSet<FpRecord>>(
+      ws.dir / "map", "pfx", *ws.io);
+  map.prefixes->restore_finalized(plan.prefix_counts);
+  return map;
+}
+
+void record_map_checkpoint(Workspace& ws, CheckpointManager& cm,
+                           const MapResult& map) {
+  io::write_all_records<std::uint16_t>(
+      cm.sidecar("read_lengths.bin"),
+      std::span<const std::uint16_t>(map.read_lengths), *ws.io);
+  for (unsigned length : map.suffixes->lengths()) {
+    cm.record(map_key("sfx", length),
+              {{"records", map.suffixes->count(length)}});
+  }
+  for (unsigned length : map.prefixes->lengths()) {
+    cm.record(map_key("pfx", length),
+              {{"records", map.prefixes->count(length)}});
+  }
+  cm.record("phase:map", {{"read_count", map.read_count},
+                          {"total_bases", map.total_bases},
+                          {"tuples_emitted", map.tuples_emitted},
+                          {"max_read_length", map.max_read_length}});
+}
+
+// ---- sort phase restore --------------------------------------------------
+
+/// Rebuild a completed sort phase's SortResult from `sort:part` entries,
+/// validating every sorted file's size. Returns ok=false (and an empty
+/// result) on any mismatch — the caller then re-runs the phase, which skips
+/// per-file via the finer-grained `sort:file` / `sort:run` entries anyway.
+struct SortRestorePlan {
+  bool ok = false;
+  SortResult result;
+};
+
+SortRestorePlan plan_sort_restore(const CheckpointManager& cm,
+                                  const std::filesystem::path& work_dir) {
+  SortRestorePlan plan;
+  if (!cm.has("phase:sort")) return plan;
+  const std::filesystem::path sorted_dir = work_dir / "sorted";
+  const std::string prefix = "sort:part:";
+  for (const std::string& key : cm.keys_with_prefix(prefix)) {
+    SortedPartition part;
+    part.length =
+        static_cast<unsigned>(std::stoul(key.substr(prefix.size())));
+    part.suffix_records = cm.counter(key, "suffix_records");
+    part.prefix_records = cm.counter(key, "prefix_records");
+    char name[64];
+    std::snprintf(name, sizeof(name), "sfx_%05u.sorted", part.length);
+    part.suffix_file = sorted_dir / name;
+    std::snprintf(name, sizeof(name), "pfx_%05u.sorted", part.length);
+    part.prefix_file = sorted_dir / name;
+    if (!file_has_size(part.suffix_file,
+                       part.suffix_records * sizeof(FpRecord)) ||
+        !file_has_size(part.prefix_file,
+                       part.prefix_records * sizeof(FpRecord))) {
+      return SortRestorePlan{};
+    }
+    plan.result.partitions.push_back(std::move(part));
+  }
+  plan.result.records_sorted = cm.counter("phase:sort", "records_sorted");
+  plan.result.max_disk_passes =
+      static_cast<unsigned>(cm.counter("phase:sort", "max_disk_passes"));
+  plan.ok = true;
+  return plan;
+}
 
 }  // namespace
 
@@ -106,25 +263,71 @@ AssemblyResult Assembler::run(
   }
 
   Workspace ws{device_.get(), &host_tracker, &io_stats, work};
+
+  // Checkpointing needs a persistent workspace, and verify mode pins the
+  // packed reads in memory — state a restart cannot restore.
+  std::unique_ptr<CheckpointManager> checkpoint;
+  bool resumable = false;
+  if (!config_.work_dir.empty() && !config_.verify_overlaps) {
+    checkpoint = std::make_unique<CheckpointManager>(
+        work, CheckpointManager::fingerprint_inputs(fastqs),
+        hash_assembly_config(config_));
+    resumable = config_.resume && checkpoint->load();
+    if (!resumable) checkpoint->reset();
+    ws.checkpoint = checkpoint.get();
+  }
+  CheckpointManager* cm = checkpoint.get();
+
   double fastq_bytes = 0.0;
   for (const auto& f : fastqs) {
     fastq_bytes += static_cast<double>(std::filesystem::file_size(f));
   }
 
   // ---- Load: one pass over the input to validate it and (in verify mode)
-  // pin the packed reads in host memory.
+  // pin the packed reads in host memory. Checkpointed per input file, so a
+  // resumed run only re-streams files the crashed run never finished.
   std::optional<seq::PackedReads> packed;
   {
-    PhaseScope scope("load", ws, config_.machine, result.stats, fastq_bytes);
+    std::vector<bool> file_done(fastqs.size(), false);
+    double pending_bytes = 0.0;
+    for (std::size_t i = 0; i < fastqs.size(); ++i) {
+      if (resumable && cm->has(load_key(i))) {
+        file_done[i] = true;
+      } else {
+        pending_bytes +=
+            static_cast<double>(std::filesystem::file_size(fastqs[i]));
+      }
+    }
+
+    PhaseScope scope("load", ws, config_.machine, result.stats,
+                     pending_bytes);
     if (config_.verify_overlaps) {
       packed.emplace(seq::PackedReads::from_files(fastqs));
       host_tracker.allocate(packed->memory_bytes());
     } else {
-      seq::ReadBatchStream stream(fastqs, 1 << 20);
-      seq::ReadBatch batch;
-      while (stream.next(batch)) {
+      std::uint64_t reads = 0;
+      bool any_skipped = false;
+      for (std::size_t i = 0; i < fastqs.size(); ++i) {
+        if (file_done[i]) {
+          reads += cm->counter(load_key(i), "reads");
+          any_skipped = true;
+          continue;
+        }
+        seq::ReadBatchStream stream(fastqs[i], 1 << 20);
+        seq::ReadBatch batch;
+        while (stream.next(batch)) {
+        }
+        reads += stream.reads_seen();
+        if (cm != nullptr) {
+          cm->record(load_key(i), {{"reads", stream.reads_seen()}});
+        }
       }
-      result.read_count = stream.reads_seen();
+      result.read_count = static_cast<std::uint32_t>(reads);
+      if (any_skipped && pending_bytes == 0.0) {
+        scope.mark_resumed();
+        ++result.phases_resumed;
+      }
+      if (cm != nullptr) cm->record("phase:load", {{"read_count", reads}});
     }
   }
 
@@ -134,8 +337,18 @@ AssemblyResult Assembler::run(
   map_options.fingerprints = config_.fingerprints;
   MapResult map;
   {
-    PhaseScope scope("map", ws, config_.machine, result.stats, fastq_bytes);
-    map = run_map_phase(ws, fastqs, map_options);
+    MapRestorePlan plan;
+    if (resumable) plan = plan_map_restore(*cm, work);
+    PhaseScope scope("map", ws, config_.machine, result.stats,
+                     plan.ok ? 0.0 : fastq_bytes);
+    if (plan.ok) {
+      map = restore_map(ws, *cm, plan);
+      scope.mark_resumed();
+      ++result.phases_resumed;
+    } else {
+      map = run_map_phase(ws, fastqs, map_options);
+      if (cm != nullptr) record_map_checkpoint(ws, *cm, map);
+    }
   }
   result.read_count = map.read_count;
   result.total_bases = map.total_bases;
@@ -146,10 +359,23 @@ AssemblyResult Assembler::run(
   geometry.streamed = config_.streamed_sort;
   SortResult sorted;
   {
+    SortRestorePlan plan;
+    if (resumable) plan = plan_sort_restore(*cm, work);
     PhaseScope scope("sort", ws, config_.machine, result.stats,
                      /*extra_input_bytes=*/0.0,
-                     /*overlapped=*/config_.streamed_sort);
-    sorted = run_sort_phase(ws, map, geometry);
+                     /*overlapped=*/config_.streamed_sort && !plan.ok);
+    if (plan.ok) {
+      sorted = std::move(plan.result);
+      scope.mark_resumed();
+      ++result.phases_resumed;
+    } else {
+      sorted = run_sort_phase(ws, map, geometry);
+      if (cm != nullptr) {
+        cm->record("phase:sort",
+                   {{"records_sorted", sorted.records_sorted},
+                    {"max_disk_passes", sorted.max_disk_passes}});
+      }
+    }
   }
   result.records_sorted = sorted.records_sorted;
   result.sort_disk_passes = sorted.max_disk_passes;
@@ -160,8 +386,39 @@ AssemblyResult Assembler::run(
   reduce_options.reads = packed.has_value() ? &*packed : nullptr;
   ReduceResult reduced;
   {
+    bool restorable = false;
+    if (resumable && cm->has("phase:reduce")) {
+      restorable = file_has_size(
+          cm->sidecar("graph.bin"),
+          cm->counter("phase:reduce", "graph_edges") * sizeof(graph::Edge));
+    }
     PhaseScope scope("reduce", ws, config_.machine, result.stats);
-    reduced = run_reduce_phase(ws, sorted, map.read_count, reduce_options);
+    if (restorable) {
+      const auto edges =
+          io::read_all_records<graph::Edge>(cm->sidecar("graph.bin"),
+                                            *ws.io);
+      reduced.graph = std::make_unique<graph::StringGraph>(map.read_count);
+      reduced.graph->import_edges(edges);
+      reduced.candidate_edges = cm->counter("phase:reduce", "candidate_edges");
+      reduced.accepted_edges = cm->counter("phase:reduce", "accepted_edges");
+      reduced.false_positives =
+          cm->counter("phase:reduce", "false_positives");
+      scope.mark_resumed();
+      ++result.phases_resumed;
+    } else {
+      reduced = run_reduce_phase(ws, sorted, map.read_count, reduce_options);
+      if (cm != nullptr) {
+        const std::vector<graph::Edge> edges = reduced.graph->edges();
+        io::write_all_records<graph::Edge>(
+            cm->sidecar("graph.bin"), std::span<const graph::Edge>(edges),
+            *ws.io);
+        cm->record("phase:reduce",
+                   {{"candidate_edges", reduced.candidate_edges},
+                    {"accepted_edges", reduced.accepted_edges},
+                    {"false_positives", reduced.false_positives},
+                    {"graph_edges", reduced.graph->edge_count()}});
+      }
+    }
   }
   result.candidate_edges = reduced.candidate_edges;
   result.accepted_edges = reduced.accepted_edges;
@@ -177,7 +434,9 @@ AssemblyResult Assembler::run(
     graph::write_gfa_file(config_.gfa_output, *reduced.graph, gfa_options);
   }
 
-  // ---- Compress.
+  // ---- Compress. Never skipped: the contig file is the run's product and
+  // is (re)written atomically, so re-running is always safe and cheap
+  // relative to the phases above.
   CompressOptions compress_options;
   compress_options.include_singletons = config_.include_singletons;
   compress_options.min_contig_length = config_.min_contig_length;
@@ -191,6 +450,11 @@ AssemblyResult Assembler::run(
   }
   result.paths = compressed.paths;
   result.contigs = compressed.stats;
+
+  if (result.phases_resumed > 0) {
+    LOG_INFO << "resume: " << result.phases_resumed
+             << " phase(s) restored from checkpoint in " << work.string();
+  }
 
   if (packed.has_value()) host_tracker.release(packed->memory_bytes());
   return result;

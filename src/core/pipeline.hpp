@@ -33,6 +33,8 @@ struct AssemblyResult {
   std::uint64_t graph_edges = 0;
   std::uint64_t paths = 0;
   ContigStats contigs;
+  /// Phases restored from a checkpoint instead of executed (resume runs).
+  unsigned phases_resumed = 0;
 };
 
 /// One assembly run. Construct with a config, call run().

@@ -7,6 +7,7 @@
 #include <optional>
 #include <thread>
 
+#include "core/checkpoint.hpp"
 #include "gpu/primitives.hpp"
 #include "gpu/stream.hpp"
 #include "io/async_record_stream.hpp"
@@ -445,11 +446,15 @@ class RunWriter {
     if (worker_.joinable()) worker_.join();
   }
 
-  void submit(std::filesystem::path path, std::vector<FpRecord> block) {
+  /// `on_done` (optional) runs on the writer thread after the run's bytes
+  /// are fully written — the sort phase marks the run's checkpoint there, so
+  /// a run is never recorded as done before it is durable.
+  void submit(std::filesystem::path path, std::vector<FpRecord> block,
+              std::function<void()> on_done = {}) {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return !job_.has_value() || error_ != nullptr; });
     if (error_ != nullptr) std::rethrow_exception(error_);
-    job_.emplace(Job{std::move(path), std::move(block)});
+    job_.emplace(Job{std::move(path), std::move(block), std::move(on_done)});
     cv_.notify_all();
   }
 
@@ -470,6 +475,7 @@ class RunWriter {
   struct Job {
     std::filesystem::path path;
     std::vector<FpRecord> block;
+    std::function<void()> on_done;
   };
 
   void run() {
@@ -485,6 +491,7 @@ class RunWriter {
       try {
         io::write_all_records<FpRecord>(
             job.path, std::span<const FpRecord>(job.block), stats_);
+        if (job.on_done) job.on_done();
       } catch (...) {
         lock.lock();
         error_ = std::current_exception();
@@ -508,6 +515,52 @@ class RunWriter {
   std::thread worker_;
 };
 
+/// True when `path` exists and holds exactly `records` whole records.
+bool file_holds_records(const std::filesystem::path& path,
+                        std::uint64_t records) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  return !ec && size == records * sizeof(FpRecord);
+}
+
+/// Deterministically re-create one level-1 run that a crashed run's merges
+/// already consumed: re-read its input slice, sort it, rewrite the run
+/// file. Returns false when the input no longer holds the expected slice
+/// (the caller then falls back to sorting from scratch).
+bool rebuild_run(Workspace& ws, const std::filesystem::path& input,
+                 const std::filesystem::path& run_path,
+                 std::uint64_t skip_records, std::uint64_t records,
+                 const BlockGeometry& geometry, DeviceStreams& streams) {
+  util::TrackedAllocation block_mem(*ws.host, records * sizeof(FpRecord));
+  std::vector<FpRecord> block;
+  block.reserve(records);
+  io::RecordReader<FpRecord> reader(input, *ws.io, skip_records);
+  while (block.size() < records) {
+    if (reader.read(block, records - block.size()) == 0) return false;
+  }
+  sort_host_block_impl(ws, block, geometry.device_block_records, streams);
+  io::write_all_records(run_path, std::span<const FpRecord>(block), *ws.io);
+  return true;
+}
+
+std::string sort_file_key(const std::filesystem::path& output) {
+  return "sort:file:" + output.filename().string();
+}
+
+std::string sort_run_key(const std::filesystem::path& output,
+                         std::size_t index) {
+  return "sort:run:" + output.filename().string() + ":" +
+         std::to_string(index);
+}
+
+/// Base path for a sort's scratch files (runs, merge generations). Uses the
+/// output's stem so scratch names never contain the final ".sorted"
+/// extension — fault policies and cleanup globs can target final files
+/// without also matching scratch.
+std::string scratch_base(const std::filesystem::path& output) {
+  return (output.parent_path() / output.stem()).string();
+}
+
 }  // namespace
 
 SortFileStats external_sort_file(Workspace& ws,
@@ -518,18 +571,62 @@ SortFileStats external_sort_file(Workspace& ws,
   const std::filesystem::path run_dir = output.parent_path();
   std::filesystem::create_directories(run_dir);
 
+  CheckpointManager* cm = ws.checkpoint;
+
+  // Whole-file skip: a previous run finished sorting this file (the input
+  // partition may already be gone — its contents live in `output`).
+  if (cm != nullptr && cm->has(sort_file_key(output))) {
+    const auto counters = cm->counters(sort_file_key(output));
+    const auto records_it = counters.find("records");
+    if (records_it != counters.end() &&
+        file_holds_records(output, records_it->second)) {
+      stats.records = records_it->second;
+      stats.host_blocks =
+          static_cast<unsigned>(cm->counter(sort_file_key(output),
+                                            "host_blocks"));
+      stats.disk_passes =
+          static_cast<unsigned>(cm->counter(sort_file_key(output), "passes"));
+      return stats;
+    }
+  }
+
   DeviceStreams streams(*ws.device, geometry.streamed);
 
-  // Level 1: produce sorted host-block runs.
+  // Run-granular resume: reuse intact recorded runs, deterministically
+  // rebuild ones a crashed run's merges already consumed, and continue the
+  // input scan past everything they cover. Any inconsistency falls back to
+  // sorting from scratch (fresh runs simply overwrite stale files).
   std::vector<std::filesystem::path> runs;
+  std::uint64_t resume_skip = 0;
+  if (cm != nullptr) {
+    for (std::size_t i = 0; cm->has(sort_run_key(output, i)); ++i) {
+      const std::uint64_t records =
+          cm->counter(sort_run_key(output, i), "records");
+      const std::filesystem::path run_path =
+          scratch_base(output) + ".run" + std::to_string(i);
+      if (records == 0 ||
+          (!file_holds_records(run_path, records) &&
+           !rebuild_run(ws, input, run_path, resume_skip, records, geometry,
+                        streams))) {
+        runs.clear();
+        resume_skip = 0;
+        break;
+      }
+      runs.push_back(run_path);
+      resume_skip += records;
+    }
+  }
+  stats.records = resume_skip;
+
+  // Level 1: produce sorted host-block runs.
   if (geometry.streamed) {
     // Software pipeline: the reader prefetches block i+1 while the device
     // sorts block i and the RunWriter drains run i-1 — three host blocks
     // live at the pipeline's steady state.
     util::TrackedAllocation block_mem(
         *ws.host, 3 * geometry.host_block_records * sizeof(FpRecord));
-    io::AsyncRecordReader<FpRecord> reader(input, *ws.io,
-                                           geometry.host_block_records, 1);
+    io::AsyncRecordReader<FpRecord> reader(
+        input, *ws.io, geometry.host_block_records, 1, resume_skip);
     RunWriter writer(*ws.io);
     while (true) {
       std::vector<FpRecord> block;
@@ -539,13 +636,21 @@ SortFileStats external_sort_file(Workspace& ws,
       sort_host_block_impl(ws, block, geometry.device_block_records,
                            streams);
       std::filesystem::path run_path =
-          output.string() + ".run" + std::to_string(runs.size());
+          scratch_base(output) + ".run" + std::to_string(runs.size());
+      std::function<void()> on_done;
+      if (cm != nullptr) {
+        on_done = [cm, key = sort_run_key(output, runs.size()),
+                   records = static_cast<std::uint64_t>(block.size())] {
+          cm->record(key, {{"records", records}});
+        };
+      }
       runs.push_back(run_path);
-      writer.submit(std::move(run_path), std::move(block));
+      writer.submit(std::move(run_path), std::move(block),
+                    std::move(on_done));
     }
     writer.finish();
   } else {
-    io::RecordReader<FpRecord> reader(input, *ws.io);
+    io::RecordReader<FpRecord> reader(input, *ws.io, resume_skip);
     std::vector<FpRecord> block;
     util::TrackedAllocation block_mem(
         *ws.host, geometry.host_block_records * sizeof(FpRecord));
@@ -557,9 +662,13 @@ SortFileStats external_sort_file(Workspace& ws,
       sort_host_block_impl(ws, block, geometry.device_block_records,
                            streams);
       const std::filesystem::path run_path =
-          output.string() + ".run" + std::to_string(runs.size());
+          scratch_base(output) + ".run" + std::to_string(runs.size());
       io::write_all_records(run_path, std::span<const FpRecord>(block),
                             *ws.io);
+      if (cm != nullptr) {
+        cm->record(sort_run_key(output, runs.size()),
+                   {{"records", block.size()}});
+      }
       runs.push_back(run_path);
     }
   }
@@ -569,6 +678,12 @@ SortFileStats external_sort_file(Workspace& ws,
   if (runs.empty()) {
     io::RecordWriter<FpRecord> empty(output, *ws.io);
     empty.close();
+    if (cm != nullptr) {
+      cm->record(sort_file_key(output),
+                 {{"records", 0},
+                  {"host_blocks", 0},
+                  {"passes", stats.disk_passes}});
+    }
     return stats;
   }
 
@@ -583,7 +698,7 @@ SortFileStats external_sort_file(Workspace& ws,
         continue;
       }
       const std::filesystem::path merged =
-          output.string() + ".gen" + std::to_string(generation) + "." +
+          scratch_base(output) + ".gen" + std::to_string(generation) + "." +
           std::to_string(i / 2);
       merge_files(ws, runs[i], runs[i + 1], merged, geometry, streams);
       std::filesystem::remove(runs[i]);
@@ -595,6 +710,12 @@ SortFileStats external_sort_file(Workspace& ws,
   }
 
   std::filesystem::rename(runs.front(), output);
+  if (cm != nullptr) {
+    cm->record(sort_file_key(output),
+               {{"records", stats.records},
+                {"host_blocks", stats.host_blocks},
+                {"passes", stats.disk_passes}});
+  }
   return stats;
 }
 
@@ -626,6 +747,15 @@ SortResult run_sort_phase(Workspace& ws, MapResult& map,
     result.records_sorted += s1.records + s2.records;
     result.max_disk_passes =
         std::max({result.max_disk_passes, s1.disk_passes, s2.disk_passes});
+
+    if (ws.checkpoint != nullptr) {
+      std::snprintf(name, sizeof(name), "sort:part:%05u", length);
+      ws.checkpoint->record(name,
+                            {{"suffix_records", part.suffix_records},
+                             {"prefix_records", part.prefix_records},
+                             {"suffix_passes", s1.disk_passes},
+                             {"prefix_passes", s2.disk_passes}});
+    }
     result.partitions.push_back(std::move(part));
   }
   LOG_INFO << "sort: " << result.records_sorted << " records, "

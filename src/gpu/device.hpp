@@ -18,6 +18,7 @@
 
 #include "gpu/device_buffer.hpp"
 #include "gpu/profile.hpp"
+#include "io/fault_injector.hpp"
 #include "util/memory_tracker.hpp"
 #include "util/thread_pool.hpp"
 
@@ -89,9 +90,13 @@ class Device {
   [[nodiscard]] const util::MemoryTracker& memory() const { return memory_; }
 
   /// Allocate a device buffer of `count` elements; throws
-  /// util::MemoryTracker::CapacityError when the device is full.
+  /// util::MemoryTracker::CapacityError when the device is full, or
+  /// io::FaultError when an installed injector fails the allocation.
   template <typename T>
   [[nodiscard]] DeviceBuffer<T> alloc(std::size_t count) {
+    if (io::FaultInjector* injector = io::FaultInjector::active()) {
+      injector->on_alloc(count * sizeof(T));
+    }
     return DeviceBuffer<T>(memory_, count);
   }
 

@@ -32,11 +32,15 @@ namespace lasagna::io {
 template <TrivialRecord T>
 class AsyncRecordReader {
  public:
+  /// `skip_records` is applied to the underlying reader before the prefetch
+  /// thread starts (resume paths continue mid-file without re-reading).
   explicit AsyncRecordReader(const std::filesystem::path& path,
                              IoStats& stats = IoStats::global(),
                              std::size_t block_records = 1 << 16,
-                             std::size_t max_queued_blocks = 2)
-      : reader_(path, stats),  // open failures throw in the caller's thread
+                             std::size_t max_queued_blocks = 2,
+                             std::uint64_t skip_records = 0)
+      : reader_(path, stats,
+                skip_records),  // open failures throw in the caller's thread
         block_records_(std::max<std::size_t>(1, block_records)),
         max_queued_(std::max<std::size_t>(1, max_queued_blocks)),
         worker_([this] { run(); }) {}

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "io/fault_injector.hpp"
+
 namespace lasagna::io {
 
 namespace {
@@ -21,6 +23,11 @@ bool read_line(std::istream& in, std::string& line) {
 }  // namespace
 
 bool SequenceReader::next(SequenceRecord& out) {
+  // One injector consultation per record (FASTQ bypasses ReadOnlyStream, so
+  // this is the read hook for sequence input; bytes are unknown up front).
+  if (FaultInjector* injector = FaultInjector::active()) {
+    injector->on_read(source_, 1, nullptr);
+  }
   // Skip blank lines between records.
   do {
     if (!read_line(*in_, line_)) return false;
@@ -70,6 +77,7 @@ std::vector<SequenceRecord> read_sequence_file(
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path.string());
   SequenceReader reader(in);
+  reader.set_source(path);
   std::vector<SequenceRecord> records;
   SequenceRecord record;
   while (reader.next(record)) records.push_back(record);
@@ -81,6 +89,7 @@ void for_each_sequence(const std::filesystem::path& path,
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path.string());
   SequenceReader reader(in);
+  reader.set_source(path);
   SequenceRecord record;
   while (reader.next(record)) fn(record);
 }

@@ -25,6 +25,11 @@ class SequenceReader {
  public:
   explicit SequenceReader(std::istream& in) : in_(&in) {}
 
+  /// Label this reader with the path it is parsing. FASTQ input bypasses
+  /// the ReadOnlyStream layer (it reads an std::istream), so the label is
+  /// what io::FaultInjector read policies match against.
+  void set_source(std::filesystem::path path) { source_ = std::move(path); }
+
   /// Parse the next record; returns false at end of input.
   /// Throws std::runtime_error on malformed input.
   bool next(SequenceRecord& out);
@@ -34,6 +39,7 @@ class SequenceReader {
 
  private:
   std::istream* in_;
+  std::filesystem::path source_;
   std::uint64_t count_ = 0;
   std::string line_;
 };

@@ -1,0 +1,267 @@
+#include "io/fault_injector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace lasagna::io {
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+
+namespace {
+
+// splitmix64 — tiny, high-quality mixer; (seed, op index) -> uniform u64.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* fault_op_name(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kAlloc:
+      return "alloc";
+  }
+  return "?";
+}
+
+void FaultInjector::add_policy(const FaultPolicy& policy) {
+  const std::scoped_lock lock(mutex_);
+  policies_.push_back(PolicyState{policy, 0});
+}
+
+FaultInjector::Decision FaultInjector::evaluate(FaultOp op,
+                                                const std::string& path) {
+  Decision decision;
+  const std::scoped_lock lock(mutex_);
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    PolicyState& state = policies_[i];
+    const FaultPolicy& p = state.policy;
+    if (p.op != op) continue;
+    if (!p.path_match.empty() &&
+        path.find(p.path_match) == std::string::npos) {
+      continue;
+    }
+    const std::uint64_t index = ++state.ops;
+    bool fire = p.nth != 0 && index == p.nth;
+    if (!fire && p.rate > 0.0) {
+      // Deterministic per-(seed, policy, op-index) coin flip.
+      const std::uint64_t h =
+          splitmix64(seed_ ^ (static_cast<std::uint64_t>(i) << 48) ^ index);
+      const double u =
+          static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0,1)
+      fire = u < p.rate;
+    }
+    if (!fire) continue;
+    decision.fired = true;
+    if (p.transient > 0) {
+      decision.transient = std::max(decision.transient, p.transient);
+    } else if (p.short_bytes > 0 && op == FaultOp::kWrite) {
+      decision.short_bytes = decision.short_bytes == 0
+                                 ? p.short_bytes
+                                 : std::min(decision.short_bytes,
+                                            p.short_bytes);
+    } else {
+      decision.fatal = true;
+    }
+  }
+  return decision;
+}
+
+void FaultInjector::absorb(FaultOp op, const Decision& decision,
+                           const std::string& what, IoStats* stats) {
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  if (stats != nullptr) stats->add_fault_injected();
+  if (decision.fatal) {
+    fatal_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) stats->add_fault_fatal();
+    throw FaultError(op, /*transient=*/false,
+                     "injected fatal " + std::string(fault_op_name(op)) +
+                         " fault: " + what);
+  }
+  // Transient: fail `decision.transient` consecutive attempts, each retried
+  // with a tiny exponential backoff, then succeed — unless the budget runs
+  // out first.
+  if (decision.transient > max_retries_) {
+    fatal_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) stats->add_fault_fatal();
+    throw FaultError(op, /*transient=*/true,
+                     "transient " + std::string(fault_op_name(op)) +
+                         " fault persisted past " +
+                         std::to_string(max_retries_) +
+                         " retries: " + what);
+  }
+  for (unsigned attempt = 0; attempt < decision.transient; ++attempt) {
+    retried_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) stats->add_fault_retried();
+    const auto backoff =
+        std::chrono::microseconds(1ULL << std::min(attempt, 6U));
+    std::this_thread::sleep_for(backoff);
+  }
+}
+
+void FaultInjector::on_read(const std::filesystem::path& path,
+                            std::size_t bytes, IoStats* stats) {
+  (void)bytes;
+  const std::string p = path.string();
+  const Decision decision = evaluate(FaultOp::kRead, p);
+  if (!decision.fired) return;
+  absorb(FaultOp::kRead, decision, p, stats);
+}
+
+std::size_t FaultInjector::on_write(const std::filesystem::path& path,
+                                    std::size_t bytes, IoStats* stats) {
+  const std::string p = path.string();
+  const Decision decision = evaluate(FaultOp::kWrite, p);
+  if (!decision.fired) return bytes;
+  if (decision.short_bytes > 0 && !decision.fatal &&
+      decision.transient == 0) {
+    // Short write: count it as injected+retried (the caller's remainder
+    // loop is the retry) and truncate, leaving at least one byte so the
+    // stream always makes progress.
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    retried_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) {
+      stats->add_fault_injected();
+      stats->add_fault_retried();
+    }
+    return std::max<std::size_t>(1, std::min(decision.short_bytes, bytes));
+  }
+  absorb(FaultOp::kWrite, decision, p, stats);
+  return bytes;
+}
+
+void FaultInjector::on_alloc(std::uint64_t bytes) {
+  const std::string what = "device alloc of " + std::to_string(bytes) + " B";
+  const Decision decision = evaluate(FaultOp::kAlloc, what);
+  if (!decision.fired) return;
+  absorb(FaultOp::kAlloc, decision, what, nullptr);
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& text, const std::string& where) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault spec: bad number '" + text + "' in " +
+                                where);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<FaultInjector> FaultInjector::parse(const std::string& spec) {
+  // First pass collects seed/retries so policies see the final seed.
+  std::uint64_t seed = 0;
+  unsigned retries = 8;
+  std::vector<FaultPolicy> policies;
+
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', pos), spec.size());
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    if (clause.rfind("seed=", 0) == 0) {
+      seed = parse_u64(clause.substr(5), clause);
+      continue;
+    }
+    if (clause.rfind("retries=", 0) == 0) {
+      retries = static_cast<unsigned>(parse_u64(clause.substr(8), clause));
+      continue;
+    }
+
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("fault spec: clause '" + clause +
+                                  "' has no ':'");
+    }
+    FaultPolicy policy;
+    const std::string op = clause.substr(0, colon);
+    if (op == "read") {
+      policy.op = FaultOp::kRead;
+    } else if (op == "write") {
+      policy.op = FaultOp::kWrite;
+    } else if (op == "alloc") {
+      policy.op = FaultOp::kAlloc;
+    } else {
+      throw std::invalid_argument("fault spec: unknown op '" + op + "'");
+    }
+
+    std::size_t ppos = colon + 1;
+    while (ppos <= clause.size()) {
+      const std::size_t pend = std::min(clause.find(',', ppos), clause.size());
+      const std::string param = clause.substr(ppos, pend - ppos);
+      ppos = pend + 1;
+      if (param.empty()) continue;
+      if (param.rfind("nth=", 0) == 0) {
+        policy.nth = parse_u64(param.substr(4), clause);
+      } else if (param.rfind("rate=", 0) == 0) {
+        try {
+          policy.rate = std::stod(param.substr(5));
+        } catch (const std::exception&) {
+          throw std::invalid_argument("fault spec: bad rate in '" + clause +
+                                      "'");
+        }
+      } else if (param.rfind("transient=", 0) == 0) {
+        policy.transient =
+            static_cast<unsigned>(parse_u64(param.substr(10), clause));
+      } else if (param.rfind("short=", 0) == 0) {
+        policy.short_bytes =
+            static_cast<std::size_t>(parse_u64(param.substr(6), clause));
+      } else if (param.rfind("match=", 0) == 0) {
+        policy.path_match = param.substr(6);
+      } else {
+        throw std::invalid_argument("fault spec: unknown param '" + param +
+                                    "'");
+      }
+    }
+    if (policy.nth == 0 && policy.rate <= 0.0) {
+      throw std::invalid_argument("fault spec: clause '" + clause +
+                                  "' has no trigger (nth= or rate=)");
+    }
+    policies.push_back(policy);
+  }
+
+  auto injector = std::make_unique<FaultInjector>(seed);
+  injector->set_max_retries(retries);
+  for (const FaultPolicy& p : policies) injector->add_policy(p);
+  return injector;
+}
+
+namespace {
+
+// Parses LASAGNA_FAULT_SPEC at static-init time and installs a process-wide
+// injector, so any binary (tests under a CI shard, the example CLI) can be
+// run under ambient fault injection without code changes.
+struct EnvInstaller {
+  std::unique_ptr<FaultInjector> injector;
+  EnvInstaller() {
+    const char* spec = std::getenv("LASAGNA_FAULT_SPEC");
+    if (spec == nullptr || spec[0] == '\0') return;
+    injector = FaultInjector::parse(spec);
+    FaultInjector::install(injector.get());
+  }
+  ~EnvInstaller() {
+    if (injector != nullptr &&
+        FaultInjector::active() == injector.get()) {
+      FaultInjector::install(nullptr);
+    }
+  }
+};
+
+const EnvInstaller g_env_installer;
+
+}  // namespace
+
+}  // namespace lasagna::io

@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <system_error>
 
+#include "io/fault_injector.hpp"
+
 namespace lasagna::io {
 
 namespace {
@@ -27,6 +29,9 @@ ReadOnlyStream::ReadOnlyStream(const std::filesystem::path& path,
 
 std::size_t ReadOnlyStream::read_bytes(std::span<std::byte> out) {
   if (out.empty()) return 0;
+  if (FaultInjector* injector = FaultInjector::active()) {
+    injector->on_read(path_, out.size(), stats_);
+  }
   const std::size_t got =
       std::fread(out.data(), 1, out.size(), file_.get());
   if (got < out.size()) {
@@ -41,6 +46,16 @@ std::size_t ReadOnlyStream::read_bytes(std::span<std::byte> out) {
   return got;
 }
 
+void ReadOnlyStream::skip_bytes(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  if (std::fseek(file_.get(), static_cast<long>(bytes), SEEK_CUR) != 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "seek " + path_.string());
+  }
+  offset_ += bytes;
+  if (offset_ >= size_) eof_ = offset_ > size_;
+}
+
 WriteOnlyStream::WriteOnlyStream(const std::filesystem::path& path,
                                  IoStats& stats)
     : path_(path), file_(open_file(path, "wb")), stats_(&stats) {}
@@ -50,14 +65,25 @@ void WriteOnlyStream::write_bytes(std::span<const std::byte> data) {
   if (file_ == nullptr) {
     throw std::logic_error("write to closed stream " + path_.string());
   }
-  const std::size_t put =
-      std::fwrite(data.data(), 1, data.size(), file_.get());
-  if (put != data.size()) {
-    throw std::system_error(errno, std::generic_category(),
-                            "write " + path_.string());
+  // Remainder loop: a single logical write survives injected short writes
+  // by retrying the unwritten tail, the same contract POSIX write(2)
+  // callers implement.
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::size_t want = data.size() - off;
+    if (FaultInjector* injector = FaultInjector::active()) {
+      want = injector->on_write(path_, want, stats_);
+    }
+    const std::size_t put =
+        std::fwrite(data.data() + off, 1, want, file_.get());
+    if (put != want) {
+      throw std::system_error(errno, std::generic_category(),
+                              "write " + path_.string());
+    }
+    offset_ += put;
+    stats_->add_write(put);
+    off += put;
   }
-  offset_ += put;
-  stats_->add_write(put);
 }
 
 void WriteOnlyStream::close() { file_.reset(); }

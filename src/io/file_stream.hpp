@@ -34,6 +34,11 @@ class ReadOnlyStream {
   /// (less than requested only at end of file).
   std::size_t read_bytes(std::span<std::byte> out);
 
+  /// Seek forward past `bytes` without reading them. Skipped bytes are not
+  /// charged to `stats` — resume paths use this to avoid re-paying for data
+  /// that a completed run already consumed.
+  void skip_bytes(std::uint64_t bytes);
+
   /// True once a read has hit end of file.
   [[nodiscard]] bool eof() const { return eof_; }
 

@@ -47,6 +47,17 @@ class PartitionSet {
     finalized_ = true;
   }
 
+  /// Adopt already-written partition files (checkpoint resume): install the
+  /// recorded per-length counts and mark the set finalized without opening
+  /// any writers. The files themselves are validated by the caller.
+  void restore_finalized(const std::map<unsigned, std::uint64_t>& counts) {
+    if (!writers_.empty()) {
+      throw std::logic_error("PartitionSet::restore_finalized after append");
+    }
+    counts_ = counts;
+    finalized_ = true;
+  }
+
   /// Lengths that received at least one record, ascending.
   [[nodiscard]] std::vector<unsigned> lengths() const {
     std::vector<unsigned> out;

@@ -21,9 +21,14 @@ concept TrivialRecord = std::is_trivially_copyable_v<T>;
 template <TrivialRecord T>
 class RecordReader {
  public:
+  /// `skip_records` seeks past that many leading records without reading
+  /// (or charging) them — resume paths use it to continue mid-file.
   explicit RecordReader(const std::filesystem::path& path,
-                        IoStats& stats = IoStats::global())
-      : stream_(path, stats) {}
+                        IoStats& stats = IoStats::global(),
+                        std::uint64_t skip_records = 0)
+      : stream_(path, stats) {
+    if (skip_records > 0) stream_.skip_bytes(skip_records * sizeof(T));
+  }
 
   /// Read up to `max_records` records into `out` (appended).
   /// Returns the number of records read; 0 at end of file.

@@ -1,8 +1,11 @@
 #include "io/tempdir.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <random>
 #include <system_error>
+
+#include "util/logging.hpp"
 
 namespace lasagna::io {
 
@@ -12,6 +15,25 @@ std::string unique_suffix() {
   static const std::uint64_t boot = std::random_device{}();
   return std::to_string(boot ^ 0x9e3779b97f4a7c15ull) + "-" +
          std::to_string(counter.fetch_add(1));
+}
+
+// LASAGNA_KEEP_WORKSPACE=1 disables cleanup (and logs the retained path),
+// so a failed recovery test leaves its workspace behind for forensics.
+bool keep_workspace() {
+  const char* value = std::getenv("LASAGNA_KEEP_WORKSPACE");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+void dispose(const std::filesystem::path& path) {
+  if (path.empty()) return;
+  if (keep_workspace()) {
+    LOG_INFO << "keeping workspace (LASAGNA_KEEP_WORKSPACE): "
+             << path.string();
+    return;
+  }
+  std::error_code ec;  // best-effort cleanup; ignore failures
+  std::filesystem::remove_all(path, ec);
 }
 }  // namespace
 
@@ -23,12 +45,7 @@ ScopedTempDir::ScopedTempDir(const std::string& prefix,
   std::filesystem::create_directories(path_);
 }
 
-ScopedTempDir::~ScopedTempDir() {
-  if (!path_.empty()) {
-    std::error_code ec;  // best-effort cleanup; ignore failures
-    std::filesystem::remove_all(path_, ec);
-  }
-}
+ScopedTempDir::~ScopedTempDir() { dispose(path_); }
 
 ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
     : path_(std::move(other.path_)) {
@@ -37,10 +54,7 @@ ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
 
 ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
   if (this != &other) {
-    if (!path_.empty()) {
-      std::error_code ec;
-      std::filesystem::remove_all(path_, ec);
-    }
+    dispose(path_);
     path_ = std::move(other.path_);
     other.path_.clear();
   }

@@ -90,6 +90,7 @@ struct ReadBatchStream::Impl {
                                paths[file_index].string());
     }
     reader = std::make_unique<io::SequenceReader>(file);
+    reader->set_source(paths[file_index]);
   }
 
   /// Next record across file boundaries.

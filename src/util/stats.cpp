@@ -43,6 +43,14 @@ std::uint64_t RunStats::total_disk_bytes() const {
   return total;
 }
 
+unsigned RunStats::resumed_phase_count() const {
+  unsigned count = 0;
+  for (const auto& p : phases_) {
+    if (p.resumed) ++count;
+  }
+  return count;
+}
+
 std::string RunStats::to_table() const {
   std::ostringstream out;
   std::array<char, 256> line{};

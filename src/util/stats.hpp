@@ -21,6 +21,8 @@ struct PhaseStats {
   std::uint64_t peak_device_bytes = 0;
   std::uint64_t disk_bytes_read = 0;
   std::uint64_t disk_bytes_written = 0;
+  /// True when the phase was restored from a checkpoint instead of run.
+  bool resumed = false;
 };
 
 /// Ordered collection of phase stats for one pipeline run.
@@ -39,6 +41,9 @@ class RunStats {
   [[nodiscard]] double total_wall_seconds() const;
   [[nodiscard]] double total_modeled_seconds() const;
   [[nodiscard]] std::uint64_t total_disk_bytes() const;
+
+  /// Phases restored from a checkpoint instead of executed.
+  [[nodiscard]] unsigned resumed_phase_count() const;
 
   /// Render an aligned table like the paper's Tables II/III.
   [[nodiscard]] std::string to_table() const;

@@ -3,6 +3,7 @@
 // surfacing through the kernel launcher.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 
 #include "core/map_phase.hpp"
@@ -125,6 +126,94 @@ TEST(Failure, ReadsShorterThanMinOverlapProduceNoEdges) {
       assembler.run(dir.file("short.fastq"), dir.file("out.fa"));
   EXPECT_EQ(result.candidate_edges, 0u);
   EXPECT_EQ(result.contigs.count, 2u);  // both emitted as singletons
+}
+
+TEST(Failure, TruncatedFastqRecordThrowsTypedError) {
+  io::ScopedTempDir dir("lasagna-fail");
+  // Header + sequence, then EOF: no '+' separator, no quality.
+  std::ofstream(dir.file("trunc.fastq")) << "@r0\nACGTACGTACGT\n";
+  core::AssemblyConfig config;
+  core::Assembler assembler(config);
+  EXPECT_THROW((void)assembler.run(dir.file("trunc.fastq"),
+                                   dir.file("out.fa")),
+               std::runtime_error);
+}
+
+TEST(Failure, MissingQualityLineThrowsTypedError) {
+  io::ScopedTempDir dir("lasagna-fail");
+  std::ofstream(dir.file("noq.fastq")) << "@r0\nACGTACGT\n+\n";
+  core::AssemblyConfig config;
+  core::Assembler assembler(config);
+  EXPECT_THROW((void)assembler.run(dir.file("noq.fastq"),
+                                   dir.file("out.fa")),
+               std::runtime_error);
+}
+
+TEST(Failure, EmptyQualityLineIsALengthMismatch) {
+  io::ScopedTempDir dir("lasagna-fail");
+  std::ofstream(dir.file("emptyq.fastq"))
+      << "@r0\nACGTACGT\n+\n\n@r1\nACGTACGT\n+\nIIIIIIII\n";
+  core::AssemblyConfig config;
+  core::Assembler assembler(config);
+  EXPECT_THROW((void)assembler.run(dir.file("emptyq.fastq"),
+                                   dir.file("out.fa")),
+               std::runtime_error);
+}
+
+TEST(Failure, CrlfLineEndingsParseCleanly) {
+  io::ScopedTempDir dir("lasagna-fail");
+  std::ofstream(dir.file("crlf.fastq"), std::ios::binary)
+      << "@r0\r\nACGTACGTACGTACGT\r\n+\r\nIIIIIIIIIIIIIIII\r\n"
+      << "@r1\r\nCGTACGTACGTACGTA\r\n+\r\nIIIIIIIIIIIIIIII\r\n";
+  core::AssemblyConfig config;
+  config.min_overlap = 8;
+  config.include_singletons = true;
+  core::Assembler assembler(config);
+  const auto result =
+      assembler.run(dir.file("crlf.fastq"), dir.file("out.fa"));
+  // \r must be stripped, not folded into the sequence/quality bytes.
+  EXPECT_EQ(result.read_count, 2u);
+  EXPECT_EQ(result.total_bases, 32u);
+}
+
+TEST(Failure, ReadLongerThanLengthFieldThrowsInsteadOfTruncating) {
+  io::ScopedTempDir dir("lasagna-fail");
+  // 70,000 bases overflows the uint16 read-length record; a silent wrap to
+  // 4464 would corrupt every downstream overhang.
+  const std::string huge(70000, 'A');
+  std::ofstream(dir.file("huge.fastq"))
+      << "@r0\n" << huge << "\n+\n" << std::string(huge.size(), 'I') << "\n";
+  core::AssemblyConfig config;
+  config.machine.host_memory_bytes = 8 << 20;
+  config.machine.device_memory_bytes = 4 << 20;
+  core::Assembler assembler(config);
+  EXPECT_THROW((void)assembler.run(dir.file("huge.fastq"),
+                                   dir.file("out.fa")),
+               std::runtime_error);
+}
+
+TEST(Failure, KeepWorkspaceEnvPreservesTempDir) {
+  std::filesystem::path kept;
+  {
+    io::ScopedTempDir dir("lasagna-keep");
+    kept = dir.path();
+    std::ofstream(dir.file("evidence.log")) << "kept\n";
+    ::setenv("LASAGNA_KEEP_WORKSPACE", "1", 1);
+  }
+  ::unsetenv("LASAGNA_KEEP_WORKSPACE");
+  EXPECT_TRUE(std::filesystem::exists(kept / "evidence.log"));
+  std::filesystem::remove_all(kept);
+}
+
+TEST(Failure, KeepWorkspaceZeroStillRemoves) {
+  std::filesystem::path gone;
+  {
+    io::ScopedTempDir dir("lasagna-keep");
+    gone = dir.path();
+    ::setenv("LASAGNA_KEEP_WORKSPACE", "0", 1);
+  }
+  ::unsetenv("LASAGNA_KEEP_WORKSPACE");
+  EXPECT_FALSE(std::filesystem::exists(gone));
 }
 
 TEST(Failure, WorkDirIsReusableAcrossRuns) {

@@ -1,0 +1,230 @@
+// Crash-recovery suite: kill the pipeline in each phase with an injected
+// fatal fault, resume from the checkpoint manifest, and require (a) contigs
+// byte-identical to an uninterrupted run, (b) identical result counters,
+// (c) strictly less disk traffic in the resumed run than a full rerun.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/pipeline.hpp"
+#include "io/fault_injector.hpp"
+#include "io/tempdir.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Two-file dataset plus the small-memory machine shape that forces the
+/// external sort into several level-1 runs per partition (so the per-run
+/// checkpoints matter).
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string genome = seq::random_genome(4000, 17);
+    seq::SequencingSpec spec;
+    spec.read_length = 100;
+    spec.coverage = 6.0;
+    spec.seed = 21;
+    seq::simulate_to_fastq(genome, spec, dir_.file("a.fq"));
+    spec.seed = 22;
+    seq::simulate_to_fastq(genome, spec, dir_.file("b.fq"));
+    fastqs_ = {dir_.file("a.fq"), dir_.file("b.fq")};
+  }
+
+  core::AssemblyConfig config(const std::string& scenario) const {
+    core::AssemblyConfig c;
+    c.min_overlap = 80;
+    c.include_singletons = true;
+    // ~680 records per host block; per-length partitions here hold a few
+    // thousand records, so every partition sorts through multiple runs.
+    c.machine.host_memory_bytes = 32 << 10;
+    c.machine.device_memory_bytes = 1 << 20;
+    c.work_dir = dir_.path() / ("work-" + scenario);
+    return c;
+  }
+
+  /// The uninterrupted reference run for one scenario's work dir.
+  core::AssemblyResult run_full(const std::string& scenario) {
+    core::Assembler assembler(config(scenario));
+    return assembler.run(fastqs_, out(scenario));
+  }
+
+  std::filesystem::path out(const std::string& scenario) const {
+    return dir_.file("out-" + scenario + ".fa");
+  }
+
+  /// Kill a run with `spec` installed, then resume without faults. Asserts
+  /// the crash surfaced as FaultError and returns the resumed result.
+  core::AssemblyResult crash_and_resume(const std::string& scenario,
+                                        const std::string& spec) {
+    {
+      auto injector = io::FaultInjector::parse(spec);
+      io::FaultInjector::ScopedInstall guard(injector.get());
+      core::Assembler assembler(config(scenario));
+      EXPECT_THROW((void)assembler.run(fastqs_, out(scenario)),
+                   io::FaultError);
+      EXPECT_GE(injector->fatal(), 1u);
+    }
+    core::AssemblyConfig resumed = config(scenario);
+    resumed.resume = true;
+    core::Assembler assembler(resumed);
+    return assembler.run(fastqs_, out(scenario));
+  }
+
+  void expect_equal_results(const core::AssemblyResult& a,
+                            const core::AssemblyResult& b) {
+    EXPECT_EQ(a.read_count, b.read_count);
+    EXPECT_EQ(a.total_bases, b.total_bases);
+    EXPECT_EQ(a.tuples_emitted, b.tuples_emitted);
+    EXPECT_EQ(a.records_sorted, b.records_sorted);
+    EXPECT_EQ(a.candidate_edges, b.candidate_edges);
+    EXPECT_EQ(a.accepted_edges, b.accepted_edges);
+    EXPECT_EQ(a.false_positives, b.false_positives);
+    EXPECT_EQ(a.graph_edges, b.graph_edges);
+    EXPECT_EQ(a.paths, b.paths);
+    EXPECT_EQ(a.contigs.count, b.contigs.count);
+    EXPECT_EQ(a.contigs.total_bases, b.contigs.total_bases);
+    EXPECT_EQ(a.contigs.n50, b.contigs.n50);
+    EXPECT_EQ(a.contigs.max_length, b.contigs.max_length);
+  }
+
+  /// The recovery contract for one phase-kill scenario.
+  void check_scenario(const std::string& scenario, const std::string& spec,
+                      unsigned min_phases_resumed) {
+    const core::AssemblyResult full = run_full("ref");
+    const std::string reference = slurp(out("ref"));
+
+    const core::AssemblyResult resumed = crash_and_resume(scenario, spec);
+    EXPECT_EQ(slurp(out(scenario)), reference) << scenario;
+    expect_equal_results(resumed, full);
+    EXPECT_GE(resumed.phases_resumed, min_phases_resumed);
+    // The whole point of resuming: strictly less disk work than a rerun
+    // (total_disk_bytes includes the FASTQ streaming charged per phase).
+    EXPECT_LT(resumed.stats.total_disk_bytes(),
+              full.stats.total_disk_bytes());
+  }
+
+  io::ScopedTempDir dir_{"lasagna-recovery"};
+  std::vector<std::filesystem::path> fastqs_;
+};
+
+TEST_F(RecoveryTest, KilledDuringLoadResumesPastFinishedFiles) {
+  // First touch of b.fq dies: a.fq's load checkpoint survives, so the
+  // resumed run re-streams only the second file in the load phase.
+  check_scenario("load", "read:nth=1,match=b.fq", 0);
+}
+
+TEST_F(RecoveryTest, KilledDuringMapResumesWithLoadSkipped) {
+  check_scenario("map", "write:nth=5,match=sfx_", 1);
+}
+
+TEST_F(RecoveryTest, KilledDuringSortResumesFinishedRuns) {
+  // The 4th level-1 run write dies, after at least one partition file (and
+  // several runs) have been checkpointed.
+  check_scenario("sort", "write:nth=4,match=.run", 2);
+}
+
+TEST_F(RecoveryTest, KilledDuringReduceResumesWithSortSkipped) {
+  check_scenario("reduce", "read:nth=10,match=.sorted", 3);
+}
+
+TEST_F(RecoveryTest, KilledDuringCompressResumesEverythingElse) {
+  check_scenario("compress", "write:nth=1,match=.fa.tmp", 4);
+}
+
+TEST_F(RecoveryTest, CrashNeverLeavesAPartialContigFile) {
+  auto injector = io::FaultInjector::parse("write:nth=1,match=.fa.tmp");
+  io::FaultInjector::ScopedInstall guard(injector.get());
+  core::Assembler assembler(config("atomic"));
+  EXPECT_THROW((void)assembler.run(fastqs_, out("atomic")), io::FaultError);
+  EXPECT_FALSE(std::filesystem::exists(out("atomic")));
+  EXPECT_FALSE(std::filesystem::exists(out("atomic").string() + ".tmp"));
+}
+
+TEST_F(RecoveryTest, ResumeAfterSuccessfulRunSkipsEveryPhaseButCompress) {
+  (void)run_full("noop");
+  core::AssemblyConfig c = config("noop");
+  c.resume = true;
+  core::Assembler assembler(c);
+  const auto resumed = assembler.run(fastqs_, out("noop"));
+  EXPECT_EQ(resumed.phases_resumed, 4u);  // compress always re-runs
+  for (const auto& phase : resumed.stats.phases()) {
+    if (phase.name != "compress") {
+      EXPECT_TRUE(phase.resumed) << phase.name;
+    }
+  }
+}
+
+TEST_F(RecoveryTest, ChangedInputInvalidatesTheCheckpoint) {
+  (void)run_full("fpr");
+  // Appending one record changes the input fingerprint: resume must fall
+  // back to a fresh run rather than splice stale state.
+  std::ofstream(fastqs_[1], std::ios::app)
+      << "@extra\n" << std::string(90, 'A') << "\n+\n"
+      << std::string(90, 'I') << "\n";
+  core::AssemblyConfig c = config("fpr");
+  c.resume = true;
+  core::Assembler assembler(c);
+  const auto resumed = assembler.run(fastqs_, out("fpr"));
+  EXPECT_EQ(resumed.phases_resumed, 0u);
+}
+
+TEST_F(RecoveryTest, ChangedParametersInvalidateTheCheckpoint) {
+  (void)run_full("cfg");
+  core::AssemblyConfig c = config("cfg");
+  c.resume = true;
+  c.min_overlap = 81;  // different partitioning: stale runs unusable
+  core::Assembler assembler(c);
+  const auto resumed = assembler.run(fastqs_, out("cfg"));
+  EXPECT_EQ(resumed.phases_resumed, 0u);
+}
+
+TEST(CheckpointManager, RecordsSurviveReloadAndRejectMismatchedGuards) {
+  io::ScopedTempDir dir("lasagna-ckpt");
+  {
+    core::CheckpointManager cm(dir.path(), 0x1111, 0x2222);
+    cm.reset();
+    cm.record("phase:map", {{"read_count", 42}, {"total_bases", 4200}});
+    cm.record("sort:run:sfx_00080.sorted:0", {{"records", 7}});
+  }
+  core::CheckpointManager reloaded(dir.path(), 0x1111, 0x2222);
+  ASSERT_TRUE(reloaded.load());
+  EXPECT_EQ(reloaded.counter("phase:map", "read_count"), 42u);
+  EXPECT_EQ(reloaded.counter("phase:map", "total_bases"), 4200u);
+  EXPECT_TRUE(reloaded.has("sort:run:sfx_00080.sorted:0"));
+  EXPECT_EQ(reloaded.keys_with_prefix("sort:run:").size(), 1u);
+
+  core::CheckpointManager wrong_input(dir.path(), 0x9999, 0x2222);
+  EXPECT_FALSE(wrong_input.load());
+  core::CheckpointManager wrong_config(dir.path(), 0x1111, 0x9999);
+  EXPECT_FALSE(wrong_config.load());
+}
+
+TEST(CheckpointManager, TruncatedManifestIsRejectedNotTrusted) {
+  io::ScopedTempDir dir("lasagna-ckpt");
+  {
+    core::CheckpointManager cm(dir.path(), 1, 2);
+    cm.reset();
+    cm.record("phase:load", {{"read_count", 10}});
+  }
+  // Simulate a torn write: chop the manifest mid-line.
+  const auto manifest = dir.file("checkpoint.manifest");
+  const auto size = std::filesystem::file_size(manifest);
+  std::filesystem::resize_file(manifest, size - 5);
+  core::CheckpointManager cm(dir.path(), 1, 2);
+  EXPECT_FALSE(cm.load());
+}
+
+}  // namespace
+}  // namespace lasagna
