@@ -37,6 +37,12 @@ struct MachineConfig {
   /// modeled device seconds are multiplied by this factor to land in the
   /// same units.
   double time_scale = 4096.0;
+  /// Modeled host-stage throughput (tuple emission, greedy edge
+  /// insertion): streaming small-record updates run well below memcpy
+  /// speed on paper-era Xeons; 1 GB/s is a conservative figure. Divided by
+  /// the memory scale like disk bandwidth, so modeled host seconds are in
+  /// full-size-world units.
+  double host_bandwidth_bytes_per_sec = 1e9 / 4096.0;
   /// Fraction of host memory usable as a single sort block m_h (the rest
   /// is double-buffering and pipeline overhead).
   double host_sort_fraction = 0.5;
@@ -61,6 +67,7 @@ inline MachineConfig MachineConfig::queenbee_k40(double scale) {
       static_cast<std::uint64_t>(12.0 * (1ull << 30) / scale);
   m.gpu_profile = gpu::GpuProfile::k40();
   m.disk_bandwidth_bytes_per_sec = 500e6 / scale;
+  m.host_bandwidth_bytes_per_sec = 1e9 / scale;
   m.time_scale = scale;
   return m;
 }
@@ -74,6 +81,7 @@ inline MachineConfig MachineConfig::supermic_k20(double scale) {
       static_cast<std::uint64_t>(6.0 * (1ull << 30) / scale);
   m.gpu_profile = gpu::GpuProfile::k20x();
   m.disk_bandwidth_bytes_per_sec = 500e6 / scale;
+  m.host_bandwidth_bytes_per_sec = 1e9 / scale;
   m.time_scale = scale;
   return m;
 }
@@ -108,6 +116,15 @@ struct AssemblyConfig {
   /// streams). Output is byte-identical either way; only the modeled
   /// timeline and wall-clock overlap change.
   bool streamed_sort = true;
+  /// Run the map phase's three-stage software pipeline: background FASTQ
+  /// batch prefetch, double-buffered fingerprint kernels, and background
+  /// tuple emission. Partition files are byte-identical either way.
+  bool streamed_map = true;
+  /// Run the reduce phase's streamed pipeline: async window prefetch,
+  /// double-buffered bound kernels, and host greedy insertion deferred one
+  /// window behind the device. The graph's edge set is identical either
+  /// way.
+  bool streamed_reduce = true;
   /// Working directory for intermediate files (empty = fresh temp dir).
   std::filesystem::path work_dir;
   /// Resume from the checkpoint manifest in `work_dir` (if one exists and

@@ -1,17 +1,27 @@
 #include "core/map_phase.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <limits>
-#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <vector>
 
+#include "gpu/stream.hpp"
+#include "seq/async_batch_stream.hpp"
 #include "seq/dna.hpp"
 #include "seq/read_store.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lasagna::core {
 
 namespace {
+
+// The PlaceTable wants the longest read length up front; Illumina reads
+// are uniform, so we allocate for the longest supported and slice later.
+constexpr unsigned kMaxReadLength = 512;
 
 /// Batch size in *input* bases: each input base occupies two strands
 /// (forward + reverse complement) on the device, and each strand base
@@ -22,6 +32,265 @@ std::uint64_t batch_bases_for(const gpu::Device& dev) {
   const std::uint64_t usable = dev.memory().capacity() * 7 / 8;
   return std::max<std::uint64_t>(64, usable / per_base);
 }
+
+/// One batch's payload between the fingerprint stage and the emission
+/// stage: everything emission needs, with the strand strings dropped.
+struct EmissionJob {
+  std::vector<unsigned> lengths;        ///< per strand (2 per read)
+  std::vector<std::uint32_t> read_ids;  ///< global id per read
+  fingerprint::BatchFingerprints fps;
+};
+
+/// Range-filter one input batch and build its interleaved strands (forward
+/// at 2i, reverse complement at 2i+1, matching the vertex ids). Returns
+/// false when no read of the batch falls in the assigned range.
+bool prepare_batch(const seq::ReadBatch& batch, const MapOptions& options,
+                   std::vector<std::string>& strands, EmissionJob& job) {
+  const std::uint64_t batch_first = batch.first_id;
+  strands.clear();
+  job.lengths.clear();
+  job.read_ids.clear();
+  std::vector<std::uint32_t> keep;
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    const std::uint64_t global_id = batch_first + i;
+    if (global_id < options.first_read ||
+        global_id >= options.first_read + options.max_reads) {
+      continue;
+    }
+    if (batch.reads[i].size() > std::numeric_limits<std::uint16_t>::max()) {
+      // read_lengths stores uint16; a silent cast would corrupt every
+      // overhang computed downstream.
+      throw std::runtime_error(
+          "read " + std::to_string(global_id) + " is " +
+          std::to_string(batch.reads[i].size()) +
+          " bases; the pipeline supports reads up to 65535 bases");
+    }
+    keep.push_back(i);
+    job.read_ids.push_back(static_cast<std::uint32_t>(global_id));
+  }
+  if (keep.empty()) return false;
+
+  strands.resize(keep.size() * 2);
+  job.lengths.resize(keep.size() * 2);
+  util::ThreadPool::global().parallel_for_chunked(
+      keep.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::string& read = batch.reads[keep[i]];
+          strands[2 * i] = read;
+          strands[2 * i + 1] = seq::reverse_complement(read);
+          job.lengths[2 * i] = static_cast<unsigned>(read.size());
+          job.lengths[2 * i + 1] = static_cast<unsigned>(read.size());
+        }
+      });
+  return true;
+}
+
+/// Deterministic parallel tuple emission: the per-strand loop is split into
+/// contiguous strand chunks staged independently on the thread pool, then
+/// drained to the partition sets chunk-by-chunk in ascending key order.
+/// Because chunks are contiguous and drained in order, the bytes appended
+/// per partition are the concatenation in global strand order — identical
+/// for any chunk count (and therefore any pool size), and identical to the
+/// old serial loop.
+class TupleEmitter {
+ public:
+  TupleEmitter(MapResult& result, const MapOptions& options)
+      : result_(result),
+        options_(options),
+        buckets_(std::max(1u, options.fingerprint_buckets)),
+        key_limit_(static_cast<std::size_t>(kMaxReadLength) * buckets_) {}
+
+  /// Emit one batch's tuples (runs on the caller's thread; parallel inside).
+  void emit(const EmissionJob& job) {
+    const std::size_t n = job.lengths.size();
+    if (n == 0) return;
+    const std::size_t chunk_count = options_.emission_chunks > 0
+                                        ? options_.emission_chunks
+                                        : util::ThreadPool::global().size() * 4;
+    const std::size_t chunks = std::min(n, std::max<std::size_t>(1, chunk_count));
+    const std::size_t step = (n + chunks - 1) / chunks;
+
+    if (stages_.size() < chunks) stages_.resize(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) stages_[c].reset(key_limit_);
+
+    if (result_.read_lengths.size() <= job.read_ids.back()) {
+      result_.read_lengths.resize(job.read_ids.back() + 1, 0);
+    }
+
+    util::ThreadPool::global().parallel_for_chunked(
+        chunks, [&](std::size_t cb, std::size_t ce) {
+          for (std::size_t c = cb; c < ce; ++c) {
+            stage_chunk(job, c * step, std::min(n, c * step + step),
+                        stages_[c]);
+          }
+        });
+
+    // Deterministic drain: ascending key, then ascending chunk.
+    for (std::size_t key = 0; key < key_limit_; ++key) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto& sfx = stages_[c].sfx[key];
+        if (!sfx.empty()) {
+          result_.suffixes->append(static_cast<unsigned>(key),
+                                   std::span<const FpRecord>(sfx));
+        }
+      }
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto& pfx = stages_[c].pfx[key];
+        if (!pfx.empty()) {
+          result_.prefixes->append(static_cast<unsigned>(key),
+                                   std::span<const FpRecord>(pfx));
+        }
+      }
+    }
+    for (std::size_t c = 0; c < chunks; ++c) {
+      result_.tuples_emitted += stages_[c].tuples;
+      result_.total_bases += stages_[c].bases;
+      result_.max_read_length =
+          std::max(result_.max_read_length, stages_[c].max_length);
+    }
+    result_.read_count += static_cast<std::uint32_t>(job.read_ids.size());
+  }
+
+ private:
+  /// Flat indexed-by-partition-key staging for one strand chunk (replaces
+  /// the old std::map<unsigned, std::vector<FpRecord>>: partition keys are
+  /// dense in [0, kMaxReadLength * buckets), so direct indexing beats the
+  /// tree on every lookup of the hot emission loop). Vectors keep their
+  /// capacity across batches.
+  struct ChunkStage {
+    std::vector<std::vector<FpRecord>> sfx;
+    std::vector<std::vector<FpRecord>> pfx;
+    std::uint64_t tuples = 0;
+    std::uint64_t bases = 0;
+    unsigned max_length = 0;
+
+    void reset(std::size_t key_limit) {
+      sfx.resize(key_limit);
+      pfx.resize(key_limit);
+      for (auto& v : sfx) v.clear();
+      for (auto& v : pfx) v.clear();
+      tuples = 0;
+      bases = 0;
+      max_length = 0;
+    }
+  };
+
+  void stage_chunk(const EmissionJob& job, std::size_t begin, std::size_t end,
+                   ChunkStage& stage) {
+    for (std::size_t s = begin; s < end; ++s) {
+      const unsigned len = job.lengths[s];
+      const std::uint32_t read_id = job.read_ids[s / 2];
+      const std::uint32_t vertex =
+          (read_id << 1) | static_cast<std::uint32_t>(s & 1);
+      const gpu::Key128* prefix_row =
+          job.fps.prefix.data() + s * job.fps.stride;
+      const gpu::Key128* suffix_row =
+          job.fps.suffix.data() + s * job.fps.stride;
+
+      // Keep overlap lengths l in [l_min, len): the l = len partition is
+      // dropped to avoid self-loops (paper III-A).
+      for (unsigned l = options_.min_overlap; l < len; ++l) {
+        const gpu::Key128 pfp = prefix_row[l - 1];
+        const gpu::Key128 sfp = suffix_row[len - l];
+        stage.pfx[partition_key(
+                      l, static_cast<unsigned>(pfp.hi % buckets_), buckets_)]
+            .push_back(FpRecord{pfp, vertex, 0});
+        stage.sfx[partition_key(
+                      l, static_cast<unsigned>(sfp.hi % buckets_), buckets_)]
+            .push_back(FpRecord{sfp, vertex, 0});
+        stage.tuples += 2;
+      }
+      stage.max_length = std::max(stage.max_length, len);
+      stage.bases += len;
+      if ((s & 1) == 0) {
+        // Chunks cover disjoint strand ranges, so each read's slot is
+        // written by exactly one chunk.
+        result_.read_lengths[read_id] = static_cast<std::uint16_t>(len);
+      }
+    }
+  }
+
+  MapResult& result_;
+  const MapOptions& options_;
+  unsigned buckets_;
+  std::size_t key_limit_;
+  std::vector<ChunkStage> stages_;
+};
+
+/// Background drain stage of the streamed map pipeline: one emission job in
+/// flight while the device fingerprints the next batch. Jobs are processed
+/// strictly FIFO, so partition appends happen in batch order — identical to
+/// the synchronous path. Failures surface on the next submit() or finish().
+class EmitWorker {
+ public:
+  explicit EmitWorker(TupleEmitter& emitter)
+      : emitter_(emitter), worker_([this] { run(); }) {}
+
+  ~EmitWorker() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+  void submit(EmissionJob job) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !job_.has_value() || error_ != nullptr; });
+    if (error_ != nullptr) std::rethrow_exception(error_);
+    job_.emplace(std::move(job));
+    cv_.notify_all();
+  }
+
+  /// Wait for the queue to drain and the worker to exit; rethrows failures.
+  void finish() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] {
+      return (!job_.has_value() && !busy_) || error_ != nullptr;
+    });
+    stop_ = true;
+    cv_.notify_all();
+    lock.unlock();
+    if (worker_.joinable()) worker_.join();
+    if (error_ != nullptr) std::rethrow_exception(error_);
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      cv_.wait(lock, [this] { return job_.has_value() || stop_; });
+      if (!job_.has_value()) return;  // stop requested, queue empty
+      EmissionJob job = std::move(*job_);
+      job_.reset();
+      busy_ = true;
+      cv_.notify_all();
+      lock.unlock();
+      try {
+        emitter_.emit(job);
+      } catch (...) {
+        lock.lock();
+        error_ = std::current_exception();
+        busy_ = false;
+        cv_.notify_all();
+        return;
+      }
+      lock.lock();
+      busy_ = false;
+      cv_.notify_all();
+    }
+  }
+
+  TupleEmitter& emitter_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<EmissionJob> job_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::thread worker_;
+};
 
 }  // namespace
 
@@ -34,116 +303,69 @@ MapResult run_map_phase(Workspace& ws,
   result.prefixes = std::make_unique<io::PartitionSet<FpRecord>>(
       ws.dir / "map", "pfx", *ws.io);
 
-  // The PlaceTable wants the longest read length up front; Illumina reads
-  // are uniform, so we allocate for the longest supported and slice later.
-  constexpr unsigned kMaxReadLength = 512;
   const fingerprint::PlaceTable places(options.fingerprints, kMaxReadLength);
-
   const std::uint64_t batch_bases = batch_bases_for(*ws.device);
-  seq::ReadBatchStream stream(fastqs, batch_bases);
+  TupleEmitter emitter(result, options);
+  gpu::StreamPair streams(*ws.device, options.streamed);
 
-  // Per-length staging buffers flushed after every batch.
-  std::map<unsigned, std::vector<FpRecord>> sfx_stage;
-  std::map<unsigned, std::vector<FpRecord>> pfx_stage;
-
-  seq::ReadBatch batch;
   std::vector<std::string> strands;
-  while (stream.next(batch)) {
-    // Skip batches before the assigned range; stop after it (distributed
-    // map: the master assigns [first_read, first_read + max_reads)).
-    const std::uint64_t batch_first = batch.first_id;
-    const std::uint64_t batch_last = batch_first + batch.size();
-    if (batch_last <= options.first_read) continue;
-    if (options.max_reads != UINT64_MAX &&
-        batch_first >= options.first_read + options.max_reads) {
-      break;
-    }
+  seq::ReadBatch batch;
 
-    // Forward and reverse-complement strands interleaved: strand of read i
-    // sits at 2i (forward) and 2i+1 (reverse), matching the vertex ids.
-    strands.clear();
-    strands.reserve(batch.reads.size() * 2);
-    std::vector<std::uint32_t> read_ids;
-    for (std::uint32_t i = 0; i < batch.size(); ++i) {
-      const std::uint64_t global_id = batch_first + i;
-      if (global_id < options.first_read ||
-          global_id >= options.first_read + options.max_reads) {
-        continue;
-      }
-      if (batch.reads[i].size() > std::numeric_limits<std::uint16_t>::max()) {
-        // read_lengths stores uint16; a silent cast would corrupt every
-        // overhang computed downstream.
-        throw std::runtime_error(
-            "read " + std::to_string(global_id) + " is " +
-            std::to_string(batch.reads[i].size()) +
-            " bases; the pipeline supports reads up to 65535 bases");
-      }
-      strands.push_back(batch.reads[i]);
-      strands.push_back(seq::reverse_complement(batch.reads[i]));
-      read_ids.push_back(static_cast<std::uint32_t>(global_id));
-    }
-    if (strands.empty()) continue;
-
+  auto fingerprint_batch = [&](EmissionJob& job) {
     util::TrackedAllocation strand_mem(
         *ws.host, strands.size() * (strands.front().size() + 32));
+    job.fps = fingerprint::compute_batch_fingerprints(
+        *ws.device, strands, places, options.strategy,
+        options.streamed ? &streams : nullptr);
+  };
 
-    const fingerprint::BatchFingerprints fps =
-        fingerprint::compute_batch_fingerprints(*ws.device, strands, places,
-                                                options.strategy);
-
-    util::TrackedAllocation fp_mem(
-        *ws.host, (fps.prefix.size() + fps.suffix.size()) *
-                      sizeof(gpu::Key128));
-
-    for (std::size_t s = 0; s < strands.size(); ++s) {
-      const unsigned len = static_cast<unsigned>(strands[s].size());
-      const std::uint32_t read_id = read_ids[s / 2];
-      const std::uint32_t vertex =
-          (read_id << 1) | static_cast<std::uint32_t>(s & 1);
-      const gpu::Key128* prefix_row = fps.prefix.data() + s * fps.stride;
-      const gpu::Key128* suffix_row = fps.suffix.data() + s * fps.stride;
-
-      // Keep overlap lengths l in [l_min, len): the l = len partition is
-      // dropped to avoid self-loops (paper III-A).
-      const unsigned buckets = std::max(1u, options.fingerprint_buckets);
-      for (unsigned l = options.min_overlap; l < len; ++l) {
-        const gpu::Key128 pfp = prefix_row[l - 1];
-        const gpu::Key128 sfp = suffix_row[len - l];
-        pfx_stage[partition_key(
-                      l, static_cast<unsigned>(pfp.hi % buckets), buckets)]
-            .push_back(FpRecord{pfp, vertex, 0});
-        sfx_stage[partition_key(
-                      l, static_cast<unsigned>(sfp.hi % buckets), buckets)]
-            .push_back(FpRecord{sfp, vertex, 0});
-        result.tuples_emitted += 2;
+  if (options.streamed) {
+    // Three-stage software pipeline: the background stream decodes batch
+    // i+1 while the device fingerprints batch i (double-buffered across the
+    // stream pair) and the emit worker drains batch i-1's tuples to the
+    // partition files — so at steady state disk input, device compute and
+    // partition output all overlap (paper Fig 8 across the map phase).
+    seq::AsyncReadBatchStream stream(fastqs, batch_bases);
+    EmitWorker worker(emitter);
+    while (stream.next(batch)) {
+      const std::uint64_t batch_first = batch.first_id;
+      if (batch_first + batch.size() <= options.first_read) continue;
+      if (options.max_reads != UINT64_MAX &&
+          batch_first >= options.first_read + options.max_reads) {
+        break;
       }
-      result.max_read_length = std::max(result.max_read_length, len);
-      result.total_bases += len;
-      if ((s & 1) == 0) {
-        if (result.read_lengths.size() <= read_id) {
-          result.read_lengths.resize(read_id + 1, 0);
-        }
-        result.read_lengths[read_id] = static_cast<std::uint16_t>(len);
-      }
+      EmissionJob job;
+      if (!prepare_batch(batch, options, strands, job)) continue;
+      fingerprint_batch(job);
+      util::TrackedAllocation fp_mem(
+          *ws.host, (job.fps.prefix.size() + job.fps.suffix.size()) *
+                        sizeof(gpu::Key128));
+      worker.submit(std::move(job));
     }
-    result.read_count += static_cast<std::uint32_t>(read_ids.size());
-
-    for (auto& [l, records] : sfx_stage) {
-      if (!records.empty()) {
-        result.suffixes->append(l, std::span<const FpRecord>(records));
-        records.clear();
+    worker.finish();
+  } else {
+    seq::ReadBatchStream stream(fastqs, batch_bases);
+    while (stream.next(batch)) {
+      const std::uint64_t batch_first = batch.first_id;
+      if (batch_first + batch.size() <= options.first_read) continue;
+      if (options.max_reads != UINT64_MAX &&
+          batch_first >= options.first_read + options.max_reads) {
+        break;
       }
-    }
-    for (auto& [l, records] : pfx_stage) {
-      if (!records.empty()) {
-        result.prefixes->append(l, std::span<const FpRecord>(records));
-        records.clear();
-      }
+      EmissionJob job;
+      if (!prepare_batch(batch, options, strands, job)) continue;
+      fingerprint_batch(job);
+      util::TrackedAllocation fp_mem(
+          *ws.host, (job.fps.prefix.size() + job.fps.suffix.size()) *
+                        sizeof(gpu::Key128));
+      emitter.emit(job);
     }
   }
 
   // total_bases counted both strands; report input bases (one strand).
   result.total_bases /= 2;
+  // Host emission stage: every tuple is staged once and appended once.
+  result.host_bytes = result.tuples_emitted * sizeof(FpRecord);
   result.suffixes->finalize();
   result.prefixes->finalize();
   LOG_INFO << "map: " << result.read_count << " reads, "

@@ -28,6 +28,10 @@ struct MapResult {
   /// phase needs lengths for overhang computation; recording them here
   /// saves it one full re-stream of the input).
   std::vector<std::uint16_t> read_lengths;
+  /// Bytes pushed through host-side tuple emission (staging + partition
+  /// appends); the pipeline's overlap model charges them to the host lane
+  /// at the machine's modeled host bandwidth.
+  std::uint64_t host_bytes = 0;
 };
 
 struct MapOptions {
@@ -47,6 +51,14 @@ struct MapOptions {
   /// the paper proposes as future work (IV-D) for a parallel distributed
   /// reduce. 1 = plain per-length partitioning (keys are lengths).
   unsigned fingerprint_buckets = 1;
+  /// Run the three-stage software pipeline: background batch prefetch,
+  /// double-buffered fingerprint kernels, and background tuple emission.
+  /// Partition files are byte-identical either way.
+  bool streamed = false;
+  /// Number of strand chunks for parallel emission (0 = auto: 4x the pool
+  /// size). Output bytes are identical for every value; exposed so tests
+  /// can prove it.
+  unsigned emission_chunks = 0;
 };
 
 /// Composite partition-key helpers (identity when buckets == 1).

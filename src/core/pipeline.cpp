@@ -15,9 +15,10 @@ namespace lasagna::core {
 namespace {
 
 /// Collects one phase's deltas: wall clock, device modeled clock, disk
-/// counters and memory peaks. Overlapped phases (the streamed sort) run
-/// disk I/O concurrently with device work, so their modeled time is
-/// max(device, disk) instead of the serial sum.
+/// counters, host-stage time and memory peaks. Overlapped phases (the
+/// streamed map/sort/reduce) run disk I/O, device work and the host stage
+/// concurrently, so their modeled time is max(device, disk, host) instead
+/// of the serial sum.
 class PhaseScope {
  public:
   PhaseScope(std::string name, Workspace& ws, const MachineConfig& machine,
@@ -37,6 +38,12 @@ class PhaseScope {
 
   /// The phase was restored from a checkpoint rather than executed.
   void mark_resumed() { resumed_ = true; }
+
+  /// Report the bytes the phase pushed through its host stage (tuple
+  /// emission, greedy edge insertion); they are charged at the machine's
+  /// modeled host bandwidth, which — like disk bandwidth — is already
+  /// expressed in full-size-world units.
+  void set_host_bytes(std::uint64_t bytes) { host_bytes_ = bytes; }
 
   ~PhaseScope() {
     util::PhaseStats phase;
@@ -61,12 +68,17 @@ class PhaseScope {
         static_cast<double>(phase.disk_bytes_read +
                             phase.disk_bytes_written) /
         machine_.disk_bandwidth_bytes_per_sec;
+    phase.host_seconds = static_cast<double>(host_bytes_) /
+                         machine_.host_bandwidth_bytes_per_sec;
     phase.modeled_seconds =
-        overlapped_ ? std::max(phase.device_seconds, phase.disk_seconds)
-                    : phase.device_seconds + phase.disk_seconds;
+        overlapped_
+            ? std::max({phase.device_seconds, phase.disk_seconds,
+                        phase.host_seconds})
+            : phase.device_seconds + phase.disk_seconds + phase.host_seconds;
     phase.overlap_efficiency =
         phase.modeled_seconds > 0.0
-            ? (phase.device_seconds + phase.disk_seconds) /
+            ? (phase.device_seconds + phase.disk_seconds +
+               phase.host_seconds) /
                   phase.modeled_seconds
             : 1.0;
     stats_.add(std::move(phase));
@@ -79,6 +91,7 @@ class PhaseScope {
   util::RunStats& stats_;
   double extra_input_bytes_;
   bool overlapped_;
+  std::uint64_t host_bytes_ = 0;
   bool resumed_ = false;
   io::IoStats::Snapshot io_before_;
   double device_before_;
@@ -335,18 +348,21 @@ AssemblyResult Assembler::run(
   MapOptions map_options;
   map_options.min_overlap = config_.min_overlap;
   map_options.fingerprints = config_.fingerprints;
+  map_options.streamed = config_.streamed_map;
   MapResult map;
   {
     MapRestorePlan plan;
     if (resumable) plan = plan_map_restore(*cm, work);
     PhaseScope scope("map", ws, config_.machine, result.stats,
-                     plan.ok ? 0.0 : fastq_bytes);
+                     plan.ok ? 0.0 : fastq_bytes,
+                     /*overlapped=*/config_.streamed_map && !plan.ok);
     if (plan.ok) {
       map = restore_map(ws, *cm, plan);
       scope.mark_resumed();
       ++result.phases_resumed;
     } else {
       map = run_map_phase(ws, fastqs, map_options);
+      scope.set_host_bytes(map.host_bytes);
       if (cm != nullptr) record_map_checkpoint(ws, *cm, map);
     }
   }
@@ -384,6 +400,7 @@ AssemblyResult Assembler::run(
   ReduceOptions reduce_options;
   reduce_options.verify_overlaps = config_.verify_overlaps;
   reduce_options.reads = packed.has_value() ? &*packed : nullptr;
+  reduce_options.streamed = config_.streamed_reduce;
   ReduceResult reduced;
   {
     bool restorable = false;
@@ -392,7 +409,9 @@ AssemblyResult Assembler::run(
           cm->sidecar("graph.bin"),
           cm->counter("phase:reduce", "graph_edges") * sizeof(graph::Edge));
     }
-    PhaseScope scope("reduce", ws, config_.machine, result.stats);
+    PhaseScope scope("reduce", ws, config_.machine, result.stats,
+                     /*extra_input_bytes=*/0.0,
+                     /*overlapped=*/config_.streamed_reduce && !restorable);
     if (restorable) {
       const auto edges =
           io::read_all_records<graph::Edge>(cm->sidecar("graph.bin"),
@@ -407,6 +426,7 @@ AssemblyResult Assembler::run(
       ++result.phases_resumed;
     } else {
       reduced = run_reduce_phase(ws, sorted, map.read_count, reduce_options);
+      scope.set_host_bytes(reduced.host_bytes);
       if (cm != nullptr) {
         const std::vector<graph::Edge> edges = reduced.graph->edges();
         io::write_all_records<graph::Edge>(

@@ -1,9 +1,13 @@
 #include "core/reduce_phase.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "core/file_window.hpp"
 #include "gpu/primitives.hpp"
+#include "gpu/stream.hpp"
+#include "io/async_record_stream.hpp"
 #include "io/record_stream.hpp"
 #include "seq/dna.hpp"
 #include "util/logging.hpp"
@@ -11,48 +15,6 @@
 namespace lasagna::core {
 
 namespace {
-
-/// Streaming window with carry-over (same shape as the sort phase's
-/// FileWindow, duplicated locally to keep the phases self-contained).
-class StreamWindow {
- public:
-  StreamWindow(const std::filesystem::path& path, std::size_t window_records,
-               io::IoStats& stats)
-      : reader_(path, stats), window_(window_records) {}
-
-  bool fill() {
-    if (buffer_.size() < window_ && !reader_.eof()) {
-      reader_.read(buffer_, window_ - buffer_.size());
-    }
-    return !buffer_.empty();
-  }
-
-  [[nodiscard]] std::span<const FpRecord> view() const { return buffer_; }
-  void consume(std::size_t n) {
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(n));
-  }
-  [[nodiscard]] bool stream_done() const { return reader_.eof(); }
-
-  /// Pull records while their fingerprint equals `fp` (window-overflow
-  /// fallback for pathological duplicate runs).
-  void append_run(const gpu::Key128& fp, std::vector<FpRecord>& out) {
-    for (;;) {
-      while (!buffer_.empty() && buffer_.front().fp == fp) {
-        out.push_back(buffer_.front());
-        buffer_.erase(buffer_.begin());
-      }
-      if (!buffer_.empty() || reader_.eof()) return;
-      reader_.read(buffer_, window_);
-      if (buffer_.empty()) return;
-    }
-  }
-
- private:
-  io::RecordReader<FpRecord> reader_;
-  std::size_t window_;
-  std::vector<FpRecord> buffer_;
-};
 
 /// True when the suffix string of `u` (length l) equals the prefix string
 /// of `v` (length l) — used in verify mode to count false positives.
@@ -68,66 +30,158 @@ bool overlap_is_real(const seq::PackedReads& reads, graph::VertexId u,
   return std::equal(su.end() - l, su.end(), sv.begin());
 }
 
-/// Match one pair of equalized windows on the device and emit greedy edges.
-void match_windows(Workspace& ws, std::span<const FpRecord> sfx,
-                   std::span<const FpRecord> pfx, unsigned length,
-                   graph::StringGraph& graph, const ReduceOptions& options,
-                   PartitionReduceStats& stats) {
-  if (sfx.empty() || pfx.empty()) return;
-  gpu::Device& dev = *ws.device;
+/// Candidate matches of one equalized window pair, copied out of the live
+/// windows so host insertion can run one window behind the device (the
+/// window buffers recycle on the next fill()).
+struct PendingMatches {
+  std::vector<graph::VertexId> sfx_vertices;
+  std::vector<graph::VertexId> pfx_vertices;
+  std::vector<std::uint32_t> lower;
+  std::vector<std::uint32_t> upper;
+  bool valid = false;
+};
 
-  std::vector<gpu::Key128> sfx_keys(sfx.size());
-  std::vector<gpu::Key128> pfx_keys(pfx.size());
-  for (std::size_t i = 0; i < sfx.size(); ++i) sfx_keys[i] = sfx[i].fp;
-  for (std::size_t i = 0; i < pfx.size(); ++i) pfx_keys[i] = pfx[i].fp;
+/// Per-partition match state. The four device buffers and the host staging
+/// vectors are sized to the window once and reused for every window of the
+/// partition (previously: four device allocations plus two key-copy loops
+/// per window). match() computes window i's bounds on a rotated stream leg
+/// and then inserts window i-1's queued edges — the host greedy update the
+/// paper keeps off the GPU (III-C) runs in the shadow of the device
+/// kernels, and the modeled clock charges max(device, disk, host) for the
+/// phase instead of their sum.
+class WindowMatcher {
+ public:
+  WindowMatcher(Workspace& ws, unsigned length, std::size_t window,
+                const ReduceOptions& options, graph::StringGraph& graph,
+                PartitionReduceStats& stats)
+      : ws_(ws),
+        length_(length),
+        options_(options),
+        graph_(graph),
+        stats_(stats),
+        streams_(*ws.device, options.streamed),
+        d_sfx_(ws.device->alloc<gpu::Key128>(window)),
+        d_pfx_(ws.device->alloc<gpu::Key128>(window)),
+        d_lower_(ws.device->alloc<std::uint32_t>(window)),
+        d_upper_(ws.device->alloc<std::uint32_t>(window)) {}
 
-  auto d_sfx = dev.alloc<gpu::Key128>(sfx.size());
-  auto d_pfx = dev.alloc<gpu::Key128>(pfx.size());
-  auto d_lower = dev.alloc<std::uint32_t>(sfx.size());
-  auto d_upper = dev.alloc<std::uint32_t>(sfx.size());
-  dev.copy_to_device(std::span<const gpu::Key128>(sfx_keys), d_sfx.span());
-  dev.copy_to_device(std::span<const gpu::Key128>(pfx_keys), d_pfx.span());
+  /// Match one pair of equalized windows: device lower/upper bounds for
+  /// window i, then host insertion of window i-1's deferred edges.
+  /// Insertion order across windows is exactly the synchronous order —
+  /// every window's edges are inserted before any later window's.
+  void match(std::span<const FpRecord> sfx, std::span<const FpRecord> pfx) {
+    if (sfx.empty() || pfx.empty()) return;
+    gpu::Device& dev = *ws_.device;
 
-  gpu::vector_lower_bound(dev, d_sfx.span(), d_pfx.span(), d_lower.span());
-  gpu::vector_upper_bound(dev, d_sfx.span(), d_pfx.span(), d_upper.span());
+    sfx_keys_.resize(sfx.size());
+    pfx_keys_.resize(pfx.size());
+    for (std::size_t i = 0; i < sfx.size(); ++i) sfx_keys_[i] = sfx[i].fp;
+    for (std::size_t i = 0; i < pfx.size(); ++i) pfx_keys_[i] = pfx[i].fp;
 
-  std::vector<std::uint32_t> lower(sfx.size());
-  std::vector<std::uint32_t> upper(sfx.size());
-  dev.copy_to_host(std::span<const std::uint32_t>(d_lower.span()),
-                   std::span<std::uint32_t>(lower));
-  dev.copy_to_host(std::span<const std::uint32_t>(d_upper.span()),
-                   std::span<std::uint32_t>(upper));
+    const auto d_sfx = d_sfx_.span().first(sfx.size());
+    const auto d_pfx = d_pfx_.span().first(pfx.size());
+    const auto d_lower = d_lower_.span().first(sfx.size());
+    const auto d_upper = d_upper_.span().first(sfx.size());
 
-  // Host-side greedy graph update (paper III-C: the graph lives in host
-  // memory; GPU atomics for edge insertion were found detrimental).
-  for (std::size_t i = 0; i < sfx.size(); ++i) {
-    const std::uint32_t count = upper[i] - lower[i];
-    if (count == 0) continue;
-    const graph::VertexId u = sfx[i].vertex;
-    for (std::uint32_t j = lower[i]; j < upper[i]; ++j) {
-      const graph::VertexId v = pfx[j].vertex;
-      ++stats.candidates;
-      if (options.verify_overlaps && options.reads != nullptr &&
-          !overlap_is_real(*options.reads, u, v, length)) {
-        ++stats.false_positives;
-        continue;
-      }
-      if (options.candidate_sink) {
-        options.candidate_sink(u, v);
-      } else if (graph.try_add_edge(u, v,
-                                    static_cast<std::uint16_t>(length))) {
-        ++stats.accepted;
+    gpu::Stream& s = streams_.rotate();
+    s.copy_to_device_async(std::span<const gpu::Key128>(sfx_keys_), d_sfx);
+    s.copy_to_device_async(std::span<const gpu::Key128>(pfx_keys_), d_pfx);
+    streams_.begin_kernel(s);  // one compute engine: kernels serialize
+    {
+      gpu::StreamScope scope(dev, s);
+      gpu::vector_lower_bound(dev, d_sfx, d_pfx, d_lower);
+      gpu::vector_upper_bound(dev, d_sfx, d_pfx, d_upper);
+    }
+    streams_.end_kernel(s);
+
+    staged_.lower.resize(sfx.size());
+    staged_.upper.resize(sfx.size());
+    s.copy_to_host_async(std::span<const std::uint32_t>(d_lower),
+                         std::span<std::uint32_t>(staged_.lower));
+    s.copy_to_host_async(std::span<const std::uint32_t>(d_upper),
+                         std::span<std::uint32_t>(staged_.upper));
+    staged_.sfx_vertices.resize(sfx.size());
+    staged_.pfx_vertices.resize(pfx.size());
+    for (std::size_t i = 0; i < sfx.size(); ++i) {
+      staged_.sfx_vertices[i] = sfx[i].vertex;
+    }
+    for (std::size_t j = 0; j < pfx.size(); ++j) {
+      staged_.pfx_vertices[j] = pfx[j].vertex;
+    }
+    staged_.valid = true;
+
+    flush();                          // insert window i-1 behind the device
+    std::swap(pending_, staged_);     // window i becomes the deferred one
+  }
+
+  /// All-pairs match of an oversized duplicate-fingerprint run (window
+  /// overflow fallback). Deferred edges are drained first so insertion
+  /// order matches the synchronous path.
+  void match_run(const std::vector<FpRecord>& run_sfx,
+                 const std::vector<FpRecord>& run_pfx) {
+    flush();
+    for (const FpRecord& s : run_sfx) {
+      for (const FpRecord& p : run_pfx) {
+        offer(s.vertex, p.vertex);
       }
     }
   }
-}
 
-}  // namespace
+  /// Insert the deferred window's edges (host greedy update, paper III-C).
+  void flush() {
+    if (!pending_.valid) return;
+    for (std::size_t i = 0; i < pending_.sfx_vertices.size(); ++i) {
+      const std::uint32_t lo = pending_.lower[i];
+      const std::uint32_t hi = pending_.upper[i];
+      if (lo == hi) continue;
+      const graph::VertexId u = pending_.sfx_vertices[i];
+      for (std::uint32_t j = lo; j < hi; ++j) {
+        offer(u, pending_.pfx_vertices[j]);
+      }
+    }
+    pending_.valid = false;
+  }
 
-PartitionReduceStats reduce_partition(Workspace& ws,
-                                      const SortedPartition& partition,
-                                      graph::StringGraph& graph,
-                                      const ReduceOptions& options) {
+ private:
+  void offer(graph::VertexId u, graph::VertexId v) {
+    ++stats_.candidates;
+    if (options_.verify_overlaps && options_.reads != nullptr &&
+        !overlap_is_real(*options_.reads, u, v, length_)) {
+      ++stats_.false_positives;
+      return;
+    }
+    if (options_.candidate_sink) {
+      options_.candidate_sink(u, v);
+    } else if (graph_.try_add_edge(u, v,
+                                   static_cast<std::uint16_t>(length_))) {
+      ++stats_.accepted;
+    }
+  }
+
+  Workspace& ws_;
+  unsigned length_;
+  const ReduceOptions& options_;
+  graph::StringGraph& graph_;
+  PartitionReduceStats& stats_;
+  gpu::StreamPair streams_;
+  gpu::DeviceBuffer<gpu::Key128> d_sfx_;
+  gpu::DeviceBuffer<gpu::Key128> d_pfx_;
+  gpu::DeviceBuffer<std::uint32_t> d_lower_;
+  gpu::DeviceBuffer<std::uint32_t> d_upper_;
+  std::vector<gpu::Key128> sfx_keys_;
+  std::vector<gpu::Key128> pfx_keys_;
+  PendingMatches pending_;  ///< window i-1, awaiting insertion
+  PendingMatches staged_;   ///< window i, just bounded on the device
+};
+
+/// Core of Algorithm 2, generic over the record reader so the streamed path
+/// substitutes the prefetching io::AsyncRecordReader — both deliver the
+/// exact same record sequence, so the edge set is identical.
+template <class Reader>
+PartitionReduceStats reduce_partition_impl(Workspace& ws,
+                                           const SortedPartition& partition,
+                                           graph::StringGraph& graph,
+                                           const ReduceOptions& options) {
   PartitionReduceStats stats;
   gpu::Device& dev = *ws.device;
 
@@ -138,8 +192,9 @@ PartitionReduceStats reduce_partition(Workspace& ws,
   util::TrackedAllocation window_mem(*ws.host,
                                      2 * window * sizeof(FpRecord));
 
-  StreamWindow sfx(partition.suffix_file, window, *ws.io);
-  StreamWindow pfx(partition.prefix_file, window, *ws.io);
+  FileWindow<Reader> sfx(window, partition.suffix_file, *ws.io);
+  FileWindow<Reader> pfx(window, partition.prefix_file, *ws.io);
+  WindowMatcher matcher(ws, partition.length, window, options, graph, stats);
   std::vector<FpRecord> run_sfx;
   std::vector<FpRecord> run_pfx;
 
@@ -181,33 +236,31 @@ PartitionReduceStats reduce_partition(Workspace& ws,
       run_pfx.clear();
       sfx.append_run(f, run_sfx);
       pfx.append_run(f, run_pfx);
-      for (const FpRecord& s : run_sfx) {
-        for (const FpRecord& p : run_pfx) {
-          ++stats.candidates;
-          if (options.verify_overlaps && options.reads != nullptr &&
-              !overlap_is_real(*options.reads, s.vertex, p.vertex,
-                               partition.length)) {
-            ++stats.false_positives;
-            continue;
-          }
-          if (options.candidate_sink) {
-            options.candidate_sink(s.vertex, p.vertex);
-          } else if (graph.try_add_edge(s.vertex, p.vertex,
-                                        static_cast<std::uint16_t>(
-                                            partition.length))) {
-            ++stats.accepted;
-          }
-        }
-      }
+      matcher.match_run(run_sfx, run_pfx);
       continue;
     }
 
-    match_windows(ws, vs.first(cut_s), vp.first(cut_p), partition.length,
-                  graph, options, stats);
+    matcher.match(vs.first(cut_s), vp.first(cut_p));
     sfx.consume(cut_s);
     pfx.consume(cut_p);
   }
+  matcher.flush();
+  // Host insertion stage: each candidate pair is one greedy-graph probe.
+  stats.host_bytes = stats.candidates * sizeof(graph::Edge);
   return stats;
+}
+
+}  // namespace
+
+PartitionReduceStats reduce_partition(Workspace& ws,
+                                      const SortedPartition& partition,
+                                      graph::StringGraph& graph,
+                                      const ReduceOptions& options) {
+  return options.streamed
+             ? reduce_partition_impl<io::AsyncRecordReader<FpRecord>>(
+                   ws, partition, graph, options)
+             : reduce_partition_impl<io::RecordReader<FpRecord>>(
+                   ws, partition, graph, options);
 }
 
 ReduceResult run_reduce_phase(Workspace& ws, const SortResult& sorted,
@@ -227,6 +280,7 @@ ReduceResult run_reduce_phase(Workspace& ws, const SortResult& sorted,
     result.candidate_edges += stats.candidates;
     result.accepted_edges += stats.accepted;
     result.false_positives += stats.false_positives;
+    result.host_bytes += stats.host_bytes;
   }
   LOG_INFO << "reduce: " << result.candidate_edges << " candidates, "
            << result.accepted_edges << " accepted, "

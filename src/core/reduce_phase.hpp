@@ -26,6 +26,11 @@ struct ReduceOptions {
   /// (paper IV-D future work), where greedy resolution happens globally
   /// per superstep.
   std::function<void(graph::VertexId, graph::VertexId)> candidate_sink;
+  /// Overlap the phase's three lanes: async window prefetch from disk,
+  /// double-buffered device bound kernels, and host greedy insertion
+  /// deferred one window behind the device. The edge set is identical to
+  /// the synchronous path's (insertion order is preserved exactly).
+  bool streamed = false;
 };
 
 struct ReduceResult {
@@ -33,6 +38,10 @@ struct ReduceResult {
   std::uint64_t candidate_edges = 0;  ///< fingerprint matches offered
   std::uint64_t accepted_edges = 0;   ///< survived the greedy filter (pairs)
   std::uint64_t false_positives = 0;  ///< only counted when verifying
+  /// Bytes pushed through host-side greedy edge insertion; the pipeline's
+  /// overlap model charges them to the host lane at the machine's modeled
+  /// host bandwidth.
+  std::uint64_t host_bytes = 0;
 };
 
 /// Build the greedy string graph from all sorted partitions.
@@ -43,11 +52,12 @@ struct ReduceResult {
 
 /// Process one partition into an existing graph (used by the distributed
 /// reduce, where the out-degree bit-vector token arrives between
-/// partitions). Returns (candidates, accepted, false_positives).
+/// partitions).
 struct PartitionReduceStats {
   std::uint64_t candidates = 0;
   std::uint64_t accepted = 0;
   std::uint64_t false_positives = 0;
+  std::uint64_t host_bytes = 0;  ///< host greedy-insertion bytes processed
 };
 PartitionReduceStats reduce_partition(Workspace& ws,
                                       const SortedPartition& partition,

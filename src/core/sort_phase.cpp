@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/checkpoint.hpp"
+#include "core/file_window.hpp"
 #include "gpu/primitives.hpp"
 #include "gpu/stream.hpp"
 #include "io/async_record_stream.hpp"
@@ -19,29 +20,9 @@ namespace lasagna::core {
 
 namespace {
 
-/// The two modeled streams the sort phase double-buffers device chunks
-/// across. In synchronous mode both legs alias the default stream, so every
-/// charge sums onto the legacy timeline and modeled values are unchanged.
-struct DeviceStreams {
-  DeviceStreams(gpu::Device& dev, bool streamed) {
-    legs[0] = streamed ? gpu::create_stream(dev) : gpu::default_stream(dev);
-    legs[1] = streamed ? gpu::create_stream(dev) : legs[0];
-  }
-
-  /// Alternate between the two legs (chunk i runs on stream i % 2).
-  gpu::Stream& rotate() {
-    gpu::Stream& s = legs[next];
-    next ^= 1u;
-    return s;
-  }
-
-  gpu::Stream legs[2];
-  unsigned next = 0;
-  /// Completion of the last kernel issued on either leg: the device has one
-  /// compute engine, so kernels serialize across streams while transfers
-  /// overlap them.
-  gpu::Event last_kernel;
-};
+/// Chunk i runs on modeled stream i % 2 (gpu::StreamPair); synchronous mode
+/// aliases both legs to the default stream, keeping legacy modeled sums.
+using DeviceStreams = gpu::StreamPair;
 
 /// AoS -> SoA split for the device primitives.
 void split_records(std::span<const FpRecord> records,
@@ -88,12 +69,12 @@ void device_sort_chunk(Workspace& ws, std::span<FpRecord> chunk,
   s.copy_to_device_async(std::span<const std::uint64_t>(vals),
                          d_vals.span());
 
-  s.wait(streams.last_kernel);  // one compute engine: kernels serialize
+  streams.begin_kernel(s);  // one compute engine: kernels serialize
   {
     gpu::StreamScope scope(dev, s);
     gpu::sort_pairs<std::uint64_t>(dev, d_keys.span(), d_vals.span());
   }
-  streams.last_kernel = s.record();
+  streams.end_kernel(s);
 
   s.copy_to_host_async(std::span<const gpu::Key128>(d_keys.span()),
                        std::span<gpu::Key128>(keys));
@@ -140,14 +121,14 @@ void device_merge_windows(Workspace& ws, std::span<const FpRecord> a,
   s.copy_to_device_async(std::span<const std::uint64_t>(vals_b),
                          d_vb.span());
 
-  s.wait(streams.last_kernel);
+  streams.begin_kernel(s);
   {
     gpu::StreamScope scope(dev, s);
     gpu::merge_pairs<std::uint64_t>(
         dev, d_ka.span(), d_va.span(), d_kb.span(), d_vb.span(), d_ko.span(),
         d_vo.span());
   }
-  streams.last_kernel = s.record();
+  streams.end_kernel(s);
 
   std::vector<gpu::Key128> keys_out(out.size());
   std::vector<std::uint64_t> vals_out(out.size());
@@ -286,54 +267,8 @@ void sort_host_block(Workspace& ws, std::span<FpRecord> block,
 
 namespace {
 
-/// Streaming window over a sorted record file, with carry-over support for
-/// the disk-level Algorithm 1. Templated over the reader so the streamed
-/// path can substitute the prefetching io::AsyncRecordReader — both deliver
-/// the exact same record sequence.
-///
-/// consume() only advances a cursor; the dead prefix is dropped lazily in
-/// fill() once it spans at least one window, so advancing by n records
-/// costs amortized O(n) instead of a tail memmove per window.
-template <class Reader>
-class FileWindow {
- public:
-  template <class... ReaderArgs>
-  explicit FileWindow(std::size_t window_records, ReaderArgs&&... args)
-      : reader_(std::forward<ReaderArgs>(args)...), window_(window_records) {}
-
-  /// Top up the buffer to the window size; returns false when no data
-  /// remains at all.
-  bool fill() {
-    if (head_ >= window_ || head_ >= buffer_.size()) {
-      buffer_.erase(buffer_.begin(),
-                    buffer_.begin() + static_cast<std::ptrdiff_t>(
-                                          std::min(head_, buffer_.size())));
-      head_ = 0;
-    }
-    const std::size_t live = buffer_.size() - head_;
-    if (live < window_ && !reader_.eof()) {
-      reader_.read(buffer_, window_ - live);
-    }
-    return head_ < buffer_.size();
-  }
-
-  [[nodiscard]] std::span<const FpRecord> view() const {
-    return std::span<const FpRecord>(buffer_).subspan(
-        head_, std::min(window_, buffer_.size() - head_));
-  }
-
-  void consume(std::size_t n) { head_ += n; }
-
-  [[nodiscard]] bool exhausted() const {
-    return reader_.eof() && head_ >= buffer_.size();
-  }
-
- private:
-  Reader reader_;
-  std::size_t window_;
-  std::vector<FpRecord> buffer_;
-  std::size_t head_ = 0;
-};
+// FileWindow (core/file_window.hpp) provides the streaming windows; the
+// streamed path substitutes the prefetching io::AsyncRecordReader.
 
 /// Algorithm 1's outer loop: merge two sorted windows into `out`, with host
 /// windows of m_h / 2 records equalized by upper bound, and the actual

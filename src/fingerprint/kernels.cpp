@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "gpu/stream.hpp"
 #include "seq/dna.hpp"
 #include "util/modmath.hpp"
 
@@ -125,7 +126,9 @@ void block_suffix_from_prefix(const gpu::BlockContext& ctx, unsigned len,
 
 BatchFingerprints run_block_per_read(gpu::Device& dev,
                                      const EncodedBatch& batch,
-                                     const PlaceTable& places) {
+                                     const PlaceTable& places,
+                                     gpu::StreamPair* streams,
+                                     gpu::Stream* stream) {
   const FingerprintConfig& cfg = places.config();
   const unsigned stride = batch.stride;
   const std::size_t total = static_cast<std::size_t>(batch.count) * stride;
@@ -137,6 +140,7 @@ BatchFingerprints run_block_per_read(gpu::Device& dev,
   // one output staging array per hash function.
   const std::size_t shared_bytes = static_cast<std::size_t>(stride) * 8 * 3;
 
+  if (streams != nullptr) streams->begin_kernel(*stream);
   dev.launch(batch.count, stride, shared_bytes, [&](gpu::BlockContext& ctx) {
     const unsigned r = ctx.block_idx();
     const unsigned len = batch.lengths[r];
@@ -181,6 +185,7 @@ BatchFingerprints run_block_per_read(gpu::Device& dev,
   const unsigned steps = stride <= 1 ? 1 : std::bit_width(stride - 1);
   dev.charge_kernel(total * (1 + 2 * sizeof(gpu::Key128)),
                     static_cast<std::uint64_t>(total) * steps * 2 * 2);
+  if (streams != nullptr) streams->end_kernel(*stream);
 
   BatchFingerprints out;
   out.stride = stride;
@@ -195,7 +200,9 @@ BatchFingerprints run_block_per_read(gpu::Device& dev,
 
 BatchFingerprints run_thread_per_read(gpu::Device& dev,
                                       const EncodedBatch& batch,
-                                      const PlaceTable& places) {
+                                      const PlaceTable& places,
+                                      gpu::StreamPair* streams,
+                                      gpu::Stream* stream) {
   const FingerprintConfig& cfg = places.config();
   const unsigned stride = batch.stride;
   const std::size_t total = static_cast<std::size_t>(batch.count) * stride;
@@ -207,6 +214,7 @@ BatchFingerprints run_thread_per_read(gpu::Device& dev,
   // size is an arbitrary tiling of the read array.
   constexpr unsigned kBlock = 128;
   const unsigned blocks = (batch.count + kBlock - 1) / kBlock;
+  if (streams != nullptr) streams->begin_kernel(*stream);
   dev.launch(blocks, kBlock, 0, [&](gpu::BlockContext& ctx) {
     ctx.for_each_thread([&](unsigned tid) {
       const std::size_t r =
@@ -249,6 +257,7 @@ BatchFingerprints run_thread_per_read(gpu::Device& dev,
   dev.charge_kernel(
       kUncoalescedPenalty * total * (1 + 2 * sizeof(gpu::Key128)),
       static_cast<std::uint64_t>(total) * 2 * 2);
+  if (streams != nullptr) streams->end_kernel(*stream);
 
   BatchFingerprints out;
   out.stride = stride;
@@ -266,7 +275,8 @@ BatchFingerprints run_thread_per_read(gpu::Device& dev,
 BatchFingerprints compute_batch_fingerprints(gpu::Device& dev,
                                              std::span<const std::string> reads,
                                              const PlaceTable& places,
-                                             KernelStrategy strategy) {
+                                             KernelStrategy strategy,
+                                             gpu::StreamPair* streams) {
   if (reads.empty()) return {};
   for (const auto& r : reads) {
     if (r.size() > places.max_length()) {
@@ -274,10 +284,20 @@ BatchFingerprints compute_batch_fingerprints(gpu::Device& dev,
           "read longer than the PlaceTable max_length");
     }
   }
+  if (streams == nullptr) {
+    const EncodedBatch batch = encode_and_upload(dev, reads);
+    return strategy == KernelStrategy::kBlockPerRead
+               ? run_block_per_read(dev, batch, places, nullptr, nullptr)
+               : run_thread_per_read(dev, batch, places, nullptr, nullptr);
+  }
+  // Double-buffered: batch i charges leg i % 2, so its transfers overlap the
+  // neighbouring batch's kernel while kernels serialize via the pair's event.
+  gpu::Stream& s = streams->rotate();
+  gpu::StreamScope scope(dev, s);
   const EncodedBatch batch = encode_and_upload(dev, reads);
   return strategy == KernelStrategy::kBlockPerRead
-             ? run_block_per_read(dev, batch, places)
-             : run_thread_per_read(dev, batch, places);
+             ? run_block_per_read(dev, batch, places, streams, &s)
+             : run_thread_per_read(dev, batch, places, streams, &s);
 }
 
 }  // namespace lasagna::fingerprint

@@ -22,6 +22,7 @@
 #include "fingerprint/rabin_karp.hpp"
 #include "gpu/device.hpp"
 #include "gpu/key128.hpp"
+#include "gpu/stream.hpp"
 
 namespace lasagna::fingerprint {
 
@@ -64,9 +65,13 @@ struct BatchFingerprints {
 
 /// Run the fingerprint kernel over a batch of reads on `dev`.
 /// Transfers (encoded reads in, fingerprints out) are charged to the device.
+/// With `streams` set, each call rotates onto one leg of the pair so that
+/// consecutive batches double-buffer: transfers overlap the neighbouring
+/// batch's kernel while kernels serialize (one compute engine).
 [[nodiscard]] BatchFingerprints compute_batch_fingerprints(
     gpu::Device& dev, std::span<const std::string> reads,
     const PlaceTable& places,
-    KernelStrategy strategy = KernelStrategy::kBlockPerRead);
+    KernelStrategy strategy = KernelStrategy::kBlockPerRead,
+    gpu::StreamPair* streams = nullptr);
 
 }  // namespace lasagna::fingerprint

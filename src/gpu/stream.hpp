@@ -83,6 +83,40 @@ inline Stream create_stream(Device& device) {
   return Stream(device, device.create_stream());
 }
 
+/// The two modeled streams a double-buffered phase alternates device work
+/// across (chunk/batch/window i runs on leg i % 2). In synchronous mode both
+/// legs alias the default stream, so every charge sums onto the legacy
+/// timeline and modeled values are unchanged.
+///
+/// The device has one compute engine, so kernels serialize across streams
+/// while transfers overlap them; callers bracket each kernel section with
+/// begin_kernel / end_kernel to model that ordering.
+class StreamPair {
+ public:
+  StreamPair(Device& device, bool dual) {
+    legs_[0] = dual ? create_stream(device) : default_stream(device);
+    legs_[1] = dual ? create_stream(device) : legs_[0];
+  }
+
+  /// Alternate between the two legs.
+  Stream& rotate() {
+    Stream& s = legs_[next_];
+    next_ ^= 1u;
+    return s;
+  }
+
+  /// Serialize after the last kernel issued on either leg.
+  void begin_kernel(Stream& s) { s.wait(last_kernel_); }
+
+  /// Mark the end of a kernel section issued on `s`.
+  void end_kernel(Stream& s) { last_kernel_ = s.record(); }
+
+ private:
+  Stream legs_[2];
+  unsigned next_ = 0;
+  Event last_kernel_;
+};
+
 /// Reroutes the device's synchronous charges — and therefore every primitive
 /// in gpu/primitives.hpp — onto `stream` for the scope's lifetime (cf.
 /// launching a kernel with an explicit stream argument). Not thread-safe:

@@ -1,0 +1,96 @@
+// Background-threaded read-batch prefetch: the input half of the map
+// phase's software pipeline.
+//
+// AsyncReadBatchStream runs a ReadBatchStream on a private thread that
+// decodes FASTQ/FASTA batches into a bounded queue, so disk reads and
+// parsing overlap the consumer's (device) work while batch boundaries,
+// read ids and read contents are identical to the synchronous stream's.
+// Background exceptions (I/O faults, malformed input) are rethrown from
+// next() at the point in the stream where they occurred.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "seq/read_store.hpp"
+
+namespace lasagna::seq {
+
+class AsyncReadBatchStream {
+ public:
+  AsyncReadBatchStream(std::vector<std::filesystem::path> paths,
+                       std::uint64_t max_batch_bases,
+                       std::size_t max_queued_batches = 2)
+      : stream_(std::move(paths), max_batch_bases),  // open errors throw here
+        max_queued_(std::max<std::size_t>(1, max_queued_batches)),
+        worker_([this] { run(); }) {}
+
+  ~AsyncReadBatchStream() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  AsyncReadBatchStream(const AsyncReadBatchStream&) = delete;
+  AsyncReadBatchStream& operator=(const AsyncReadBatchStream&) = delete;
+
+  /// Fill the next batch; returns false when the input is exhausted.
+  /// Rethrows any exception the prefetch thread hit.
+  bool next(ReadBatch& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty() || done_; });
+    if (!queue_.empty()) {
+      out = std::move(queue_.front());
+      queue_.pop_front();
+      cv_.notify_all();  // queue slot freed for the prefetcher
+      return true;
+    }
+    if (error_ != nullptr) std::rethrow_exception(error_);
+    return false;
+  }
+
+ private:
+  void run() {
+    try {
+      ReadBatch batch;
+      while (stream_.next(batch)) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock,
+                 [this] { return queue_.size() < max_queued_ || stop_; });
+        if (stop_) return;
+        queue_.push_back(std::move(batch));
+        cv_.notify_all();
+        batch = ReadBatch{};
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+      cv_.notify_all();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      error_ = std::current_exception();
+      done_ = true;
+      cv_.notify_all();
+    }
+  }
+
+  ReadBatchStream stream_;  // touched only by worker_ after construction
+  std::size_t max_queued_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<ReadBatch> queue_;
+  bool done_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  std::thread worker_;  // last member: starts after everything is built
+};
+
+}  // namespace lasagna::seq

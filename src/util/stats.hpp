@@ -14,8 +14,10 @@ struct PhaseStats {
   double modeled_seconds = 0.0;  ///< modeled time (device+disk+network model)
   double device_seconds = 0.0;   ///< modeled device component
   double disk_seconds = 0.0;     ///< modeled disk component
-  /// (device + disk) / modeled. 1.0 for serial phases; approaches 2.0 when
-  /// an overlapped phase hides one component entirely behind the other.
+  double host_seconds = 0.0;     ///< modeled host component (CPU staging)
+  /// (device + disk + host) / modeled. 1.0 for serial phases; approaches
+  /// the lane count when an overlapped phase hides all lanes but the
+  /// slowest behind each other.
   double overlap_efficiency = 1.0;
   std::uint64_t peak_host_bytes = 0;
   std::uint64_t peak_device_bytes = 0;

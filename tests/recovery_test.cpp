@@ -129,6 +129,14 @@ TEST_F(RecoveryTest, KilledDuringMapResumesWithLoadSkipped) {
   check_scenario("map", "write:nth=5,match=sfx_", 1);
 }
 
+TEST_F(RecoveryTest, KilledInsideStreamedMapEmitterResumes) {
+  // The fault fires on the streamed map's background emitter thread (the
+  // partition appends drain one batch behind the fingerprint kernels); it
+  // must surface on the main thread as FaultError — not hang or abort —
+  // and leave a manifest the resumed run can pick up.
+  check_scenario("map-emit", "write:nth=7,match=pfx_", 1);
+}
+
 TEST_F(RecoveryTest, KilledDuringSortResumesFinishedRuns) {
   // The 4th level-1 run write dies, after at least one partition file (and
   // several runs) have been checkpointed.
