@@ -12,9 +12,12 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "seq/datasets.hpp"
 #include "util/timer.hpp"
 
@@ -24,6 +27,8 @@ struct BenchArgs {
   double scale = 16384.0;
   std::string dataset;  // empty = all
   bool quick = false;
+  std::string trace_out;    // empty = tracing disabled
+  std::string metrics_out;  // empty = no metrics dump
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -36,10 +41,14 @@ struct BenchArgs {
       } else if (arg == "--quick") {
         args.quick = true;
         args.scale = 65536.0;
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        args.trace_out = arg.substr(12);
+      } else if (arg.rfind("--metrics-out=", 0) == 0) {
+        args.metrics_out = arg.substr(14);
       } else if (arg == "--help") {
         std::printf(
             "options: --scale=<f> (default 16384), --dataset=<name>, "
-            "--quick\n");
+            "--quick, --trace-out=<file>, --metrics-out=<file>\n");
         std::exit(0);
       }
     }
@@ -52,6 +61,43 @@ struct BenchArgs {
     }
     return seq::paper_datasets(scale);
   }
+};
+
+/// Installs a tracer for the bench's lifetime when --trace-out was given
+/// and writes the trace/metrics files on destruction. Tracing stays
+/// completely off (a null active() pointer) when the flags are absent, so
+/// default bench runs measure the untraced configuration.
+class ScopedObservability {
+ public:
+  ScopedObservability(const BenchArgs& args, double disk_bandwidth)
+      : trace_out_(args.trace_out), metrics_out_(args.metrics_out) {
+    if (!trace_out_.empty()) {
+      tracer_ = std::make_unique<obs::Tracer>();
+      tracer_->set_disk_bandwidth(disk_bandwidth);
+      install_ = std::make_unique<obs::Tracer::ScopedInstall>(tracer_.get());
+    }
+  }
+
+  ~ScopedObservability() {
+    install_.reset();
+    if (tracer_ != nullptr) {
+      tracer_->write_chrome_trace(trace_out_);
+      std::printf("wrote trace %s\n", trace_out_.c_str());
+    }
+    if (!metrics_out_.empty()) {
+      obs::MetricsRegistry::global().write_json(metrics_out_);
+      std::printf("wrote metrics %s\n", metrics_out_.c_str());
+    }
+  }
+
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::Tracer::ScopedInstall> install_;
 };
 
 /// Datasets are cached next to the build tree so every bench reuses them.

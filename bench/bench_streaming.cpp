@@ -223,6 +223,8 @@ void write_pipeline_json(const bench::BenchArgs& args,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  // Both bench machines share the scaled 500 MB/s disk model.
+  bench::ScopedObservability observability(args, 500e6 / args.scale);
 
   // One H.Genome-sized partition per machine (Fig 8's input): 2.56 B pairs
   // / scale, one host block deep — the paper's single-disk-pass setting.

@@ -14,6 +14,8 @@
 #include "core/pipeline.hpp"
 #include "gpu/profile.hpp"
 #include "io/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace lasagna;
 
@@ -37,7 +39,8 @@ int main(int argc, char** argv) {
                  "[--min-overlap=N] [--host-mem-mb=N] [--device-mem-mb=N] "
                  "[--gpu=name] [--singletons] [--verify] [--sync-sort] "
                  "[--gfa=graph.gfa] [--min-contig=N] [--work-dir=DIR] "
-                 "[--resume] [--fault-spec=SPEC]\n",
+                 "[--resume] [--fault-spec=SPEC] "
+                 "[--trace-out=trace.json] [--metrics-out=metrics.json]\n",
                  argv[0]);
     return 2;
   }
@@ -45,6 +48,8 @@ int main(int argc, char** argv) {
   core::AssemblyConfig config;
   config.machine.name = "custom";
   std::unique_ptr<io::FaultInjector> injector;
+  std::string trace_out;
+  std::string metrics_out;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--min-overlap=", 0) == 0) {
@@ -73,6 +78,10 @@ int main(int argc, char** argv) {
       config.work_dir = arg.substr(11);
     } else if (arg == "--resume") {
       config.resume = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
     } else if (arg.rfind("--fault-spec=", 0) == 0) {
       // e.g. --fault-spec='seed=7;write:nth=30,match=.run' to kill the run
       // mid-sort, or rate/transient policies to exercise the retry layer.
@@ -94,9 +103,24 @@ int main(int argc, char** argv) {
   }
 
   io::FaultInjector::ScopedInstall install(injector.get());
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::Tracer::ScopedInstall> tracer_install;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+    tracer->set_disk_bandwidth(config.machine.disk_bandwidth_bytes_per_sec);
+    tracer_install = std::make_unique<obs::Tracer::ScopedInstall>(tracer.get());
+  }
   try {
     core::Assembler assembler(config);
     const core::AssemblyResult result = assembler.run(argv[1], argv[2]);
+    if (tracer != nullptr) {
+      tracer->write_chrome_trace(trace_out);
+      std::printf("wrote trace %s\n", trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::MetricsRegistry::global().write_json(metrics_out);
+      std::printf("wrote metrics %s\n", metrics_out.c_str());
+    }
     std::printf("%s\n", result.stats.to_table().c_str());
     if (result.phases_resumed > 0) {
       std::printf("resumed:        %u phase(s) restored from checkpoint\n",

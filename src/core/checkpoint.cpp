@@ -5,6 +5,8 @@
 #include <sstream>
 #include <system_error>
 
+#include "obs/trace.hpp"
+
 namespace lasagna::core {
 
 namespace {
@@ -43,6 +45,10 @@ CheckpointManager::CheckpointManager(std::filesystem::path dir,
       config_hash_(config_hash) {}
 
 bool CheckpointManager::load() {
+  obs::WallSpan span;
+  if (obs::Tracer* tracer = obs::Tracer::active()) {
+    span = obs::WallSpan(*tracer, tracer->track("core.checkpoint"), "load");
+  }
   std::ifstream in(dir_ / kManifestName);
   if (!in) return false;
 
@@ -132,6 +138,11 @@ std::vector<std::string> CheckpointManager::keys_with_prefix(
 
 void CheckpointManager::record(const std::string& key,
                                const Counters& counters) {
+  obs::WallSpan span;
+  if (obs::Tracer* tracer = obs::Tracer::active()) {
+    span = obs::WallSpan(*tracer, tracer->track("core.checkpoint"),
+                         "record:" + key);
+  }
   const std::scoped_lock lock(mutex_);
   entries_[key] = counters;
   persist_locked();

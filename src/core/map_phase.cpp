@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gpu/stream.hpp"
+#include "obs/trace.hpp"
 #include "seq/async_batch_stream.hpp"
 #include "seq/dna.hpp"
 #include "seq/read_store.hpp"
@@ -104,6 +105,12 @@ class TupleEmitter {
   void emit(const EmissionJob& job) {
     const std::size_t n = job.lengths.size();
     if (n == 0) return;
+    obs::WallSpan span;
+    if (obs::Tracer* tracer = obs::Tracer::active()) {
+      span = obs::WallSpan(*tracer, tracer->track("host.emit"),
+                           "emit:" + std::to_string(job.read_ids.front()),
+                           {{"strands", static_cast<std::int64_t>(n)}});
+    }
     const std::size_t chunk_count = options_.emission_chunks > 0
                                         ? options_.emission_chunks
                                         : util::ThreadPool::global().size() * 4;
@@ -312,6 +319,13 @@ MapResult run_map_phase(Workspace& ws,
   seq::ReadBatch batch;
 
   auto fingerprint_batch = [&](EmissionJob& job) {
+    obs::WallSpan span;
+    if (obs::Tracer* tracer = obs::Tracer::active()) {
+      span = obs::WallSpan(
+          *tracer, tracer->track("core.map"),
+          "batch:" + std::to_string(job.read_ids.front()),
+          {{"strands", static_cast<std::int64_t>(job.lengths.size())}});
+    }
     util::TrackedAllocation strand_mem(
         *ws.host, strands.size() * (strands.front().size() + 32));
     job.fps = fingerprint::compute_batch_fingerprints(

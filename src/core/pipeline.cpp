@@ -1,11 +1,15 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "core/checkpoint.hpp"
 #include "graph/gfa.hpp"
 #include "io/record_stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "seq/read_store.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -31,9 +35,15 @@ class PhaseScope {
         extra_input_bytes_(extra_input_bytes),
         overlapped_(overlapped),
         io_before_(ws.io->snapshot()),
-        device_before_(ws.device->modeled_seconds()) {
+        device_before_(ws.device->modeled_seconds()),
+        counters_before_(obs::MetricsRegistry::global().counters_snapshot()),
+        run_modeled_before_(stats.total_modeled_seconds()) {
     ws.host->reset_peak();
     ws.device->memory().reset_peak();
+    if (obs::Tracer* tracer = obs::Tracer::active()) {
+      wall_span_ =
+          obs::WallSpan(*tracer, tracer->track("phase"), "phase:" + name_);
+    }
   }
 
   /// The phase was restored from a checkpoint rather than executed.
@@ -81,10 +91,48 @@ class PhaseScope {
                phase.host_seconds) /
                   phase.modeled_seconds
             : 1.0;
+    phase.faults_injected =
+        io_after.faults_injected - io_before_.faults_injected;
+    phase.faults_retried =
+        io_after.faults_retried - io_before_.faults_retried;
+    phase.faults_fatal = io_after.faults_fatal - io_before_.faults_fatal;
+    phase.metrics = obs::snapshot_delta(
+        counters_before_, obs::MetricsRegistry::global().counters_snapshot());
+    trace_lanes(phase);
     stats_.add(std::move(phase));
   }
 
  private:
+  /// Emit the phase's modeled lane spans: each lane ("lane.device" /
+  /// "lane.disk" / "lane.host") gets one span named after the phase, placed
+  /// on the run's cumulative modeled timeline. Overlapped phases run all
+  /// lanes concurrently from the phase start; serial phases chain them —
+  /// so the trace *shows* what overlap_efficiency summarizes. Lane times
+  /// derive from byte counts and the deterministic device clock, hence
+  /// these spans are part of the byte-identical modeled export.
+  void trace_lanes(const util::PhaseStats& phase) const {
+    obs::Tracer* tracer = obs::Tracer::active();
+    if (tracer == nullptr) return;
+    const auto ps = [](double seconds) {
+      return static_cast<std::int64_t>(std::llround(seconds * 1e12));
+    };
+    const std::int64_t base = ps(run_modeled_before_);
+    tracer->add_span(tracer->track("phases"), phase.name, -1, 0, base,
+                     ps(phase.modeled_seconds),
+                     {{"resumed", phase.resumed ? 1 : 0}});
+    std::int64_t cursor = base;
+    const std::pair<const char*, double> lanes[] = {
+        {"lane.device", phase.device_seconds},
+        {"lane.disk", phase.disk_seconds},
+        {"lane.host", phase.host_seconds}};
+    for (const auto& [track, seconds] : lanes) {
+      if (seconds <= 0.0) continue;
+      tracer->add_span(tracer->track(track), phase.name, -1, 0,
+                       overlapped_ ? base : cursor, ps(seconds));
+      if (!overlapped_) cursor += ps(seconds);
+    }
+  }
+
   std::string name_;
   Workspace& ws_;
   const MachineConfig& machine_;
@@ -95,6 +143,9 @@ class PhaseScope {
   bool resumed_ = false;
   io::IoStats::Snapshot io_before_;
   double device_before_;
+  obs::MetricsRegistry::Snapshot counters_before_;
+  double run_modeled_before_;
+  obs::WallSpan wall_span_;
   util::WallTimer timer_;
 };
 

@@ -9,6 +9,7 @@
 #include "gpu/stream.hpp"
 #include "io/async_record_stream.hpp"
 #include "io/record_stream.hpp"
+#include "obs/trace.hpp"
 #include "seq/dna.hpp"
 #include "util/logging.hpp"
 
@@ -130,6 +131,13 @@ class WindowMatcher {
   /// Insert the deferred window's edges (host greedy update, paper III-C).
   void flush() {
     if (!pending_.valid) return;
+    obs::WallSpan span;
+    if (obs::Tracer* tracer = obs::Tracer::active()) {
+      span = obs::WallSpan(
+          *tracer, tracer->track("host.insert"),
+          "insert:l" + std::to_string(length_),
+          {{"rows", static_cast<std::int64_t>(pending_.sfx_vertices.size())}});
+    }
     for (std::size_t i = 0; i < pending_.sfx_vertices.size(); ++i) {
       const std::uint32_t lo = pending_.lower[i];
       const std::uint32_t hi = pending_.upper[i];
@@ -256,6 +264,13 @@ PartitionReduceStats reduce_partition(Workspace& ws,
                                       const SortedPartition& partition,
                                       graph::StringGraph& graph,
                                       const ReduceOptions& options) {
+  obs::WallSpan span;
+  if (obs::Tracer* tracer = obs::Tracer::active()) {
+    span = obs::WallSpan(
+        *tracer, tracer->track("core.reduce"),
+        "partition:l" + std::to_string(partition.length),
+        {{"length", static_cast<std::int64_t>(partition.length)}});
+  }
   return options.streamed
              ? reduce_partition_impl<io::AsyncRecordReader<FpRecord>>(
                    ws, partition, graph, options)

@@ -13,6 +13,7 @@
 #include "gpu/stream.hpp"
 #include "io/async_record_stream.hpp"
 #include "io/record_stream.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -506,6 +507,12 @@ SortFileStats external_sort_file(Workspace& ws,
   const std::filesystem::path run_dir = output.parent_path();
   std::filesystem::create_directories(run_dir);
 
+  obs::WallSpan file_span;
+  if (obs::Tracer* tracer = obs::Tracer::active()) {
+    file_span = obs::WallSpan(*tracer, tracer->track("core.sort"),
+                              "sort:" + output.filename().string());
+  }
+
   CheckpointManager* cm = ws.checkpoint;
 
   // Whole-file skip: a previous run finished sorting this file (the input
@@ -635,6 +642,11 @@ SortFileStats external_sort_file(Workspace& ws,
       const std::filesystem::path merged =
           scratch_base(output) + ".gen" + std::to_string(generation) + "." +
           std::to_string(i / 2);
+      obs::WallSpan merge_span;
+      if (obs::Tracer* tracer = obs::Tracer::active()) {
+        merge_span = obs::WallSpan(*tracer, tracer->track("core.sort"),
+                                   "merge:" + merged.filename().string());
+      }
       merge_files(ws, runs[i], runs[i + 1], merged, geometry, streams);
       std::filesystem::remove(runs[i]);
       std::filesystem::remove(runs[i + 1]);

@@ -97,6 +97,7 @@ class Device {
     if (io::FaultInjector* injector = io::FaultInjector::active()) {
       injector->on_alloc(count * sizeof(T));
     }
+    note_alloc(count * sizeof(T));
     return DeviceBuffer<T>(memory_, count);
   }
 
@@ -192,6 +193,9 @@ class Device {
  private:
   /// Stable reference to a stream's picosecond counter (bounds-checked).
   std::atomic<std::uint64_t>& stream_clock(StreamId stream) const;
+
+  /// Metrics/trace hook for alloc<T> (non-template so it lives in the .cpp).
+  void note_alloc(std::uint64_t bytes);
 
   GpuProfile profile_;
   util::MemoryTracker memory_;

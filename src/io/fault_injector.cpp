@@ -5,11 +5,38 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lasagna::io {
 
 std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
 
 namespace {
+
+struct FaultCounters {
+  obs::Counter& injected;
+  obs::Counter& retried;
+  obs::Counter& fatal;
+};
+
+FaultCounters& fault_counters() {
+  auto& r = obs::MetricsRegistry::global();
+  static FaultCounters counters{r.counter("io.faults_injected"),
+                                r.counter("io.faults_retried"),
+                                r.counter("io.faults_fatal")};
+  return counters;
+}
+
+/// Wall-only instant marking where in the timeline a fault fired (injection
+/// timing follows real thread interleaving, so these never enter the
+/// deterministic modeled export).
+void trace_fault(FaultOp op, const char* kind) {
+  if (obs::Tracer* tracer = obs::Tracer::active()) {
+    tracer->add_instant(tracer->track("io.faults"),
+                        std::string(kind) + ":" + fault_op_name(op));
+  }
+}
 
 // splitmix64 — tiny, high-quality mixer; (seed, op index) -> uniform u64.
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -80,9 +107,13 @@ void FaultInjector::absorb(FaultOp op, const Decision& decision,
                            const std::string& what, IoStats* stats) {
   injected_.fetch_add(1, std::memory_order_relaxed);
   if (stats != nullptr) stats->add_fault_injected();
+  fault_counters().injected.add(1);
+  trace_fault(op, "fault");
   if (decision.fatal) {
     fatal_.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) stats->add_fault_fatal();
+    fault_counters().fatal.add(1);
+    trace_fault(op, "fatal");
     throw FaultError(op, /*transient=*/false,
                      "injected fatal " + std::string(fault_op_name(op)) +
                          " fault: " + what);
@@ -93,6 +124,8 @@ void FaultInjector::absorb(FaultOp op, const Decision& decision,
   if (decision.transient > max_retries_) {
     fatal_.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) stats->add_fault_fatal();
+    fault_counters().fatal.add(1);
+    trace_fault(op, "fatal");
     throw FaultError(op, /*transient=*/true,
                      "transient " + std::string(fault_op_name(op)) +
                          " fault persisted past " +
@@ -102,6 +135,7 @@ void FaultInjector::absorb(FaultOp op, const Decision& decision,
   for (unsigned attempt = 0; attempt < decision.transient; ++attempt) {
     retried_.fetch_add(1, std::memory_order_relaxed);
     if (stats != nullptr) stats->add_fault_retried();
+    fault_counters().retried.add(1);
     const auto backoff =
         std::chrono::microseconds(1ULL << std::min(attempt, 6U));
     std::this_thread::sleep_for(backoff);
@@ -133,6 +167,9 @@ std::size_t FaultInjector::on_write(const std::filesystem::path& path,
       stats->add_fault_injected();
       stats->add_fault_retried();
     }
+    fault_counters().injected.add(1);
+    fault_counters().retried.add(1);
+    trace_fault(FaultOp::kWrite, "short");
     return std::max<std::size_t>(1, std::min(decision.short_bytes, bytes));
   }
   absorb(FaultOp::kWrite, decision, p, stats);

@@ -4,6 +4,8 @@
 #include <system_error>
 
 #include "io/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lasagna::io {
 
@@ -19,6 +21,39 @@ detail::FileHandle open_file(const std::filesystem::path& path,
   return detail::FileHandle(f);
 }
 
+struct IoCounters {
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+  obs::Counter& read_ops;
+  obs::Counter& write_ops;
+  obs::Counter& seeks;
+};
+
+IoCounters& io_counters() {
+  auto& r = obs::MetricsRegistry::global();
+  static IoCounters counters{
+      r.counter("io.bytes_read"), r.counter("io.bytes_written"),
+      r.counter("io.read_ops"), r.counter("io.write_ops"),
+      r.counter("io.seeks")};
+  return counters;
+}
+
+/// Record one disk operation as a dual-clock span. The modeled placement is
+/// deterministic: a file's bytes stream at the tracer's disk bandwidth, so
+/// the op covers [offset_before/bw, offset_after/bw) on that file's
+/// timeline. The name uses only the filename — workspace temp dirs differ
+/// between runs, filenames do not.
+void trace_disk_op(obs::Tracer& tracer, const char* track,
+                   const std::filesystem::path& path,
+                   std::uint64_t offset_before, std::uint64_t bytes,
+                   std::int64_t wall_start_ns, std::int64_t wall_dur_ns) {
+  const std::int64_t start = tracer.disk_ps(offset_before);
+  tracer.add_span(tracer.track(track), path.filename().string(),
+                  wall_start_ns, wall_dur_ns, start,
+                  tracer.disk_ps(offset_before + bytes) - start,
+                  {{"bytes", static_cast<std::int64_t>(bytes)}});
+}
+
 }  // namespace
 
 ReadOnlyStream::ReadOnlyStream(const std::filesystem::path& path,
@@ -32,6 +67,9 @@ std::size_t ReadOnlyStream::read_bytes(std::span<std::byte> out) {
   if (FaultInjector* injector = FaultInjector::active()) {
     injector->on_read(path_, out.size(), stats_);
   }
+  obs::Tracer* tracer = obs::Tracer::active();
+  const std::int64_t wall_start = tracer != nullptr ? tracer->now_ns() : 0;
+  const std::uint64_t offset_before = offset_;
   const std::size_t got =
       std::fread(out.data(), 1, out.size(), file_.get());
   if (got < out.size()) {
@@ -42,7 +80,15 @@ std::size_t ReadOnlyStream::read_bytes(std::span<std::byte> out) {
     eof_ = true;
   }
   offset_ += got;
-  if (got > 0) stats_->add_read(got);
+  if (got > 0) {
+    stats_->add_read(got);
+    io_counters().bytes_read.add(static_cast<std::int64_t>(got));
+    io_counters().read_ops.add(1);
+    if (tracer != nullptr) {
+      trace_disk_op(*tracer, "disk.read", path_, offset_before, got,
+                    wall_start, tracer->now_ns() - wall_start);
+    }
+  }
   return got;
 }
 
@@ -54,6 +100,12 @@ void ReadOnlyStream::skip_bytes(std::uint64_t bytes) {
   }
   offset_ += bytes;
   if (offset_ >= size_) eof_ = offset_ > size_;
+  io_counters().seeks.add(1);
+  if (obs::Tracer* tracer = obs::Tracer::active()) {
+    tracer->add_instant(tracer->track("disk.read"),
+                        "seek:" + path_.filename().string(),
+                        {{"bytes", static_cast<std::int64_t>(bytes)}});
+  }
 }
 
 WriteOnlyStream::WriteOnlyStream(const std::filesystem::path& path,
@@ -65,6 +117,9 @@ void WriteOnlyStream::write_bytes(std::span<const std::byte> data) {
   if (file_ == nullptr) {
     throw std::logic_error("write to closed stream " + path_.string());
   }
+  obs::Tracer* tracer = obs::Tracer::active();
+  const std::int64_t wall_start = tracer != nullptr ? tracer->now_ns() : 0;
+  const std::uint64_t offset_before = offset_;
   // Remainder loop: a single logical write survives injected short writes
   // by retrying the unwritten tail, the same contract POSIX write(2)
   // callers implement.
@@ -82,7 +137,13 @@ void WriteOnlyStream::write_bytes(std::span<const std::byte> data) {
     }
     offset_ += put;
     stats_->add_write(put);
+    io_counters().bytes_written.add(static_cast<std::int64_t>(put));
+    io_counters().write_ops.add(1);
     off += put;
+  }
+  if (tracer != nullptr) {
+    trace_disk_op(*tracer, "disk.write", path_, offset_before, data.size(),
+                  wall_start, tracer->now_ns() - wall_start);
   }
 }
 

@@ -62,10 +62,14 @@ class IoStats {
   struct Snapshot {
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t faults_retried = 0;
+    std::uint64_t faults_fatal = 0;
   };
 
   [[nodiscard]] Snapshot snapshot() const {
-    return Snapshot{bytes_read(), bytes_written()};
+    return Snapshot{bytes_read(), bytes_written(), faults_injected(),
+                    faults_retried(), faults_fatal()};
   }
 
   /// Process-wide default instance (single-node pipeline).

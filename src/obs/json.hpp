@@ -1,0 +1,66 @@
+// Tiny JSON emission helpers shared by the trace and metrics exporters.
+// Emission only — parsing (for tests) lives in the test tree.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace lasagna::obs {
+
+/// Write `s` as a quoted JSON string, escaping the characters JSON requires.
+inline void json_escape(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Write an integer count of `unit_den`-ths as a fixed-point decimal with
+/// `digits` fractional places (e.g. nanoseconds as microseconds: den=1000,
+/// digits=3). Integer arithmetic only, so output is byte-stable — the
+/// determinism guarantee for modeled-clock exports rests on this.
+inline void json_fixed(std::ostream& out, std::int64_t value,
+                       std::int64_t unit_den, int digits) {
+  const bool negative = value < 0;
+  const std::uint64_t mag =
+      negative ? static_cast<std::uint64_t>(-(value + 1)) + 1
+               : static_cast<std::uint64_t>(value);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%llu.%0*llu", negative ? "-" : "",
+                static_cast<unsigned long long>(
+                    mag / static_cast<std::uint64_t>(unit_den)),
+                digits,
+                static_cast<unsigned long long>(
+                    mag % static_cast<std::uint64_t>(unit_den)));
+  out << buf;
+}
+
+}  // namespace lasagna::obs

@@ -1,0 +1,113 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace lasagna::obs {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = counter_names_.find(name);
+  if (it != counter_names_.end()) return *it->second;
+  counters_.emplace_back();
+  Counter* c = &counters_.back();
+  counter_names_.emplace(std::string(name), c);
+  return *c;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = gauge_names_.find(name);
+  if (it != gauge_names_.end()) return *it->second;
+  gauges_.emplace_back();
+  Gauge* g = &gauges_.back();
+  gauge_names_.emplace(std::string(name), g);
+  return *g;
+}
+
+std::int64_t MetricsRegistry::value(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  if (auto it = counter_names_.find(name); it != counter_names_.end()) {
+    return it->second->value();
+  }
+  if (auto it = gauge_names_.find(name); it != gauge_names_.end()) {
+    return it->second->value();
+  }
+  return 0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::counters_snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.reserve(counter_names_.size());
+  for (const auto& [name, c] : counter_names_) {
+    snap.emplace_back(name, c->value());
+  }
+  return snap;  // std::map iteration order == sorted by name
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::gauges_snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.reserve(gauge_names_.size());
+  for (const auto& [name, g] : gauge_names_) {
+    snap.emplace_back(name, g->value());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::json() const {
+  const Snapshot counters = counters_snapshot();
+  const Snapshot gauges = gauges_snapshot();
+  std::ostringstream out;
+  const auto emit_section = [&out](const char* title, const Snapshot& snap) {
+    out << "  \"" << title << "\": {";
+    bool first = true;
+    for (const auto& [name, value] : snap) {
+      out << (first ? "\n" : ",\n") << "    ";
+      json_escape(out, name);
+      out << ": " << value;
+      first = false;
+    }
+    if (!first) out << "\n  ";
+    out << "}";
+  };
+  out << "{\n";
+  emit_section("counters", counters);
+  out << ",\n";
+  emit_section("gauges", gauges);
+  out << "\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::write_json(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("metrics: cannot open " + path.string());
+  }
+  out << json();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Snapshot snapshot_delta(
+    const MetricsRegistry::Snapshot& before,
+    const MetricsRegistry::Snapshot& after) {
+  MetricsRegistry::Snapshot delta;
+  auto b = before.begin();
+  for (const auto& [name, value] : after) {
+    while (b != before.end() && b->first < name) ++b;
+    const std::int64_t prior =
+        (b != before.end() && b->first == name) ? b->second : 0;
+    if (value != prior) delta.emplace_back(name, value - prior);
+  }
+  return delta;
+}
+
+}  // namespace lasagna::obs

@@ -1,0 +1,107 @@
+// Process-wide counter/gauge metrics registry.
+//
+// The instrumented layers (gpu::Device, the io streams, util::ThreadPool,
+// the pipeline phases) register named counters and gauges here; the registry
+// can be snapshotted at phase boundaries (for the per-phase metrics in
+// util::PhaseStats) and exported as a flat, sorted JSON document
+// (--metrics-out).
+//
+// Cost model: looking a metric up by name takes a mutex, so hot call sites
+// cache the returned reference (addresses are stable for the registry's
+// lifetime — metrics live in deques and are never removed). Updating a
+// cached Counter/Gauge is a single relaxed atomic op.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lasagna::obs {
+
+/// Monotonic (well-behaved callers only add positive deltas) event counter.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time value (queue depth, current allocation, ...).
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Monotonic high-water update (CAS loop; lock-free).
+  void set_max(std::int64_t value) {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (current < value &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Named metrics with stable addresses. Thread-safe.
+class MetricsRegistry {
+ public:
+  /// Find or create the counter/gauge named `name`. The reference stays
+  /// valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Current value of the metric named `name` (counter or gauge), or 0 when
+  /// no such metric exists yet — lets tests assert without registering.
+  [[nodiscard]] std::int64_t value(std::string_view name) const;
+
+  /// Name-sorted (name, value) pairs — the phase-boundary diff unit.
+  using Snapshot = std::vector<std::pair<std::string, std::int64_t>>;
+  [[nodiscard]] Snapshot counters_snapshot() const;
+  [[nodiscard]] Snapshot gauges_snapshot() const;
+
+  /// Flat JSON document: {"counters": {...}, "gauges": {...}}, keys sorted.
+  [[nodiscard]] std::string json() const;
+  void write_json(const std::filesystem::path& path) const;
+
+  /// Process-wide registry all built-in instrumentation reports to.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  // Deques keep metric addresses stable while the maps grow.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::map<std::string, Counter*, std::less<>> counter_names_;
+  std::map<std::string, Gauge*, std::less<>> gauge_names_;
+};
+
+/// Counters that moved between two snapshots of the same registry, as
+/// name-sorted (name, delta) pairs. Entries present only in `after` count
+/// from zero; zero deltas are dropped.
+[[nodiscard]] MetricsRegistry::Snapshot snapshot_delta(
+    const MetricsRegistry::Snapshot& before,
+    const MetricsRegistry::Snapshot& after);
+
+}  // namespace lasagna::obs

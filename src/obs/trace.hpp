@@ -1,0 +1,214 @@
+// Dual-clock span tracer with Chrome trace-event export.
+//
+// Every event can carry timestamps on two clocks:
+//
+//   - the *wall* clock: real nanoseconds since the tracer's construction,
+//     measured with steady_clock. Wall spans show what actually overlapped
+//     on the host (prefetch threads, drain workers, kernel launches).
+//   - the *modeled* clock: the simulator's deterministic timeline — device
+//     picoseconds from gpu::Device's per-stream counters, disk time from
+//     byte offsets over the configured disk bandwidth, lane times from the
+//     phase overlap model. Modeled spans are the paper-world Gantt chart:
+//     two runs with the same seed produce byte-identical modeled events.
+//
+// The Chrome export renders the two clocks as two "processes" (pid 1 wall,
+// pid 2 modeled) so chrome://tracing / Perfetto shows them as separate
+// groups; each named track becomes one "thread" row. Open the file with
+// chrome://tracing "Load" or https://ui.perfetto.dev.
+//
+// Disabled cost: Tracer::active() is a single relaxed-ish atomic pointer
+// load (the FaultInjector pattern); no tracer installed means no locks, no
+// allocation, no string formatting at any call site — call sites must build
+// names only after checking active().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lasagna::obs {
+
+/// Index into the tracer's track table. Tracks are named timelines ("disk",
+/// "device.s1", "lane.host", ...) rendered as separate rows.
+using TrackId = std::uint32_t;
+
+/// One key/value annotation on an event (rendered under "args").
+struct TraceArg {
+  const char* key = "";
+  std::int64_t value = 0;
+};
+
+/// One recorded event. Timestamps of -1 mean "absent on this clock":
+/// wall-only events never enter the modeled export (they are
+/// nondeterministic), modeled-only events still document the simulated
+/// timeline when wall time is meaningless (lane spans).
+struct TraceEvent {
+  TrackId track = 0;
+  char type = 'X';  ///< 'X' complete span, 'i' instant, 'C' counter
+  std::string name;
+  std::int64_t wall_start_ns = -1;
+  std::int64_t wall_dur_ns = 0;
+  std::int64_t mod_start_ps = -1;
+  std::int64_t mod_dur_ps = 0;
+  std::int64_t value = 0;  ///< counter events only
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // -- recording -----------------------------------------------------------
+
+  /// Find or create the track named `name`.
+  [[nodiscard]] TrackId track(std::string_view name);
+
+  /// Wall nanoseconds since this tracer's construction.
+  [[nodiscard]] std::int64_t now_ns() const;
+
+  void add(TraceEvent event);
+
+  /// Span with both clocks (pass -1 starts to omit a clock).
+  void add_span(TrackId track, std::string name, std::int64_t wall_start_ns,
+                std::int64_t wall_dur_ns, std::int64_t mod_start_ps,
+                std::int64_t mod_dur_ps, std::vector<TraceArg> args = {});
+
+  /// Wall-only instant event (log lines, injected faults).
+  void add_instant(TrackId track, std::string name,
+                   std::vector<TraceArg> args = {});
+
+  /// Wall-only counter sample (queue depth over time).
+  void add_counter(TrackId track, std::string name, std::int64_t value);
+
+  // -- modeled disk clock --------------------------------------------------
+
+  /// Bandwidth used to place disk I/O on the modeled timeline (defaults to
+  /// the default MachineConfig's scaled disk bandwidth). Set it before
+  /// installing the tracer; it is read concurrently afterwards.
+  void set_disk_bandwidth(double bytes_per_sec);
+  [[nodiscard]] std::int64_t disk_ps(std::uint64_t bytes) const;
+
+  // -- export --------------------------------------------------------------
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::string track_name(TrackId track) const;
+
+  /// Full Chrome trace-event JSON: {"traceEvents": [...]} with the wall
+  /// clock under pid 1 and the modeled clock under pid 2.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::filesystem::path& path) const;
+
+  /// Only the modeled-clock events, deterministically ordered — two runs
+  /// with the same seed produce byte-identical output. (The same ordering
+  /// is used for the modeled section of chrome_trace_json.)
+  [[nodiscard]] std::string modeled_events_json() const;
+
+  // -- global installation (FaultInjector pattern) -------------------------
+
+  /// The installed tracer, or nullptr when tracing is disabled. This load
+  /// is the only cost on hot paths with tracing off.
+  [[nodiscard]] static Tracer* active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  static void install(Tracer* tracer) {
+    active_.store(tracer, std::memory_order_release);
+  }
+
+  /// RAII installation; restores the previous tracer on destruction.
+  class ScopedInstall {
+   public:
+    explicit ScopedInstall(Tracer* tracer) : previous_(active()) {
+      install(tracer);
+    }
+    ~ScopedInstall() { install(previous_); }
+    ScopedInstall(const ScopedInstall&) = delete;
+    ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+   private:
+    Tracer* previous_;
+  };
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> track_names_;
+  std::map<std::string, TrackId, std::less<>> track_ids_;
+  std::int64_t epoch_ns_;  ///< steady_clock at construction
+  double disk_bandwidth_ = 500e6 / 4096.0;
+
+  static std::atomic<Tracer*> active_;
+};
+
+/// RAII wall-clock span. Default-constructed spans are inert; active ones
+/// capture now_ns() at construction and emit a complete event when
+/// finished/destroyed. Movable so call sites can conditionally arm one:
+///
+///   obs::WallSpan span;
+///   if (obs::Tracer* t = obs::Tracer::active()) {
+///     span = obs::WallSpan(*t, t->track("core.sort"), "file:" + name);
+///   }
+class WallSpan {
+ public:
+  WallSpan() = default;
+  WallSpan(Tracer& tracer, TrackId track, std::string name,
+           std::vector<TraceArg> args = {})
+      : tracer_(&tracer),
+        track_(track),
+        name_(std::move(name)),
+        args_(std::move(args)),
+        start_ns_(tracer.now_ns()) {}
+
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+  WallSpan(WallSpan&& other) noexcept { *this = std::move(other); }
+  WallSpan& operator=(WallSpan&& other) noexcept {
+    if (this != &other) {
+      finish();
+      tracer_ = other.tracer_;
+      track_ = other.track_;
+      name_ = std::move(other.name_);
+      args_ = std::move(other.args_);
+      start_ns_ = other.start_ns_;
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~WallSpan() { finish(); }
+
+  /// Append an annotation (e.g. a result count known only at the end).
+  void add_arg(const char* key, std::int64_t value) {
+    if (tracer_ != nullptr) args_.push_back(TraceArg{key, value});
+  }
+
+  /// Emit the span now (idempotent).
+  void finish() {
+    if (tracer_ == nullptr) return;
+    tracer_->add_span(track_, std::move(name_), start_ns_,
+                      tracer_->now_ns() - start_ns_, -1, 0,
+                      std::move(args_));
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TrackId track_ = 0;
+  std::string name_;
+  std::vector<TraceArg> args_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace lasagna::obs
+
+/// True when a tracer is installed — the cheap guard call sites use before
+/// building event names (mirrors the LASAGNA_LOG level check).
+#define LASAGNA_TRACE_ACTIVE() (::lasagna::obs::Tracer::active() != nullptr)

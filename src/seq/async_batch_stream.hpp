@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "seq/read_store.hpp"
 
 namespace lasagna::seq {
@@ -60,7 +61,17 @@ class AsyncReadBatchStream {
   void run() {
     try {
       ReadBatch batch;
-      while (stream_.next(batch)) {
+      while (true) {
+        // Per-batch decode span: wall time the prefetch thread spends in
+        // disk reads + FASTQ parsing for one batch.
+        obs::WallSpan span;
+        if (obs::Tracer* tracer = obs::Tracer::active()) {
+          span = obs::WallSpan(*tracer, tracer->track("io.fastq"), "decode");
+        }
+        if (!stream_.next(batch)) break;
+        span.add_arg("first_id", static_cast<std::int64_t>(batch.first_id));
+        span.add_arg("reads", static_cast<std::int64_t>(batch.size()));
+        span.finish();
         std::unique_lock<std::mutex> lock(mutex_);
         cv_.wait(lock,
                  [this] { return queue_.size() < max_queued_ || stop_; });

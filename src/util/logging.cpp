@@ -2,15 +2,42 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <ctime>
+#include <utility>
+
+#include "obs/trace.hpp"
 
 namespace lasagna::util {
 
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_sink_mutex;
 
-const char* level_name(LogLevel level) {
+// Guarded by g_sink_mutex. A plain pointer-to-function-object (not a bare
+// std::function global) so the default stderr sink needs no initialization
+// order guarantees.
+LogSink g_sink;  // empty = stderr default
+
+void stderr_sink(const LogRecord& record) {
+  const std::time_t secs =
+      std::chrono::system_clock::to_time_t(record.time);
+  const auto subsec = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          record.time.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  std::fprintf(stderr, "[%s %02d:%02d:%02d.%03d t%llu] %s\n",
+               log_level_name(record.level), tm.tm_hour, tm.tm_min,
+               tm.tm_sec, static_cast<int>(subsec),
+               static_cast<unsigned long long>(record.thread_id),
+               record.message.c_str());
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -24,16 +51,63 @@ const char* level_name(LogLevel level) {
       return "?";
   }
 }
-}  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+std::uint64_t current_thread_id() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  LogRecord record;
+  record.level = level;
+  record.message = msg;
+  record.time = std::chrono::system_clock::now();
+  record.thread_id = current_thread_id();
+
+  // Warnings and errors become instant events so a trace shows *where* in
+  // the timeline something went wrong (wall clock only — log timing is
+  // inherently nondeterministic).
+  if (level >= LogLevel::kWarn) {
+    if (obs::Tracer* tracer = obs::Tracer::active()) {
+      tracer->add_instant(
+          tracer->track("log"),
+          std::string(log_level_name(level)) + ": " + msg,
+          {{"thread", static_cast<std::int64_t>(record.thread_id)}});
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(record);
+  } else {
+    stderr_sink(record);
+  }
+}
+
+ScopedLogSink::ScopedLogSink() {
+  set_log_sink([this](const LogRecord& record) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(record);
+  });
+}
+
+ScopedLogSink::~ScopedLogSink() { set_log_sink(LogSink()); }
+
+std::vector<LogRecord> ScopedLogSink::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
 }
 
 }  // namespace lasagna::util

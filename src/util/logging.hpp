@@ -1,19 +1,71 @@
-// Minimal leveled logger. Single global sink (stderr), thread-safe.
+// Leveled logger with a pluggable sink.
+//
+// The default sink writes to stderr with a wall-clock timestamp and a small
+// sequential thread id. Tests install a capturing sink (ScopedLogSink) to
+// assert on emitted records; when an obs::Tracer is installed, every record
+// at warn or above is also mirrored into the trace as an instant event on
+// the "log" track, so warnings line up with the spans they interrupted.
+//
+// Disabled cost: the LASAGNA_LOG macro checks the atomic level before
+// constructing the LogLine, so suppressed messages never format.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace lasagna::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
 /// Set the global minimum level. Messages below it are dropped.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// Everything known about one emitted log line.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string message;
+  /// Wall-clock emission time.
+  std::chrono::system_clock::time_point time;
+  /// Small sequential id of the emitting thread (1 = first thread seen).
+  std::uint64_t thread_id = 0;
+};
+
+/// Sink invoked (serialized under the logger's mutex) for each record at or
+/// above the global level.
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Replace the global sink; an empty function restores the stderr default.
+void set_log_sink(LogSink sink);
+
+/// Small sequential id for the calling thread (stable for its lifetime).
+[[nodiscard]] std::uint64_t current_thread_id();
+
 /// Emit one log line (used by the LOG macros; rarely called directly).
 void log_message(LogLevel level, const std::string& msg);
+
+/// Captures records for the scope's lifetime (the stderr default is
+/// restored on destruction). Thread-safe; records() copies under a lock.
+class ScopedLogSink {
+ public:
+  ScopedLogSink();
+  ~ScopedLogSink();
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+  [[nodiscard]] std::vector<LogRecord> records() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<LogRecord> records_;
+};
 
 namespace detail {
 

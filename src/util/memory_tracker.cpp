@@ -21,6 +21,7 @@ void MemoryTracker::allocate(std::uint64_t bytes) {
              !peak_.compare_exchange_weak(seen, next,
                                           std::memory_order_relaxed)) {
       }
+      publish();
       return;
     }
   }
@@ -33,6 +34,20 @@ void MemoryTracker::release(std::uint64_t bytes) {
     current_.store(0, std::memory_order_relaxed);
     throw std::logic_error(name_ + ": release of more bytes than allocated");
   }
+  publish();
+}
+
+void MemoryTracker::publish_metrics(const std::string& prefix) {
+  auto& registry = obs::MetricsRegistry::global();
+  current_gauge_ = &registry.gauge(prefix + ".current_bytes");
+  peak_gauge_ = &registry.gauge(prefix + ".peak_bytes");
+  publish();
+}
+
+void MemoryTracker::publish() {
+  if (current_gauge_ == nullptr) return;
+  current_gauge_->set(static_cast<std::int64_t>(current()));
+  peak_gauge_->set(static_cast<std::int64_t>(peak()));
 }
 
 }  // namespace lasagna::util

@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace lasagna::util {
 
 /// Thread-safe current/peak byte counter with an optional hard capacity.
@@ -43,13 +45,28 @@ class MemoryTracker {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Reset the peak to the current usage (called at phase boundaries).
-  void reset_peak() { peak_.store(current(), std::memory_order_relaxed); }
+  void reset_peak() {
+    peak_.store(current(), std::memory_order_relaxed);
+    publish();
+  }
+
+  /// Mirror this tracker into the global metrics registry as the gauges
+  /// `<prefix>.current_bytes` / `<prefix>.peak_bytes`, updated on every
+  /// allocate/release from now on. Lets tests and --metrics-out observe
+  /// budgets without reaching into the tracker.
+  void publish_metrics(const std::string& prefix);
 
  private:
+  void publish();
+
   std::string name_;
   std::uint64_t capacity_;
   std::atomic<std::uint64_t> current_{0};
   std::atomic<std::uint64_t> peak_{0};
+  // Set once by publish_metrics (gauge addresses are stable in the global
+  // registry); nullptr = unpublished, the only cost being a branch.
+  obs::Gauge* current_gauge_ = nullptr;
+  obs::Gauge* peak_gauge_ = nullptr;
 };
 
 /// RAII registration of a block of logical memory against a tracker.

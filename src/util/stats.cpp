@@ -53,25 +53,44 @@ unsigned RunStats::resumed_phase_count() const {
 
 std::string RunStats::to_table() const {
   std::ostringstream out;
-  std::array<char, 256> line{};
-  out << "phase       wall        modeled     overlap  peak-host   "
-         "peak-dev    disk-read   disk-write\n";
+  std::array<char, 320> line{};
+  std::uint64_t injected = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t fatal = 0;
+  out << "phase       wall        modeled     device      disk        "
+         "host        overlap  peak-host   peak-dev    disk-read   "
+         "disk-write\n";
   for (const auto& p : phases_) {
-    std::snprintf(line.data(), line.size(),
-                  "%-11s %-11s %-11s %-8.2f %-11s %-11s %-11s %-11s\n",
-                  p.name.c_str(), format_duration(p.wall_seconds).c_str(),
-                  format_duration(p.modeled_seconds).c_str(),
-                  p.overlap_efficiency,
-                  format_bytes(p.peak_host_bytes).c_str(),
-                  format_bytes(p.peak_device_bytes).c_str(),
-                  format_bytes(p.disk_bytes_read).c_str(),
-                  format_bytes(p.disk_bytes_written).c_str());
+    std::snprintf(
+        line.data(), line.size(),
+        "%-11s %-11s %-11s %-11s %-11s %-11s %-8.2f %-11s %-11s %-11s "
+        "%-11s\n",
+        p.name.c_str(), format_duration(p.wall_seconds).c_str(),
+        format_duration(p.modeled_seconds).c_str(),
+        format_duration(p.device_seconds).c_str(),
+        format_duration(p.disk_seconds).c_str(),
+        format_duration(p.host_seconds).c_str(), p.overlap_efficiency,
+        format_bytes(p.peak_host_bytes).c_str(),
+        format_bytes(p.peak_device_bytes).c_str(),
+        format_bytes(p.disk_bytes_read).c_str(),
+        format_bytes(p.disk_bytes_written).c_str());
     out << line.data();
+    injected += p.faults_injected;
+    retried += p.faults_retried;
+    fatal += p.faults_fatal;
   }
   std::snprintf(line.data(), line.size(), "%-11s %-11s %-11s\n", "total",
                 format_duration(total_wall_seconds()).c_str(),
                 format_duration(total_modeled_seconds()).c_str());
   out << line.data();
+  if (injected + retried + fatal > 0) {
+    std::snprintf(line.data(), line.size(),
+                  "faults: %llu injected, %llu retried, %llu fatal\n",
+                  static_cast<unsigned long long>(injected),
+                  static_cast<unsigned long long>(retried),
+                  static_cast<unsigned long long>(fatal));
+    out << line.data();
+  }
   return out.str();
 }
 

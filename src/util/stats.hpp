@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace lasagna::util {
 
 /// Everything we record about one pipeline phase (map/sort/reduce/...).
@@ -23,6 +25,14 @@ struct PhaseStats {
   std::uint64_t peak_device_bytes = 0;
   std::uint64_t disk_bytes_read = 0;
   std::uint64_t disk_bytes_written = 0;
+  // Faults the io::FaultInjector fired during the phase (all zero unless an
+  // injector is installed).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_retried = 0;
+  std::uint64_t faults_fatal = 0;
+  /// Counters from the global obs::MetricsRegistry that moved during the
+  /// phase, as name-sorted (name, delta) pairs.
+  obs::MetricsRegistry::Snapshot metrics;
   /// True when the phase was restored from a checkpoint instead of run.
   bool resumed = false;
 };

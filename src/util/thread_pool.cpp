@@ -5,7 +5,20 @@
 
 namespace lasagna::util {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+namespace {
+
+obs::MetricsRegistry& registry() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : tasks_submitted_(registry().counter("pool.tasks_submitted")),
+      tasks_completed_(registry().counter("pool.tasks_completed")),
+      busy_ns_(registry().counter("pool.busy_ns")),
+      queue_depth_(registry().gauge("pool.queue_depth")),
+      queue_depth_peak_(registry().gauge("pool.queue_depth_peak")),
+      utilization_(registry().gauge("pool.utilization_pct")),
+      start_time_(std::chrono::steady_clock::now()) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -22,19 +35,38 @@ ThreadPool::~ThreadPool() {
   }
   task_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  update_utilization();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
+    depth = tasks_.size();
   }
+  tasks_submitted_.add(1);
+  queue_depth_.set(static_cast<std::int64_t>(depth));
+  queue_depth_peak_.set_max(static_cast<std::int64_t>(depth));
   task_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  lock.unlock();
+  update_utilization();
+}
+
+void ThreadPool::update_utilization() {
+  const auto elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  const std::int64_t budget =
+      elapsed_ns * static_cast<std::int64_t>(workers_.size());
+  if (budget <= 0) return;
+  utilization_.set(busy_ns_.value() * 100 / budget);
 }
 
 void ThreadPool::parallel_for(std::size_t count,
@@ -85,15 +117,23 @@ ThreadPool& ThreadPool::global() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      depth = tasks_.size();
       ++active_;
     }
+    queue_depth_.set(static_cast<std::int64_t>(depth));
+    const auto task_start = std::chrono::steady_clock::now();
     task();
+    busy_ns_.add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - task_start)
+                     .count());
+    tasks_completed_.add(1);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

@@ -2,6 +2,7 @@
 // GPU to execute thread-blocks and by the cluster simulator to run nodes.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -9,6 +10,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace lasagna::util {
 
@@ -51,6 +54,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Recompute the pool.utilization_pct gauge (busy time over wall time
+  /// across all workers since construction).
+  void update_utilization();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -59,6 +65,17 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;
   bool stop_ = false;
+
+  // Cached global-registry metrics (stable addresses, relaxed atomics):
+  // pool.tasks_submitted/completed, pool.busy_ns (summed task latency),
+  // pool.queue_depth (+ high-water), pool.utilization_pct.
+  obs::Counter& tasks_submitted_;
+  obs::Counter& tasks_completed_;
+  obs::Counter& busy_ns_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& queue_depth_peak_;
+  obs::Gauge& utilization_;
+  std::chrono::steady_clock::time_point start_time_;
 };
 
 }  // namespace lasagna::util

@@ -12,6 +12,7 @@
 #include "io/file_stream.hpp"
 #include "io/record_stream.hpp"
 #include "io/tempdir.hpp"
+#include "obs/metrics.hpp"
 #include "seq/genome.hpp"
 #include "seq/simulator.hpp"
 
@@ -57,7 +58,11 @@ TEST_F(FaultPropertyTest, TransientFaultsAreAbsorbedWithIdenticalOutput) {
   (void)run(dir_.file("ref.fa"));
   const std::string reference = slurp(dir_.file("ref.fa"));
 
+  auto& registry = obs::MetricsRegistry::global();
   for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    const std::int64_t injected_before =
+        registry.value("io.faults_injected");
+    const std::int64_t retried_before = registry.value("io.faults_retried");
     auto injector = io::FaultInjector::parse(
         "seed=" + std::to_string(seed) +
         ";read:rate=0.02,transient=2;write:rate=0.02,transient=1");
@@ -70,6 +75,11 @@ TEST_F(FaultPropertyTest, TransientFaultsAreAbsorbedWithIdenticalOutput) {
     // Every injected transient was absorbed by at least one retry.
     EXPECT_GE(injector->retried(), injector->injected());
     EXPECT_EQ(injector->fatal(), 0u);
+    // The injector's counters mirror into the global metrics registry.
+    EXPECT_EQ(registry.value("io.faults_injected") - injected_before,
+              static_cast<std::int64_t>(injector->injected()));
+    EXPECT_EQ(registry.value("io.faults_retried") - retried_before,
+              static_cast<std::int64_t>(injector->retried()));
   }
 }
 

@@ -1,0 +1,242 @@
+// Unit tests for the observability layer: the metrics registry, the
+// dual-clock tracer and its JSON exporters, the logging sink upgrade, and
+// the built-in instrumentation of ThreadPool and MemoryTracker.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "test_json.hpp"
+#include "util/logging.hpp"
+#include "util/memory_tracker.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lasagna::obs {
+namespace {
+
+using lasagna::testing::JsonValidator;
+using lasagna::testing::json_is_valid;
+
+TEST(Metrics, CounterAndGaugeSemantics) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.events");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(&registry.counter("test.events"), &c);
+  EXPECT_EQ(registry.value("test.events"), 42);
+  EXPECT_EQ(registry.value("test.absent"), 0);
+
+  Gauge& g = registry.gauge("test.depth");
+  g.set(7);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 5);
+  g.set_max(3);  // below current: no change
+  EXPECT_EQ(g.value(), 5);
+  g.set_max(9);
+  EXPECT_EQ(g.value(), 9);
+  EXPECT_EQ(registry.value("test.depth"), 9);
+}
+
+TEST(Metrics, SnapshotDeltaDropsZerosAndCountsNewFromZero) {
+  MetricsRegistry registry;
+  registry.counter("a").add(5);
+  registry.counter("b").add(1);
+  const auto before = registry.counters_snapshot();
+  registry.counter("a").add(10);
+  registry.counter("c").add(3);  // appears only in `after`
+  const auto after = registry.counters_snapshot();
+
+  const auto delta = snapshot_delta(before, after);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].first, "a");
+  EXPECT_EQ(delta[0].second, 10);
+  EXPECT_EQ(delta[1].first, "c");
+  EXPECT_EQ(delta[1].second, 3);
+}
+
+TEST(Metrics, JsonIsValidAndSorted) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add(1);
+  registry.counter("a.first").add(2);
+  registry.gauge("m.middle").set(-7);
+  const std::string json = registry.json();
+
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << v.error() << "\n" << json;
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"m.middle\": -7"), std::string::npos) << json;
+}
+
+TEST(Trace, SpansInstantsAndCountersExport) {
+  Tracer tracer;
+  const TrackId disk = tracer.track("disk.read");
+  const TrackId dev = tracer.track("device.s1");
+  EXPECT_EQ(tracer.track("disk.read"), disk);  // stable ids
+  EXPECT_NE(disk, dev);
+
+  tracer.add_span(disk, "chunk \"quoted\"\n", 100, 50, 2000, 1000,
+                  {{"bytes", 4096}});
+  tracer.add_span(dev, "kernel", -1, 0, 0, 500);  // modeled-only
+  tracer.add_instant(disk, "seek");
+  tracer.add_counter(dev, "queue", 3);
+  ASSERT_EQ(tracer.events().size(), 4u);
+
+  const std::string json = tracer.chrome_trace_json();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << v.error() << "\n" << json;
+  // Both clock domains present, with their process names.
+  EXPECT_NE(json.find("\"wall clock\""), std::string::npos);
+  EXPECT_NE(json.find("\"modeled clock\""), std::string::npos);
+  // The escaped name survived.
+  EXPECT_NE(json.find("chunk \\\"quoted\\\"\\n"), std::string::npos);
+  // ps -> us fixed-point: the modeled-only kernel span starts at 0us for
+  // 0.000500us.
+  EXPECT_NE(json.find("\"dur\":0.000500"), std::string::npos) << json;
+
+  const std::string modeled = tracer.modeled_events_json();
+  JsonValidator mv(modeled);
+  EXPECT_TRUE(mv.valid()) << mv.error() << "\n" << modeled;
+  // The wall-only instant and counter never enter the modeled export.
+  EXPECT_EQ(modeled.find("seek"), std::string::npos);
+  EXPECT_EQ(modeled.find("queue"), std::string::npos);
+  EXPECT_NE(modeled.find("kernel"), std::string::npos);
+}
+
+TEST(Trace, ModeledExportIsOrderedByTrackThenTime) {
+  // Insertion order scrambled across tracks and times; the modeled export
+  // must come out sorted (track name, then start) regardless.
+  Tracer tracer;
+  const TrackId b = tracer.track("b");
+  const TrackId a = tracer.track("a");
+  tracer.add_span(b, "late", -1, 0, 100, 10);
+  tracer.add_span(a, "second", -1, 0, 50, 10);
+  tracer.add_span(b, "early", -1, 0, 0, 10);
+  tracer.add_span(a, "first", -1, 0, 0, 10);
+
+  const std::string modeled = tracer.modeled_events_json();
+  EXPECT_LT(modeled.find("first"), modeled.find("second"));
+  EXPECT_LT(modeled.find("second"), modeled.find("early"));
+  EXPECT_LT(modeled.find("early"), modeled.find("late"));
+}
+
+TEST(Trace, InstallAndScopedRestore) {
+  ASSERT_EQ(Tracer::active(), nullptr);
+  Tracer outer;
+  {
+    Tracer::ScopedInstall install_outer(&outer);
+    EXPECT_EQ(Tracer::active(), &outer);
+    Tracer inner;
+    {
+      Tracer::ScopedInstall install_inner(&inner);
+      EXPECT_EQ(Tracer::active(), &inner);
+    }
+    EXPECT_EQ(Tracer::active(), &outer);
+  }
+  EXPECT_EQ(Tracer::active(), nullptr);
+  EXPECT_FALSE(LASAGNA_TRACE_ACTIVE());
+}
+
+TEST(Trace, WallSpanRaii) {
+  Tracer tracer;
+  {
+    WallSpan inert;  // default-constructed: must not emit
+  }
+  EXPECT_TRUE(tracer.events().empty());
+
+  {
+    WallSpan span(tracer, tracer.track("t"), "work", {{"n", 1}});
+    span.add_arg("extra", 2);
+    WallSpan moved = std::move(span);
+    moved.finish();
+    moved.finish();  // idempotent
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].type, 'X');
+  EXPECT_GE(events[0].wall_start_ns, 0);
+  EXPECT_GE(events[0].wall_dur_ns, 0);
+  EXPECT_EQ(events[0].mod_start_ps, -1);  // wall-only
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_STREQ(events[0].args[1].key, "extra");
+}
+
+TEST(Trace, DiskClockFollowsConfiguredBandwidth) {
+  Tracer tracer;
+  tracer.set_disk_bandwidth(1e6);  // 1 MB/s -> 1 byte = 1us = 1e6 ps
+  EXPECT_EQ(tracer.disk_ps(1), 1000000);
+  EXPECT_EQ(tracer.disk_ps(500), 500000000);
+  EXPECT_THROW(tracer.set_disk_bandwidth(0.0), std::invalid_argument);
+}
+
+TEST(Logging, ScopedSinkCapturesLevelMessageAndThreadId) {
+  util::ScopedLogSink sink;
+  util::set_log_level(util::LogLevel::kInfo);
+  LOG_WARN << "watch " << 42;
+  LOG_INFO << "hello";
+  util::set_log_level(util::LogLevel::kWarn);  // restore the default
+  const auto records = sink.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, util::LogLevel::kWarn);
+  EXPECT_EQ(records[0].message, "watch 42");
+  EXPECT_EQ(records[0].thread_id, util::current_thread_id());
+  EXPECT_GT(records[0].thread_id, 0u);
+  EXPECT_EQ(records[1].level, util::LogLevel::kInfo);
+}
+
+TEST(Logging, WarnAndAboveMirroredIntoTrace) {
+  util::ScopedLogSink sink;  // keep stderr quiet
+  Tracer tracer;
+  Tracer::ScopedInstall install(&tracer);
+  LOG_INFO << "quiet";
+  LOG_WARN << "loud";
+  LOG_ERROR << "louder";
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, 'i');
+  EXPECT_EQ(events[0].name, "WARN: loud");
+  EXPECT_EQ(events[1].name, "ERROR: louder");
+  EXPECT_EQ(tracer.track_name(events[0].track), "log");
+  EXPECT_EQ(events[0].mod_start_ps, -1);  // wall-only: nondeterministic
+}
+
+TEST(Instrumentation, ThreadPoolPublishesTaskMetrics) {
+  auto& registry = MetricsRegistry::global();
+  const std::int64_t submitted_before = registry.value("pool.tasks_submitted");
+  const std::int64_t completed_before = registry.value("pool.tasks_completed");
+
+  util::ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] {});
+  }
+  pool.wait_idle();
+
+  EXPECT_EQ(registry.value("pool.tasks_submitted"), submitted_before + 8);
+  EXPECT_EQ(registry.value("pool.tasks_completed"), completed_before + 8);
+  EXPECT_GE(registry.value("pool.queue_depth_peak"), 0);
+}
+
+TEST(Instrumentation, MemoryTrackerPublishesGauges) {
+  util::MemoryTracker tracker("obs-test-tracker", 1 << 20);
+  tracker.publish_metrics("obs_test.mem");
+  auto& registry = MetricsRegistry::global();
+
+  tracker.allocate(1000);
+  EXPECT_EQ(registry.value("obs_test.mem.current_bytes"), 1000);
+  tracker.allocate(500);
+  tracker.release(200);
+  EXPECT_EQ(registry.value("obs_test.mem.current_bytes"), 1300);
+  EXPECT_EQ(registry.value("obs_test.mem.peak_bytes"), 1500);
+  EXPECT_EQ(registry.value("obs_test.mem.current_bytes"),
+            static_cast<std::int64_t>(tracker.current()));
+  EXPECT_EQ(registry.value("obs_test.mem.peak_bytes"),
+            static_cast<std::int64_t>(tracker.peak()));
+}
+
+}  // namespace
+}  // namespace lasagna::obs

@@ -11,6 +11,7 @@
 #include "core/pipeline.hpp"
 #include "io/fault_injector.hpp"
 #include "io/tempdir.hpp"
+#include "obs/metrics.hpp"
 #include "seq/genome.hpp"
 #include "seq/simulator.hpp"
 
@@ -68,6 +69,10 @@ class RecoveryTest : public ::testing::Test {
   /// the crash surfaced as FaultError and returns the resumed result.
   core::AssemblyResult crash_and_resume(const std::string& scenario,
                                         const std::string& spec) {
+    auto& registry = obs::MetricsRegistry::global();
+    const std::int64_t injected_before =
+        registry.value("io.faults_injected");
+    const std::int64_t fatal_before = registry.value("io.faults_fatal");
     {
       auto injector = io::FaultInjector::parse(spec);
       io::FaultInjector::ScopedInstall guard(injector.get());
@@ -75,6 +80,11 @@ class RecoveryTest : public ::testing::Test {
       EXPECT_THROW((void)assembler.run(fastqs_, out(scenario)),
                    io::FaultError);
       EXPECT_GE(injector->fatal(), 1u);
+      // The injector's counters mirror into the global metrics registry.
+      EXPECT_EQ(registry.value("io.faults_injected") - injected_before,
+                static_cast<std::int64_t>(injector->injected()));
+      EXPECT_EQ(registry.value("io.faults_fatal") - fatal_before,
+                static_cast<std::int64_t>(injector->fatal()));
     }
     core::AssemblyConfig resumed = config(scenario);
     resumed.resume = true;

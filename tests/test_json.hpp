@@ -1,0 +1,200 @@
+// Minimal recursive-descent JSON validator for the observability tests:
+// enough of RFC 8259 to confirm the trace/metrics writers emit well-formed
+// documents without pulling a JSON library into the build.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace lasagna::testing {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  bool valid() {
+    pos_ = 0;
+    error_.clear();
+    if (!value()) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters");
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void fail(const char* what) {
+    if (error_.empty()) {
+      error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad literal");
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) {
+      fail("expected string");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character");
+        return false;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              fail("bad \\u escape");
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          fail("bad escape");
+          return false;
+        }
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("expected number");
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad fraction");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad exponent");
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        if (eat('}')) return true;
+        do {
+          skip_ws();
+          if (!string()) return false;
+          if (!eat(':')) {
+            fail("expected ':'");
+            return false;
+          }
+          if (!value()) return false;
+        } while (eat(','));
+        if (!eat('}')) {
+          fail("expected '}'");
+          return false;
+        }
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        if (eat(']')) return true;
+        do {
+          if (!value()) return false;
+        } while (eat(','));
+        if (!eat(']')) {
+          fail("expected ']'");
+          return false;
+        }
+        return true;
+      }
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+inline bool json_is_valid(std::string_view text) {
+  return JsonValidator(text).valid();
+}
+
+}  // namespace lasagna::testing
