@@ -3,15 +3,20 @@
 //   $ ./examples/assemble_fastq reads.fastq contigs.fasta
 //         [--min-overlap=63] [--host-mem-mb=32] [--device-mem-mb=3]
 //         [--gpu=k40|k20x|p40|p100|v100] [--singletons] [--verify]
+//         [--nodes=N]
 //
 // This is the "downstream user" entry point: point it at any Illumina-style
 // short-read file and get contigs plus the paper-style phase breakdown.
+// With --nodes=N the run goes through the simulated cluster (N nodes,
+// active-message shuffle, per-node modeled clocks) instead of the
+// single-node pipeline; the contigs are byte-identical either way.
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "dist/cluster.hpp"
 #include "gpu/profile.hpp"
 #include "io/fault_injector.hpp"
 #include "obs/metrics.hpp"
@@ -39,7 +44,7 @@ int main(int argc, char** argv) {
                  "[--min-overlap=N] [--host-mem-mb=N] [--device-mem-mb=N] "
                  "[--gpu=name] [--singletons] [--verify] [--sync-sort] "
                  "[--gfa=graph.gfa] [--min-contig=N] [--work-dir=DIR] "
-                 "[--resume] [--fault-spec=SPEC] "
+                 "[--resume] [--fault-spec=SPEC] [--nodes=N] "
                  "[--trace-out=trace.json] [--metrics-out=metrics.json]\n",
                  argv[0]);
     return 2;
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<io::FaultInjector> injector;
   std::string trace_out;
   std::string metrics_out;
+  unsigned nodes = 0;  // 0 = single-node pipeline; N >= 1 = cluster
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--min-overlap=", 0) == 0) {
@@ -78,6 +84,12 @@ int main(int argc, char** argv) {
       config.work_dir = arg.substr(11);
     } else if (arg == "--resume") {
       config.resume = true;
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      nodes = static_cast<unsigned>(std::stoul(arg.substr(8)));
+      if (nodes == 0) {
+        std::fprintf(stderr, "--nodes needs at least 1 node\n");
+        return 2;
+      }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -111,6 +123,47 @@ int main(int argc, char** argv) {
     tracer_install = std::make_unique<obs::Tracer::ScopedInstall>(tracer.get());
   }
   try {
+    if (nodes > 0) {
+      // Simulated cluster path: same inputs, same outputs, N modeled
+      // nodes. --sync-sort disables the streamed overlap model cluster-wide
+      // and --fault-spec accepts node-scoped am:/node: policies.
+      dist::ClusterConfig cluster;
+      cluster.node_count = nodes;
+      cluster.machine = config.machine;
+      cluster.min_overlap = config.min_overlap;
+      cluster.include_singletons = config.include_singletons;
+      cluster.streamed = config.streamed_sort;
+      cluster.work_dir = config.work_dir;
+      cluster.resume = config.resume;
+      const dist::DistributedResult result =
+          dist::run_distributed(argv[1], argv[2], cluster);
+      if (tracer != nullptr) {
+        tracer->write_chrome_trace(trace_out);
+        std::printf("wrote trace %s\n", trace_out.c_str());
+      }
+      if (!metrics_out.empty()) {
+        obs::MetricsRegistry::global().write_json(metrics_out);
+        std::printf("wrote metrics %s\n", metrics_out.c_str());
+      }
+      std::printf("%s\n", result.stats.to_table().c_str());
+      if (result.phases_resumed > 0) {
+        std::printf("resumed:        %u phase(s) restored from checkpoint\n",
+                    result.phases_resumed);
+      }
+      std::printf("nodes:          %u (%llu shuffle bytes on the wire)\n",
+                  nodes,
+                  static_cast<unsigned long long>(result.shuffle_bytes));
+      std::printf("reads:          %u\n", result.read_count);
+      std::printf("candidates:     %llu\ngraph edges:    %llu\n",
+                  static_cast<unsigned long long>(result.candidate_edges),
+                  static_cast<unsigned long long>(result.accepted_edges));
+      std::printf("contigs:        %llu, total %llu bases, N50 %llu\n",
+                  static_cast<unsigned long long>(result.contigs.count),
+                  static_cast<unsigned long long>(result.contigs.total_bases),
+                  static_cast<unsigned long long>(result.contigs.n50));
+      std::printf("wrote %s\n", argv[2]);
+      return 0;
+    }
     core::Assembler assembler(config);
     const core::AssemblyResult result = assembler.run(argv[1], argv[2]);
     if (tracer != nullptr) {

@@ -37,6 +37,7 @@ bool overlap_is_real(const seq::PackedReads& reads, graph::VertexId u,
 struct PendingMatches {
   std::vector<graph::VertexId> sfx_vertices;
   std::vector<graph::VertexId> pfx_vertices;
+  std::vector<gpu::Key128> sfx_fps;  ///< matching fingerprint per suffix row
   std::vector<std::uint32_t> lower;
   std::vector<std::uint32_t> upper;
   bool valid = false;
@@ -103,6 +104,7 @@ class WindowMatcher {
                          std::span<std::uint32_t>(staged_.upper));
     staged_.sfx_vertices.resize(sfx.size());
     staged_.pfx_vertices.resize(pfx.size());
+    staged_.sfx_fps.assign(sfx_keys_.begin(), sfx_keys_.end());
     for (std::size_t i = 0; i < sfx.size(); ++i) {
       staged_.sfx_vertices[i] = sfx[i].vertex;
     }
@@ -123,7 +125,7 @@ class WindowMatcher {
     flush();
     for (const FpRecord& s : run_sfx) {
       for (const FpRecord& p : run_pfx) {
-        offer(s.vertex, p.vertex);
+        offer(s.vertex, p.vertex, s.fp);
       }
     }
   }
@@ -144,14 +146,14 @@ class WindowMatcher {
       if (lo == hi) continue;
       const graph::VertexId u = pending_.sfx_vertices[i];
       for (std::uint32_t j = lo; j < hi; ++j) {
-        offer(u, pending_.pfx_vertices[j]);
+        offer(u, pending_.pfx_vertices[j], pending_.sfx_fps[i]);
       }
     }
     pending_.valid = false;
   }
 
  private:
-  void offer(graph::VertexId u, graph::VertexId v) {
+  void offer(graph::VertexId u, graph::VertexId v, const gpu::Key128& fp) {
     ++stats_.candidates;
     if (options_.verify_overlaps && options_.reads != nullptr &&
         !overlap_is_real(*options_.reads, u, v, length_)) {
@@ -159,7 +161,7 @@ class WindowMatcher {
       return;
     }
     if (options_.candidate_sink) {
-      options_.candidate_sink(u, v);
+      options_.candidate_sink(u, v, fp);
     } else if (graph_.try_add_edge(u, v,
                                    static_cast<std::uint16_t>(length_))) {
       ++stats_.accepted;

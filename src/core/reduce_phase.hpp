@@ -24,8 +24,11 @@ struct ReduceOptions {
   /// When set, candidate pairs are delivered here INSTEAD of being offered
   /// to the greedy graph — used by the bulk-synchronous distributed reduce
   /// (paper IV-D future work), where greedy resolution happens globally
-  /// per superstep.
-  std::function<void(graph::VertexId, graph::VertexId)> candidate_sink;
+  /// per superstep. The matching fingerprint rides along so the resolver
+  /// can stable-merge per-bucket candidate streams back into the exact
+  /// single-node offer order.
+  std::function<void(graph::VertexId, graph::VertexId, const gpu::Key128&)>
+      candidate_sink;
   /// Overlap the phase's three lanes: async window prefetch from disk,
   /// double-buffered device bound kernels, and host greedy insertion
   /// deferred one window behind the device. The edge set is identical to

@@ -3,8 +3,32 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "io/fault_injector.hpp"
+#include "obs/metrics.hpp"
 
 namespace lasagna::dist {
+
+namespace {
+
+struct AmCounters {
+  obs::Counter& requests;
+  obs::Counter& bytes;
+  obs::Counter& drops;
+  obs::Counter& delays;
+};
+
+AmCounters& am_counters() {
+  auto& r = obs::MetricsRegistry::global();
+  static AmCounters counters{r.counter("dist.am.requests"),
+                             r.counter("dist.am.bytes"),
+                             r.counter("dist.am.drops"),
+                             r.counter("dist.am.delays")};
+  return counters;
+}
+
+}  // namespace
 
 Network::Network(unsigned node_count, double bandwidth_bytes_per_sec,
                  double latency_seconds)
@@ -29,6 +53,15 @@ Payload Network::request(unsigned src, unsigned dst, std::uint16_t type,
   NodeState& target = *nodes_.at(dst);
   NodeState& source = *nodes_.at(src);
 
+  // Consult the fault injector before touching the wire; fatal AM faults
+  // throw from the sender, before the handler runs.
+  io::FaultInjector::AmFault fault;
+  if (src != dst) {
+    if (io::FaultInjector* injector = io::FaultInjector::active()) {
+      fault = injector->on_am(src, dst, "am:" + std::to_string(type));
+    }
+  }
+
   Payload reply;
   {
     std::lock_guard<std::mutex> lock(target.mutex);
@@ -36,21 +69,41 @@ Payload Network::request(unsigned src, unsigned dst, std::uint16_t type,
       throw std::logic_error("no handler registered for AM type " +
                              std::to_string(type));
     }
+    if (recording_.load(std::memory_order_relaxed)) {
+      target.log.push_back(Delivery{src, type, payload.size()});
+    }
     reply = target.handlers[type](src, payload);
   }
 
   if (src != dst) {
+    am_counters().requests.add(1);
+    am_counters().bytes.add(payload.size() + reply.size());
     source.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
     target.bytes_sent.fetch_add(reply.size(), std::memory_order_relaxed);
     charge(source, payload.size() + reply.size());
     charge(target, payload.size() + reply.size());
+    // Each injected drop retransmits the request: one more request-sized
+    // transfer charged to both endpoints. Injected link delay stalls both.
+    for (unsigned i = 0; i < fault.drops; ++i) {
+      am_counters().drops.add(1);
+      charge(source, payload.size());
+      charge(target, payload.size());
+    }
+    if (fault.delay_seconds > 0.0) {
+      am_counters().delays.add(1);
+      charge_seconds(source, fault.delay_seconds);
+      charge_seconds(target, fault.delay_seconds);
+    }
   }
   return reply;
 }
 
 void Network::charge(NodeState& node, std::uint64_t bytes) const {
-  const double seconds =
-      2 * latency_ + static_cast<double>(bytes) / bandwidth_;
+  charge_seconds(node,
+                 2 * latency_ + static_cast<double>(bytes) / bandwidth_);
+}
+
+void Network::charge_seconds(NodeState& node, double seconds) {
   node.comm_picoseconds.fetch_add(
       static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
       std::memory_order_relaxed);
@@ -71,6 +124,20 @@ void Network::reset_counters() {
     node->bytes_sent.store(0);
     node->comm_picoseconds.store(0);
   }
+}
+
+void Network::record_deliveries(bool enabled) {
+  for (auto& node : nodes_) {
+    std::lock_guard<std::mutex> lock(node->mutex);
+    node->log.clear();
+  }
+  recording_.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<Network::Delivery> Network::deliveries(unsigned node) const {
+  NodeState& state = *nodes_.at(node);
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.log;
 }
 
 }  // namespace lasagna::dist

@@ -6,6 +6,14 @@
 // handler registered by the destination node and returns the handler's
 // reply to the sender (request/reply AM semantics). Every transfer charges
 // a per-node modeled network clock: latency + bytes / bandwidth, both ways.
+//
+// Fault injection: when an io::FaultInjector is installed, every remote
+// send consults it first. Injected drops are absorbed as modeled
+// retransmissions (the request payload is re-charged to both endpoints per
+// drop — delivery order is unchanged, only the clocks move); injected link
+// delay is charged to both endpoints; fatal AM faults throw io::FaultError
+// from the sender. Because faults only perturb modeled clocks, a seeded
+// schedule leaves delivery content and order bit-identical.
 #pragma once
 
 #include <atomic>
@@ -55,18 +63,39 @@ class Network {
   /// Reset per-node clocks/counters (phase boundaries).
   void reset_counters();
 
+  // -- delivery log (property tests) ----------------------------------------
+
+  /// One handler invocation observed at a destination node.
+  struct Delivery {
+    unsigned src = 0;
+    std::uint16_t type = 0;
+    std::uint64_t bytes = 0;  ///< request payload size
+  };
+
+  /// Toggle per-node delivery recording; enabling clears existing logs.
+  /// Off by default (zero overhead beyond the branch).
+  void record_deliveries(bool enabled);
+
+  /// Deliveries observed at `node`, in handler execution order. The
+  /// per-node mutex makes this order the definitive serialization the
+  /// determinism property tests pin down.
+  [[nodiscard]] std::vector<Delivery> deliveries(unsigned node) const;
+
  private:
   struct NodeState {
-    std::mutex mutex;
+    mutable std::mutex mutex;
     std::vector<Handler> handlers;
+    std::vector<Delivery> log;  ///< guarded by mutex
     std::atomic<std::uint64_t> bytes_sent{0};
     std::atomic<std::uint64_t> comm_picoseconds{0};
   };
 
   void charge(NodeState& node, std::uint64_t bytes) const;
+  static void charge_seconds(NodeState& node, double seconds);
 
   double bandwidth_;
   double latency_;
+  std::atomic<bool> recording_{false};
   std::vector<std::unique_ptr<NodeState>> nodes_;
 };
 

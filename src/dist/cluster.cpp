@@ -2,16 +2,26 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <map>
+#include <optional>
+#include <set>
+#include <span>
 #include <thread>
 
+#include "core/checkpoint.hpp"
 #include "core/map_phase.hpp"
 #include "core/reduce_phase.hpp"
 #include "core/sort_phase.hpp"
 #include "dist/active_message.hpp"
 #include "graph/string_graph.hpp"
+#include "io/fault_injector.hpp"
 #include "io/file_stream.hpp"
 #include "io/tempdir.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "seq/read_store.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -21,38 +31,110 @@ namespace lasagna::dist {
 namespace {
 
 // Active-message types.
-constexpr std::uint16_t kGetBlock = 0;        ///< master: next input block
-constexpr std::uint16_t kFetchPartition = 1;  ///< peer: partition file chunk
-constexpr std::uint16_t kGatherEdges = 2;     ///< node: its edge set
+constexpr std::uint16_t kGetBlock = 0;    ///< master: next input block
+constexpr std::uint16_t kPushChunk = 1;   ///< owner: shuffle tuples, pushed
+constexpr std::uint16_t kGatherEdges = 2; ///< node: its edge set
+constexpr std::uint16_t kGatherKeys = 3;  ///< node: partition keys it owns
 
 constexpr std::uint64_t kShuffleChunkBytes = 256 << 10;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const std::byte* data,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= std::to_integer<std::uint64_t>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Parameters that shape per-node intermediate files and work division;
+/// resuming across a change in any of these would splice incompatible
+/// state. `streamed` is deliberately absent — both paths produce identical
+/// bytes, so a sync run may resume a streamed one and vice versa.
+std::uint64_t hash_cluster_config(const ClusterConfig& config) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_u64(h, config.node_count);
+  h = fnv_u64(h, static_cast<std::uint64_t>(config.reduce_strategy));
+  h = fnv_u64(h, config.min_overlap);
+  h = fnv_u64(h, config.machine.host_memory_bytes);
+  h = fnv_u64(h, config.machine.device_memory_bytes);
+  h = fnv_u64(h, config.include_singletons ? 1 : 0);
+  return h;
+}
+
+// ---- checkpoint keys (zero-padded: lexicographic == numeric order) -------
+
+std::string block_key(std::uint64_t block) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "map:block:%05llu",
+                static_cast<unsigned long long>(block));
+  return buf;
+}
+
+std::string shuffle_ck_key(unsigned key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shuffle:key:%08u", key);
+  return buf;
+}
+
+std::string reduce_ck_key(unsigned key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "reduce:l%08u", key);
+  return buf;
+}
+
+std::string reduce_sidecar_name(unsigned key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "reduce.l%08u", key);
+  return buf;
+}
 
 /// One simulated compute node: private device, disk counters and storage.
 struct NodeContext {
   unsigned id = 0;
   std::unique_ptr<gpu::Device> device;
   util::MemoryTracker host{"node-host"};
-  io::IoStats io;
+  io::IoStats io;          ///< map/sort/reduce disk traffic
+  io::IoStats shuffle_io;  ///< stage pushes + partition assembly
   std::filesystem::path dir;
   core::Workspace ws;
+  std::unique_ptr<core::CheckpointManager> checkpoint;
 
-  // Map output: one MapResult per input block this node processed.
-  std::vector<core::MapResult> map_blocks;
-  // Shuffle output: merged raw partitions this node owns.
+  // Shuffle output: merged raw partitions this node owns, plus their
+  // content hashes (for DistributedResult::shuffle_hash).
   std::map<unsigned, std::filesystem::path> owned_sfx;
   std::map<unsigned, std::filesystem::path> owned_pfx;
+  std::map<unsigned, std::uint64_t> merged_hash;
   // Sort output.
   std::vector<core::SortedPartition> sorted;
-  // Reduce output: this node's disjoint edge set.
+  // Reduce output: this node's disjoint edge set (token strategy).
   std::unique_ptr<graph::StringGraph> graph;
+
+  std::uint64_t host_bytes = 0;  ///< host-lane bytes this phase
+  bool did_work = false;         ///< ran anything not covered by checkpoints
 
   // Snapshots for per-phase deltas.
   io::IoStats::Snapshot io_mark;
+  io::IoStats::Snapshot shuffle_mark;
   double device_mark = 0.0;
 
   void mark() {
     io_mark = io.snapshot();
+    shuffle_mark = shuffle_io.snapshot();
     device_mark = device->modeled_seconds();
+    host_bytes = 0;
+    did_work = false;
   }
 };
 
@@ -79,61 +161,169 @@ void for_each_node(std::vector<NodeContext>& nodes,
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
-struct PhaseAccounting {
-  util::PhaseStats stats;
-  std::vector<NodePhaseBreakdown> nodes;
-};
-
-/// Close a parallel phase: modeled time = max over nodes of that node's
-/// disk + device + network deltas.
-PhaseAccounting close_phase(const std::string& name, double wall_seconds,
-                            std::vector<NodeContext>& nodes,
-                            const ClusterConfig& config, Network& net) {
-  PhaseAccounting out;
-  out.stats.name = name;
-  out.stats.wall_seconds = wall_seconds;
-  double slowest = 0.0;
-  for (auto& node : nodes) {
-    NodePhaseBreakdown b;
-    const auto now = node.io.snapshot();
-    const std::uint64_t disk_bytes =
-        now.bytes_read - node.io_mark.bytes_read + now.bytes_written -
-        node.io_mark.bytes_written;
-    b.disk_seconds = static_cast<double>(disk_bytes) /
-                     config.machine.disk_bandwidth_bytes_per_sec;
-    b.device_seconds = (node.device->modeled_seconds() - node.device_mark) *
-                       config.machine.time_scale;
-    b.network_seconds = net.modeled_seconds(node.id);
-    slowest = std::max(slowest, b.total());
-    out.stats.disk_bytes_read += now.bytes_read - node.io_mark.bytes_read;
-    out.stats.disk_bytes_written +=
-        now.bytes_written - node.io_mark.bytes_written;
-    out.stats.peak_host_bytes =
-        std::max(out.stats.peak_host_bytes, node.host.peak());
-    out.stats.peak_device_bytes =
-        std::max(out.stats.peak_device_bytes, node.device->memory().peak());
-    out.nodes.push_back(b);
-    node.mark();
-    node.host.reset_peak();
-    node.device->memory().reset_peak();
-  }
-  net.reset_counters();
-  out.stats.modeled_seconds = slowest;
-  return out;
+unsigned owner_of(unsigned key, unsigned node_count) {
+  return key % node_count;
 }
 
-unsigned owner_of(unsigned length, unsigned node_count) {
-  return length % node_count;
-}
-
-/// Shuffle protocol payloads.
-struct FetchRequest {
+/// Header of one pushed shuffle chunk. The chunk's tuple bytes follow.
+struct PushHeader {
   std::uint8_t role = 0;  // 0 = sfx, 1 = pfx
   std::uint8_t pad[3] = {};
-  std::uint32_t length = 0;
-  std::uint32_t block = 0;     // index into the peer's map_blocks
-  std::uint64_t offset = 0;    // byte offset within that block's file
+  std::uint32_t key = 0;
+  std::uint32_t block = 0;   // global input-block id
+  std::uint64_t offset = 0;  // byte offset within the (key, block) stage
 };
+
+// ---- phase accounting ----------------------------------------------------
+
+/// Global-registry marks taken at a phase start; `finish` fills the
+/// fault/metric deltas of a PhaseStats the way core::PhaseScope does.
+struct MetricsMark {
+  obs::MetricsRegistry::Snapshot counters;
+  std::int64_t injected = 0;
+  std::int64_t retried = 0;
+  std::int64_t fatal = 0;
+
+  static MetricsMark take() {
+    auto& r = obs::MetricsRegistry::global();
+    MetricsMark m;
+    m.counters = r.counters_snapshot();
+    m.injected = r.value("io.faults_injected");
+    m.retried = r.value("io.faults_retried");
+    m.fatal = r.value("io.faults_fatal");
+    return m;
+  }
+
+  void finish(util::PhaseStats& phase) const {
+    auto& r = obs::MetricsRegistry::global();
+    phase.faults_injected =
+        static_cast<std::uint64_t>(r.value("io.faults_injected") - injected);
+    phase.faults_retried =
+        static_cast<std::uint64_t>(r.value("io.faults_retried") - retried);
+    phase.faults_fatal =
+        static_cast<std::uint64_t>(r.value("io.faults_fatal") - fatal);
+    phase.metrics = obs::snapshot_delta(counters, r.counters_snapshot());
+  }
+};
+
+std::int64_t to_ps(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e12));
+}
+
+/// Emit the phase's modeled spans: one cluster-level span plus per-node
+/// lane spans ("dist.node<k>.{device,disk,host,network}"). Streamed phases
+/// run all lanes from the phase start; synchronous phases chain them — the
+/// trace shows what the overlap model summarizes.
+void trace_cluster_phase(double base_seconds, const util::PhaseStats& phase,
+                         const std::vector<NodePhaseBreakdown>& nodes,
+                         bool streamed) {
+  obs::Tracer* tracer = obs::Tracer::active();
+  if (tracer == nullptr) return;
+  const std::int64_t base = to_ps(base_seconds);
+  tracer->add_span(tracer->track("dist.cluster"), phase.name, -1, 0, base,
+                   to_ps(phase.modeled_seconds),
+                   {{"resumed", phase.resumed ? 1 : 0},
+                    {"nodes", static_cast<std::int64_t>(nodes.size())}});
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    const NodePhaseBreakdown& b = nodes[k];
+    const std::pair<const char*, double> lanes[] = {
+        {"device", b.device_seconds},
+        {"disk", b.disk_seconds},
+        {"host", b.host_seconds},
+        {"network", b.network_seconds}};
+    std::int64_t cursor = base;
+    for (const auto& [lane, seconds] : lanes) {
+      if (seconds <= 0.0) continue;
+      tracer->add_span(
+          tracer->track("dist.node" + std::to_string(k) + "." + lane),
+          phase.name, -1, 0, streamed ? base : cursor, to_ps(seconds));
+      if (!streamed) cursor += to_ps(seconds);
+    }
+  }
+}
+
+// ---- reduce delta sidecars ----------------------------------------------
+
+template <typename T>
+void write_pod(io::WriteOnlyStream& out, const T& value) {
+  out.write_bytes(std::as_bytes(std::span<const T>(&value, 1)));
+}
+
+template <typename T>
+bool read_pod(io::ReadOnlyStream& in, T& value) {
+  return in.read_bytes(std::as_writable_bytes(std::span<T>(&value, 1))) ==
+         sizeof(T);
+}
+
+/// Write one partition's reduce delta: the token AFTER the partition and
+/// only the edges that partition added. Deltas compose in manifest order,
+/// so an orphan sidecar (crash between sidecar write and manifest record)
+/// is simply ignored and its partition cleanly re-processed.
+void write_reduce_sidecar(NodeContext& node, unsigned key,
+                          const util::AtomicBitVector& token,
+                          std::span<const graph::Edge> edges) {
+  const std::filesystem::path path =
+      node.checkpoint->sidecar(reduce_sidecar_name(key));
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    io::WriteOnlyStream out(tmp, node.io);
+    const std::vector<std::uint64_t> words = token.to_words();
+    write_pod(out, static_cast<std::uint64_t>(token.size()));
+    write_pod(out, static_cast<std::uint64_t>(words.size()));
+    out.write_bytes(std::as_bytes(std::span<const std::uint64_t>(words)));
+    write_pod(out, static_cast<std::uint64_t>(edges.size()));
+    out.write_bytes(std::as_bytes(edges));
+    out.close();
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+struct ReduceDelta {
+  util::AtomicBitVector token;
+  std::vector<graph::Edge> edges;
+};
+
+std::optional<ReduceDelta> read_reduce_sidecar(NodeContext& node,
+                                               unsigned key,
+                                               std::uint32_t read_count) {
+  const std::filesystem::path path =
+      node.checkpoint->sidecar(reduce_sidecar_name(key));
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  try {
+    io::ReadOnlyStream in(path, node.io);
+    std::uint64_t bits = 0;
+    std::uint64_t word_count = 0;
+    if (!read_pod(in, bits) || !read_pod(in, word_count)) {
+      return std::nullopt;
+    }
+    if (bits != static_cast<std::uint64_t>(read_count) * 2) {
+      return std::nullopt;
+    }
+    std::vector<std::uint64_t> words(word_count);
+    if (in.read_bytes(std::as_writable_bytes(
+            std::span<std::uint64_t>(words))) != word_count * 8) {
+      return std::nullopt;
+    }
+    std::uint64_t edge_count = 0;
+    if (!read_pod(in, edge_count)) return std::nullopt;
+    if (in.remaining() != edge_count * sizeof(graph::Edge)) {
+      return std::nullopt;
+    }
+    std::vector<graph::Edge> edges(edge_count);
+    if (in.read_bytes(std::as_writable_bytes(
+            std::span<graph::Edge>(edges))) !=
+        edge_count * sizeof(graph::Edge)) {
+      return std::nullopt;
+    }
+    ReduceDelta delta;
+    delta.token = util::AtomicBitVector::from_words(bits, words);
+    delta.edges = std::move(edges);
+    return delta;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
 
 }  // namespace
 
@@ -153,9 +343,36 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     throw std::invalid_argument("run_distributed: zero nodes");
   }
   DistributedResult result;
-  io::ScopedTempDir temp("lasagna-cluster");
+
+  std::optional<io::ScopedTempDir> temp;
+  std::filesystem::path root = config.work_dir;
+  if (root.empty()) {
+    temp.emplace("lasagna-cluster");
+    root = temp->path();
+  } else {
+    std::filesystem::create_directories(root);
+  }
+
   Network net(config.node_count, config.network_bandwidth_bytes_per_sec,
               config.network_latency_seconds);
+
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& c_blocks = registry.counter("dist.map.blocks");
+  obs::Counter& c_chunks = registry.counter("dist.shuffle.chunks");
+  obs::Counter& c_stage_bytes = registry.counter("dist.shuffle.stage_bytes");
+  obs::Counter& c_keys_merged = registry.counter("dist.shuffle.keys_merged");
+  obs::Counter& c_token_hops = registry.counter("dist.token.hops");
+  obs::Counter& c_partitions = registry.counter("dist.reduce.partitions");
+
+  const double disk_bw = config.machine.disk_bandwidth_bytes_per_sec;
+  const double host_bw = config.machine.host_bandwidth_bytes_per_sec;
+  const bool streamed = config.streamed;
+  const bool bsp =
+      config.reduce_strategy == ReduceStrategy::kFingerprintBsp;
+
+  const std::uint64_t input_fp =
+      core::CheckpointManager::fingerprint_inputs({fastq});
+  const std::uint64_t config_hash = hash_cluster_config(config);
 
   std::vector<NodeContext> nodes(config.node_count);
   for (unsigned i = 0; i < config.node_count; ++i) {
@@ -163,9 +380,18 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     node.id = i;
     node.device = std::make_unique<gpu::Device>(
         config.machine.gpu_profile, config.machine.device_memory_bytes);
-    node.dir = temp.subdir("node" + std::to_string(i));
+    node.dir = root / ("node" + std::to_string(i));
+    std::filesystem::create_directories(node.dir);
     node.ws = core::Workspace{node.device.get(), &node.host, &node.io,
                               node.dir};
+    if (!config.work_dir.empty()) {
+      node.checkpoint = std::make_unique<core::CheckpointManager>(
+          node.dir, input_fp, config_hash);
+      if (!(config.resume && node.checkpoint->load())) {
+        node.checkpoint->reset();
+      }
+      node.ws.checkpoint = node.checkpoint.get();
+    }
     node.mark();
   }
 
@@ -178,366 +404,942 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     }
     result.read_count = stream.reads_seen();
   }
+  const double fastq_bytes =
+      static_cast<double>(std::filesystem::file_size(fastq));
 
-  // ---- map -----------------------------------------------------------------
-  // The master (node 0) hands out input blocks on request; two blocks per
-  // node on average exercises the protocol while keeping the FASTQ re-scan
-  // overhead bounded.
+  double cluster_clock = 0.0;  ///< cumulative modeled time (trace base)
+
+  // Per-node map-section lanes, captured at the map/shuffle boundary; the
+  // shuffle's overlap model needs them to compute its exposed cost.
+  struct MapLanes {
+    double dev = 0.0;     ///< device kernels
+    double mdisk = 0.0;   ///< map's own partition/scratch disk
+    double sdisk1 = 0.0;  ///< stage push disk (reads at mapper + writes
+                          ///< at owner)
+    double host = 0.0;    ///< tuple emission host lane
+    double net1 = 0.0;    ///< push traffic network lane
+  };
+  std::vector<MapLanes> map_lanes(config.node_count);
+  std::uint64_t net1_bytes = 0;
+
+  // ---- map (with overlapped push shuffle) ----------------------------------
+  // The master hands out input blocks on request; each node fingerprints
+  // its blocks and pushes the resulting per-key tuples to their owners in
+  // chunked active messages as each block completes — the shuffle's data
+  // motion rides inside the map phase instead of a later barrier.
+  std::uint64_t num_blocks = 0;
+  std::uint64_t fresh_blocks = 0;
   {
-    // One block per node pair of work on average; a single node gets one
-    // block covering everything (it then skips the shuffle copy entirely,
-    // like the paper's single-node runs).
     const std::uint64_t block_reads =
         config.node_count == 1
             ? std::max<std::uint64_t>(1, result.read_count)
             : std::max<std::uint64_t>(
                   1, (result.read_count + config.node_count * 2 - 1) /
                          (config.node_count * 2));
-    std::atomic<std::uint64_t> next_block{0};
+    num_blocks = (result.read_count + block_reads - 1) / block_reads;
+
+    // Blocks whose map + push already completed in a previous (crashed)
+    // run, according to any node's manifest; the dispenser skips them and
+    // effectively rebalances the unfinished blocks across live nodes.
+    std::set<std::uint64_t> done_blocks;
+    for (auto& node : nodes) {
+      if (node.checkpoint == nullptr) break;
+      for (const std::string& key :
+           node.checkpoint->keys_with_prefix("map:block:")) {
+        done_blocks.insert(std::stoull(key.substr(10)));
+      }
+    }
+
+    struct Dispenser {
+      std::mutex mutex;
+      std::uint64_t next = 0;
+    };
+    Dispenser dispenser;
     net.register_handler(
         0, kGetBlock,
-        [&next_block, block_reads, total = result.read_count](
-            unsigned, std::span<const std::byte>) {
+        [&dispenser, &done_blocks, num_blocks, block_reads,
+         total = result.read_count](unsigned, std::span<const std::byte>) {
           Payload reply;
-          const std::uint64_t first =
-              next_block.fetch_add(1) * block_reads;
-          if (first >= total) return reply;  // empty = no more work
-          put(reply, first);
-          put(reply, std::min<std::uint64_t>(block_reads, total - first));
+          std::lock_guard<std::mutex> lock(dispenser.mutex);
+          while (dispenser.next < num_blocks &&
+                 done_blocks.count(dispenser.next) > 0) {
+            ++dispenser.next;
+          }
+          if (dispenser.next >= num_blocks) return reply;  // no more work
+          const std::uint64_t g = dispenser.next++;
+          put(reply, g);
+          put(reply, g * block_reads);
+          put(reply, std::min<std::uint64_t>(block_reads,
+                                             total - g * block_reads));
           return reply;
         });
 
+    // Owners persist pushed chunks into per-(role, key, block) stage
+    // files. offset 0 truncates, so a re-pushed block (crash recovery) is
+    // idempotent even when a different node re-maps it.
+    for (auto& node : nodes) {
+      const std::filesystem::path stage_dir = node.dir / "shuffle";
+      std::filesystem::create_directories(stage_dir);
+      net.register_handler(
+          node.id, kPushChunk,
+          [&node, stage_dir](unsigned, std::span<const std::byte> payload) {
+            std::size_t off = 0;
+            const auto hdr = get<PushHeader>(payload, off);
+            char name[64];
+            std::snprintf(name, sizeof(name), "stage_%s_%05u_%06u",
+                          hdr.role == 0 ? "sfx" : "pfx", hdr.key,
+                          hdr.block);
+            const std::filesystem::path path = stage_dir / name;
+            std::FILE* f =
+                std::fopen(path.c_str(), hdr.offset == 0 ? "wb" : "ab");
+            if (f == nullptr) {
+              throw std::runtime_error("shuffle stage open failed: " +
+                                       path.string());
+            }
+            const std::size_t n = payload.size() - off;
+            if (n > 0 &&
+                std::fwrite(payload.data() + off, 1, n, f) != n) {
+              std::fclose(f);
+              throw std::runtime_error("shuffle stage write failed: " +
+                                       path.string());
+            }
+            std::fclose(f);
+            if (n > 0) node.shuffle_io.add_write(n);
+            return Payload{};
+          });
+    }
+
+    const auto push_partition_file =
+        [&](NodeContext& node, std::uint8_t role, unsigned key,
+            std::uint64_t block, const std::filesystem::path& file) {
+          const unsigned owner = owner_of(key, config.node_count);
+          io::ReadOnlyStream in(file, node.shuffle_io);
+          std::vector<std::byte> buffer(kShuffleChunkBytes);
+          std::uint64_t offset = 0;
+          for (;;) {
+            const std::size_t n = in.read_bytes(buffer);
+            if (n == 0 && offset > 0) break;
+            PushHeader hdr;
+            hdr.role = role;
+            hdr.key = key;
+            hdr.block = static_cast<std::uint32_t>(block);
+            hdr.offset = offset;
+            Payload payload;
+            payload.reserve(sizeof(hdr) + n);
+            put(payload, hdr);
+            payload.insert(payload.end(), buffer.begin(),
+                           buffer.begin() + static_cast<std::ptrdiff_t>(n));
+            (void)net.request(node.id, owner, kPushChunk, payload);
+            c_chunks.add(1);
+            c_stage_bytes.add(static_cast<std::int64_t>(n));
+            offset += n;
+            if (n < buffer.size()) break;
+          }
+        };
+
     util::WallTimer wall;
+    const MetricsMark marks = MetricsMark::take();
+    std::atomic<std::uint64_t> fresh{0};
     for_each_node(nodes, [&](NodeContext& node) {
+      io::FaultInjector::ScopedNode node_scope(static_cast<int>(node.id));
       for (;;) {
         const Payload reply = net.request(node.id, 0, kGetBlock, {});
         if (reply.empty()) break;
         std::size_t off = 0;
+        const auto g = get<std::uint64_t>(reply, off);
         const auto first = get<std::uint64_t>(reply, off);
         const auto count = get<std::uint64_t>(reply, off);
+
+        if (io::FaultInjector* injector = io::FaultInjector::active()) {
+          injector->on_node_op(node.id, block_key(g));
+        }
 
         core::MapOptions options;
         options.min_overlap = config.min_overlap;
         options.fingerprints = config.fingerprints;
         options.first_read = first;
         options.max_reads = count;
+        options.streamed = config.streamed;
         // Fingerprint-BSP mode: one bucket per node, so partition key
-        // modulo node count IS the owning node and every node gets a slice
-        // of every length.
-        options.fingerprint_buckets =
-            config.reduce_strategy == ReduceStrategy::kFingerprintBsp
-                ? config.node_count
-                : 1;
+        // modulo node count IS the owning node and every node gets a
+        // slice of every length.
+        options.fingerprint_buckets = bsp ? config.node_count : 1;
         core::Workspace block_ws = node.ws;
-        block_ws.dir =
-            node.dir / ("block" + std::to_string(node.map_blocks.size()));
-        node.map_blocks.push_back(
-            core::run_map_phase(block_ws, fastq, options));
+        block_ws.dir = node.dir / ("block" + std::to_string(g));
+        block_ws.checkpoint = nullptr;
+
+        std::uint64_t tuples = 0;
+        {
+          const core::MapResult mapped =
+              core::run_map_phase(block_ws, fastq, options);
+          node.host_bytes += mapped.host_bytes;
+          tuples = mapped.tuples_emitted;
+          for (const unsigned key : mapped.suffixes->lengths()) {
+            push_partition_file(node, 0, key, g,
+                                mapped.suffixes->path(key));
+          }
+          for (const unsigned key : mapped.prefixes->lengths()) {
+            push_partition_file(node, 1, key, g,
+                                mapped.prefixes->path(key));
+          }
+        }
+        std::error_code ec;
+        std::filesystem::remove_all(block_ws.dir, ec);
+        if (node.checkpoint != nullptr) {
+          node.checkpoint->record(
+              block_key(g),
+              {{"first", first}, {"reads", count}, {"tuples", tuples}});
+        }
+        node.did_work = true;
+        c_blocks.add(1);
+        fresh.fetch_add(1, std::memory_order_relaxed);
       }
     });
-    auto acct = close_phase("map", wall.seconds(), nodes, config, net);
-    // Reading the shared input is part of the map cost.
-    const auto fastq_bytes = std::filesystem::file_size(fastq);
-    acct.stats.disk_bytes_read += fastq_bytes * 2;  // block scan + skip scan
-    acct.stats.modeled_seconds +=
-        static_cast<double>(fastq_bytes) * 2 / config.node_count /
-        config.machine.disk_bandwidth_bytes_per_sec;
-    result.stats.add(acct.stats);
-    result.per_node.push_back(std::move(acct.nodes));
-  }
+    fresh_blocks = fresh.load();
 
-  // All lengths that exist anywhere.
-  std::vector<unsigned> lengths;
-  for (const auto& node : nodes) {
-    for (const auto& block : node.map_blocks) {
-      for (const unsigned l : block.suffixes->lengths()) {
-        if (std::find(lengths.begin(), lengths.end(), l) == lengths.end()) {
-          lengths.push_back(l);
-        }
-      }
+    // Capture section-1 lanes before resetting marks; the shuffle phase
+    // needs them to price its overlapped data motion.
+    util::PhaseStats phase;
+    phase.name = "map";
+    phase.wall_seconds = wall.seconds();
+    double modeled_max = 0.0;
+    double dev_max = 0.0, disk_max = 0.0, host_max = 0.0;
+    std::vector<NodePhaseBreakdown> breakdown(config.node_count);
+    for (auto& node : nodes) {
+      const auto io_now = node.io.snapshot();
+      const auto sh_now = node.shuffle_io.snapshot();
+      MapLanes& lanes = map_lanes[node.id];
+      lanes.dev = (node.device->modeled_seconds() - node.device_mark) *
+                  config.machine.time_scale;
+      lanes.mdisk =
+          static_cast<double>(io_now.bytes_read - node.io_mark.bytes_read +
+                              io_now.bytes_written -
+                              node.io_mark.bytes_written) /
+          disk_bw;
+      lanes.sdisk1 = static_cast<double>(
+                         sh_now.bytes_read - node.shuffle_mark.bytes_read +
+                         sh_now.bytes_written -
+                         node.shuffle_mark.bytes_written) /
+                     disk_bw;
+      lanes.host = static_cast<double>(node.host_bytes) / host_bw;
+      lanes.net1 = net.modeled_seconds(node.id);
+      net1_bytes += net.bytes_sent(node.id);
+
+      const double node_modeled =
+          streamed ? std::max({lanes.dev, lanes.mdisk, lanes.host})
+                   : lanes.dev + lanes.mdisk + lanes.host;
+      modeled_max = std::max(modeled_max, node_modeled);
+      dev_max = std::max(dev_max, lanes.dev);
+      disk_max = std::max(disk_max, lanes.mdisk);
+      host_max = std::max(host_max, lanes.host);
+
+      phase.disk_bytes_read += io_now.bytes_read - node.io_mark.bytes_read;
+      phase.disk_bytes_written +=
+          io_now.bytes_written - node.io_mark.bytes_written;
+      phase.peak_host_bytes =
+          std::max(phase.peak_host_bytes, node.host.peak());
+      phase.peak_device_bytes =
+          std::max(phase.peak_device_bytes, node.device->memory().peak());
+
+      NodePhaseBreakdown& b = breakdown[node.id];
+      b.disk_seconds = lanes.mdisk;
+      b.device_seconds = lanes.dev;
+      b.host_seconds = lanes.host;
+    }
+    net.reset_counters();
+
+    // Reading the shared input is part of the map cost; a resumed run only
+    // pays for the blocks it actually re-mapped.
+    const double input_factor =
+        num_blocks == 0 ? 0.0
+                        : static_cast<double>(fresh_blocks) /
+                              static_cast<double>(num_blocks);
+    const double input_bytes = fastq_bytes * 2.0 * input_factor;
+    phase.disk_bytes_read += static_cast<std::uint64_t>(input_bytes);
+    phase.device_seconds = dev_max;
+    phase.host_seconds = host_max;
+    phase.disk_seconds =
+        disk_max + input_bytes / config.node_count / disk_bw;
+    phase.modeled_seconds =
+        modeled_max + input_bytes / config.node_count / disk_bw;
+    phase.overlap_efficiency =
+        phase.modeled_seconds > 0.0
+            ? (phase.device_seconds + phase.disk_seconds +
+               phase.host_seconds) /
+                  phase.modeled_seconds
+            : 1.0;
+    phase.resumed = fresh_blocks == 0 && num_blocks > 0;
+    if (phase.resumed) ++result.phases_resumed;
+    marks.finish(phase);
+    trace_cluster_phase(cluster_clock, phase, breakdown, streamed);
+    cluster_clock += phase.modeled_seconds;
+    result.stats.add(std::move(phase));
+    result.per_node.push_back(std::move(breakdown));
+
+    for (auto& node : nodes) {
+      node.mark();
+      node.host.reset_peak();
+      node.device->memory().reset_peak();
     }
   }
-  std::sort(lengths.begin(), lengths.end());
 
-  // ---- shuffle ---------------------------------------------------------------
+  // ---- shuffle (assemble pushed stage files into owned partitions) ---------
+  std::vector<unsigned> lengths;  ///< all partition keys, ascending
   {
-    // Peers serve chunks of their block partition files.
+    util::WallTimer wall;
+    const MetricsMark marks = MetricsMark::take();
+    std::atomic<unsigned> fresh_keys{0};
+    for_each_node(nodes, [&](NodeContext& node) {
+      io::FaultInjector::ScopedNode node_scope(static_cast<int>(node.id));
+      const std::filesystem::path stage_dir = node.dir / "shuffle";
+      // Stage files present on disk, grouped by key and ordered by global
+      // block id; ascending-block concatenation reproduces the single-node
+      // partition bytes exactly.
+      std::map<unsigned, std::map<std::uint32_t, std::filesystem::path>>
+          sfx_stage, pfx_stage;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(stage_dir)) {
+        const std::string name = entry.path().filename().string();
+        char role[4] = {};
+        unsigned key = 0, block = 0;
+        if (std::sscanf(name.c_str(), "stage_%3[a-z]_%u_%u", role, &key,
+                        &block) != 3) {
+          continue;
+        }
+        (role[0] == 's' ? sfx_stage : pfx_stage)[key][block] = entry.path();
+      }
+
+      // Keys to own: those with suffix data (lengths with only prefixes
+      // can never produce candidates — the single-node sort drops them
+      // too) plus keys a previous run already merged.
+      std::set<unsigned> keys;
+      for (const auto& [key, blocks] : sfx_stage) keys.insert(key);
+      if (node.checkpoint != nullptr) {
+        for (const std::string& ck :
+             node.checkpoint->keys_with_prefix("shuffle:key:")) {
+          keys.insert(static_cast<unsigned>(std::stoul(ck.substr(12))));
+        }
+      }
+
+      for (const unsigned key : keys) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "sfx_%05u.bin", key);
+        const std::filesystem::path merged_sfx = stage_dir / name;
+        std::snprintf(name, sizeof(name), "pfx_%05u.bin", key);
+        const std::filesystem::path merged_pfx = stage_dir / name;
+        const std::string ck = shuffle_ck_key(key);
+
+        if (node.checkpoint != nullptr && node.checkpoint->has(ck)) {
+          // Adopt: the merged files still exist, or both sorts already
+          // consumed them (external_sort_file skips whole files before
+          // opening its input). The write→record→delete ordering below
+          // guarantees one of the two holds.
+          char sorted_name[32];
+          std::snprintf(sorted_name, sizeof(sorted_name),
+                        "sfx_%05u.sorted", key);
+          const bool sfx_sorted =
+              node.checkpoint->has("sort:file:" + std::string(sorted_name));
+          std::snprintf(sorted_name, sizeof(sorted_name),
+                        "pfx_%05u.sorted", key);
+          const bool pfx_sorted =
+              node.checkpoint->has("sort:file:" + std::string(sorted_name));
+          std::error_code ec;
+          const bool merged_exist =
+              std::filesystem::exists(merged_sfx, ec) &&
+              std::filesystem::exists(merged_pfx, ec);
+          if ((sfx_sorted && pfx_sorted) || merged_exist) {
+            node.owned_sfx[key] = merged_sfx;
+            node.owned_pfx[key] = merged_pfx;
+            node.merged_hash[key] = node.checkpoint->counter(ck, "hash");
+            continue;
+          }
+        }
+
+        std::uint64_t hash = kFnvOffset;
+        std::uint64_t merged_bytes = 0;
+        const auto concatenate =
+            [&](const std::map<std::uint32_t, std::filesystem::path>& stages,
+                const std::filesystem::path& out_path) {
+              io::WriteOnlyStream out(out_path, node.shuffle_io);
+              std::vector<std::byte> buffer(kShuffleChunkBytes);
+              for (const auto& [block, stage_path] : stages) {
+                io::ReadOnlyStream in(stage_path, node.shuffle_io);
+                for (;;) {
+                  const std::size_t n = in.read_bytes(buffer);
+                  if (n == 0) break;
+                  hash = fnv_bytes(hash, buffer.data(), n);
+                  merged_bytes += n;
+                  out.write_bytes(
+                      std::span<const std::byte>(buffer.data(), n));
+                }
+              }
+              out.close();
+            };
+        concatenate(sfx_stage[key], merged_sfx);
+        concatenate(pfx_stage[key], merged_pfx);
+        node.owned_sfx[key] = merged_sfx;
+        node.owned_pfx[key] = merged_pfx;
+        node.merged_hash[key] = hash;
+        if (node.checkpoint != nullptr) {
+          node.checkpoint->record(ck,
+                                  {{"hash", hash}, {"bytes", merged_bytes}});
+        }
+        std::error_code ec;
+        for (const auto& [block, stage_path] : sfx_stage[key]) {
+          std::filesystem::remove(stage_path, ec);
+        }
+        for (const auto& [block, stage_path] : pfx_stage[key]) {
+          std::filesystem::remove(stage_path, ec);
+        }
+        node.did_work = true;
+        c_keys_merged.add(1);
+        fresh_keys.fetch_add(1, std::memory_order_relaxed);
+      }
+
+      // Prefix-only keys cannot produce candidates; drop their stage data.
+      std::error_code ec;
+      for (const auto& [key, blocks] : pfx_stage) {
+        if (keys.count(key) > 0) continue;
+        for (const auto& [block, stage_path] : blocks) {
+          std::filesystem::remove(stage_path, ec);
+        }
+      }
+    });
+
+    // The master collects the global key list from every owner (the one
+    // piece of metadata the reduce schedule needs).
     for (auto& node : nodes) {
       net.register_handler(
-          node.id, kFetchPartition,
-          [&node](unsigned, std::span<const std::byte> payload) {
-            std::size_t off = 0;
-            const auto req = get<FetchRequest>(payload, off);
+          node.id, kGatherKeys,
+          [&node](unsigned, std::span<const std::byte>) {
             Payload reply;
-            if (req.block >= node.map_blocks.size()) return reply;
-            const auto& block = node.map_blocks[req.block];
-            const auto& set =
-                req.role == 0 ? *block.suffixes : *block.prefixes;
-            if (set.count(req.length) == 0) return reply;
-            // Chunked positional read (the serving node's disk allows
-            // random access to its private files); only the bytes actually
-            // delivered are charged.
-            std::FILE* f = std::fopen(set.path(req.length).c_str(), "rb");
-            if (f == nullptr) return reply;
-            std::fseek(f, static_cast<long>(req.offset), SEEK_SET);
-            reply.resize(kShuffleChunkBytes);
-            reply.resize(std::fread(reply.data(), 1, reply.size(), f));
-            std::fclose(f);
-            if (!reply.empty()) node.io.add_read(reply.size());
+            for (const auto& [key, path] : node.owned_sfx) {
+              put(reply, static_cast<std::uint32_t>(key));
+            }
             return reply;
           });
     }
-
-    util::WallTimer wall;
-    for_each_node(nodes, [&](NodeContext& node) {
-      const std::filesystem::path shuffle_dir = node.dir / "shuffle";
-      std::filesystem::create_directories(shuffle_dir);
-      for (const unsigned l : lengths) {
-        if (owner_of(l, config.node_count) != node.id) continue;
-        for (const std::uint8_t role : {std::uint8_t{0}, std::uint8_t{1}}) {
-          const std::filesystem::path merged =
-              shuffle_dir / ((role == 0 ? "sfx_" : "pfx_") +
-                             std::to_string(l) + ".bin");
-          // Single node, single map block: the map output already is the
-          // merged partition — adopt it without copying.
-          if (config.node_count == 1 && node.map_blocks.size() == 1) {
-            const auto& set = role == 0 ? *node.map_blocks[0].suffixes
-                                        : *node.map_blocks[0].prefixes;
-            if (set.count(l) > 0) {
-              std::filesystem::rename(set.path(l), merged);
-            } else {
-              io::WriteOnlyStream(merged, node.io).close();
-            }
-            (role == 0 ? node.owned_sfx : node.owned_pfx)[l] = merged;
-            continue;
-          }
-          io::WriteOnlyStream out(merged, node.io);
-          for (unsigned peer = 0; peer < config.node_count; ++peer) {
-            const auto peer_blocks =
-                static_cast<std::uint32_t>(nodes[peer].map_blocks.size());
-            for (std::uint32_t block = 0; block < peer_blocks; ++block) {
-              std::uint64_t offset = 0;
-              for (;;) {
-                FetchRequest req;
-                req.role = role;
-                req.length = l;
-                req.block = block;
-                req.offset = offset;
-                Payload payload;
-                put(payload, req);
-                const Payload chunk =
-                    net.request(node.id, peer, kFetchPartition, payload);
-                if (chunk.empty()) break;
-                out.write_bytes(chunk);
-                offset += chunk.size();
-                if (chunk.size() < kShuffleChunkBytes) break;
-              }
-            }
-          }
-          out.close();
-          (role == 0 ? node.owned_sfx : node.owned_pfx)[l] = merged;
-        }
-      }
-    });
     for (unsigned i = 0; i < config.node_count; ++i) {
-      result.shuffle_bytes += net.bytes_sent(i);
+      const Payload reply = net.request(0, i, kGatherKeys, {});
+      std::size_t off = 0;
+      while (off < reply.size()) {
+        lengths.push_back(get<std::uint32_t>(reply, off));
+      }
     }
-    auto acct = close_phase("shuffle", wall.seconds(), nodes, config, net);
-    result.stats.add(acct.stats);
-    result.per_node.push_back(std::move(acct.nodes));
+    std::sort(lengths.begin(), lengths.end());
+
+    // Order-independent content fingerprint of the whole shuffle.
+    {
+      std::map<unsigned, std::uint64_t> all_hashes;
+      for (const auto& node : nodes) {
+        for (const auto& [key, h] : node.merged_hash) all_hashes[key] = h;
+      }
+      std::uint64_t fold = kFnvOffset;
+      for (const auto& [key, h] : all_hashes) {
+        fold = fnv_u64(fold, key);
+        fold = fnv_u64(fold, h);
+      }
+      result.shuffle_hash = fold;
+    }
+
+    util::PhaseStats phase;
+    phase.name = "shuffle";
+    phase.wall_seconds = wall.seconds();
+    std::vector<NodePhaseBreakdown> breakdown(config.node_count);
+    double compute_max = 0.0;  ///< map lanes alone (already charged)
+    double overlap_max = 0.0;  ///< map lanes + push traffic
+    double sync1_max = 0.0;    ///< push traffic as its own barrier phase
+    double sec2_max = 0.0;
+    double disk_max = 0.0;
+    std::uint64_t net2_bytes = 0;
+    for (auto& node : nodes) {
+      const MapLanes& lanes = map_lanes[node.id];
+      const auto sh_now = node.shuffle_io.snapshot();
+      const double sdisk2 =
+          static_cast<double>(sh_now.bytes_read -
+                              node.shuffle_mark.bytes_read +
+                              sh_now.bytes_written -
+                              node.shuffle_mark.bytes_written) /
+          disk_bw;
+      const double net2 = net.modeled_seconds(node.id);
+      net2_bytes += net.bytes_sent(node.id);
+
+      compute_max = std::max(
+          compute_max, std::max({lanes.dev, lanes.mdisk, lanes.host}));
+      overlap_max = std::max(
+          overlap_max, std::max({lanes.dev, lanes.mdisk + lanes.sdisk1,
+                                 lanes.host, lanes.net1}));
+      sync1_max = std::max(sync1_max, lanes.sdisk1 + lanes.net1);
+      sec2_max = std::max(sec2_max, streamed ? std::max(sdisk2, net2)
+                                             : sdisk2 + net2);
+      disk_max = std::max(disk_max, lanes.sdisk1 + sdisk2);
+
+      phase.disk_bytes_read +=
+          sh_now.bytes_read - node.shuffle_mark.bytes_read;
+      phase.disk_bytes_written +=
+          sh_now.bytes_written - node.shuffle_mark.bytes_written;
+      phase.peak_host_bytes =
+          std::max(phase.peak_host_bytes, node.host.peak());
+      phase.peak_device_bytes =
+          std::max(phase.peak_device_bytes, node.device->memory().peak());
+
+      NodePhaseBreakdown& b = breakdown[node.id];
+      b.disk_seconds = lanes.sdisk1 + sdisk2;
+      b.network_seconds = lanes.net1 + net2;
+    }
+    // Section-1 stage traffic also moved bytes; account them here (they
+    // were excluded from the map phase's byte totals, which only cover
+    // node.io).
+    for (auto& node : nodes) {
+      phase.disk_bytes_read +=
+          node.shuffle_mark.bytes_read;
+      phase.disk_bytes_written += node.shuffle_mark.bytes_written;
+    }
+    result.shuffle_bytes = net1_bytes + net2_bytes;
+    phase.disk_seconds = disk_max;
+    // Streamed: the push traffic hides behind map compute; only the part
+    // that outlasts it is exposed, plus the assembly section. Synchronous:
+    // both sections run as barriers.
+    phase.modeled_seconds =
+        streamed ? std::max(0.0, overlap_max - compute_max) + sec2_max
+                 : sync1_max + sec2_max;
+    phase.overlap_efficiency =
+        phase.modeled_seconds > 0.0
+            ? phase.disk_seconds / phase.modeled_seconds
+            : 1.0;
+    phase.resumed = fresh_keys.load() == 0 && !lengths.empty();
+    if (phase.resumed) ++result.phases_resumed;
+    marks.finish(phase);
+    trace_cluster_phase(cluster_clock, phase, breakdown, streamed);
+    cluster_clock += phase.modeled_seconds;
+    result.stats.add(std::move(phase));
+    result.per_node.push_back(std::move(breakdown));
+
+    net.reset_counters();
+    for (auto& node : nodes) {
+      node.mark();
+      node.host.reset_peak();
+      node.device->memory().reset_peak();
+    }
   }
 
-  // Map intermediates can go now.
-  for (auto& node : nodes) node.map_blocks.clear();
-
-  // ---- sort ------------------------------------------------------------------
+  // ---- sort ----------------------------------------------------------------
   {
-    const core::BlockGeometry geometry =
-        core::BlockGeometry::from(config.machine);
+    core::BlockGeometry geometry = core::BlockGeometry::from(config.machine);
+    geometry.streamed = config.streamed;
     util::WallTimer wall;
+    const MetricsMark marks = MetricsMark::take();
     for_each_node(nodes, [&](NodeContext& node) {
+      io::FaultInjector::ScopedNode node_scope(static_cast<int>(node.id));
       const std::filesystem::path sorted_dir = node.dir / "sorted";
       std::filesystem::create_directories(sorted_dir);
-      for (const auto& [l, raw] : node.owned_sfx) {
+      for (const auto& [key, raw_sfx] : node.owned_sfx) {
+        char sfx_name[32], pfx_name[32];
+        std::snprintf(sfx_name, sizeof(sfx_name), "sfx_%05u.sorted", key);
+        std::snprintf(pfx_name, sizeof(pfx_name), "pfx_%05u.sorted", key);
         core::SortedPartition part;
-        part.length = l;
-        part.suffix_file = sorted_dir / ("sfx_" + std::to_string(l));
-        part.prefix_file = sorted_dir / ("pfx_" + std::to_string(l));
-        (void)core::external_sort_file(node.ws, raw, part.suffix_file,
-                                       geometry);
-        (void)core::external_sort_file(node.ws, node.owned_pfx.at(l),
-                                       part.prefix_file, geometry);
-        std::filesystem::remove(raw);
-        std::filesystem::remove(node.owned_pfx.at(l));
+        part.length = key;
+        part.suffix_file = sorted_dir / sfx_name;
+        part.prefix_file = sorted_dir / pfx_name;
+        const bool done =
+            node.checkpoint != nullptr &&
+            node.checkpoint->has("sort:file:" + std::string(sfx_name)) &&
+            node.checkpoint->has("sort:file:" + std::string(pfx_name));
+        if (!done) {
+          if (io::FaultInjector* injector = io::FaultInjector::active()) {
+            injector->on_node_op(node.id,
+                                 "sort:" + std::string(sfx_name));
+          }
+          node.did_work = true;
+        }
+        part.suffix_records =
+            core::external_sort_file(node.ws, raw_sfx, part.suffix_file,
+                                     geometry)
+                .records;
+        part.prefix_records =
+            core::external_sort_file(node.ws, node.owned_pfx.at(key),
+                                     part.prefix_file, geometry)
+                .records;
+        std::error_code ec;
+        std::filesystem::remove(raw_sfx, ec);
+        std::filesystem::remove(node.owned_pfx.at(key), ec);
         node.sorted.push_back(std::move(part));
       }
     });
-    auto acct = close_phase("sort", wall.seconds(), nodes, config, net);
-    result.stats.add(acct.stats);
-    result.per_node.push_back(std::move(acct.nodes));
+
+    util::PhaseStats phase;
+    phase.name = "sort";
+    phase.wall_seconds = wall.seconds();
+    std::vector<NodePhaseBreakdown> breakdown(config.node_count);
+    double modeled_max = 0.0, dev_max = 0.0, disk_max = 0.0;
+    bool any_work = false;
+    for (auto& node : nodes) {
+      const auto io_now = node.io.snapshot();
+      const double dev =
+          (node.device->modeled_seconds() - node.device_mark) *
+          config.machine.time_scale;
+      const double disk =
+          static_cast<double>(io_now.bytes_read - node.io_mark.bytes_read +
+                              io_now.bytes_written -
+                              node.io_mark.bytes_written) /
+          disk_bw;
+      modeled_max =
+          std::max(modeled_max, streamed ? std::max(dev, disk) : dev + disk);
+      dev_max = std::max(dev_max, dev);
+      disk_max = std::max(disk_max, disk);
+      any_work = any_work || node.did_work;
+      phase.disk_bytes_read += io_now.bytes_read - node.io_mark.bytes_read;
+      phase.disk_bytes_written +=
+          io_now.bytes_written - node.io_mark.bytes_written;
+      phase.peak_host_bytes =
+          std::max(phase.peak_host_bytes, node.host.peak());
+      phase.peak_device_bytes =
+          std::max(phase.peak_device_bytes, node.device->memory().peak());
+      NodePhaseBreakdown& b = breakdown[node.id];
+      b.disk_seconds = disk;
+      b.device_seconds = dev;
+    }
+    phase.device_seconds = dev_max;
+    phase.disk_seconds = disk_max;
+    phase.modeled_seconds = modeled_max;
+    phase.overlap_efficiency =
+        phase.modeled_seconds > 0.0
+            ? (dev_max + disk_max) / phase.modeled_seconds
+            : 1.0;
+    phase.resumed = !any_work && !lengths.empty();
+    if (phase.resumed) ++result.phases_resumed;
+    marks.finish(phase);
+    trace_cluster_phase(cluster_clock, phase, breakdown, streamed);
+    cluster_clock += phase.modeled_seconds;
+    result.stats.add(std::move(phase));
+    result.per_node.push_back(std::move(breakdown));
+
+    net.reset_counters();
+    for (auto& node : nodes) {
+      node.mark();
+      node.host.reset_peak();
+      node.device->memory().reset_peak();
+    }
   }
 
-  // ---- reduce ----------------------------------------------------------------
+  // ---- reduce --------------------------------------------------------------
   // The merged graph used by the compress phase: token mode gathers per-node
   // edge sets afterwards; BSP mode builds it directly on the master.
   graph::StringGraph merged(result.read_count);
-  if (config.reduce_strategy == ReduceStrategy::kLengthToken) {
-    for (auto& node : nodes) {
-      node.graph = std::make_unique<graph::StringGraph>(result.read_count);
-    }
-    util::AtomicBitVector token(static_cast<std::size_t>(result.read_count) *
-                                2);
-    const double token_transfer_seconds =
-        2 * config.network_latency_seconds +
-        static_cast<double>(token.byte_size()) /
-            config.network_bandwidth_bytes_per_sec;
-
-    // Event-driven model: overlap-finding parallel per owner, graph build
-    // serialized by the token (paper III-E3).
-    std::vector<double> owner_busy(config.node_count, 0.0);
-    double token_time = 0.0;
-    unsigned previous_owner = UINT32_MAX;
-
+  {
     util::WallTimer wall;
-    for (auto it = lengths.rbegin(); it != lengths.rend(); ++it) {
-      const unsigned l = *it;
-      NodeContext& node = nodes[owner_of(l, config.node_count)];
-      const auto part_it =
-          std::find_if(node.sorted.begin(), node.sorted.end(),
-                       [l](const auto& p) { return p.length == l; });
-      if (part_it == node.sorted.end()) continue;
+    const MetricsMark marks = MetricsMark::take();
+    util::PhaseStats phase;
+    phase.name = "reduce";
+    std::vector<NodePhaseBreakdown> breakdown(config.node_count);
+    std::vector<double> host_lane(config.node_count, 0.0);
+    std::vector<double> net_lane(config.node_count, 0.0);
 
-      const auto io_before = node.io.snapshot();
-      const double dev_before = node.device->modeled_seconds();
-
-      node.graph->set_out_degree_bits(token);
-      const core::PartitionReduceStats stats =
-          core::reduce_partition(node.ws, *part_it, *node.graph, {});
-      token = node.graph->out_degree_bits();
-
-      result.candidate_edges += stats.candidates;
-      result.accepted_edges += stats.accepted;
-
-      // Model: t_o from this partition's disk+device cost, t_g from the
-      // candidate volume.
-      const auto io_after = node.io.snapshot();
-      const double t_o =
-          static_cast<double>(io_after.bytes_read - io_before.bytes_read +
-                              io_after.bytes_written -
-                              io_before.bytes_written) /
-              config.machine.disk_bandwidth_bytes_per_sec +
-          (node.device->modeled_seconds() - dev_before) *
-              config.machine.time_scale;
-      const double t_g =
-          static_cast<double>(stats.candidates) *
-          config.graph_insert_seconds;
-
-      double& busy = owner_busy[node.id];
-      busy += t_o;  // overlap-finding proceeds without the token
-      double arrival = token_time;
-      if (previous_owner != node.id) arrival += token_transfer_seconds;
-      token_time = std::max(busy, arrival) + t_g;
-      previous_owner = node.id;
-    }
-
-    auto acct = close_phase("reduce", wall.seconds(), nodes, config, net);
-    acct.stats.modeled_seconds = token_time;  // event model, not max-node
-    result.stats.add(acct.stats);
-    result.per_node.push_back(std::move(acct.nodes));
-  } else {
-    // Fingerprint-BSP reduce (paper IV-D): one superstep per length,
-    // descending. All nodes scan their fingerprint slice of that length in
-    // parallel and emit raw candidates; the master resolves them greedily
-    // and (conceptually) broadcasts the updated out-degree bit-vector.
-    std::vector<unsigned> real_lengths;
-    for (const unsigned key : lengths) {
-      const unsigned l = core::key_length(key, config.node_count);
-      if (real_lengths.empty() || real_lengths.back() != l) {
-        real_lengths.push_back(l);
+    if (config.reduce_strategy == ReduceStrategy::kLengthToken) {
+      for (auto& node : nodes) {
+        node.graph =
+            std::make_unique<graph::StringGraph>(result.read_count);
       }
-    }
+      util::AtomicBitVector token(
+          static_cast<std::size_t>(result.read_count) * 2);
+      const double token_transfer_seconds =
+          2 * config.network_latency_seconds +
+          static_cast<double>(token.byte_size()) /
+              config.network_bandwidth_bytes_per_sec;
 
-    const double broadcast_seconds =
-        2 * config.network_latency_seconds +
-        static_cast<double>((result.read_count * 2 + 7) / 8) /
-            config.network_bandwidth_bytes_per_sec;
+      const std::vector<unsigned> descending(lengths.rbegin(),
+                                             lengths.rend());
 
-    double reduce_modeled = 0.0;
-    util::WallTimer wall;
-    for (auto it = real_lengths.rbegin(); it != real_lengths.rend(); ++it) {
-      const unsigned l = *it;
-      std::vector<std::vector<std::pair<graph::VertexId, graph::VertexId>>>
-          proposals(config.node_count);
-      std::vector<double> node_t_o(config.node_count, 0.0);
+      // Restore the completed prefix (highest lengths first): import each
+      // partition's edge delta into its owner's graph and take the token
+      // from the last restored sidecar. An entry whose sidecar is missing
+      // or stale ends the prefix — that partition re-runs cleanly.
+      std::size_t restored = 0;
+      unsigned previous_owner = UINT32_MAX;
+      while (restored < descending.size()) {
+        const unsigned l = descending[restored];
+        NodeContext& node = nodes[owner_of(l, config.node_count)];
+        if (node.checkpoint == nullptr ||
+            !node.checkpoint->has(reduce_ck_key(l))) {
+          break;
+        }
+        auto delta = read_reduce_sidecar(node, l, result.read_count);
+        if (!delta.has_value()) break;
+        node.graph->import_edges(delta->edges);
+        token = std::move(delta->token);
+        result.candidate_edges +=
+            node.checkpoint->counter(reduce_ck_key(l), "candidates");
+        result.accepted_edges +=
+            node.checkpoint->counter(reduce_ck_key(l), "accepted");
+        previous_owner = node.id;
+        ++restored;
+      }
 
-      for_each_node(nodes, [&](NodeContext& node) {
-        const unsigned key =
-            core::partition_key(l, node.id, config.node_count);
+      // Event-driven model: overlap-finding parallel per owner, graph
+      // build serialized by the token (paper III-E3). Restored partitions
+      // cost nothing — that is the point of resuming.
+      std::vector<double> owner_busy(config.node_count, 0.0);
+      double token_time = 0.0;
+
+      for (std::size_t idx = restored; idx < descending.size(); ++idx) {
+        const unsigned l = descending[idx];
+        NodeContext& node = nodes[owner_of(l, config.node_count)];
         const auto part_it =
             std::find_if(node.sorted.begin(), node.sorted.end(),
-                         [key](const auto& p) { return p.length == key; });
-        if (part_it == node.sorted.end()) return;
+                         [l](const auto& p) { return p.length == l; });
+        if (part_it == node.sorted.end()) continue;
+
+        io::FaultInjector::ScopedNode node_scope(
+            static_cast<int>(node.id));
+        if (io::FaultInjector* injector = io::FaultInjector::active()) {
+          injector->on_node_op(node.id, reduce_ck_key(l));
+        }
 
         const auto io_before = node.io.snapshot();
         const double dev_before = node.device->modeled_seconds();
-        core::ReduceOptions options;
-        auto& mine = proposals[node.id];
-        options.candidate_sink = [&mine](graph::VertexId u,
-                                         graph::VertexId v) {
-          mine.emplace_back(u, v);
-        };
-        graph::StringGraph scratch(0);  // unused in sink mode
-        (void)core::reduce_partition(node.ws, *part_it, scratch, options);
+        const std::size_t edges_before = node.graph->edges().size();
+
+        node.graph->set_out_degree_bits(token);
+        core::ReduceOptions reduce_options;
+        reduce_options.streamed = config.streamed;
+        const core::PartitionReduceStats stats = core::reduce_partition(
+            node.ws, *part_it, *node.graph, reduce_options);
+        token = node.graph->out_degree_bits();
+
+        result.candidate_edges += stats.candidates;
+        result.accepted_edges += stats.accepted;
+        node.did_work = true;
+        c_partitions.add(1);
+
+        if (node.checkpoint != nullptr) {
+          const std::vector<graph::Edge> all_edges = node.graph->edges();
+          write_reduce_sidecar(
+              node, l, token,
+              std::span<const graph::Edge>(all_edges).subspan(
+                  edges_before));
+          node.checkpoint->record(reduce_ck_key(l),
+                                  {{"candidates", stats.candidates},
+                                   {"accepted", stats.accepted}});
+        }
+
+        // Model: t_o from this partition's lane costs, t_g from the
+        // candidate volume.
         const auto io_after = node.io.snapshot();
-        node_t_o[node.id] =
+        const double disk_t =
             static_cast<double>(io_after.bytes_read -
                                 io_before.bytes_read +
                                 io_after.bytes_written -
                                 io_before.bytes_written) /
-                config.machine.disk_bandwidth_bytes_per_sec +
+            disk_bw;
+        const double dev_t =
             (node.device->modeled_seconds() - dev_before) *
-                config.machine.time_scale;
-      });
+            config.machine.time_scale;
+        const double host_t =
+            static_cast<double>(stats.host_bytes) / host_bw;
+        const double t_o = streamed ? std::max({disk_t, dev_t, host_t})
+                                    : disk_t + dev_t + host_t;
+        const double t_g = static_cast<double>(stats.candidates) *
+                           config.graph_insert_seconds;
+        host_lane[node.id] += host_t;
 
-      // Master: deterministic greedy resolution for this superstep.
-      std::vector<std::pair<graph::VertexId, graph::VertexId>> all;
-      for (auto& p : proposals) {
-        all.insert(all.end(), p.begin(), p.end());
+        double& busy = owner_busy[node.id];
+        busy += t_o;  // overlap-finding proceeds without the token
+        double arrival = token_time;
+        if (previous_owner != node.id) {
+          arrival += token_transfer_seconds;
+          net_lane[node.id] += token_transfer_seconds;
+          c_token_hops.add(1);
+        }
+        const double start = std::max(busy, arrival);
+        if (obs::Tracer* tracer = obs::Tracer::active()) {
+          tracer->add_span(tracer->track("dist.token"),
+                           "l" + std::to_string(l), -1, 0,
+                           to_ps(cluster_clock + start), to_ps(t_g),
+                           {{"owner", node.id},
+                            {"candidates", static_cast<std::int64_t>(
+                                               stats.candidates)}});
+        }
+        token_time = start + t_g;
+        previous_owner = node.id;
       }
-      std::sort(all.begin(), all.end());
-      for (const auto& [u, v] : all) {
-        ++result.candidate_edges;
-        if (merged.try_add_edge(u, v, static_cast<std::uint16_t>(l))) {
-          ++result.accepted_edges;
+      phase.modeled_seconds = token_time;  // event model, not max-node
+      phase.resumed = restored == descending.size() && !descending.empty();
+    } else {
+      // Fingerprint-BSP reduce (paper IV-D): one superstep per length,
+      // descending. All nodes scan their fingerprint slice of that length
+      // in parallel and emit raw candidates with their matching
+      // fingerprints; the master stable-merges them back into the exact
+      // single-node offer order (equal fingerprints live in exactly one
+      // bucket, so a stable sort by fingerprint is a faithful merge),
+      // resolves them greedily and (conceptually) broadcasts the updated
+      // out-degree bit-vector.
+      std::vector<unsigned> real_lengths;
+      for (const unsigned key : lengths) {
+        const unsigned l = core::key_length(key, config.node_count);
+        if (real_lengths.empty() || real_lengths.back() != l) {
+          real_lengths.push_back(l);
         }
       }
 
-      reduce_modeled +=
-          *std::max_element(node_t_o.begin(), node_t_o.end()) +
-          static_cast<double>(all.size()) * config.graph_insert_seconds +
-          (config.node_count > 1 ? broadcast_seconds : 0.0);
+      const double broadcast_seconds =
+          2 * config.network_latency_seconds +
+          static_cast<double>((result.read_count * 2 + 7) / 8) /
+              config.network_bandwidth_bytes_per_sec;
+
+      struct Proposal {
+        gpu::Key128 fp;
+        graph::VertexId u = 0;
+        graph::VertexId v = 0;
+      };
+
+      double reduce_modeled = 0.0;
+      for (auto it = real_lengths.rbegin(); it != real_lengths.rend();
+           ++it) {
+        const unsigned l = *it;
+        std::vector<std::vector<Proposal>> proposals(config.node_count);
+        std::vector<double> node_t_o(config.node_count, 0.0);
+
+        for_each_node(nodes, [&](NodeContext& node) {
+          const unsigned key =
+              core::partition_key(l, node.id, config.node_count);
+          const auto part_it =
+              std::find_if(node.sorted.begin(), node.sorted.end(),
+                           [key](const auto& p) { return p.length == key; });
+          if (part_it == node.sorted.end()) return;
+
+          io::FaultInjector::ScopedNode node_scope(
+              static_cast<int>(node.id));
+          if (io::FaultInjector* injector = io::FaultInjector::active()) {
+            injector->on_node_op(node.id, reduce_ck_key(key));
+          }
+
+          const auto io_before = node.io.snapshot();
+          const double dev_before = node.device->modeled_seconds();
+          core::ReduceOptions options;
+          options.streamed = config.streamed;
+          auto& mine = proposals[node.id];
+          options.candidate_sink = [&mine](graph::VertexId u,
+                                           graph::VertexId v,
+                                           const gpu::Key128& fp) {
+            mine.push_back(Proposal{fp, u, v});
+          };
+          graph::StringGraph scratch(0);  // unused in sink mode
+          const core::PartitionReduceStats stats =
+              core::reduce_partition(node.ws, *part_it, scratch, options);
+          node.did_work = true;
+          const auto io_after = node.io.snapshot();
+          const double disk_t =
+              static_cast<double>(io_after.bytes_read -
+                                  io_before.bytes_read +
+                                  io_after.bytes_written -
+                                  io_before.bytes_written) /
+              disk_bw;
+          const double dev_t =
+              (node.device->modeled_seconds() - dev_before) *
+              config.machine.time_scale;
+          const double host_t =
+              static_cast<double>(stats.host_bytes) / host_bw;
+          host_lane[node.id] += host_t;
+          node_t_o[node.id] = streamed
+                                  ? std::max({disk_t, dev_t, host_t})
+                                  : disk_t + dev_t + host_t;
+          c_partitions.add(1);
+        });
+
+        // Master: merge per-bucket candidate streams back into global
+        // fingerprint order (stable — in-bucket order is preserved) and
+        // resolve greedily, exactly as the single-node reduce would.
+        std::vector<Proposal> all;
+        for (const auto& p : proposals) {
+          all.insert(all.end(), p.begin(), p.end());
+        }
+        std::stable_sort(all.begin(), all.end(),
+                         [](const Proposal& a, const Proposal& b) {
+                           return a.fp < b.fp;
+                         });
+        for (const Proposal& p : all) {
+          ++result.candidate_edges;
+          if (merged.try_add_edge(p.u, p.v,
+                                  static_cast<std::uint16_t>(l))) {
+            ++result.accepted_edges;
+          }
+        }
+
+        reduce_modeled +=
+            *std::max_element(node_t_o.begin(), node_t_o.end()) +
+            static_cast<double>(all.size()) * config.graph_insert_seconds +
+            (config.node_count > 1 ? broadcast_seconds : 0.0);
+      }
+      phase.modeled_seconds = reduce_modeled;
     }
 
-    auto acct = close_phase("reduce", wall.seconds(), nodes, config, net);
-    acct.stats.modeled_seconds = reduce_modeled;
-    result.stats.add(acct.stats);
-    result.per_node.push_back(std::move(acct.nodes));
+    phase.wall_seconds = wall.seconds();
+    double dev_max = 0.0, disk_max = 0.0, host_max = 0.0;
+    for (auto& node : nodes) {
+      const auto io_now = node.io.snapshot();
+      const double dev =
+          (node.device->modeled_seconds() - node.device_mark) *
+          config.machine.time_scale;
+      const double disk =
+          static_cast<double>(io_now.bytes_read - node.io_mark.bytes_read +
+                              io_now.bytes_written -
+                              node.io_mark.bytes_written) /
+          disk_bw;
+      dev_max = std::max(dev_max, dev);
+      disk_max = std::max(disk_max, disk);
+      host_max = std::max(host_max, host_lane[node.id]);
+      phase.disk_bytes_read += io_now.bytes_read - node.io_mark.bytes_read;
+      phase.disk_bytes_written +=
+          io_now.bytes_written - node.io_mark.bytes_written;
+      phase.peak_host_bytes =
+          std::max(phase.peak_host_bytes, node.host.peak());
+      phase.peak_device_bytes =
+          std::max(phase.peak_device_bytes, node.device->memory().peak());
+      NodePhaseBreakdown& b = breakdown[node.id];
+      b.disk_seconds = disk;
+      b.device_seconds = dev;
+      b.host_seconds = host_lane[node.id];
+      b.network_seconds = net_lane[node.id];
+    }
+    phase.device_seconds = dev_max;
+    phase.disk_seconds = disk_max;
+    phase.host_seconds = host_max;
+    phase.overlap_efficiency =
+        phase.modeled_seconds > 0.0
+            ? (dev_max + disk_max + host_max) / phase.modeled_seconds
+            : 1.0;
+    if (phase.resumed) ++result.phases_resumed;
+    marks.finish(phase);
+    trace_cluster_phase(cluster_clock, phase, breakdown, streamed);
+    cluster_clock += phase.modeled_seconds;
+    result.stats.add(std::move(phase));
+    result.per_node.push_back(std::move(breakdown));
+
+    net.reset_counters();
+    for (auto& node : nodes) {
+      node.mark();
+      node.host.reset_peak();
+      node.device->memory().reset_peak();
+    }
   }
 
-  // ---- compress (node 0 holds or gathers the merged graph) --------------------
+  // ---- compress (node 0 holds or gathers the merged graph) -----------------
   {
     for (auto& node : nodes) {
-      net.register_handler(
-          node.id, kGatherEdges,
-          [&node](unsigned, std::span<const std::byte>) {
-            Payload reply;
-            if (node.graph == nullptr) return reply;
-            for (const graph::Edge& e : node.graph->edges()) put(reply, e);
-            return reply;
-          });
+      net.register_handler(node.id, kGatherEdges,
+                           [&node](unsigned, std::span<const std::byte>) {
+                             Payload reply;
+                             if (node.graph == nullptr) return reply;
+                             for (const graph::Edge& e :
+                                  node.graph->edges()) {
+                               put(reply, e);
+                             }
+                             return reply;
+                           });
     }
 
     util::WallTimer wall;
+    const MetricsMark marks = MetricsMark::take();
     if (config.reduce_strategy == ReduceStrategy::kLengthToken) {
       for (unsigned i = 0; i < config.node_count; ++i) {
         const Payload reply = net.request(0, i, kGatherEdges, {});
@@ -554,18 +1356,52 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
         nodes[0].ws, merged, fastq, output_fasta, options);
     result.contigs = compressed.stats;
 
-    auto acct = close_phase("compress", wall.seconds(), nodes, config, net);
-    acct.stats.modeled_seconds =
-        acct.nodes[0].total() +
-        static_cast<double>(std::filesystem::file_size(fastq)) * 2 /
-            config.machine.disk_bandwidth_bytes_per_sec;
-    result.stats.add(acct.stats);
-    result.per_node.push_back(std::move(acct.nodes));
+    util::PhaseStats phase;
+    phase.name = "compress";
+    phase.wall_seconds = wall.seconds();
+    std::vector<NodePhaseBreakdown> breakdown(config.node_count);
+    for (auto& node : nodes) {
+      const auto io_now = node.io.snapshot();
+      NodePhaseBreakdown& b = breakdown[node.id];
+      b.disk_seconds =
+          static_cast<double>(io_now.bytes_read - node.io_mark.bytes_read +
+                              io_now.bytes_written -
+                              node.io_mark.bytes_written) /
+          disk_bw;
+      b.device_seconds =
+          (node.device->modeled_seconds() - node.device_mark) *
+          config.machine.time_scale;
+      b.network_seconds = net.modeled_seconds(node.id);
+      phase.disk_bytes_read += io_now.bytes_read - node.io_mark.bytes_read;
+      phase.disk_bytes_written +=
+          io_now.bytes_written - node.io_mark.bytes_written;
+      phase.peak_host_bytes =
+          std::max(phase.peak_host_bytes, node.host.peak());
+      phase.peak_device_bytes =
+          std::max(phase.peak_device_bytes, node.device->memory().peak());
+    }
+    phase.disk_bytes_read +=
+        static_cast<std::uint64_t>(fastq_bytes) * 2;  // placement re-stream
+    phase.device_seconds = breakdown[0].device_seconds;
+    phase.disk_seconds = breakdown[0].disk_seconds +
+                         fastq_bytes * 2 / disk_bw;
+    phase.modeled_seconds = breakdown[0].total() + fastq_bytes * 2 / disk_bw;
+    marks.finish(phase);
+    trace_cluster_phase(cluster_clock, phase, breakdown,
+                        /*streamed=*/false);
+    cluster_clock += phase.modeled_seconds;
+    result.stats.add(std::move(phase));
+    result.per_node.push_back(std::move(breakdown));
+    net.reset_counters();
   }
 
   LOG_INFO << "distributed: " << result.read_count << " reads on "
            << config.node_count << " nodes, " << result.accepted_edges
-           << " edges";
+           << " edges"
+           << (result.phases_resumed > 0
+                   ? " (" + std::to_string(result.phases_resumed) +
+                         " phase(s) resumed)"
+                   : "");
   return result;
 }
 

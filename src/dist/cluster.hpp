@@ -3,10 +3,13 @@
 // messages.
 //
 //   map     — the master hands out input blocks on request; each node
-//             fingerprints its blocks into local per-length partitions.
-//   shuffle — partitions are assigned to owners by length (l mod N); each
-//             owner pulls the matching partition files from every peer in
-//             chunks over AMs and concatenates them locally.
+//             fingerprints its blocks into local per-length partitions and
+//             *pushes* the tuples to their owners (l mod N) in chunked
+//             active messages as each block completes, so the shuffle
+//             overlaps the map instead of running as a barrier phase.
+//   shuffle — owners assemble the pushed per-(key, block) stage files into
+//             per-key partition files in global block order, reproducing
+//             the single-node partition bytes exactly.
 //   sort    — each owner external-sorts its partitions (same hybrid
 //             two-level scheme as the single-node pipeline).
 //   reduce  — partitions are processed in descending length order; the
@@ -17,9 +20,16 @@
 //   compress— node 0 merges the edge sets and generates contigs.
 //
 // Wall-clock on the test host says little about an 8-node cluster, so each
-// phase also gets a modeled time: max over nodes of (disk + device +
-// network) for the parallel phases, and an event-driven token simulation
-// for the reduce phase (the paper's t_o * p/n + t_g * p behaviour).
+// phase also gets a modeled time. Each node runs a four-lane overlap model
+// — device, disk, host, network — and a phase's modeled span is max over
+// nodes of the streamed lane combination (max of lanes when streamed, sum
+// when synchronous), plus an event-driven token simulation for the reduce
+// phase (the paper's t_o * p/n + t_g * p behaviour).
+//
+// Fault tolerance: with `work_dir` + `resume` set, every node keeps a
+// per-node checkpoint manifest; a run killed mid-phase (fault injection:
+// "node:" policies) resumes from each node's completed prefix without
+// redoing finished blocks, merges, sorts or reduce partitions.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +74,16 @@ struct ClusterConfig {
   /// the quantity that bounds reduce-phase scalability to t_o/t_g nodes.
   double graph_insert_seconds = 50e-9;
   bool include_singletons = false;
+  /// Overlap each node's lanes (device/disk/host/network) within phases,
+  /// and the shuffle with the map. Contigs are byte-identical either way;
+  /// only the modeled clocks change.
+  bool streamed = true;
+  /// When non-empty, node-local state lives under `work_dir/node<k>`
+  /// (instead of a temp dir) together with per-node checkpoint manifests.
+  std::filesystem::path work_dir;
+  /// With `work_dir` set: resume from existing per-node manifests instead
+  /// of starting clean.
+  bool resume = false;
 
   static ClusterConfig supermic(unsigned nodes, double scale = 4096.0);
 };
@@ -71,9 +91,10 @@ struct ClusterConfig {
 struct NodePhaseBreakdown {
   double disk_seconds = 0.0;
   double device_seconds = 0.0;
+  double host_seconds = 0.0;
   double network_seconds = 0.0;
   [[nodiscard]] double total() const {
-    return disk_seconds + device_seconds + network_seconds;
+    return disk_seconds + device_seconds + host_seconds + network_seconds;
   }
 };
 
@@ -84,6 +105,11 @@ struct DistributedResult {
   std::uint64_t candidate_edges = 0;
   std::uint64_t accepted_edges = 0;
   std::uint64_t shuffle_bytes = 0;
+  /// Order-independent FNV fold over the merged per-key partition bytes —
+  /// equal hashes mean the shuffle produced identical partition files.
+  std::uint64_t shuffle_hash = 0;
+  /// Phases that completed entirely from checkpointed state on resume.
+  unsigned phases_resumed = 0;
   core::ContigStats contigs;
 };
 

@@ -13,6 +13,18 @@ namespace lasagna::io {
 std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
 
 namespace {
+thread_local int t_current_node = -1;
+}  // namespace
+
+FaultInjector::ScopedNode::ScopedNode(int node) : previous_(t_current_node) {
+  t_current_node = node;
+}
+
+FaultInjector::ScopedNode::~ScopedNode() { t_current_node = previous_; }
+
+int FaultInjector::current_node() { return t_current_node; }
+
+namespace {
 
 struct FaultCounters {
   obs::Counter& injected;
@@ -56,6 +68,10 @@ const char* fault_op_name(FaultOp op) {
       return "write";
     case FaultOp::kAlloc:
       return "alloc";
+    case FaultOp::kAmSend:
+      return "am";
+    case FaultOp::kNodeKill:
+      return "node";
   }
   return "?";
 }
@@ -66,13 +82,15 @@ void FaultInjector::add_policy(const FaultPolicy& policy) {
 }
 
 FaultInjector::Decision FaultInjector::evaluate(FaultOp op,
-                                                const std::string& path) {
+                                                const std::string& path,
+                                                int node_a, int node_b) {
   Decision decision;
   const std::scoped_lock lock(mutex_);
   for (std::size_t i = 0; i < policies_.size(); ++i) {
     PolicyState& state = policies_[i];
     const FaultPolicy& p = state.policy;
     if (p.op != op) continue;
+    if (p.node >= 0 && p.node != node_a && p.node != node_b) continue;
     if (!p.path_match.empty() &&
         path.find(p.path_match) == std::string::npos) {
       continue;
@@ -89,6 +107,10 @@ FaultInjector::Decision FaultInjector::evaluate(FaultOp op,
     }
     if (!fire) continue;
     decision.fired = true;
+    if (p.delay_seconds > 0.0) {
+      decision.delay_seconds =
+          std::max(decision.delay_seconds, p.delay_seconds);
+    }
     if (p.transient > 0) {
       decision.transient = std::max(decision.transient, p.transient);
     } else if (p.short_bytes > 0 && op == FaultOp::kWrite) {
@@ -96,7 +118,7 @@ FaultInjector::Decision FaultInjector::evaluate(FaultOp op,
                                  ? p.short_bytes
                                  : std::min(decision.short_bytes,
                                             p.short_bytes);
-    } else {
+    } else if (p.delay_seconds <= 0.0) {
       decision.fatal = true;
     }
   }
@@ -146,7 +168,8 @@ void FaultInjector::on_read(const std::filesystem::path& path,
                             std::size_t bytes, IoStats* stats) {
   (void)bytes;
   const std::string p = path.string();
-  const Decision decision = evaluate(FaultOp::kRead, p);
+  const Decision decision =
+      evaluate(FaultOp::kRead, p, t_current_node, -1);
   if (!decision.fired) return;
   absorb(FaultOp::kRead, decision, p, stats);
 }
@@ -154,7 +177,8 @@ void FaultInjector::on_read(const std::filesystem::path& path,
 std::size_t FaultInjector::on_write(const std::filesystem::path& path,
                                     std::size_t bytes, IoStats* stats) {
   const std::string p = path.string();
-  const Decision decision = evaluate(FaultOp::kWrite, p);
+  const Decision decision =
+      evaluate(FaultOp::kWrite, p, t_current_node, -1);
   if (!decision.fired) return bytes;
   if (decision.short_bytes > 0 && !decision.fatal &&
       decision.transient == 0) {
@@ -178,9 +202,47 @@ std::size_t FaultInjector::on_write(const std::filesystem::path& path,
 
 void FaultInjector::on_alloc(std::uint64_t bytes) {
   const std::string what = "device alloc of " + std::to_string(bytes) + " B";
-  const Decision decision = evaluate(FaultOp::kAlloc, what);
+  const Decision decision =
+      evaluate(FaultOp::kAlloc, what, t_current_node, -1);
   if (!decision.fired) return;
   absorb(FaultOp::kAlloc, decision, what, nullptr);
+}
+
+FaultInjector::AmFault FaultInjector::on_am(unsigned src, unsigned dst,
+                                            const std::string& label) {
+  AmFault out;
+  const Decision decision = evaluate(FaultOp::kAmSend, label,
+                                     static_cast<int>(src),
+                                     static_cast<int>(dst));
+  if (!decision.fired) return out;
+  if (decision.fatal || decision.transient > max_retries_) {
+    // Mirror absorb()'s fatal bookkeeping: a dead link is fatal for the
+    // sending node.
+    Decision fatal = decision;
+    fatal.fatal = true;
+    absorb(FaultOp::kAmSend, fatal, label, nullptr);
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  fault_counters().injected.add(1);
+  trace_fault(FaultOp::kAmSend,
+              decision.transient > 0 ? "drop" : "delay");
+  // Drops are absorbed by retransmission in the network layer — count the
+  // retransmits as retries but never sleep; the cost is modeled, not real.
+  if (decision.transient > 0) {
+    retried_.fetch_add(decision.transient, std::memory_order_relaxed);
+    fault_counters().retried.add(decision.transient);
+  }
+  out.drops = decision.transient;
+  out.delay_seconds = decision.delay_seconds;
+  return out;
+}
+
+void FaultInjector::on_node_op(unsigned node, const std::string& label) {
+  Decision decision = evaluate(FaultOp::kNodeKill, label,
+                               static_cast<int>(node), -1);
+  if (!decision.fired) return;
+  decision.fatal = true;  // a node kill has no transient form
+  absorb(FaultOp::kNodeKill, decision, label, nullptr);
 }
 
 namespace {
@@ -231,6 +293,10 @@ std::unique_ptr<FaultInjector> FaultInjector::parse(const std::string& spec) {
       policy.op = FaultOp::kWrite;
     } else if (op == "alloc") {
       policy.op = FaultOp::kAlloc;
+    } else if (op == "am") {
+      policy.op = FaultOp::kAmSend;
+    } else if (op == "node") {
+      policy.op = FaultOp::kNodeKill;
     } else {
       throw std::invalid_argument("fault spec: unknown op '" + op + "'");
     }
@@ -258,6 +324,16 @@ std::unique_ptr<FaultInjector> FaultInjector::parse(const std::string& spec) {
             static_cast<std::size_t>(parse_u64(param.substr(6), clause));
       } else if (param.rfind("match=", 0) == 0) {
         policy.path_match = param.substr(6);
+      } else if (param.rfind("node=", 0) == 0) {
+        policy.node =
+            static_cast<int>(parse_u64(param.substr(5), clause));
+      } else if (param.rfind("delay=", 0) == 0) {
+        try {
+          policy.delay_seconds = std::stod(param.substr(6));
+        } catch (const std::exception&) {
+          throw std::invalid_argument("fault spec: bad delay in '" + clause +
+                                      "'");
+        }
       } else {
         throw std::invalid_argument("fault spec: unknown param '" + param +
                                     "'");

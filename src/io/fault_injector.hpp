@@ -30,8 +30,10 @@
 
 namespace lasagna::io {
 
-/// Operation classes the injector can target.
-enum class FaultOp { kRead, kWrite, kAlloc };
+/// Operation classes the injector can target. kAmSend and kNodeKill exist
+/// for the distributed simulator: active-message sends and node-scoped
+/// phase operations (the "kill node k mid-phase" recovery scenarios).
+enum class FaultOp { kRead, kWrite, kAlloc, kAmSend, kNodeKill };
 
 [[nodiscard]] const char* fault_op_name(FaultOp op);
 
@@ -67,6 +69,12 @@ struct FaultPolicy {
   unsigned transient = 0;       ///< consecutive failures before success
   std::size_t short_bytes = 0;  ///< writes: truncate the fired write to this
   std::string path_match;       ///< substring filter on the target path ("" = all)
+  /// Restrict to one simulated cluster node (-1 = any). AM sends match on
+  /// either endpoint; disk/alloc ops match the thread's ScopedNode scope.
+  int node = -1;
+  /// AM sends: extra one-way modeled delay charged to both endpoints when
+  /// the policy fires (a congested or flaky link, not a lost message).
+  double delay_seconds = 0.0;
 };
 
 /// A set of policies plus fault accounting. Thread-safe: policy state is
@@ -91,11 +99,15 @@ class FaultInjector {
   ///
   ///   spec    := clause (';' clause)*
   ///   clause  := 'seed=' N | 'retries=' N | op ':' param (',' param)*
-  ///   op      := 'read' | 'write' | 'alloc'
+  ///   op      := 'read' | 'write' | 'alloc' | 'am' | 'node'
   ///   param   := 'nth=' N | 'rate=' P | 'transient=' K | 'short=' BYTES
-  ///            | 'match=' SUBSTRING
+  ///            | 'match=' SUBSTRING | 'node=' K | 'delay=' SECONDS
   ///
   /// Example: "seed=7;write:nth=3,match=sfx_;read:rate=0.001,transient=2"
+  /// Node-scoped: "node:nth=2,node=1,match=sort" kills simulated node 1 on
+  /// its second sort operation; "am:rate=0.01,transient=1" drops 1% of
+  /// active messages (each retransmitted); "am:rate=0.05,delay=0.002"
+  /// injects 2 ms of modeled link delay.
   static std::unique_ptr<FaultInjector> parse(const std::string& spec);
 
   // -- hooks (called by the instrumented layers) ---------------------------
@@ -116,6 +128,38 @@ class FaultInjector {
 
   /// Consult before a device allocation of `bytes`.
   void on_alloc(std::uint64_t bytes);
+
+  /// Outcome of consulting the injector for one active-message send.
+  struct AmFault {
+    unsigned drops = 0;          ///< lost sends absorbed by retransmission
+    double delay_seconds = 0.0;  ///< extra one-way modeled link delay
+  };
+
+  /// Consult before delivering an active message from `src` to `dst`.
+  /// `label` identifies the message (e.g. "am:1") for match= filters.
+  /// Transient faults become drops (the network layer models the
+  /// retransmissions); fatal faults throw FaultError as the disk hooks do.
+  AmFault on_am(unsigned src, unsigned dst, const std::string& label);
+
+  /// Consult at a node-scoped phase step (`label` like "map:block:3" or
+  /// "reduce:l80"). A fired policy is always fatal — a node kill; the
+  /// simulated restart is the driver resuming from its checkpoints.
+  void on_node_op(unsigned node, const std::string& label);
+
+  /// Thread-local simulated-node scope: while a ScopedNode is alive,
+  /// read/write/alloc faults on this thread match policies with `node=`
+  /// set to that node. -1 = unscoped (matches only node=-1 policies).
+  class ScopedNode {
+   public:
+    explicit ScopedNode(int node);
+    ~ScopedNode();
+    ScopedNode(const ScopedNode&) = delete;
+    ScopedNode& operator=(const ScopedNode&) = delete;
+
+   private:
+    int previous_;
+  };
+  [[nodiscard]] static int current_node();
 
   // -- accounting ----------------------------------------------------------
 
@@ -172,10 +216,14 @@ class FaultInjector {
     bool fired = false;
     unsigned transient = 0;         ///< failures to absorb before success
     std::size_t short_bytes = 0;    ///< nonzero: truncate this write
+    double delay_seconds = 0.0;     ///< AM sends: injected link delay
     bool fatal = false;
   };
 
-  Decision evaluate(FaultOp op, const std::string& path);
+  /// `node_a`/`node_b` are the simulated nodes involved (-1 = none): the
+  /// thread's ScopedNode for disk/alloc ops, both endpoints for AM sends.
+  Decision evaluate(FaultOp op, const std::string& path, int node_a,
+                    int node_b);
   /// Shared transient-absorption loop; throws when the budget is exhausted.
   void absorb(FaultOp op, const Decision& decision, const std::string& what,
               IoStats* stats);

@@ -32,7 +32,7 @@ struct PhaseStats {
   std::uint64_t faults_fatal = 0;
   /// Counters from the global obs::MetricsRegistry that moved during the
   /// phase, as name-sorted (name, delta) pairs.
-  obs::MetricsRegistry::Snapshot metrics;
+  obs::MetricsRegistry::Snapshot metrics = {};
   /// True when the phase was restored from a checkpoint instead of run.
   bool resumed = false;
 };

@@ -1,0 +1,176 @@
+// Cross-node conformance suite: the distributed pipeline must be an exact
+// re-implementation of the single-node assembler, not an approximation.
+// For every point of the (node count x reduce strategy x streamed) matrix
+// the contig FASTA must be byte-identical to a single-node *synchronous*
+// baseline — streaming and distribution may only move the modeled clocks.
+// The suite also pins the headline modeling claim: at 4 nodes the streamed
+// overlap model beats the synchronous one by at least 10%.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "dist/cluster.hpp"
+#include "io/tempdir.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna::dist {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct Dataset {
+  std::filesystem::path fastq;
+  std::string baseline_fa;  ///< single-node synchronous contigs
+  std::uint64_t candidate_edges = 0;
+  std::uint64_t accepted_edges = 0;
+};
+
+/// Both datasets share the temp dir and are built once: the matrix below
+/// re-uses the baselines across ~30 distributed runs.
+class DistConformance : public ::testing::Test {
+ protected:
+  static constexpr unsigned kMinOverlap = 55;
+
+  static void SetUpTestSuite() {
+    dir_ = new io::ScopedTempDir("lasagna-conformance");
+    datasets_ = new std::vector<Dataset>;
+    const struct {
+      std::uint64_t genome_len;
+      unsigned genome_seed;
+      double coverage;
+      unsigned read_len;
+      unsigned sim_seed;
+    } specs[] = {
+        {4000, 71, 12.0, 85, 72},
+        {6000, 73, 10.0, 95, 74},
+    };
+    unsigned index = 0;
+    for (const auto& s : specs) {
+      Dataset d;
+      d.fastq = dir_->file("reads" + std::to_string(index) + ".fq");
+      const std::string genome =
+          seq::random_genome(s.genome_len, s.genome_seed);
+      seq::SequencingSpec spec;
+      spec.read_length = s.read_len;
+      spec.coverage = s.coverage;
+      spec.seed = s.sim_seed;
+      seq::simulate_to_fastq(genome, spec, d.fastq);
+
+      // Single-node, fully synchronous reference (no streamed overlap
+      // anywhere): the strictest baseline the matrix can be held to.
+      core::AssemblyConfig single;
+      single.min_overlap = kMinOverlap;
+      single.machine.host_memory_bytes = 1 << 19;
+      single.machine.device_memory_bytes = 1 << 16;
+      single.streamed_map = false;
+      single.streamed_sort = false;
+      single.streamed_reduce = false;
+      core::Assembler assembler(single);
+      const std::filesystem::path out =
+          dir_->file("baseline" + std::to_string(index) + ".fa");
+      const auto result = assembler.run(d.fastq, out);
+      d.baseline_fa = slurp(out);
+      d.candidate_edges = result.candidate_edges;
+      d.accepted_edges = result.accepted_edges;
+      datasets_->push_back(std::move(d));
+      ++index;
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete datasets_;
+    datasets_ = nullptr;
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static ClusterConfig cluster(unsigned nodes, ReduceStrategy strategy,
+                               bool streamed) {
+    ClusterConfig config = ClusterConfig::supermic(nodes, 4096.0);
+    config.min_overlap = kMinOverlap;
+    config.machine.host_memory_bytes = 1 << 19;
+    config.machine.device_memory_bytes = 1 << 16;
+    config.reduce_strategy = strategy;
+    config.streamed = streamed;
+    return config;
+  }
+
+  static void check_matrix_point(unsigned nodes, ReduceStrategy strategy,
+                                 bool streamed) {
+    for (std::size_t i = 0; i < datasets_->size(); ++i) {
+      const Dataset& d = (*datasets_)[i];
+      const std::string tag =
+          "d" + std::to_string(i) + "_n" + std::to_string(nodes) + "_" +
+          (strategy == ReduceStrategy::kLengthToken ? "token" : "bsp") +
+          (streamed ? "_streamed" : "_sync");
+      const std::filesystem::path out = dir_->file(tag + ".fa");
+      const DistributedResult result =
+          run_distributed(d.fastq, out, cluster(nodes, strategy, streamed));
+      EXPECT_EQ(result.candidate_edges, d.candidate_edges) << tag;
+      EXPECT_EQ(result.accepted_edges, d.accepted_edges) << tag;
+      EXPECT_EQ(slurp(out), d.baseline_fa) << tag;
+    }
+  }
+
+  static io::ScopedTempDir* dir_;
+  static std::vector<Dataset>* datasets_;
+};
+
+io::ScopedTempDir* DistConformance::dir_ = nullptr;
+std::vector<Dataset>* DistConformance::datasets_ = nullptr;
+
+TEST_F(DistConformance, TokenStreamed) {
+  for (const unsigned nodes : {1u, 2u, 4u, 8u}) {
+    check_matrix_point(nodes, ReduceStrategy::kLengthToken, true);
+  }
+}
+
+TEST_F(DistConformance, TokenSynchronous) {
+  for (const unsigned nodes : {1u, 2u, 4u, 8u}) {
+    check_matrix_point(nodes, ReduceStrategy::kLengthToken, false);
+  }
+}
+
+TEST_F(DistConformance, BspStreamed) {
+  for (const unsigned nodes : {1u, 2u, 4u, 8u}) {
+    check_matrix_point(nodes, ReduceStrategy::kFingerprintBsp, true);
+  }
+}
+
+TEST_F(DistConformance, BspSynchronous) {
+  for (const unsigned nodes : {2u, 8u}) {  // sampled: strategy x streamed
+    check_matrix_point(nodes, ReduceStrategy::kFingerprintBsp, false);
+  }
+}
+
+TEST_F(DistConformance, StreamedBeatsSynchronousByTenPercentAtFourNodes) {
+  // The overlap-model regression guard (mirrors the bench's exit-code
+  // check): streamed lanes must hide at least 10% of the synchronous
+  // cluster time at 4 nodes.
+  const Dataset& d = datasets_->front();
+  const auto sync = run_distributed(
+      d.fastq, dir_->file("guard_sync.fa"),
+      cluster(4, ReduceStrategy::kLengthToken, false));
+  const auto streamed = run_distributed(
+      d.fastq, dir_->file("guard_streamed.fa"),
+      cluster(4, ReduceStrategy::kLengthToken, true));
+  const double sync_total = sync.stats.total_modeled_seconds();
+  const double streamed_total = streamed.stats.total_modeled_seconds();
+  EXPECT_LE(streamed_total, 0.90 * sync_total)
+      << "streamed=" << streamed_total << "s sync=" << sync_total << "s";
+  // Same bytes moved either way; only the clocks differ.
+  EXPECT_EQ(streamed.shuffle_hash, sync.shuffle_hash);
+  EXPECT_EQ(streamed.shuffle_bytes, sync.shuffle_bytes);
+}
+
+}  // namespace
+}  // namespace lasagna::dist

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "core/pipeline.hpp"
 #include "dist/active_message.hpp"
 #include "dist/cluster.hpp"
@@ -67,6 +70,14 @@ TEST(ActiveMessage, PayloadUnderflowThrows) {
   EXPECT_THROW(get<std::uint32_t>(p, off), std::out_of_range);
 }
 
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
 struct Dataset {
   io::ScopedTempDir dir{"lasagna-dist"};
   std::string genome;
@@ -103,31 +114,24 @@ TEST(Cluster, MatchesSingleNodeAssembly) {
   core::Assembler assembler(single);
   const auto reference =
       assembler.run(d.dir.file("reads.fq"), d.dir.file("single.fa"));
+  const std::string reference_fa = slurp(d.dir.file("single.fa"));
 
   for (const unsigned nodes : {1u, 3u}) {
-    const DistributedResult dist = run_distributed(
-        d.dir.file("reads.fq"),
-        d.dir.file("dist" + std::to_string(nodes) + ".fa"),
-        small_cluster(nodes));
+    const std::filesystem::path out =
+        d.dir.file("dist" + std::to_string(nodes) + ".fa");
+    const DistributedResult dist =
+        run_distributed(d.dir.file("reads.fq"), out, small_cluster(nodes));
     EXPECT_EQ(dist.read_count, reference.read_count);
     EXPECT_EQ(dist.candidate_edges, reference.candidate_edges)
         << nodes << " nodes";
-    if (nodes == 1) {
-      // With one node the record order matches the single-node pipeline
-      // exactly, so the greedy graph and contigs are identical.
-      EXPECT_EQ(dist.accepted_edges, reference.accepted_edges);
-      EXPECT_EQ(dist.contigs.total_bases, reference.contigs.total_bases);
-      EXPECT_EQ(dist.contigs.n50, reference.contigs.n50);
-    } else {
-      // Across nodes only the tie-breaking order among equal fingerprints
-      // can differ, so the graph agrees up to conflicting duplicates.
-      EXPECT_NEAR(static_cast<double>(dist.accepted_edges),
-                  static_cast<double>(reference.accepted_edges),
-                  0.02 * reference.accepted_edges + 2);
-      EXPECT_NEAR(static_cast<double>(dist.contigs.total_bases),
-                  static_cast<double>(reference.contigs.total_bases),
-                  0.05 * reference.contigs.total_bases + 10);
-    }
+    // Stage files merge in global block order and the stable sorts keep
+    // equal-fingerprint runs in that order, so the greedy graph — and the
+    // contig file bytes — are identical at any node count.
+    EXPECT_EQ(dist.accepted_edges, reference.accepted_edges)
+        << nodes << " nodes";
+    EXPECT_EQ(dist.contigs.total_bases, reference.contigs.total_bases);
+    EXPECT_EQ(dist.contigs.n50, reference.contigs.n50);
+    EXPECT_EQ(slurp(out), reference_fa) << nodes << " nodes";
   }
 }
 

@@ -65,9 +65,8 @@ TEST_P(ReduceJoin, MatchesBruteForceJoin) {
   // multiplicity).
   std::uint64_t seen = 0;
   ReduceOptions options;
-  options.candidate_sink = [&seen](graph::VertexId, graph::VertexId) {
-    ++seen;
-  };
+  options.candidate_sink = [&seen](graph::VertexId, graph::VertexId,
+                                   const gpu::Key128&) { ++seen; };
   graph::StringGraph scratch(0);
   const auto stats = reduce_partition(tw.ws(), part, scratch, options);
   EXPECT_EQ(stats.candidates, expected);
