@@ -46,6 +46,12 @@ struct MachineConfig {
   /// Fraction of host memory usable as a single sort block m_h (the rest
   /// is double-buffering and pipeline overhead).
   double host_sort_fraction = 0.5;
+  /// Per-node NIC cap for the distributed network lane (bytes/second each
+  /// direction; the node cannot send or receive faster than this no matter
+  /// what the link offers). 0 = uncapped, the pre-topology behaviour.
+  /// Scaled like disk bandwidth so modeled seconds stay in full-size-world
+  /// units.
+  double nic_bandwidth_bytes_per_sec = 0.0;
 
   /// QueenBee II node: 128 GB host + K40 12 GB (Tables II/IV), divided by
   /// `scale`.
@@ -68,6 +74,7 @@ inline MachineConfig MachineConfig::queenbee_k40(double scale) {
   m.gpu_profile = gpu::GpuProfile::k40();
   m.disk_bandwidth_bytes_per_sec = 500e6 / scale;
   m.host_bandwidth_bytes_per_sec = 1e9 / scale;
+  m.nic_bandwidth_bytes_per_sec = 7e9 / scale;  // 56 Gb/s InfiniBand
   m.time_scale = scale;
   return m;
 }
@@ -82,6 +89,7 @@ inline MachineConfig MachineConfig::supermic_k20(double scale) {
   m.gpu_profile = gpu::GpuProfile::k20x();
   m.disk_bandwidth_bytes_per_sec = 500e6 / scale;
   m.host_bandwidth_bytes_per_sec = 1e9 / scale;
+  m.nic_bandwidth_bytes_per_sec = 7e9 / scale;  // 56 Gb/s InfiniBand
   m.time_scale = scale;
   return m;
 }

@@ -497,6 +497,44 @@ std::string scratch_base(const std::filesystem::path& output) {
   return (output.parent_path() / output.stem()).string();
 }
 
+/// Level 2: pairwise Algorithm-1 merges until one run remains, renamed to
+/// `output`. Consumes the run files. Returns the number of merge
+/// generations (one extra disk pass each). Shared by external_sort_file
+/// and the public merge_sorted_runs so the fused shuffle's merge tree is
+/// bit-identical to the staged path's.
+unsigned merge_run_generations(Workspace& ws,
+                               std::vector<std::filesystem::path> runs,
+                               const std::filesystem::path& output,
+                               const BlockGeometry& geometry,
+                               DeviceStreams& streams) {
+  unsigned generation = 0;
+  while (runs.size() > 1) {
+    std::vector<std::filesystem::path> next;
+    for (std::size_t i = 0; i < runs.size(); i += 2) {
+      if (i + 1 == runs.size()) {
+        next.push_back(runs[i]);
+        continue;
+      }
+      const std::filesystem::path merged =
+          scratch_base(output) + ".gen" + std::to_string(generation) + "." +
+          std::to_string(i / 2);
+      obs::WallSpan merge_span;
+      if (obs::Tracer* tracer = obs::Tracer::active()) {
+        merge_span = obs::WallSpan(*tracer, tracer->track("core.sort"),
+                                   "merge:" + merged.filename().string());
+      }
+      merge_files(ws, runs[i], runs[i + 1], merged, geometry, streams);
+      std::filesystem::remove(runs[i]);
+      std::filesystem::remove(runs[i + 1]);
+      next.push_back(merged);
+    }
+    runs = std::move(next);
+    ++generation;
+  }
+  std::filesystem::rename(runs.front(), output);
+  return generation;
+}
+
 }  // namespace
 
 SortFileStats external_sort_file(Workspace& ws,
@@ -630,39 +668,142 @@ SortFileStats external_sort_file(Workspace& ws,
   }
 
   // Level 2: pairwise Algorithm-1 merges until one run remains.
-  unsigned generation = 0;
-  while (runs.size() > 1) {
-    ++stats.disk_passes;
-    std::vector<std::filesystem::path> next;
-    for (std::size_t i = 0; i < runs.size(); i += 2) {
-      if (i + 1 == runs.size()) {
-        next.push_back(runs[i]);
-        continue;
-      }
-      const std::filesystem::path merged =
-          scratch_base(output) + ".gen" + std::to_string(generation) + "." +
-          std::to_string(i / 2);
-      obs::WallSpan merge_span;
-      if (obs::Tracer* tracer = obs::Tracer::active()) {
-        merge_span = obs::WallSpan(*tracer, tracer->track("core.sort"),
-                                   "merge:" + merged.filename().string());
-      }
-      merge_files(ws, runs[i], runs[i + 1], merged, geometry, streams);
-      std::filesystem::remove(runs[i]);
-      std::filesystem::remove(runs[i + 1]);
-      next.push_back(merged);
-    }
-    runs = std::move(next);
-    ++generation;
-  }
-
-  std::filesystem::rename(runs.front(), output);
+  stats.disk_passes +=
+      merge_run_generations(ws, std::move(runs), output, geometry, streams);
   if (cm != nullptr) {
     cm->record(sort_file_key(output),
                {{"records", stats.records},
                 {"host_blocks", stats.host_blocks},
                 {"passes", stats.disk_passes}});
   }
+  return stats;
+}
+
+struct SortRunBuilder::Impl {
+  Workspace ws;  // by value: a snapshot of the pointers, safe across threads
+  std::filesystem::path output;
+  BlockGeometry geometry;
+  std::mutex* device_mutex = nullptr;
+  DeviceStreams streams;
+  RunWriter writer;
+  util::TrackedAllocation mem;
+  std::vector<FpRecord> block;
+  std::vector<std::filesystem::path> runs;
+  std::uint64_t records = 0;
+  bool finished = false;
+
+  Impl(Workspace& workspace, std::filesystem::path out,
+       const BlockGeometry& geo, std::mutex* dev_mutex)
+      : ws(workspace),
+        output(std::move(out)),
+        geometry(geo),
+        device_mutex(dev_mutex),
+        streams(*ws.device, geometry.streamed),
+        writer(*ws.io),
+        // Steady state: one block filling + one sorted block in flight at
+        // the background writer (same budget shape as the streamed
+        // external sort's pipeline).
+        mem(*ws.host, 2 * geometry.host_block_records * sizeof(FpRecord)) {
+    std::filesystem::create_directories(output.parent_path());
+    block.reserve(geometry.host_block_records);
+  }
+
+  void flush_block() {
+    if (block.empty()) return;
+    {
+      std::unique_lock<std::mutex> lock;
+      if (device_mutex != nullptr) {
+        lock = std::unique_lock<std::mutex>(*device_mutex);
+      }
+      sort_host_block_impl(ws, block, geometry.device_block_records,
+                           streams);
+    }
+    std::filesystem::path run_path =
+        scratch_base(output) + ".run" + std::to_string(runs.size());
+    std::function<void()> on_done;
+    if (ws.checkpoint != nullptr) {
+      on_done = [cm = ws.checkpoint,
+                 key = sort_run_key(output, runs.size()),
+                 n = static_cast<std::uint64_t>(block.size())] {
+        cm->record(key, {{"records", n}});
+      };
+    }
+    runs.push_back(run_path);
+    writer.submit(std::move(run_path), std::move(block), std::move(on_done));
+    block = {};
+    block.reserve(geometry.host_block_records);
+  }
+};
+
+SortRunBuilder::SortRunBuilder(Workspace& ws, std::filesystem::path output,
+                               const BlockGeometry& geometry,
+                               std::mutex* device_mutex)
+    : impl_(std::make_unique<Impl>(ws, std::move(output), geometry,
+                                   device_mutex)) {}
+
+SortRunBuilder::~SortRunBuilder() {
+  if (impl_ != nullptr && !impl_->finished) {
+    try {
+      finish();
+    } catch (...) {
+    }
+  }
+}
+
+void SortRunBuilder::append(std::span<const FpRecord> records) {
+  impl_->records += records.size();
+  while (!records.empty()) {
+    const std::size_t room = static_cast<std::size_t>(
+        impl_->geometry.host_block_records - impl_->block.size());
+    const std::size_t take = std::min(room, records.size());
+    impl_->block.insert(impl_->block.end(), records.begin(),
+                        records.begin() + static_cast<std::ptrdiff_t>(take));
+    records = records.subspan(take);
+    if (impl_->block.size() >= impl_->geometry.host_block_records) {
+      impl_->flush_block();
+    }
+  }
+}
+
+void SortRunBuilder::finish() {
+  if (impl_->finished) return;
+  impl_->flush_block();
+  impl_->writer.finish();
+  impl_->finished = true;
+}
+
+std::uint64_t SortRunBuilder::records() const { return impl_->records; }
+
+const std::vector<std::filesystem::path>& SortRunBuilder::runs() const {
+  return impl_->runs;
+}
+
+SortFileStats merge_sorted_runs(Workspace& ws,
+                                std::vector<std::filesystem::path> runs,
+                                const std::filesystem::path& output,
+                                const BlockGeometry& geometry) {
+  SortFileStats stats;
+  stats.host_blocks = static_cast<unsigned>(runs.size());
+  stats.disk_passes = 1;  // the run-production pass the builder already paid
+  std::filesystem::create_directories(output.parent_path());
+
+  obs::WallSpan file_span;
+  if (obs::Tracer* tracer = obs::Tracer::active()) {
+    file_span = obs::WallSpan(*tracer, tracer->track("core.sort"),
+                              "sort:" + output.filename().string());
+  }
+
+  if (runs.empty()) {
+    io::RecordWriter<FpRecord> empty(output, *ws.io);
+    empty.close();
+    return stats;
+  }
+  for (const auto& run : runs) {
+    stats.records += std::filesystem::file_size(run) / sizeof(FpRecord);
+  }
+  DeviceStreams streams(*ws.device, geometry.streamed);
+  stats.disk_passes +=
+      merge_run_generations(ws, std::move(runs), output, geometry, streams);
   return stats;
 }
 

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -66,6 +68,58 @@ SortFileStats external_sort_file(Workspace& ws,
                                  const std::filesystem::path& input,
                                  const std::filesystem::path& output,
                                  const BlockGeometry& geometry);
+
+/// Streaming entry point into level 1 of the hybrid sort: append records in
+/// their on-disk order and the builder forms exactly the runs
+/// external_sort_file would — cut at `host_block_records` boundaries,
+/// device-sorted with the double-buffered stream pair, and drained to
+/// `<output stem>.run<N>` by a background writer while the next block
+/// fills. The distributed fused shuffle feeds this straight from arriving
+/// network chunks, skipping the staged partition file entirely.
+///
+/// `device_mutex` (optional) is held around each block's device sort so a
+/// builder can share a capacity-limited device with concurrently running
+/// kernels (the owner's map phase) without overcommitting device memory.
+class SortRunBuilder {
+ public:
+  SortRunBuilder(Workspace& ws, std::filesystem::path output,
+                 const BlockGeometry& geometry,
+                 std::mutex* device_mutex = nullptr);
+  ~SortRunBuilder();
+
+  SortRunBuilder(const SortRunBuilder&) = delete;
+  SortRunBuilder& operator=(const SortRunBuilder&) = delete;
+
+  /// Append records in logical order; sorts and drains a run every time the
+  /// buffered block reaches `host_block_records`.
+  void append(std::span<const FpRecord> records);
+
+  /// Flush the partial tail block and wait for every run write to land.
+  /// Idempotent; called implicitly by the destructor (which swallows
+  /// errors — call finish() to observe failures).
+  void finish();
+
+  /// Records appended so far.
+  [[nodiscard]] std::uint64_t records() const;
+
+  /// Run files produced (valid after finish()).
+  [[nodiscard]] const std::vector<std::filesystem::path>& runs() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Level 2 of the hybrid sort as a standalone entry point: pairwise
+/// Algorithm-1 merges of already-sorted `runs` until one remains, renamed
+/// to `output` (an empty run list writes an empty output). Consumes the run
+/// files. The merge tree, scratch names and output bytes are identical to
+/// external_sort_file's over the same runs. Returns the full stats with
+/// `records` counted from the merged output.
+SortFileStats merge_sorted_runs(Workspace& ws,
+                                std::vector<std::filesystem::path> runs,
+                                const std::filesystem::path& output,
+                                const BlockGeometry& geometry);
 
 /// One sorted partition ready for the reduce phase.
 struct SortedPartition {

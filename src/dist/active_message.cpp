@@ -1,5 +1,6 @@
 #include "dist/active_message.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -30,15 +31,20 @@ AmCounters& am_counters() {
 
 }  // namespace
 
-Network::Network(unsigned node_count, double bandwidth_bytes_per_sec,
-                 double latency_seconds)
-    : bandwidth_(bandwidth_bytes_per_sec), latency_(latency_seconds) {
+Network::Network(unsigned node_count, const ClusterTopology& topology)
+    : topology_(topology) {
   if (node_count == 0) throw std::invalid_argument("Network: zero nodes");
   nodes_.reserve(node_count);
   for (unsigned i = 0; i < node_count; ++i) {
     nodes_.push_back(std::make_unique<NodeState>());
   }
 }
+
+Network::Network(unsigned node_count, double bandwidth_bytes_per_sec,
+                 double latency_seconds)
+    : Network(node_count,
+              ClusterTopology::flat(bandwidth_bytes_per_sec,
+                                    latency_seconds)) {}
 
 void Network::register_handler(unsigned node, std::uint16_t type,
                                Handler handler) {
@@ -80,38 +86,54 @@ Payload Network::request(unsigned src, unsigned dst, std::uint16_t type,
     am_counters().bytes.add(payload.size() + reply.size());
     source.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
     target.bytes_sent.fetch_add(reply.size(), std::memory_order_relaxed);
-    charge(source, payload.size() + reply.size());
-    charge(target, payload.size() + reply.size());
+    charge_leg(src, dst, payload.size());  // request leg
+    charge_leg(dst, src, reply.size());    // reply leg
     // Each injected drop retransmits the request: one more request-sized
-    // transfer charged to both endpoints. Injected link delay stalls both.
+    // leg charged to the same engines. Injected link delay stalls both
+    // directions at both endpoints.
     for (unsigned i = 0; i < fault.drops; ++i) {
       am_counters().drops.add(1);
-      charge(source, payload.size());
-      charge(target, payload.size());
+      charge_leg(src, dst, payload.size());
     }
     if (fault.delay_seconds > 0.0) {
       am_counters().delays.add(1);
-      charge_seconds(source, fault.delay_seconds);
-      charge_seconds(target, fault.delay_seconds);
+      charge_ps(source.send_picoseconds, fault.delay_seconds);
+      charge_ps(source.recv_picoseconds, fault.delay_seconds);
+      charge_ps(target.send_picoseconds, fault.delay_seconds);
+      charge_ps(target.recv_picoseconds, fault.delay_seconds);
     }
   }
   return reply;
 }
 
-void Network::charge(NodeState& node, std::uint64_t bytes) const {
-  charge_seconds(node,
-                 2 * latency_ + static_cast<double>(bytes) / bandwidth_);
+void Network::charge_leg(unsigned src, unsigned dst, std::uint64_t bytes) {
+  const double bw = topology_.effective_bandwidth(src, dst);
+  double seconds = topology_.effective_latency(src, dst);
+  if (std::isfinite(bw) && bw > 0.0) {
+    seconds += static_cast<double>(bytes) / bw;
+  }
+  charge_ps(nodes_.at(src)->send_picoseconds, seconds);
+  charge_ps(nodes_.at(dst)->recv_picoseconds, seconds);
 }
 
-void Network::charge_seconds(NodeState& node, double seconds) {
-  node.comm_picoseconds.fetch_add(
-      static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
-      std::memory_order_relaxed);
+void Network::charge_ps(std::atomic<std::uint64_t>& clock, double seconds) {
+  clock.fetch_add(static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
+                  std::memory_order_relaxed);
 }
 
 double Network::modeled_seconds(unsigned node) const {
+  return std::max(send_seconds(node), recv_seconds(node));
+}
+
+double Network::send_seconds(unsigned node) const {
   return static_cast<double>(
-             nodes_.at(node)->comm_picoseconds.load()) *
+             nodes_.at(node)->send_picoseconds.load()) *
+         1e-12;
+}
+
+double Network::recv_seconds(unsigned node) const {
+  return static_cast<double>(
+             nodes_.at(node)->recv_picoseconds.load()) *
          1e-12;
 }
 
@@ -122,7 +144,8 @@ std::uint64_t Network::bytes_sent(unsigned node) const {
 void Network::reset_counters() {
   for (auto& node : nodes_) {
     node->bytes_sent.store(0);
-    node->comm_picoseconds.store(0);
+    node->send_picoseconds.store(0);
+    node->recv_picoseconds.store(0);
   }
 }
 

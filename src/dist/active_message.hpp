@@ -5,7 +5,12 @@
 // A message carries a type tag and a byte payload; delivering it runs the
 // handler registered by the destination node and returns the handler's
 // reply to the sender (request/reply AM semantics). Every transfer charges
-// a per-node modeled network clock: latency + bytes / bandwidth, both ways.
+// per-node modeled network clocks through a ClusterTopology link model:
+// the request leg bills the sender's send engine and the receiver's
+// receive engine (latency + bytes / effective link bandwidth), the reply
+// leg bills the reverse pair, and a node's modeled network time is the max
+// of its two full-duplex engines. Many senders targeting one receiver
+// stack up on that receiver's receive clock — incast contention.
 //
 // Fault injection: when an io::FaultInjector is installed, every remote
 // send consults it first. Injected drops are absorbed as modeled
@@ -26,15 +31,24 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dist/topology.hpp"
+
 namespace lasagna::dist {
 
 using Payload = std::vector<std::byte>;
 
 class Network {
  public:
-  /// `bandwidth` in bytes/second per link, `latency` in seconds one-way.
+  /// Topology-aware constructor: per-link bandwidth, NIC caps and rack
+  /// structure come from `topology`.
+  Network(unsigned node_count, const ClusterTopology& topology);
+
+  /// Legacy flat constructor: `bandwidth` in bytes/second per link,
+  /// `latency` in seconds one-way. Equivalent to ClusterTopology::flat.
   Network(unsigned node_count, double bandwidth_bytes_per_sec,
           double latency_seconds);
+
+  [[nodiscard]] const ClusterTopology& topology() const { return topology_; }
 
   using Handler =
       std::function<Payload(unsigned src_node, std::span<const std::byte>)>;
@@ -54,8 +68,14 @@ class Network {
   Payload request(unsigned src, unsigned dst, std::uint16_t type,
                   std::span<const std::byte> payload);
 
-  /// Modeled communication seconds accumulated at `node` (send + receive).
+  /// Modeled network-lane seconds at `node`: max of its send and receive
+  /// engine clocks (full-duplex NIC — the engines run concurrently).
   [[nodiscard]] double modeled_seconds(unsigned node) const;
+
+  /// Seconds accumulated on one engine at `node` (diagnostics; the send
+  /// engine shows push pressure, the receive engine shows incast).
+  [[nodiscard]] double send_seconds(unsigned node) const;
+  [[nodiscard]] double recv_seconds(unsigned node) const;
 
   /// Payload bytes sent from `node` (requests) plus replies it produced.
   [[nodiscard]] std::uint64_t bytes_sent(unsigned node) const;
@@ -87,14 +107,16 @@ class Network {
     std::vector<Handler> handlers;
     std::vector<Delivery> log;  ///< guarded by mutex
     std::atomic<std::uint64_t> bytes_sent{0};
-    std::atomic<std::uint64_t> comm_picoseconds{0};
+    std::atomic<std::uint64_t> send_picoseconds{0};
+    std::atomic<std::uint64_t> recv_picoseconds{0};
   };
 
-  void charge(NodeState& node, std::uint64_t bytes) const;
-  static void charge_seconds(NodeState& node, double seconds);
+  /// Charge one directed transfer leg: `src`'s send engine and `dst`'s
+  /// receive engine each pay latency + bytes / effective bandwidth.
+  void charge_leg(unsigned src, unsigned dst, std::uint64_t bytes);
+  static void charge_ps(std::atomic<std::uint64_t>& clock, double seconds);
 
-  double bandwidth_;
-  double latency_;
+  ClusterTopology topology_;
   std::atomic<bool> recording_{false};
   std::vector<std::unique_ptr<NodeState>> nodes_;
 };

@@ -16,6 +16,10 @@
 #include "core/reduce_phase.hpp"
 #include "core/sort_phase.hpp"
 #include "dist/active_message.hpp"
+#include "dist/codec.hpp"
+#include "dist/fnv.hpp"
+#include "dist/shuffle_ingest.hpp"
+#include "dist/topology.hpp"
 #include "graph/string_graph.hpp"
 #include "io/fault_injector.hpp"
 #include "io/file_stream.hpp"
@@ -35,27 +39,58 @@ constexpr std::uint16_t kGetBlock = 0;    ///< master: next input block
 constexpr std::uint16_t kPushChunk = 1;   ///< owner: shuffle tuples, pushed
 constexpr std::uint16_t kGatherEdges = 2; ///< node: its edge set
 constexpr std::uint16_t kGatherKeys = 3;  ///< node: partition keys it owns
+constexpr std::uint16_t kBlockDone = 4;   ///< all: input block fully pushed
 
 constexpr std::uint64_t kShuffleChunkBytes = 256 << 10;
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kFnvOffset = fnv::kOffset;
 
 std::uint64_t fnv_bytes(std::uint64_t h, const std::byte* data,
                         std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= std::to_integer<std::uint64_t>(data[i]);
-    h *= kFnvPrime;
-  }
-  return h;
+  return fnv::fold_bytes(h, data, n);
 }
 
 std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xffu;
-    h *= kFnvPrime;
+  return fnv::fold_u64(h, v);
+}
+
+/// Combine the two per-role content chains of one key into the value
+/// stored in NodeContext::merged_hash. Per-role chains (each seeded
+/// fnv::kOffset) are what the fused ingest can compute online — suffix and
+/// prefix bytes interleave on the wire — so the staged path folds the same
+/// way and the two stay comparable.
+std::uint64_t combine_role_hashes(std::uint64_t h_sfx, std::uint64_t h_pfx) {
+  return fnv_u64(fnv_u64(kFnvOffset, h_sfx), h_pfx);
+}
+
+/// The link model actually used: explicit topology fields win, zero fields
+/// inherit the legacy flat scalars and the machine's NIC cap.
+ClusterTopology effective_topology(const ClusterConfig& config) {
+  ClusterTopology t = config.topology;
+  if (t.link_bandwidth_bytes_per_sec <= 0.0) {
+    t.link_bandwidth_bytes_per_sec = config.network_bandwidth_bytes_per_sec;
   }
-  return h;
+  if (t.latency_seconds <= 0.0) {
+    t.latency_seconds = config.network_latency_seconds;
+  }
+  if (t.nic_bandwidth_bytes_per_sec <= 0.0) {
+    t.nic_bandwidth_bytes_per_sec =
+        config.machine.nic_bandwidth_bytes_per_sec;
+  }
+  return t;
+}
+
+/// Modeled seconds for one `bytes`-sized transfer between two nodes
+/// (request + acknowledgement latency, payload over the path's effective
+/// bandwidth).
+double transfer_seconds(const ClusterTopology& topo, unsigned from,
+                        unsigned to, std::uint64_t bytes) {
+  double s = 2 * topo.effective_latency(from, to);
+  const double bw = topo.effective_bandwidth(from, to);
+  if (std::isfinite(bw) && bw > 0.0) {
+    s += static_cast<double>(bytes) / bw;
+  }
+  return s;
 }
 
 /// Parameters that shape per-node intermediate files and work division;
@@ -111,18 +146,31 @@ struct NodeContext {
   core::Workspace ws;
   std::unique_ptr<core::CheckpointManager> checkpoint;
 
+  /// Serializes fused-ingest block sorts against this node's own map
+  /// kernels on the shared capacity-limited device.
+  std::mutex device_mutex;
+  std::unique_ptr<ShuffleIngest> ingest;  ///< live during a fused map
+  std::map<unsigned, ShuffleIngest::KeyResult> fused;
+
   // Shuffle output: merged raw partitions this node owns, plus their
   // content hashes (for DistributedResult::shuffle_hash).
   std::map<unsigned, std::filesystem::path> owned_sfx;
   std::map<unsigned, std::filesystem::path> owned_pfx;
   std::map<unsigned, std::uint64_t> merged_hash;
+  std::uint64_t shuffle_logical = 0;  ///< logical tuple bytes owned
   // Sort output.
   std::vector<core::SortedPartition> sorted;
   // Reduce output: this node's disjoint edge set (token strategy).
   std::unique_ptr<graph::StringGraph> graph;
 
   std::uint64_t host_bytes = 0;  ///< host-lane bytes this phase
+  /// Codec host bytes this phase (encode at mappers, decode at owners);
+  /// atomic because AM handlers charge the destination from the caller's
+  /// thread.
+  std::atomic<std::uint64_t> codec_bytes{0};
   bool did_work = false;         ///< ran anything not covered by checkpoints
+
+  std::uint64_t dir_high_water = 0;  ///< peak bytes under `dir`
 
   // Snapshots for per-phase deltas.
   io::IoStats::Snapshot io_mark;
@@ -134,7 +182,25 @@ struct NodeContext {
     shuffle_mark = shuffle_io.snapshot();
     device_mark = device->modeled_seconds();
     host_bytes = 0;
+    codec_bytes.store(0, std::memory_order_relaxed);
     did_work = false;
+  }
+
+  /// Sample the on-disk footprint of this node's directory into the
+  /// high-water mark (workspace peak accounting; called at phase
+  /// boundaries and at per-key shuffle/sort steps).
+  void sample_dir() {
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (std::filesystem::recursive_directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->is_regular_file(ec)) {
+        const std::uintmax_t n = it->file_size(ec);
+        if (!ec) total += n;
+      }
+      ec.clear();
+    }
+    dir_high_water = std::max(dir_high_water, total);
   }
 };
 
@@ -333,6 +399,11 @@ ClusterConfig ClusterConfig::supermic(unsigned nodes, double scale) {
   config.machine = core::MachineConfig::supermic_k20(scale);
   config.network_bandwidth_bytes_per_sec = 7e9 / scale;  // 56 Gb/s
   config.graph_insert_seconds = 50e-9 * scale;
+  // SuperMIC's fat tree: 16 nodes per leaf switch at full 56 Gb/s, 2:1
+  // oversubscribed uplinks between racks, an extra switch hop of latency.
+  config.topology.rack_size = 16;
+  config.topology.inter_rack_bandwidth_bytes_per_sec = 3.5e9 / scale;
+  config.topology.inter_rack_latency_seconds = 1e-5;
   return config;
 }
 
@@ -353,13 +424,16 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     std::filesystem::create_directories(root);
   }
 
-  Network net(config.node_count, config.network_bandwidth_bytes_per_sec,
-              config.network_latency_seconds);
+  const ClusterTopology topo = effective_topology(config);
+  Network net(config.node_count, topo);
 
   auto& registry = obs::MetricsRegistry::global();
   obs::Counter& c_blocks = registry.counter("dist.map.blocks");
   obs::Counter& c_chunks = registry.counter("dist.shuffle.chunks");
   obs::Counter& c_stage_bytes = registry.counter("dist.shuffle.stage_bytes");
+  obs::Counter& c_wire_bytes = registry.counter("dist.shuffle.wire_bytes");
+  obs::Counter& c_logical_bytes =
+      registry.counter("dist.shuffle.logical_bytes");
   obs::Counter& c_keys_merged = registry.counter("dist.shuffle.keys_merged");
   obs::Counter& c_token_hops = registry.counter("dist.token.hops");
   obs::Counter& c_partitions = registry.counter("dist.reduce.partitions");
@@ -369,6 +443,15 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
   const bool streamed = config.streamed;
   const bool bsp =
       config.reduce_strategy == ReduceStrategy::kFingerprintBsp;
+  // Fusion needs the push shuffle overlapped with the map (streamed) and
+  // no checkpoint staging to splice re-pushed blocks into (empty
+  // work_dir); checkpointed and sync runs take the staged path.
+  const bool fused =
+      streamed && config.fuse_shuffle && config.work_dir.empty();
+  const bool compress = config.compress_wire;
+
+  core::BlockGeometry geometry = core::BlockGeometry::from(config.machine);
+  geometry.streamed = config.streamed;
 
   const std::uint64_t input_fp =
       core::CheckpointManager::fingerprint_inputs({fastq});
@@ -417,10 +500,12 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     double sdisk1 = 0.0;  ///< stage push disk (reads at mapper + writes
                           ///< at owner)
     double host = 0.0;    ///< tuple emission host lane
+    double codec = 0.0;   ///< wire codec host cost (encode + decode)
     double net1 = 0.0;    ///< push traffic network lane
   };
   std::vector<MapLanes> map_lanes(config.node_count);
-  std::uint64_t net1_bytes = 0;
+  const std::int64_t wire_mark = c_wire_bytes.value();
+  const std::int64_t logical_mark = c_logical_bytes.value();
 
   // ---- map (with overlapped push shuffle) ----------------------------------
   // The master hands out input blocks on request; each node fingerprints
@@ -474,17 +559,41 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           return reply;
         });
 
-    // Owners persist pushed chunks into per-(role, key, block) stage
-    // files. offset 0 truncates, so a re-pushed block (crash recovery) is
-    // idempotent even when a different node re-maps it.
+    // Owners consume pushed chunks: fused runs feed them straight into
+    // sort-run formation (ShuffleIngest); staged runs persist them into
+    // per-(role, key, block) stage files. offset 0 truncates, so a
+    // re-pushed block (crash recovery) is idempotent even when a
+    // different node re-maps it.
     for (auto& node : nodes) {
       const std::filesystem::path stage_dir = node.dir / "shuffle";
       std::filesystem::create_directories(stage_dir);
+      if (fused) {
+        // Ingest disk traffic (run writes) belongs to the shuffle lane;
+        // its block sorts share the owner's device with map kernels.
+        core::Workspace ingest_ws = node.ws;
+        ingest_ws.io = &node.shuffle_io;
+        ingest_ws.checkpoint = nullptr;
+        node.ingest = std::make_unique<ShuffleIngest>(
+            ingest_ws, geometry, node.dir / "sorted", &node.device_mutex);
+      }
       net.register_handler(
           node.id, kPushChunk,
-          [&node, stage_dir](unsigned, std::span<const std::byte> payload) {
+          [&node, stage_dir,
+           fused](unsigned src, std::span<const std::byte> payload) {
             std::size_t off = 0;
             const auto hdr = get<PushHeader>(payload, off);
+            std::vector<std::byte> logical =
+                codec::decode_chunk(payload.subspan(off));
+            if (src != node.id &&
+                codec::method(payload.subspan(off)) != codec::Method::kRaw) {
+              node.codec_bytes.fetch_add(logical.size(),
+                                         std::memory_order_relaxed);
+            }
+            if (fused) {
+              node.ingest->deliver(hdr.role, hdr.key, hdr.block,
+                                   std::move(logical));
+              return Payload{};
+            }
             char name[64];
             std::snprintf(name, sizeof(name), "stage_%s_%05u_%06u",
                           hdr.role == 0 ? "sfx" : "pfx", hdr.key,
@@ -496,9 +605,9 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
               throw std::runtime_error("shuffle stage open failed: " +
                                        path.string());
             }
-            const std::size_t n = payload.size() - off;
+            const std::size_t n = logical.size();
             if (n > 0 &&
-                std::fwrite(payload.data() + off, 1, n, f) != n) {
+                std::fwrite(logical.data(), 1, n, f) != n) {
               std::fclose(f);
               throw std::runtime_error("shuffle stage write failed: " +
                                        path.string());
@@ -507,6 +616,15 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
             if (n > 0) node.shuffle_io.add_write(n);
             return Payload{};
           });
+      if (fused) {
+        net.register_handler(
+            node.id, kBlockDone,
+            [&node](unsigned, std::span<const std::byte> payload) {
+              std::size_t off = 0;
+              node.ingest->block_done(get<std::uint32_t>(payload, off));
+              return Payload{};
+            });
+      }
     }
 
     const auto push_partition_file =
@@ -524,14 +642,33 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
             hdr.key = key;
             hdr.block = static_cast<std::uint32_t>(block);
             hdr.offset = offset;
+            const std::span<const std::byte> chunk(buffer.data(), n);
+            const std::size_t phase =
+                static_cast<std::size_t>(offset % sizeof(core::FpRecord));
+            // Self-pushes never hit the wire; only remote chunks pay the
+            // encode cost and earn the compression.
+            const std::vector<std::byte> body =
+                (owner != node.id && compress)
+                    ? codec::encode_chunk(chunk, phase)
+                    : codec::encode_raw(chunk);
             Payload payload;
-            payload.reserve(sizeof(hdr) + n);
+            payload.reserve(sizeof(hdr) + body.size());
             put(payload, hdr);
-            payload.insert(payload.end(), buffer.begin(),
-                           buffer.begin() + static_cast<std::ptrdiff_t>(n));
+            payload.insert(payload.end(), body.begin(), body.end());
             (void)net.request(node.id, owner, kPushChunk, payload);
             c_chunks.add(1);
             c_stage_bytes.add(static_cast<std::int64_t>(n));
+            if (owner != node.id) {
+              if (compress) {
+                node.codec_bytes.fetch_add(n, std::memory_order_relaxed);
+              }
+              c_logical_bytes.add(static_cast<std::int64_t>(n));
+              // Uncompressed chunks report their logical size: the codec
+              // tag is framing, not traffic, and keeping raw runs at
+              // ratio exactly 1.0 makes the counter self-describing.
+              c_wire_bytes.add(static_cast<std::int64_t>(
+                  compress ? body.size() : n));
+            }
             offset += n;
             if (n < buffer.size()) break;
           }
@@ -570,8 +707,15 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
 
         std::uint64_t tuples = 0;
         {
-          const core::MapResult mapped =
-              core::run_map_phase(block_ws, fastq, options);
+          const core::MapResult mapped = [&] {
+            // Fused runs share each owner's device between map kernels
+            // and ingest block sorts; hold our own device for the kernel
+            // burst so a concurrent ingest sort cannot overcommit it.
+            std::unique_lock<std::mutex> lock(node.device_mutex,
+                                              std::defer_lock);
+            if (fused) lock.lock();
+            return core::run_map_phase(block_ws, fastq, options);
+          }();
           node.host_bytes += mapped.host_bytes;
           tuples = mapped.tuples_emitted;
           for (const unsigned key : mapped.suffixes->lengths()) {
@@ -581,6 +725,15 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           for (const unsigned key : mapped.prefixes->lengths()) {
             push_partition_file(node, 1, key, g,
                                 mapped.prefixes->path(key));
+          }
+          if (fused) {
+            // Every chunk of block g is delivered (synchronous AMs);
+            // tell all owners so their ingest frontiers can advance.
+            Payload done;
+            put(done, static_cast<std::uint32_t>(g));
+            for (unsigned i = 0; i < config.node_count; ++i) {
+              (void)net.request(node.id, i, kBlockDone, done);
+            }
           }
         }
         std::error_code ec;
@@ -596,6 +749,16 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
       }
     });
     fresh_blocks = fresh.load();
+
+    if (fused) {
+      // Map barrier fell: every chunk and completion marker is delivered.
+      // Drain the ingest workers — their run writes and block sorts count
+      // as map-section lane time, where they actually overlapped.
+      for_each_node(nodes, [](NodeContext& node) {
+        node.fused = node.ingest->finish();
+        node.ingest.reset();
+      });
+    }
 
     // Capture section-1 lanes before resetting marks; the shuffle phase
     // needs them to price its overlapped data motion.
@@ -622,8 +785,11 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
                          node.shuffle_mark.bytes_written) /
                      disk_bw;
       lanes.host = static_cast<double>(node.host_bytes) / host_bw;
+      lanes.codec =
+          static_cast<double>(
+              node.codec_bytes.load(std::memory_order_relaxed)) /
+          host_bw;
       lanes.net1 = net.modeled_seconds(node.id);
-      net1_bytes += net.bytes_sent(node.id);
 
       const double node_modeled =
           streamed ? std::max({lanes.dev, lanes.mdisk, lanes.host})
@@ -676,14 +842,28 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     result.stats.add(std::move(phase));
     result.per_node.push_back(std::move(breakdown));
 
+    result.wire_bytes =
+        static_cast<std::uint64_t>(c_wire_bytes.value() - wire_mark);
+    const std::uint64_t logical_pushed =
+        static_cast<std::uint64_t>(c_logical_bytes.value() - logical_mark);
+    result.compression_ratio =
+        result.wire_bytes > 0
+            ? static_cast<double>(logical_pushed) /
+                  static_cast<double>(result.wire_bytes)
+            : 1.0;
+    registry.gauge("dist.shuffle.compression_ratio_milli")
+        .set_max(static_cast<std::int64_t>(
+            result.compression_ratio * 1000.0));
+
     for (auto& node : nodes) {
+      node.sample_dir();
       node.mark();
       node.host.reset_peak();
       node.device->memory().reset_peak();
     }
   }
 
-  // ---- shuffle (assemble pushed stage files into owned partitions) ---------
+  // ---- shuffle (adopt fused ingest results, or assemble stage files) -------
   std::vector<unsigned> lengths;  ///< all partition keys, ascending
   {
     util::WallTimer wall;
@@ -692,6 +872,36 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     for_each_node(nodes, [&](NodeContext& node) {
       io::FaultInjector::ScopedNode node_scope(static_cast<int>(node.id));
       const std::filesystem::path stage_dir = node.dir / "shuffle";
+
+      if (fused) {
+        // Nothing was staged: the ingest already turned every owned
+        // partition into sorted runs. Adopt its per-key results — keys
+        // with no suffix data can never produce candidates, so their
+        // prefix runs are dropped (the staged path drops them too).
+        std::error_code ec;
+        for (auto& [key, kr] : node.fused) {
+          if (!kr.suffix.seen) {
+            for (const auto& run : kr.prefix.runs) {
+              std::filesystem::remove(run, ec);
+            }
+            continue;
+          }
+          char name[32];
+          std::snprintf(name, sizeof(name), "sfx_%05u.bin", key);
+          node.owned_sfx[key] = stage_dir / name;  // never materialized
+          std::snprintf(name, sizeof(name), "pfx_%05u.bin", key);
+          node.owned_pfx[key] = stage_dir / name;
+          node.merged_hash[key] =
+              combine_role_hashes(kr.suffix.hash, kr.prefix.hash);
+          node.shuffle_logical += kr.suffix.bytes + kr.prefix.bytes;
+          node.did_work = true;
+          c_keys_merged.add(1);
+          fresh_keys.fetch_add(1, std::memory_order_relaxed);
+        }
+        node.sample_dir();
+        return;
+      }
+
       // Stage files present on disk, grouped by key and ordered by global
       // block id; ascending-block concatenation reproduces the single-node
       // partition bytes exactly.
@@ -751,45 +961,63 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
             node.owned_sfx[key] = merged_sfx;
             node.owned_pfx[key] = merged_pfx;
             node.merged_hash[key] = node.checkpoint->counter(ck, "hash");
+            node.shuffle_logical += node.checkpoint->counter(ck, "bytes");
             continue;
           }
         }
 
-        std::uint64_t hash = kFnvOffset;
+        // Per-role content chains, combined like the fused ingest's.
+        std::uint64_t h_sfx = kFnvOffset;
+        std::uint64_t h_pfx = kFnvOffset;
         std::uint64_t merged_bytes = 0;
         const auto concatenate =
             [&](const std::map<std::uint32_t, std::filesystem::path>& stages,
-                const std::filesystem::path& out_path) {
+                const std::filesystem::path& out_path,
+                std::uint64_t& hash) {
               io::WriteOnlyStream out(out_path, node.shuffle_io);
               std::vector<std::byte> buffer(kShuffleChunkBytes);
               for (const auto& [block, stage_path] : stages) {
-                io::ReadOnlyStream in(stage_path, node.shuffle_io);
-                for (;;) {
-                  const std::size_t n = in.read_bytes(buffer);
-                  if (n == 0) break;
-                  hash = fnv_bytes(hash, buffer.data(), n);
-                  merged_bytes += n;
-                  out.write_bytes(
-                      std::span<const std::byte>(buffer.data(), n));
+                {
+                  io::ReadOnlyStream in(stage_path, node.shuffle_io);
+                  for (;;) {
+                    const std::size_t n = in.read_bytes(buffer);
+                    if (n == 0) break;
+                    hash = fnv_bytes(hash, buffer.data(), n);
+                    merged_bytes += n;
+                    out.write_bytes(
+                        std::span<const std::byte>(buffer.data(), n));
+                  }
+                }
+                if (node.checkpoint == nullptr) {
+                  // Without crash recovery to serve, a consumed stage
+                  // file is dead weight — drop it now so the workspace
+                  // high-water mark shrinks instead of doubling.
+                  std::error_code del_ec;
+                  std::filesystem::remove(stage_path, del_ec);
                 }
               }
               out.close();
             };
-        concatenate(sfx_stage[key], merged_sfx);
-        concatenate(pfx_stage[key], merged_pfx);
+        concatenate(sfx_stage[key], merged_sfx, h_sfx);
+        concatenate(pfx_stage[key], merged_pfx, h_pfx);
+        const std::uint64_t hash = combine_role_hashes(h_sfx, h_pfx);
         node.owned_sfx[key] = merged_sfx;
         node.owned_pfx[key] = merged_pfx;
         node.merged_hash[key] = hash;
+        node.shuffle_logical += merged_bytes;
+        node.sample_dir();
         if (node.checkpoint != nullptr) {
+          // write → record → delete: the adopt branch above depends on
+          // the merged files outliving the manifest entry.
           node.checkpoint->record(ck,
                                   {{"hash", hash}, {"bytes", merged_bytes}});
-        }
-        std::error_code ec;
-        for (const auto& [block, stage_path] : sfx_stage[key]) {
-          std::filesystem::remove(stage_path, ec);
-        }
-        for (const auto& [block, stage_path] : pfx_stage[key]) {
-          std::filesystem::remove(stage_path, ec);
+          std::error_code ec;
+          for (const auto& [block, stage_path] : sfx_stage[key]) {
+            std::filesystem::remove(stage_path, ec);
+          }
+          for (const auto& [block, stage_path] : pfx_stage[key]) {
+            std::filesystem::remove(stage_path, ec);
+          }
         }
         node.did_work = true;
         c_keys_merged.add(1);
@@ -851,7 +1079,8 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     double sync1_max = 0.0;    ///< push traffic as its own barrier phase
     double sec2_max = 0.0;
     double disk_max = 0.0;
-    std::uint64_t net2_bytes = 0;
+    double net_max = 0.0;
+    double codec_max = 0.0;
     for (auto& node : nodes) {
       const MapLanes& lanes = map_lanes[node.id];
       const auto sh_now = node.shuffle_io.snapshot();
@@ -862,17 +1091,19 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
                               node.shuffle_mark.bytes_written) /
           disk_bw;
       const double net2 = net.modeled_seconds(node.id);
-      net2_bytes += net.bytes_sent(node.id);
 
       compute_max = std::max(
           compute_max, std::max({lanes.dev, lanes.mdisk, lanes.host}));
       overlap_max = std::max(
           overlap_max, std::max({lanes.dev, lanes.mdisk + lanes.sdisk1,
-                                 lanes.host, lanes.net1}));
-      sync1_max = std::max(sync1_max, lanes.sdisk1 + lanes.net1);
+                                 lanes.host + lanes.codec, lanes.net1}));
+      sync1_max =
+          std::max(sync1_max, lanes.sdisk1 + lanes.net1 + lanes.codec);
       sec2_max = std::max(sec2_max, streamed ? std::max(sdisk2, net2)
                                              : sdisk2 + net2);
       disk_max = std::max(disk_max, lanes.sdisk1 + sdisk2);
+      net_max = std::max(net_max, lanes.net1 + net2);
+      codec_max = std::max(codec_max, lanes.codec);
 
       phase.disk_bytes_read +=
           sh_now.bytes_read - node.shuffle_mark.bytes_read;
@@ -885,6 +1116,7 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
 
       NodePhaseBreakdown& b = breakdown[node.id];
       b.disk_seconds = lanes.sdisk1 + sdisk2;
+      b.host_seconds = lanes.codec;
       b.network_seconds = lanes.net1 + net2;
     }
     // Section-1 stage traffic also moved bytes; account them here (they
@@ -895,17 +1127,22 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           node.shuffle_mark.bytes_read;
       phase.disk_bytes_written += node.shuffle_mark.bytes_written;
     }
-    result.shuffle_bytes = net1_bytes + net2_bytes;
+    for (const auto& node : nodes) {
+      result.shuffle_bytes += node.shuffle_logical;
+    }
     phase.disk_seconds = disk_max;
+    phase.host_seconds = codec_max;
     // Streamed: the push traffic hides behind map compute; only the part
     // that outlasts it is exposed, plus the assembly section. Synchronous:
     // both sections run as barriers.
     phase.modeled_seconds =
         streamed ? std::max(0.0, overlap_max - compute_max) + sec2_max
                  : sync1_max + sec2_max;
+    // Work the shuffle was responsible for (disk motion, wire time, codec
+    // cycles) over the time it actually exposed: >1 means the map hid it.
     phase.overlap_efficiency =
         phase.modeled_seconds > 0.0
-            ? phase.disk_seconds / phase.modeled_seconds
+            ? (disk_max + net_max + codec_max) / phase.modeled_seconds
             : 1.0;
     phase.resumed = fresh_keys.load() == 0 && !lengths.empty();
     if (phase.resumed) ++result.phases_resumed;
@@ -925,8 +1162,6 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
 
   // ---- sort ----------------------------------------------------------------
   {
-    core::BlockGeometry geometry = core::BlockGeometry::from(config.machine);
-    geometry.streamed = config.streamed;
     util::WallTimer wall;
     const MetricsMark marks = MetricsMark::take();
     for_each_node(nodes, [&](NodeContext& node) {
@@ -952,19 +1187,38 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           }
           node.did_work = true;
         }
-        part.suffix_records =
-            core::external_sort_file(node.ws, raw_sfx, part.suffix_file,
-                                     geometry)
-                .records;
-        part.prefix_records =
-            core::external_sort_file(node.ws, node.owned_pfx.at(key),
-                                     part.prefix_file, geometry)
-                .records;
-        std::error_code ec;
-        std::filesystem::remove(raw_sfx, ec);
-        std::filesystem::remove(node.owned_pfx.at(key), ec);
+        if (fused) {
+          // The ingest already produced the level-1 runs; start straight
+          // at the merge tree. Run cut points and the pairwise merge
+          // order match the staged external sort, so the .sorted bytes
+          // are identical.
+          ShuffleIngest::KeyResult& kr = node.fused.at(key);
+          part.suffix_records =
+              core::merge_sorted_runs(node.ws, std::move(kr.suffix.runs),
+                                      part.suffix_file, geometry)
+                  .records;
+          node.sample_dir();
+          part.prefix_records =
+              core::merge_sorted_runs(node.ws, std::move(kr.prefix.runs),
+                                      part.prefix_file, geometry)
+                  .records;
+        } else {
+          part.suffix_records =
+              core::external_sort_file(node.ws, raw_sfx, part.suffix_file,
+                                       geometry)
+                  .records;
+          node.sample_dir();
+          part.prefix_records =
+              core::external_sort_file(node.ws, node.owned_pfx.at(key),
+                                       part.prefix_file, geometry)
+                  .records;
+          std::error_code ec;
+          std::filesystem::remove(raw_sfx, ec);
+          std::filesystem::remove(node.owned_pfx.at(key), ec);
+        }
         node.sorted.push_back(std::move(part));
       }
+      node.sample_dir();
     });
 
     util::PhaseStats phase;
@@ -1042,10 +1296,6 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
       }
       util::AtomicBitVector token(
           static_cast<std::size_t>(result.read_count) * 2);
-      const double token_transfer_seconds =
-          2 * config.network_latency_seconds +
-          static_cast<double>(token.byte_size()) /
-              config.network_bandwidth_bytes_per_sec;
 
       const std::vector<unsigned> descending(lengths.rbegin(),
                                              lengths.rend());
@@ -1078,6 +1328,18 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
       // Event-driven model: overlap-finding parallel per owner, graph
       // build serialized by the token (paper III-E3). Restored partitions
       // cost nothing — that is the point of resuming.
+      //
+      // Streamed owners keep one cumulative clock per lane and are ready
+      // at the max of the three — the prefetch of the next partition's
+      // disk reads and device scans runs while the host lane (and the
+      // token wait) is still busy on the current one. Synchronous owners
+      // chain every partition's lanes end to end.
+      struct OwnerLanes {
+        double disk = 0.0;
+        double dev = 0.0;
+        double host = 0.0;
+      };
+      std::vector<OwnerLanes> owner_lanes(config.node_count);
       std::vector<double> owner_busy(config.node_count, 0.0);
       double token_time = 0.0;
 
@@ -1136,18 +1398,30 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
             config.machine.time_scale;
         const double host_t =
             static_cast<double>(stats.host_bytes) / host_bw;
-        const double t_o = streamed ? std::max({disk_t, dev_t, host_t})
-                                    : disk_t + dev_t + host_t;
         const double t_g = static_cast<double>(stats.candidates) *
                            config.graph_insert_seconds;
         host_lane[node.id] += host_t;
 
-        double& busy = owner_busy[node.id];
-        busy += t_o;  // overlap-finding proceeds without the token
+        // Overlap-finding proceeds without the token.
+        double busy = 0.0;
+        if (streamed) {
+          OwnerLanes& ol = owner_lanes[node.id];
+          ol.disk += disk_t;
+          ol.dev += dev_t;
+          ol.host += host_t;
+          busy = std::max({ol.disk, ol.dev, ol.host});
+          owner_busy[node.id] = busy;
+        } else {
+          owner_busy[node.id] += disk_t + dev_t + host_t;
+          busy = owner_busy[node.id];
+        }
         double arrival = token_time;
         if (previous_owner != node.id) {
-          arrival += token_transfer_seconds;
-          net_lane[node.id] += token_transfer_seconds;
+          const double hop = transfer_seconds(
+              topo, previous_owner == UINT32_MAX ? 0 : previous_owner,
+              node.id, token.byte_size());
+          arrival += hop;
+          net_lane[node.id] += hop;
           c_token_hops.add(1);
         }
         const double start = std::max(busy, arrival);
@@ -1181,10 +1455,12 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
         }
       }
 
-      const double broadcast_seconds =
-          2 * config.network_latency_seconds +
-          static_cast<double>((result.read_count * 2 + 7) / 8) /
-              config.network_bandwidth_bytes_per_sec;
+      // The superstep's bit-vector broadcast completes when the slowest
+      // pair has exchanged it — with racks, that is the inter-rack path
+      // between the first and last node.
+      const double broadcast_seconds = transfer_seconds(
+          topo, 0, config.node_count - 1,
+          (static_cast<std::uint64_t>(result.read_count) * 2 + 7) / 8);
 
       struct Proposal {
         gpu::Key128 fp;
@@ -1393,6 +1669,11 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     result.stats.add(std::move(phase));
     result.per_node.push_back(std::move(breakdown));
     net.reset_counters();
+  }
+
+  for (auto& node : nodes) {
+    node.sample_dir();
+    result.peak_workspace_bytes += node.dir_high_water;
   }
 
   LOG_INFO << "distributed: " << result.read_count << " reads on "

@@ -7,11 +7,22 @@
 //             *pushes* the tuples to their owners (l mod N) in chunked
 //             active messages as each block completes, so the shuffle
 //             overlaps the map instead of running as a barrier phase.
-//   shuffle — owners assemble the pushed per-(key, block) stage files into
-//             per-key partition files in global block order, reproducing
-//             the single-node partition bytes exactly.
+//             Chunks are codec-compressed on the wire (dist/codec.hpp):
+//             the network lane carries compressed bytes, disk and device
+//             charge logical bytes, and the codec's host cost is modeled.
+//   shuffle — with fusion (the default for streamed runs without a
+//             work_dir) owners never stage: arriving chunks feed
+//             dist::ShuffleIngest, which forms the sort phase's level-1
+//             runs directly in staged read order, so the shuffle phase
+//             only adopts ingest results. The staged fallback (sync runs,
+//             checkpointed runs) assembles per-(key, block) stage files
+//             into per-key partition files in global block order,
+//             deleting each stage file as it is consumed; both paths
+//             reproduce the single-node partition bytes exactly.
 //   sort    — each owner external-sorts its partitions (same hybrid
-//             two-level scheme as the single-node pipeline).
+//             two-level scheme as the single-node pipeline); fused runs
+//             start directly at the pairwise merge tree over the ingest
+//             runs and produce identical sorted bytes.
 //   reduce  — partitions are processed in descending length order; the
 //             out-degree bit-vector is the token passed from the owner of
 //             partition l+1 to the owner of partition l, which serializes
@@ -39,6 +50,7 @@
 
 #include "core/compress_phase.hpp"
 #include "core/config.hpp"
+#include "dist/topology.hpp"
 #include "util/stats.hpp"
 
 namespace lasagna::dist {
@@ -66,6 +78,21 @@ struct ClusterConfig {
   /// 56 Gb/s InfiniBand scaled like the machine (see MachineConfig).
   double network_bandwidth_bytes_per_sec = 7e9 / 4096.0;
   double network_latency_seconds = 5e-6;
+  /// Link-level network model (racks, NIC caps, inter-rack
+  /// oversubscription). Zero fields inherit the legacy scalars above and
+  /// the machine's NIC cap; the default is therefore the flat network.
+  /// `supermic()` fills in the paper clusters' fat-tree shape.
+  ClusterTopology topology;
+  /// Fuse the shuffle into the sort: owners feed arriving chunks straight
+  /// into sort-run formation instead of staging them on disk. Requires
+  /// `streamed` and an empty `work_dir` (staging is what checkpointed
+  /// re-pushes splice into); ignored otherwise. Contigs and the shuffle
+  /// hash are byte-identical either way.
+  bool fuse_shuffle = true;
+  /// Compress pushed chunks on the wire (dist/codec.hpp). The network
+  /// lane charges compressed bytes; disk, device and the shuffle hash see
+  /// logical bytes only, so this cannot perturb output.
+  bool compress_wire = true;
   /// Modeled host-side cost of offering one candidate edge to the greedy
   /// graph (the serialized t_g component of the distributed reduce).
   /// Scaled runs shrink the candidate count but not the real-world insert
@@ -104,9 +131,20 @@ struct DistributedResult {
   std::uint32_t read_count = 0;
   std::uint64_t candidate_edges = 0;
   std::uint64_t accepted_edges = 0;
+  /// Logical tuple bytes of all owned partitions — mode-independent, so
+  /// fused/staged and compressed/raw runs of the same input agree exactly.
   std::uint64_t shuffle_bytes = 0;
-  /// Order-independent FNV fold over the merged per-key partition bytes —
-  /// equal hashes mean the shuffle produced identical partition files.
+  /// Compressed bytes the push shuffle actually put on the wire (remote
+  /// pushes only; self-pushes travel raw and free).
+  std::uint64_t wire_bytes = 0;
+  /// Logical / wire ratio of the remote push traffic (1.0 when nothing
+  /// was compressed).
+  double compression_ratio = 1.0;
+  /// High-water mark of the summed per-node workspace directories,
+  /// sampled at phase boundaries and at each shuffle/sort key step.
+  std::uint64_t peak_workspace_bytes = 0;
+  /// Order-independent FNV fold over per-key, per-role partition content
+  /// hashes — equal folds mean the shuffle produced identical partitions.
   std::uint64_t shuffle_hash = 0;
   /// Phases that completed entirely from checkpointed state on resume.
   unsigned phases_resumed = 0;

@@ -1,0 +1,31 @@
+// FNV-1a hashing shared by the shuffle content fingerprints: the staged
+// path hashes merged partition files, the fused path hashes the same bytes
+// as they stream off the wire, and the two must fold identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lasagna::dist::fnv {
+
+constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+inline std::uint64_t fold_bytes(std::uint64_t h, const std::byte* data,
+                                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= std::to_integer<std::uint64_t>(data[i]);
+    h *= kPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace lasagna::dist::fnv

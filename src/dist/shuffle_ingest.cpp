@@ -1,0 +1,240 @@
+#include "dist/shuffle_ingest.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <thread>
+
+#include "core/sort_phase.hpp"
+#include "dist/fnv.hpp"
+
+namespace lasagna::dist {
+
+namespace {
+
+constexpr std::size_t kRecordBytes = sizeof(core::FpRecord);
+
+std::filesystem::path partition_output(const std::filesystem::path& run_dir,
+                                       std::uint8_t role,
+                                       std::uint32_t key) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s_%05u.sorted",
+                role == 0 ? "sfx" : "pfx", key);
+  return run_dir / name;
+}
+
+}  // namespace
+
+struct ShuffleIngest::Impl {
+  struct Chunk {
+    std::uint8_t role = 0;
+    std::uint32_t key = 0;
+    std::uint32_t block = 0;
+    bool done = false;  ///< block-completion marker, not a chunk
+    std::vector<std::byte> bytes;
+  };
+
+  /// Per-(role, key) ingest state, owned by the worker thread.
+  struct Stream {
+    std::uint8_t role = 0;
+    std::uint32_t key = 0;
+    std::map<std::uint32_t, std::vector<std::vector<std::byte>>> pending;
+    std::vector<std::byte> carry;  ///< partial trailing record bytes
+    std::unique_ptr<core::SortRunBuilder> builder;
+    Partition part;
+  };
+
+  core::Workspace ws;
+  core::BlockGeometry geometry;
+  std::filesystem::path run_dir;
+  std::mutex* device_mutex;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Chunk> queue;
+  bool stop = false;
+  std::exception_ptr error;
+
+  // Worker-thread state.
+  std::map<std::uint64_t, Stream> streams;  ///< (role << 32 | key)
+  std::set<std::uint32_t> done_blocks;
+  std::uint32_t frontier = 0;  ///< smallest block not yet completed
+  std::map<unsigned, KeyResult> results;
+
+  std::thread worker;
+
+  Impl(const core::Workspace& workspace, const core::BlockGeometry& geo,
+       std::filesystem::path dir, std::mutex* dev_mutex)
+      : ws(workspace),
+        geometry(geo),
+        run_dir(std::move(dir)),
+        device_mutex(dev_mutex) {
+    std::filesystem::create_directories(run_dir);
+    worker = std::thread([this] { run(); });
+  }
+
+  static std::uint64_t stream_id(std::uint8_t role, std::uint32_t key) {
+    return (static_cast<std::uint64_t>(role) << 32) | key;
+  }
+
+  void feed(Stream& s, std::span<const std::byte> bytes) {
+    s.part.bytes += bytes.size();
+    s.part.hash = fnv::fold_bytes(s.part.hash, bytes.data(), bytes.size());
+    s.carry.insert(s.carry.end(), bytes.begin(), bytes.end());
+    const std::size_t whole = s.carry.size() / kRecordBytes;
+    if (whole == 0) return;
+    if (s.builder == nullptr) {
+      s.builder = std::make_unique<core::SortRunBuilder>(
+          ws, partition_output(run_dir, s.role, s.key), geometry,
+          device_mutex);
+    }
+    s.builder->append(std::span<const core::FpRecord>(
+        reinterpret_cast<const core::FpRecord*>(s.carry.data()), whole));
+    s.carry.erase(s.carry.begin(),
+                  s.carry.begin() +
+                      static_cast<std::ptrdiff_t>(whole * kRecordBytes));
+  }
+
+  /// Feed every buffered chunk of blocks below the frontier, in ascending
+  /// block order (chunks within a block are already in push-offset order).
+  void drain_ready(Stream& s, bool everything) {
+    while (!s.pending.empty()) {
+      auto it = s.pending.begin();
+      if (!everything && it->first >= frontier) break;
+      for (const auto& bytes : it->second) {
+        feed(s, bytes);
+      }
+      s.pending.erase(it);
+    }
+  }
+
+  void advance_frontier() {
+    bool moved = false;
+    while (done_blocks.count(frontier) > 0) {
+      done_blocks.erase(frontier);
+      ++frontier;
+      moved = true;
+    }
+    if (!moved) return;
+    for (auto& [id, s] : streams) {
+      drain_ready(s, /*everything=*/false);
+    }
+  }
+
+  void process(Chunk&& c) {
+    if (c.done) {
+      done_blocks.insert(c.block);
+      advance_frontier();
+      return;
+    }
+    Stream& s = streams[stream_id(c.role, c.key)];
+    s.role = c.role;
+    s.key = c.key;
+    s.part.seen = true;
+    if (c.block < frontier) {
+      // The block is complete; a chunk delivered after its completion
+      // marker cannot happen (pushes precede the broadcast) — feed
+      // directly anyway to stay safe.
+      feed(s, c.bytes);
+      return;
+    }
+    s.pending[c.block].push_back(std::move(c.bytes));
+  }
+
+  void run() {
+    try {
+      std::unique_lock<std::mutex> lock(mutex);
+      for (;;) {
+        cv.wait(lock, [this] { return !queue.empty() || stop; });
+        if (queue.empty() && stop) break;
+        Chunk c = std::move(queue.front());
+        queue.pop_front();
+        lock.unlock();
+        process(std::move(c));
+        lock.lock();
+      }
+      lock.unlock();
+      // Everything delivered: feed any remainder regardless of frontier
+      // (every block is complete once the map barrier has fallen), then
+      // flush the builders and collect results.
+      for (auto& [id, s] : streams) {
+        drain_ready(s, /*everything=*/true);
+        if (!s.carry.empty()) {
+          throw std::logic_error(
+              "shuffle ingest: partition bytes not a whole record count");
+        }
+        if (s.builder != nullptr) {
+          s.builder->finish();
+          s.part.records = s.builder->records();
+          s.part.runs = s.builder->runs();
+          s.builder.reset();
+        }
+        KeyResult& kr = results[s.key];
+        (s.role == 0 ? kr.suffix : kr.prefix) = std::move(s.part);
+      }
+      streams.clear();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      error = std::current_exception();
+    }
+  }
+};
+
+ShuffleIngest::ShuffleIngest(const core::Workspace& ws,
+                             const core::BlockGeometry& geometry,
+                             std::filesystem::path run_dir,
+                             std::mutex* device_mutex)
+    : impl_(std::make_unique<Impl>(ws, geometry, std::move(run_dir),
+                                   device_mutex)) {}
+
+ShuffleIngest::~ShuffleIngest() {
+  if (impl_ == nullptr || !impl_->worker.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->worker.join();
+}
+
+void ShuffleIngest::deliver(std::uint8_t role, std::uint32_t key,
+                            std::uint32_t block,
+                            std::vector<std::byte> bytes) {
+  Impl::Chunk c;
+  c.role = role;
+  c.key = key;
+  c.block = block;
+  c.bytes = std::move(bytes);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(c));
+  }
+  impl_->cv.notify_all();
+}
+
+void ShuffleIngest::block_done(std::uint32_t block) {
+  Impl::Chunk c;
+  c.block = block;
+  c.done = true;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(c));
+  }
+  impl_->cv.notify_all();
+}
+
+std::map<unsigned, ShuffleIngest::KeyResult> ShuffleIngest::finish() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->worker.joinable()) impl_->worker.join();
+  if (impl_->error != nullptr) std::rethrow_exception(impl_->error);
+  return std::move(impl_->results);
+}
+
+}  // namespace lasagna::dist

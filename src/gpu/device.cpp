@@ -10,6 +10,8 @@
 
 namespace lasagna::gpu {
 
+thread_local StreamId Device::current_stream_ = Device::kDefaultStream;
+
 namespace {
 
 struct GpuCounters {

@@ -180,8 +180,11 @@ class Device {
 
   /// Stream that plain charge_kernel/charge_transfer (and therefore every
   /// primitive in gpu/primitives.hpp) bills to. Reroute with
-  /// gpu::StreamScope. Like a CUDA context, the current stream is per-device
-  /// state: device work must be issued from one thread at a time.
+  /// gpu::StreamScope. The current stream is per-*thread* state (like a
+  /// CUDA per-thread default stream): two threads can issue work to the
+  /// same device under different StreamScopes without clobbering each
+  /// other's routing — which the distributed fused-ingest path relies on,
+  /// sorting shuffle runs while the owner's map kernels are in flight.
   [[nodiscard]] StreamId current_stream() const { return current_stream_; }
   void set_current_stream(StreamId stream);
 
@@ -206,7 +209,10 @@ class Device {
   /// different streams need no lock.
   mutable std::mutex streams_mutex_;
   mutable std::deque<std::atomic<std::uint64_t>> stream_ps_;
-  StreamId current_stream_ = kDefaultStream;
+  /// Per-thread current stream (shared across devices; StreamScope's
+  /// save/restore brackets keep it consistent, and the default stream id 0
+  /// is valid on every device).
+  static thread_local StreamId current_stream_;
   std::atomic<std::uint64_t> transferred_bytes_{0};
 };
 

@@ -207,18 +207,26 @@ TEST(AmProperty, ShuffleBytesAreIdenticalAcrossRunsUnderAmFaults) {
                            config);
   };
 
+  // Defaults exercise fusion + wire compression under faults; the staged,
+  // uncompressed pipeline must land on the same bytes.
   const DistributedResult a = run_faulted("a");
   const DistributedResult b = run_faulted("b");
   const DistributedResult clean = run_distributed(
       dir.file("reads.fq"), dir.file("clean.fa"), config);
+  config.fuse_shuffle = false;
+  config.compress_wire = false;
+  const DistributedResult staged = run_faulted("staged");
 
   EXPECT_NE(a.shuffle_hash, 0u);
   EXPECT_EQ(a.shuffle_hash, b.shuffle_hash);
   EXPECT_EQ(a.shuffle_hash, clean.shuffle_hash);
+  EXPECT_EQ(a.shuffle_hash, staged.shuffle_hash);
+  EXPECT_EQ(a.shuffle_bytes, staged.shuffle_bytes);
   EXPECT_EQ(a.candidate_edges, clean.candidate_edges);
   EXPECT_EQ(a.accepted_edges, clean.accepted_edges);
   EXPECT_EQ(slurp(dir.file("a.fa")), slurp(dir.file("clean.fa")));
   EXPECT_EQ(slurp(dir.file("b.fa")), slurp(dir.file("clean.fa")));
+  EXPECT_EQ(slurp(dir.file("staged.fa")), slurp(dir.file("clean.fa")));
 }
 
 }  // namespace

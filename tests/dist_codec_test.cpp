@@ -1,0 +1,194 @@
+// On-wire codec and topology-aware network lane tests. The codec must be
+// a pure byte-for-byte round trip for arbitrary payloads (compression may
+// never perturb shuffle content), must actually compress the record
+// streams the shuffle pushes, and must never expand a payload past one tag
+// byte. The link model must reduce to the legacy flat scalars, cap paths
+// at the NIC, slow down across racks, and serialize incast on the
+// receiver's clock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+#include "core/config.hpp"
+#include "dist/active_message.hpp"
+#include "dist/codec.hpp"
+#include "dist/topology.hpp"
+
+namespace lasagna::dist {
+namespace {
+
+using codec::decode_chunk;
+using codec::encode_chunk;
+using codec::encode_raw;
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng() % 256);
+  return out;
+}
+
+/// A realistic shuffle chunk: sorted-ish fingerprints, ascending vertex
+/// ids in emission order, zero pad — the stream the delta method targets.
+std::vector<std::byte> record_stream(std::size_t records,
+                                     std::uint32_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<core::FpRecord> recs(records);
+  std::uint64_t hi = rng();
+  for (std::size_t i = 0; i < records; ++i) {
+    hi += rng() % 4096;
+    recs[i].fp.hi = hi;
+    recs[i].fp.lo = rng();
+    recs[i].vertex = static_cast<std::uint32_t>(i * 2 + (rng() % 3));
+    recs[i].pad = 0;
+  }
+  std::vector<std::byte> out(records * sizeof(core::FpRecord));
+  std::memcpy(out.data(), recs.data(), out.size());
+  return out;
+}
+
+TEST(Codec, RoundTripsArbitraryBytesAtEveryPhase) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{23}, std::size_t{24},
+                              std::size_t{25}, std::size_t{1000},
+                              std::size_t{64 * 1024}}) {
+    const std::vector<std::byte> logical = random_bytes(n, 7 + n);
+    for (const std::size_t phase : {std::size_t{0}, std::size_t{7},
+                                    std::size_t{23}}) {
+      const codec::Payload wire = encode_chunk(logical, phase);
+      EXPECT_EQ(decode_chunk(wire), logical) << n << " @" << phase;
+      // Never more than the tag byte of overhead.
+      EXPECT_LE(wire.size(), logical.size() + 1) << n << " @" << phase;
+    }
+  }
+}
+
+TEST(Codec, RoundTripsRecordStreams) {
+  for (const std::size_t records : {std::size_t{1}, std::size_t{10},
+                                    std::size_t{1000}}) {
+    const std::vector<std::byte> logical = record_stream(records, 11);
+    const codec::Payload wire = encode_chunk(logical, 0);
+    EXPECT_EQ(decode_chunk(wire), logical) << records;
+  }
+}
+
+TEST(Codec, CompressesSortedRecordStreams) {
+  const std::vector<std::byte> logical = record_stream(4000, 13);
+  const codec::Payload wire = encode_chunk(logical, 0);
+  EXPECT_NE(codec::method(wire), codec::Method::kRaw);
+  EXPECT_LT(wire.size(), logical.size());
+}
+
+TEST(Codec, RoundTripsMisalignedRecordSlices) {
+  // Chunks are cut at kShuffleChunkBytes, not record boundaries: a chunk
+  // can start and end mid-record. The phase tells the codec where the
+  // framing is.
+  const std::vector<std::byte> stream = record_stream(100, 17);
+  for (const std::size_t start : {std::size_t{5}, std::size_t{24},
+                                  std::size_t{47}}) {
+    const std::vector<std::byte> slice(stream.begin() + start,
+                                       stream.end() - 3);
+    const codec::Payload wire = encode_chunk(slice, start % 24);
+    EXPECT_EQ(decode_chunk(wire), slice) << start;
+  }
+}
+
+TEST(Codec, EncodeRawIsTaggedRawAndRoundTrips) {
+  const std::vector<std::byte> logical = record_stream(100, 19);
+  const codec::Payload wire = encode_raw(logical);
+  EXPECT_EQ(codec::method(wire), codec::Method::kRaw);
+  EXPECT_EQ(wire.size(), logical.size() + 1);
+  EXPECT_EQ(decode_chunk(wire), logical);
+}
+
+TEST(Codec, MalformedPayloadsThrow) {
+  EXPECT_THROW(decode_chunk({}), std::invalid_argument);
+  codec::Payload bad_tag{std::byte{0x7f}};
+  EXPECT_THROW(decode_chunk(bad_tag), std::invalid_argument);
+  // Truncating a compressed payload must be detected, not crash.
+  const codec::Payload wire = encode_chunk(record_stream(1000, 23), 0);
+  ASSERT_NE(codec::method(wire), codec::Method::kRaw);
+  const std::span<const std::byte> truncated(wire.data(),
+                                             wire.size() / 2);
+  EXPECT_THROW(decode_chunk(truncated), std::invalid_argument);
+}
+
+TEST(Topology, EffectiveBandwidthAndLatencyFollowRacks) {
+  ClusterTopology t;
+  t.nic_bandwidth_bytes_per_sec = 10e9;
+  t.link_bandwidth_bytes_per_sec = 7e9;
+  t.inter_rack_bandwidth_bytes_per_sec = 3.5e9;
+  t.latency_seconds = 5e-6;
+  t.inter_rack_latency_seconds = 1e-5;
+  t.rack_size = 4;
+  // Nodes 0..3 share a rack; 4 is in the next one.
+  EXPECT_TRUE(t.same_rack(0, 3));
+  EXPECT_FALSE(t.same_rack(3, 4));
+  EXPECT_DOUBLE_EQ(t.effective_bandwidth(0, 3), 7e9);
+  EXPECT_DOUBLE_EQ(t.effective_bandwidth(0, 4), 3.5e9);
+  EXPECT_DOUBLE_EQ(t.effective_latency(0, 3), 5e-6);
+  EXPECT_DOUBLE_EQ(t.effective_latency(0, 4), 1e-5);
+  // The NIC caps a path when it is the narrowest element.
+  t.nic_bandwidth_bytes_per_sec = 1e9;
+  EXPECT_DOUBLE_EQ(t.effective_bandwidth(0, 3), 1e9);
+  // Zero fields drop out; a fully unconstrained path is infinite.
+  ClusterTopology open;
+  EXPECT_TRUE(std::isinf(open.effective_bandwidth(0, 1)));
+}
+
+TEST(Topology, LegacyConstructorEquivalentToFlatTopology) {
+  Network legacy(2, 1e6, 1e-3);
+  Network flat(2, ClusterTopology::flat(1e6, 1e-3));
+  for (Network* net : {&legacy, &flat}) {
+    net->register_handler(1, 0, [](unsigned, std::span<const std::byte>) {
+      return Payload(1000);
+    });
+    net->request(0, 1, 0, Payload(500));
+  }
+  EXPECT_DOUBLE_EQ(legacy.modeled_seconds(0), flat.modeled_seconds(0));
+  EXPECT_DOUBLE_EQ(legacy.modeled_seconds(1), flat.modeled_seconds(1));
+  EXPECT_DOUBLE_EQ(legacy.send_seconds(0), flat.send_seconds(0));
+  EXPECT_DOUBLE_EQ(legacy.recv_seconds(1), flat.recv_seconds(1));
+}
+
+TEST(Topology, IncastStacksOnReceiverClock) {
+  // Three senders pushing 1 MB each into node 0: every sender's send
+  // engine holds one transfer, node 0's receive engine holds all three.
+  Network net(4, 1e6, 0.0);
+  net.register_handler(0, 0, [](unsigned, std::span<const std::byte>) {
+    return Payload{};
+  });
+  for (unsigned src = 1; src <= 3; ++src) {
+    net.request(src, 0, 0, Payload(1'000'000));
+  }
+  EXPECT_NEAR(net.send_seconds(1), 1.0, 1e-9);
+  EXPECT_NEAR(net.recv_seconds(0), 3.0, 1e-9);
+  EXPECT_NEAR(net.modeled_seconds(0), 3.0, 1e-9);
+  // Senders only paid for their own transfer.
+  EXPECT_NEAR(net.modeled_seconds(1), 1.0, 1e-9);
+}
+
+TEST(Topology, InterRackTransfersCostMore) {
+  ClusterTopology t = ClusterTopology::flat(1e6, 1e-4);
+  t.rack_size = 2;
+  t.inter_rack_bandwidth_bytes_per_sec = 5e5;
+  t.inter_rack_latency_seconds = 1e-3;
+  Network net(4, t);
+  for (unsigned dst : {1u, 2u}) {
+    net.register_handler(dst, 0, [](unsigned, std::span<const std::byte>) {
+      return Payload{};
+    });
+  }
+  net.request(0, 1, 0, Payload(100'000));  // same rack
+  const double intra = net.send_seconds(0);
+  net.reset_counters();
+  net.request(0, 2, 0, Payload(100'000));  // across racks
+  const double inter = net.send_seconds(0);
+  EXPECT_NEAR(intra, 1e-4 + 0.1, 1e-9);
+  EXPECT_NEAR(inter, 1e-3 + 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace lasagna::dist

@@ -39,9 +39,13 @@ TEST(ActiveMessage, ChargesBothEndpoints) {
   net.request(0, 1, 0, Payload(500));
   EXPECT_EQ(net.bytes_sent(0), 500u);   // request payload
   EXPECT_EQ(net.bytes_sent(1), 1000u);  // reply payload
-  // 2 x latency + 1500 bytes at 1 MB/s = 2ms + 1.5ms per endpoint.
-  EXPECT_NEAR(net.modeled_seconds(0), 0.0035, 1e-4);
-  EXPECT_NEAR(net.modeled_seconds(1), 0.0035, 1e-4);
+  // Full duplex: each endpoint's clock is max(send, recv). Node 0 sends
+  // the request (1ms + 0.5ms) and receives the reply (1ms + 1ms); node 1
+  // mirrors it. Both end at the 2ms reply leg.
+  EXPECT_NEAR(net.send_seconds(0), 0.0015, 1e-4);
+  EXPECT_NEAR(net.recv_seconds(0), 0.0020, 1e-4);
+  EXPECT_NEAR(net.modeled_seconds(0), 0.0020, 1e-4);
+  EXPECT_NEAR(net.modeled_seconds(1), 0.0020, 1e-4);
   net.reset_counters();
   EXPECT_EQ(net.bytes_sent(0), 0u);
   EXPECT_DOUBLE_EQ(net.modeled_seconds(0), 0.0);
@@ -159,7 +163,15 @@ TEST(Cluster, PhasesRecorded) {
   for (const char* phase :
        {"map", "shuffle", "sort", "reduce", "compress"}) {
     EXPECT_TRUE(result.stats.has_phase(phase)) << phase;
-    EXPECT_GT(result.stats.phase(phase).modeled_seconds, 0.0) << phase;
+    // Fusion can collapse shuffle and sort to (nearly) nothing — arriving
+    // chunks become sorted runs during the map, and a small partition's
+    // "merge" is a rename. The phases that do irreducible work stay
+    // positive.
+    if (std::string(phase) == "shuffle" || std::string(phase) == "sort") {
+      EXPECT_GE(result.stats.phase(phase).modeled_seconds, 0.0) << phase;
+    } else {
+      EXPECT_GT(result.stats.phase(phase).modeled_seconds, 0.0) << phase;
+    }
   }
   ASSERT_EQ(result.per_node.size(), 5u);
   EXPECT_EQ(result.per_node[0].size(), 2u);
@@ -171,18 +183,31 @@ TEST(Cluster, ShuffleMovesBytesOnlyWithMultipleNodes) {
                                    d.dir.file("c1.fa"), small_cluster(1));
   const auto four = run_distributed(d.dir.file("reads.fq"),
                                     d.dir.file("c4.fa"), small_cluster(4));
-  EXPECT_EQ(one.shuffle_bytes, 0u);
-  EXPECT_GT(four.shuffle_bytes, 0u);
+  // Logical partition bytes are a property of the input, not the cluster.
+  EXPECT_GT(one.shuffle_bytes, 0u);
+  EXPECT_EQ(one.shuffle_bytes, four.shuffle_bytes);
+  // Wire traffic is what needs multiple nodes: self-pushes are free.
+  EXPECT_EQ(one.wire_bytes, 0u);
+  EXPECT_GT(four.wire_bytes, 0u);
+  // The codec earns its keep on the remote chunks.
+  EXPECT_EQ(one.compression_ratio, 1.0);
+  EXPECT_GT(four.compression_ratio, 1.0);
 }
 
 TEST(Cluster, ModeledSortTimeScalesDown) {
   // The paper's core distributed claim: more nodes -> more aggregate I/O
-  // bandwidth -> faster map and sort phases.
+  // bandwidth -> faster map and sort phases. Run the staged (unfused)
+  // pipeline so the sort phase actually carries the sort work — fusion
+  // moves it into the map, which the conformance suite covers.
   const Dataset d = make_dataset(8000, 20.0, 90);
-  const auto n1 = run_distributed(d.dir.file("reads.fq"),
-                                  d.dir.file("s1.fa"), small_cluster(1));
-  const auto n4 = run_distributed(d.dir.file("reads.fq"),
-                                  d.dir.file("s4.fa"), small_cluster(4));
+  ClusterConfig c1 = small_cluster(1);
+  ClusterConfig c4 = small_cluster(4);
+  c1.fuse_shuffle = false;
+  c4.fuse_shuffle = false;
+  const auto n1 =
+      run_distributed(d.dir.file("reads.fq"), d.dir.file("s1.fa"), c1);
+  const auto n4 =
+      run_distributed(d.dir.file("reads.fq"), d.dir.file("s4.fa"), c4);
   EXPECT_LT(n4.stats.phase("sort").modeled_seconds,
             n1.stats.phase("sort").modeled_seconds);
   EXPECT_LT(n4.stats.phase("map").modeled_seconds,
