@@ -11,16 +11,20 @@
 //   weak   — per-node data held constant (dataset grows with the cluster),
 //            nodes in {1,4,16,64}; efficiency = t(1)/t(n)
 //
-// Expected shape (paper + PR 6): total time falls with node count thanks
-// to aggregated I/O bandwidth; the fused push shuffle forms sort runs
-// while the map still runs, so the shuffle exposes almost nothing and the
-// sort starts at the merge tree; the wire codec shrinks remote push bytes;
-// the reduce phase scales worst (token-serialized graph build) but the
-// per-owner prefetch lanes keep its streamed model at or below the
-// synchronous one. The exit code enforces:
-//   - contigs byte-identical and shuffle_hash equal at every node count
+// Expected shape (paper + PR 6/7): total time falls with node count
+// thanks to aggregated I/O bandwidth; the fused push shuffle forms sort
+// runs while the map still runs, so the shuffle exposes almost nothing and
+// the sort starts at the merge tree; the wire codec shrinks remote push
+// bytes; the token reduce scales worst (token-serialized graph build),
+// which the speculative reduce breaks — candidate scans parallelize and
+// reconciliation supersteps pipeline under the scan frontier, producing
+// byte-identical contigs. The exit code enforces:
+//   - contigs byte-identical and shuffle_hash equal at every node count,
+//     for sync, streamed, speculative AND fingerprint-BSP runs (tie order
+//     is layout-invariant since PR 7, so BSP is gated, not informational)
 //   - streamed total >= 20% below sync at 8 nodes
 //   - streamed reduce <= sync reduce at every node count
+//   - speculative reduce <= 0.6x the token reduce at 32 nodes
 //   - shuffle overlap_efficiency > 1.15 (not stuck at 1.00) at >= 4 nodes
 #include <cstdio>
 #include <fstream>
@@ -56,12 +60,16 @@ struct Guards {
   bool contigs_identical = true;
   bool hashes_match = true;
   bool reduce_ok = true;
+  bool spec_identical = true;  ///< speculative contigs == token contigs
+  bool bsp_identical = true;   ///< BSP contigs == token contigs
   double reduction_at_8 = 0.0;
   double min_shuffle_oe_at_4plus = -1.0;  ///< streamed runs, nodes >= 4
+  double spec_vs_token_at_32 = 0.0;  ///< spec reduce / token reduce
 
   [[nodiscard]] bool pass() const {
     return contigs_identical && hashes_match && reduce_ok &&
-           reduction_at_8 >= 20.0 &&
+           spec_identical && bsp_identical && reduction_at_8 >= 20.0 &&
+           spec_vs_token_at_32 <= 0.6 &&
            (min_shuffle_oe_at_4plus < 0.0 ||
             min_shuffle_oe_at_4plus > 1.15);
   }
@@ -116,10 +124,33 @@ int main(int argc, char** argv) {
           std::to_string(nodes) + (streamed ? " stream" : " sync"), cells);
     }
 
+    // Speculative reduce, streamed: same cell, third row.
+    dist::DistributedResult spec_result;
+    {
+      dist::ClusterConfig config =
+          dist::ClusterConfig::supermic(nodes, args.scale);
+      config.min_overlap = spec.min_overlap;
+      config.reduce_strategy = dist::ReduceStrategy::kSpeculative;
+      spec_result = dist::run_distributed(fastq, out.file("spec.fa"), config);
+      std::vector<std::string> cells;
+      for (const char* phase : kPhases) {
+        cells.push_back(bench::cell_time(
+            spec_result.stats.phase(phase).modeled_seconds));
+      }
+      cells.push_back(
+          bench::cell_time(spec_result.stats.total_modeled_seconds()));
+      cells.push_back(bench::cell_bytes(spec_result.wire_bytes));
+      cells.push_back(bench::cell_bytes(spec_result.peak_workspace_bytes));
+      bench::print_row(std::to_string(nodes) + " spec", cells);
+    }
+
     // Byte-identity guards: every cell must match the 1-node streamed run.
     const std::uint64_t sync_hash = file_hash(out.file("sync.fa"));
     const std::uint64_t streamed_hash = file_hash(out.file("streamed.fa"));
+    const std::uint64_t spec_hash = file_hash(out.file("spec.fa"));
     if (reference_contigs == 0) reference_contigs = streamed_hash;
+    guards.spec_identical =
+        guards.spec_identical && spec_hash == reference_contigs;
     if (reference_shuffle == 0) reference_shuffle = results[1].shuffle_hash;
     const bool cell_identical =
         sync_hash == reference_contigs && streamed_hash == reference_contigs;
@@ -141,6 +172,11 @@ int main(int argc, char** argv) {
         results[1].stats.phase("reduce").modeled_seconds;
     guards.reduce_ok =
         guards.reduce_ok && streamed_reduce <= sync_reduce * (1.0 + 1e-9);
+    const double spec_reduce =
+        spec_result.stats.phase("reduce").modeled_seconds;
+    const double spec_vs_token =
+        streamed_reduce > 0.0 ? spec_reduce / streamed_reduce : 0.0;
+    if (nodes == 32) guards.spec_vs_token_at_32 = spec_vs_token;
 
     const double shuffle_oe =
         results[1].stats.phase("shuffle").overlap_efficiency;
@@ -152,11 +188,15 @@ int main(int argc, char** argv) {
 
     std::printf(
         "%-10s overlap hides %.1f%%, speedup %.2fx, shuffle oe %.2f, "
-        "codec %.2fx%s%s\n",
+        "codec %.2fx, spec reduce %.2fx token (%u supersteps, %u rounds, "
+        "%llu conflicts)%s%s%s\n",
         "", reduction,
         streamed_total > 0.0 ? strong_t1 / streamed_total : 0.0, shuffle_oe,
-        results[1].compression_ratio,
+        results[1].compression_ratio, spec_vs_token,
+        spec_result.reduce_supersteps, spec_result.reduce_rounds,
+        static_cast<unsigned long long>(spec_result.reduce_conflicts),
         cell_identical ? "" : "  !! contig mismatch",
+        spec_hash == reference_contigs ? "" : "  !! spec contig mismatch",
         results[1].shuffle_hash == reference_shuffle ? ""
                                                      : "  !! hash mismatch");
 
@@ -194,8 +234,7 @@ int main(int argc, char** argv) {
         "      \"compression_ratio\": %.4f,\n"
         "      \"peak_workspace_bytes\": %llu,\n"
         "      \"shuffle_hash\": \"%016llx\",\n"
-        "      \"contigs_identical\": %s,\n"
-        "      \"phases\": [\n",
+        "      \"contigs_identical\": %s,\n",
         spec.name.c_str(), nodes,
         static_cast<unsigned long long>(results[1].read_count), sync_total,
         streamed_total, reduction,
@@ -206,8 +245,25 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(results[1].peak_workspace_bytes),
         static_cast<unsigned long long>(results[1].shuffle_hash),
         cell_identical ? "true" : "false");
+    char spec_entry[512];
+    std::snprintf(
+        spec_entry, sizeof(spec_entry),
+        "      \"spec_reduce_seconds\": %.6f,\n"
+        "      \"spec_total_seconds\": %.6f,\n"
+        "      \"spec_reduce_vs_token\": %.4f,\n"
+        "      \"spec_supersteps\": %u,\n"
+        "      \"spec_rounds\": %u,\n"
+        "      \"spec_conflicts\": %llu,\n"
+        "      \"spec_contigs_identical\": %s,\n"
+        "      \"phases\": [\n",
+        spec_reduce, spec_result.stats.total_modeled_seconds(),
+        spec_vs_token, spec_result.reduce_supersteps,
+        spec_result.reduce_rounds,
+        static_cast<unsigned long long>(spec_result.reduce_conflicts),
+        spec_hash == reference_contigs ? "true" : "false");
     if (!strong_json.empty()) strong_json += ",\n";
     strong_json += entry;
+    strong_json += spec_entry;
     strong_json += phases_json;
     strong_json += "\n      ]\n    }";
   }
@@ -249,12 +305,10 @@ int main(int argc, char** argv) {
   }
 
   // ---- BSP reduce spot-check (the paper's IV-D future work) ----------------
-  // Informational, not gated: the BSP merge-back reconstructs the
-  // single-node offer order only up to equal-fingerprint ties (tie order
-  // is sort-run-boundary dependent, so bucketed layouts can permute it —
-  // see DESIGN.md section 5). Contigs may differ from the token reference
-  // on datasets where a tied group competes for one vertex; the candidate
-  // count must still match exactly.
+  // Gated since PR 7: the canonical layout-invariant tie order (DESIGN.md
+  // section 5) makes equal-fingerprint offers arrive in the same total
+  // order on every layout, so the BSP merge-back now reconstructs the
+  // single-node offer order exactly — byte-identical contigs required.
   std::printf("-- fingerprint-BSP reduce, streamed --\n");
   bench::print_row("nodes", {"reduce", "total"});
   for (const unsigned nodes : {2u, 8u}) {
@@ -266,13 +320,13 @@ int main(int argc, char** argv) {
     const dist::DistributedResult r =
         dist::run_distributed(fastq, out.file("bsp.fa"), config);
     const bool same = file_hash(out.file("bsp.fa")) == reference_contigs;
+    guards.bsp_identical = guards.bsp_identical && same;
     bench::print_row(
         std::to_string(nodes),
         {bench::cell_time(r.stats.phase("reduce").modeled_seconds),
          bench::cell_time(r.stats.total_modeled_seconds())});
     if (!same) {
-      std::printf("%-10s (contigs differ from token by equal-fp tie "
-                  "order — known BSP limitation)\n", "");
+      std::printf("%-10s !! BSP contigs differ from token reference\n", "");
     }
   }
 
@@ -290,13 +344,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "contigs %s; shuffle hash %s; streamed hides %.1f%% at 8 nodes "
-      "(target >= 20%%); min shuffle oe at >=4 nodes %.2f (target > 1.15); "
-      "streamed reduce %s sync at every node count\n",
+      "contigs %s; shuffle hash %s; spec contigs %s; BSP contigs %s; "
+      "streamed hides %.1f%% at 8 nodes (target >= 20%%); min shuffle oe "
+      "at >=4 nodes %.2f (target > 1.15); streamed reduce %s sync at every "
+      "node count; spec reduce %.2fx token at 32 nodes (target <= 0.6)\n",
       guards.contigs_identical ? "byte-identical in every configuration"
                                : "MISMATCHED",
-      guards.hashes_match ? "stable" : "MISMATCHED", guards.reduction_at_8,
-      guards.min_shuffle_oe_at_4plus,
-      guards.reduce_ok ? "<=" : "EXCEEDS");
+      guards.hashes_match ? "stable" : "MISMATCHED",
+      guards.spec_identical ? "byte-identical" : "MISMATCHED",
+      guards.bsp_identical ? "byte-identical" : "MISMATCHED",
+      guards.reduction_at_8, guards.min_shuffle_oe_at_4plus,
+      guards.reduce_ok ? "<=" : "EXCEEDS", guards.spec_vs_token_at_32);
   return guards.pass() ? 0 : 1;
 }

@@ -3,13 +3,14 @@
 //   $ ./examples/assemble_fastq reads.fastq contigs.fasta
 //         [--min-overlap=63] [--host-mem-mb=32] [--device-mem-mb=3]
 //         [--gpu=k40|k20x|p40|p100|v100] [--singletons] [--verify]
-//         [--nodes=N]
+//         [--nodes=N] [--reduce=token|bsp|speculative]
 //
 // This is the "downstream user" entry point: point it at any Illumina-style
 // short-read file and get contigs plus the paper-style phase breakdown.
 // With --nodes=N the run goes through the simulated cluster (N nodes,
 // active-message shuffle, per-node modeled clocks) instead of the
-// single-node pipeline; the contigs are byte-identical either way.
+// single-node pipeline; --reduce picks the distributed reduce strategy.
+// The contigs are byte-identical in every configuration.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
                  "[--gpu=name] [--singletons] [--verify] [--sync-sort] "
                  "[--gfa=graph.gfa] [--min-contig=N] [--work-dir=DIR] "
                  "[--resume] [--fault-spec=SPEC] [--nodes=N] "
+                 "[--reduce=token|bsp|speculative] "
                  "[--trace-out=trace.json] [--metrics-out=metrics.json]\n",
                  argv[0]);
     return 2;
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   unsigned nodes = 0;  // 0 = single-node pipeline; N >= 1 = cluster
+  dist::ReduceStrategy reduce = dist::ReduceStrategy::kLengthToken;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--min-overlap=", 0) == 0) {
@@ -88,6 +91,20 @@ int main(int argc, char** argv) {
       nodes = static_cast<unsigned>(std::stoul(arg.substr(8)));
       if (nodes == 0) {
         std::fprintf(stderr, "--nodes needs at least 1 node\n");
+        return 2;
+      }
+    } else if (arg.rfind("--reduce=", 0) == 0) {
+      const std::string name = arg.substr(9);
+      if (name == "token") {
+        reduce = dist::ReduceStrategy::kLengthToken;
+      } else if (name == "bsp") {
+        reduce = dist::ReduceStrategy::kFingerprintBsp;
+      } else if (name == "speculative") {
+        reduce = dist::ReduceStrategy::kSpeculative;
+      } else {
+        std::fprintf(stderr,
+                     "--reduce wants token, bsp or speculative, not %s\n",
+                     name.c_str());
         return 2;
       }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -135,6 +152,7 @@ int main(int argc, char** argv) {
       cluster.streamed = config.streamed_sort;
       cluster.work_dir = config.work_dir;
       cluster.resume = config.resume;
+      cluster.reduce_strategy = reduce;
       const dist::DistributedResult result =
           dist::run_distributed(argv[1], argv[2], cluster);
       if (tracer != nullptr) {
@@ -153,6 +171,13 @@ int main(int argc, char** argv) {
       std::printf("nodes:          %u (%llu shuffle bytes on the wire)\n",
                   nodes,
                   static_cast<unsigned long long>(result.shuffle_bytes));
+      if (result.reduce_rounds > 0) {
+        std::printf(
+            "spec reduce:    %u superstep(s), %u round(s), %llu "
+            "conflict(s)\n",
+            result.reduce_supersteps, result.reduce_rounds,
+            static_cast<unsigned long long>(result.reduce_conflicts));
+      }
       std::printf("reads:          %u\n", result.read_count);
       std::printf("candidates:     %llu\ngraph edges:    %llu\n",
                   static_cast<unsigned long long>(result.candidate_edges),

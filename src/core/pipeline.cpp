@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/checkpoint.hpp"
+#include "core/spec_resolve.hpp"
 #include "graph/gfa.hpp"
 #include "io/record_stream.hpp"
 #include "obs/metrics.hpp"
@@ -475,6 +476,46 @@ AssemblyResult Assembler::run(
           cm->counter("phase:reduce", "false_positives");
       scope.mark_resumed();
       ++result.phases_resumed;
+    } else if (config_.speculative_reduce) {
+      // Partitioned speculative resolution: the reduce scan delivers
+      // candidates through the sink in the canonical (layout-invariant)
+      // offer order; a monotone counter turns that order into the global
+      // rank, partitions are spread over a few domains by length, and the
+      // resolver's speculate/reconcile rounds rebuild exactly the serial
+      // greedy edge set.
+      constexpr unsigned kDomains = 4;
+      SpeculativeResolver resolver(map.read_count, kDomains);
+      std::uint64_t next_rank = 0;
+      reduce_options.candidate_sink =
+          [&resolver, &next_rank](graph::VertexId u, graph::VertexId v,
+                                  std::uint16_t overlap, const gpu::Key128&) {
+            resolver.add_candidate(overlap % kDomains, u, v, overlap,
+                                   next_rank++);
+          };
+      reduced = run_reduce_phase(ws, sorted, map.read_count, reduce_options);
+      std::uint64_t conflicts = 0;
+      for (const auto& round : resolver.run_to_fixpoint()) {
+        conflicts += round.conflicts;
+      }
+      obs::MetricsRegistry::global().counter("reduce.spec.rounds")
+          .add(static_cast<std::int64_t>(resolver.rounds()));
+      obs::MetricsRegistry::global().counter("reduce.spec.conflicts")
+          .add(static_cast<std::int64_t>(conflicts));
+      reduced.graph = std::make_unique<graph::StringGraph>(map.read_count);
+      reduced.graph->import_edges(resolver.graph().edges());
+      reduced.accepted_edges = reduced.graph->edge_count() / 2;
+      scope.set_host_bytes(reduced.host_bytes);
+      if (cm != nullptr) {
+        const std::vector<graph::Edge> edges = reduced.graph->edges();
+        io::write_all_records<graph::Edge>(
+            cm->sidecar("graph.bin"), std::span<const graph::Edge>(edges),
+            *ws.io);
+        cm->record("phase:reduce",
+                   {{"candidate_edges", reduced.candidate_edges},
+                    {"accepted_edges", reduced.accepted_edges},
+                    {"false_positives", reduced.false_positives},
+                    {"graph_edges", reduced.graph->edge_count()}});
+      }
     } else {
       reduced = run_reduce_phase(ws, sorted, map.read_count, reduce_options);
       scope.set_host_bytes(reduced.host_bytes);

@@ -119,18 +119,32 @@ class WindowMatcher {
 
   /// All-pairs match of an oversized duplicate-fingerprint run (window
   /// overflow fallback). Deferred edges are drained first so insertion
-  /// order matches the synchronous path.
+  /// order matches the synchronous path. The run is one equal-fingerprint
+  /// group, so its offers go out in the canonical total order.
   void match_run(const std::vector<FpRecord>& run_sfx,
                  const std::vector<FpRecord>& run_pfx) {
     flush();
-    for (const FpRecord& s : run_sfx) {
-      for (const FpRecord& p : run_pfx) {
-        offer(s.vertex, p.vertex, s.fp);
-      }
-    }
+    if (run_sfx.empty() || run_pfx.empty()) return;
+    group_sfx_.clear();
+    group_pfx_.clear();
+    for (const FpRecord& s : run_sfx) group_sfx_.push_back(s.vertex);
+    for (const FpRecord& p : run_pfx) group_pfx_.push_back(p.vertex);
+    offer_group(run_sfx.front().fp);
   }
 
   /// Insert the deferred window's edges (host greedy update, paper III-C).
+  ///
+  /// Offers follow a *canonical total order* that is independent of the
+  /// record layout: the window equalization guarantees each equal-
+  /// fingerprint run is complete on both sides within one match() (or
+  /// match_run()) call, so grouping rows by fingerprint here sees every
+  /// tied candidate of a group at once. Groups go out in ascending
+  /// fingerprint order (layout-invariant — it is the sort key); within a
+  /// group, suffix and prefix vertices are each sorted ascending and
+  /// offered as nested pairs. Sort-run boundaries, bucket layouts and
+  /// window geometry can permute equal-fingerprint records in the sorted
+  /// files, but they can no longer permute the offer order — the greedy
+  /// edge set is the same on every layout (DESIGN.md section 5).
   void flush() {
     if (!pending_.valid) return;
     obs::WallSpan span;
@@ -140,19 +154,44 @@ class WindowMatcher {
           "insert:l" + std::to_string(length_),
           {{"rows", static_cast<std::int64_t>(pending_.sfx_vertices.size())}});
     }
-    for (std::size_t i = 0; i < pending_.sfx_vertices.size(); ++i) {
+    const std::size_t rows = pending_.sfx_vertices.size();
+    std::size_t i = 0;
+    while (i < rows) {
+      std::size_t end = i + 1;
+      while (end < rows && pending_.sfx_fps[end] == pending_.sfx_fps[i]) {
+        ++end;
+      }
+      // Equal suffix fingerprints share one [lower, upper) prefix range.
       const std::uint32_t lo = pending_.lower[i];
       const std::uint32_t hi = pending_.upper[i];
-      if (lo == hi) continue;
-      const graph::VertexId u = pending_.sfx_vertices[i];
-      for (std::uint32_t j = lo; j < hi; ++j) {
-        offer(u, pending_.pfx_vertices[j], pending_.sfx_fps[i]);
+      if (lo != hi) {
+        group_sfx_.clear();
+        group_pfx_.clear();
+        for (std::size_t k = i; k < end; ++k) {
+          group_sfx_.push_back(pending_.sfx_vertices[k]);
+        }
+        for (std::uint32_t j = lo; j < hi; ++j) {
+          group_pfx_.push_back(pending_.pfx_vertices[j]);
+        }
+        offer_group(pending_.sfx_fps[i]);
       }
+      i = end;
     }
     pending_.valid = false;
   }
 
  private:
+  /// Offer one equal-fingerprint group's pairs in canonical order.
+  void offer_group(const gpu::Key128& fp) {
+    std::sort(group_sfx_.begin(), group_sfx_.end());
+    std::sort(group_pfx_.begin(), group_pfx_.end());
+    for (const graph::VertexId u : group_sfx_) {
+      for (const graph::VertexId v : group_pfx_) {
+        offer(u, v, fp);
+      }
+    }
+  }
+
   void offer(graph::VertexId u, graph::VertexId v, const gpu::Key128& fp) {
     ++stats_.candidates;
     if (options_.verify_overlaps && options_.reads != nullptr &&
@@ -161,7 +200,7 @@ class WindowMatcher {
       return;
     }
     if (options_.candidate_sink) {
-      options_.candidate_sink(u, v, fp);
+      options_.candidate_sink(u, v, static_cast<std::uint16_t>(length_), fp);
     } else if (graph_.try_add_edge(u, v,
                                    static_cast<std::uint16_t>(length_))) {
       ++stats_.accepted;
@@ -180,6 +219,8 @@ class WindowMatcher {
   gpu::DeviceBuffer<std::uint32_t> d_upper_;
   std::vector<gpu::Key128> sfx_keys_;
   std::vector<gpu::Key128> pfx_keys_;
+  std::vector<graph::VertexId> group_sfx_;  ///< tie group, canonical order
+  std::vector<graph::VertexId> group_pfx_;
   PendingMatches pending_;  ///< window i-1, awaiting insertion
   PendingMatches staged_;   ///< window i, just bounded on the device
 };

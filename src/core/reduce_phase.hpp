@@ -22,12 +22,14 @@ struct ReduceOptions {
   bool verify_overlaps = false;
   const seq::PackedReads* reads = nullptr;
   /// When set, candidate pairs are delivered here INSTEAD of being offered
-  /// to the greedy graph — used by the bulk-synchronous distributed reduce
-  /// (paper IV-D future work), where greedy resolution happens globally
-  /// per superstep. The matching fingerprint rides along so the resolver
-  /// can stable-merge per-bucket candidate streams back into the exact
-  /// single-node offer order.
-  std::function<void(graph::VertexId, graph::VertexId, const gpu::Key128&)>
+  /// to the greedy graph — used by the bulk-synchronous and speculative
+  /// distributed reduces, where greedy resolution happens globally per
+  /// superstep. The overlap length and matching fingerprint ride along so
+  /// the resolver can stable-merge per-bucket candidate streams back into
+  /// the exact single-node offer order (which, since the canonical tie
+  /// order, is layout-invariant).
+  std::function<void(graph::VertexId, graph::VertexId, std::uint16_t,
+                     const gpu::Key128&)>
       candidate_sink;
   /// Overlap the phase's three lanes: async window prefetch from disk,
   /// double-buffered device bound kernels, and host greedy insertion

@@ -1,0 +1,202 @@
+#include "core/spec_resolve.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lasagna::core {
+
+SpeculativeResolver::SpeculativeResolver(std::uint32_t read_count,
+                                         unsigned domain_count)
+    : graph_(read_count), domains_(domain_count == 0 ? 1 : domain_count) {
+  is_dirty_.assign(domains_.size(), 0);
+}
+
+void SpeculativeResolver::add_candidate(unsigned domain, graph::VertexId u,
+                                        graph::VertexId v, std::uint16_t length,
+                                        std::uint64_t rank) {
+  if (domain >= domains_.size()) {
+    throw std::out_of_range("spec_resolve: bad domain");
+  }
+  Domain& d = domains_[domain];
+  if (!d.live.empty() && d.live.back().rank >= rank) {
+    throw std::logic_error("spec_resolve: candidate ranks not ascending");
+  }
+  // New candidates force a re-speculation of the domain, so any proposals
+  // parked at the master for it would be re-proposed — discard them (their
+  // live indices are also about to shift under compaction).
+  if (!retained_.empty()) {
+    std::erase_if(retained_, [domain](const Pending& pending) {
+      return pending.domain == domain;
+    });
+  }
+  d.live.push_back(Candidate{u, v, length, rank});
+  mark_dirty(domain);
+  done_ = false;
+}
+
+void SpeculativeResolver::mark_dirty(unsigned domain) {
+  if (!is_dirty_[domain]) {
+    is_dirty_[domain] = 1;
+    dirty_.push_back(domain);
+  }
+}
+
+std::vector<SpeculativeResolver::Proposal> SpeculativeResolver::speculate(
+    unsigned domain, std::uint64_t* rescanned) {
+  Domain& d = domains_[domain];
+  d.proposed.clear();
+  std::vector<Proposal> out;
+
+  // Local greedy: committed bits plus a speculative overlay of this
+  // domain's own tentative acceptances. A candidate blocked by a
+  // *committed* bit is dead for good (commits are never revoked) and is
+  // dropped from the live list; one blocked only by a local speculative
+  // acceptance stays live — if that acceptance dies in reconciliation the
+  // next rescan may resurrect it.
+  std::unordered_set<graph::VertexId> spec_bits;
+  auto spec_blocked = [&](graph::VertexId bit) {
+    return spec_bits.count(bit) != 0;
+  };
+
+  std::size_t kept = 0;
+  std::uint64_t scanned = 0;
+  for (std::size_t i = 0; i < d.live.size(); ++i) {
+    const Candidate& c = d.live[i];
+    ++scanned;
+    // Self-overlap pairs can never be accepted: permanently dead.
+    if (c.v == c.u || c.v == (c.u ^ 1u)) continue;
+    const graph::VertexId bu = c.u;
+    const graph::VertexId bv = c.v ^ 1u;
+    if (graph_.has_out_edge(bu) || graph_.has_out_edge(bv)) continue;  // dead
+    d.live[kept] = c;
+    if (!spec_blocked(bu) && !spec_blocked(bv)) {
+      spec_bits.insert(bu);
+      spec_bits.insert(bv);
+      d.proposed.push_back(kept);
+      out.push_back(Proposal{c.u, c.v, c.length, 0, c.rank});
+    }
+    ++kept;
+  }
+  d.live.resize(kept);
+  if (rescanned != nullptr) *rescanned = scanned;
+  return out;
+}
+
+SpeculativeResolver::RoundReport SpeculativeResolver::reconcile(
+    const std::vector<std::vector<Proposal>>& per_domain) {
+  if (per_domain.size() != dirty_.size()) {
+    throw std::logic_error("spec_resolve: proposal set / dirty set mismatch");
+  }
+  RoundReport report;
+  report.round = ++round_;
+
+  // Merge the retained proposals from earlier rounds with the dirty
+  // domains' fresh rank-ascending streams into one global rank-ascending
+  // stream, resolving each proposal to its owner's live entry up front
+  // (fresh entries via the speculate() cursor, retained entries carry
+  // theirs — stable because their owner stayed clean).
+  std::vector<Pending> merged;
+  merged.reserve(retained_.size() + per_domain.size());
+  for (const Pending& pending : retained_) {
+    merged.push_back(pending);
+  }
+  for (unsigned slot = 0; slot < per_domain.size(); ++slot) {
+    const unsigned domain = dirty_[slot];
+    const Domain& d = domains_[domain];
+    assert(per_domain[slot].size() == d.proposed.size());
+    for (std::size_t i = 0; i < per_domain[slot].size(); ++i) {
+      const std::size_t live_idx = d.proposed[i];
+      assert(d.live[live_idx].rank == per_domain[slot][i].rank);
+      merged.push_back(Pending{per_domain[slot][i], domain, live_idx});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const Pending& a, const Pending& b) {
+    return a.p.rank < b.p.rank;
+  });
+  report.proposals = merged.size();
+
+  // Death / defer-after-first-death / commit, in rank order. The first
+  // death may resurrect a hidden lower-rank candidate in the dead
+  // proposal's domain, and that candidate could block any later proposal
+  // — so everything after the first death is deferred to the next round.
+  std::vector<char> next_dirty(domains_.size(), 0);
+  std::vector<Pending> deferred;
+  bool death_seen = false;
+  for (const Pending& t : merged) {
+    Domain& d = domains_[t.domain];
+    const graph::VertexId bu = t.p.u;
+    const graph::VertexId bv = t.p.v ^ 1u;
+    if (graph_.has_out_edge(bu) || graph_.has_out_edge(bv)) {
+      // Conflict with a commit from another domain: this candidate is
+      // permanently blocked. Mark it dead in place; the owner's next
+      // speculate() compacts it away.
+      d.live[t.live_idx].v = d.live[t.live_idx].u;  // self-pair == dead
+      ++report.conflicts;
+      next_dirty[t.domain] = 1;
+      death_seen = true;
+      continue;
+    }
+    if (death_seen) {
+      ++report.deferred;
+      deferred.push_back(t);
+      continue;
+    }
+    const bool ok = graph_.try_add_edge(t.p.u, t.p.v, t.p.length);
+    assert(ok);
+    (void)ok;
+    report.delta.push_back(graph::Edge{t.p.u, t.p.v, t.p.length});
+    d.live[t.live_idx].v = d.live[t.live_idx].u;  // committed: drop on scan
+    ++report.committed;
+  }
+
+  // A deferred proposal whose owner stayed clean is retained here — the
+  // owner's local state is unchanged, so a replay would reproduce it
+  // verbatim; keeping it saves the rescan and the resend. One whose owner
+  // died this round is discarded: the owner's replay re-derives its
+  // proposal set from scratch.
+  retained_.clear();
+  for (const Pending& t : deferred) {
+    if (!next_dirty[t.domain]) {
+      retained_.push_back(t);
+    }
+  }
+  report.retained = retained_.size();
+
+  dirty_.clear();
+  for (unsigned dom = 0; dom < domains_.size(); ++dom) {
+    is_dirty_[dom] = next_dirty[dom];
+    if (next_dirty[dom]) dirty_.push_back(dom);
+  }
+  report.done = dirty_.empty();
+  assert(!report.done || retained_.empty());
+  done_ = report.done;
+  return report;
+}
+
+std::vector<SpeculativeResolver::RoundReport>
+SpeculativeResolver::run_to_fixpoint() {
+  std::vector<RoundReport> reports;
+  while (!done_) {
+    const std::vector<unsigned> dirty = dirty_;  // reconcile edits dirty_
+    if (dirty.empty()) {
+      done_ = true;
+      break;
+    }
+    std::vector<std::vector<Proposal>> proposals;
+    proposals.reserve(dirty.size());
+    std::uint64_t rescanned = 0;
+    for (const unsigned domain : dirty) {
+      std::uint64_t scanned = 0;
+      proposals.push_back(speculate(domain, &scanned));
+      rescanned += scanned;
+    }
+    RoundReport report = reconcile(proposals);
+    report.rescanned = rescanned;
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace lasagna::core

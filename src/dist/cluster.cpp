@@ -15,6 +15,7 @@
 #include "core/map_phase.hpp"
 #include "core/reduce_phase.hpp"
 #include "core/sort_phase.hpp"
+#include "core/spec_resolve.hpp"
 #include "dist/active_message.hpp"
 #include "dist/codec.hpp"
 #include "dist/fnv.hpp"
@@ -40,6 +41,8 @@ constexpr std::uint16_t kPushChunk = 1;   ///< owner: shuffle tuples, pushed
 constexpr std::uint16_t kGatherEdges = 2; ///< node: its edge set
 constexpr std::uint16_t kGatherKeys = 3;  ///< node: partition keys it owns
 constexpr std::uint16_t kBlockDone = 4;   ///< all: input block fully pushed
+constexpr std::uint16_t kSpecProposals = 5;  ///< master: speculative accepts
+constexpr std::uint16_t kSpecCommit = 6;     ///< all: reconciled commit delta
 
 constexpr std::uint64_t kShuffleChunkBytes = 256 << 10;
 
@@ -100,7 +103,13 @@ double transfer_seconds(const ClusterTopology& topo, unsigned from,
 std::uint64_t hash_cluster_config(const ClusterConfig& config) {
   std::uint64_t h = kFnvOffset;
   h = fnv_u64(h, config.node_count);
-  h = fnv_u64(h, static_cast<std::uint64_t>(config.reduce_strategy));
+  // Only the BSP strategy changes the intermediate-file layout (map
+  // splits partitions by fingerprint bucket); token and speculative runs
+  // share identical per-node files — and identical outputs — so their
+  // checkpoints interchange, like streamed/sync.
+  h = fnv_u64(h,
+              config.reduce_strategy == ReduceStrategy::kFingerprintBsp ? 1
+                                                                        : 0);
   h = fnv_u64(h, config.min_overlap);
   h = fnv_u64(h, config.machine.host_memory_bytes);
   h = fnv_u64(h, config.machine.device_memory_bytes);
@@ -134,6 +143,33 @@ std::string reduce_sidecar_name(unsigned key) {
   std::snprintf(buf, sizeof(buf), "reduce.l%08u", key);
   return buf;
 }
+
+// Speculative-reduce checkpoint names. Candidate sidecars are per-node
+// (each owner checkpoints its scanned partitions); the committed set lives
+// on node 0, rewritten atomically after every reconciliation round.
+std::string spec_cand_key(unsigned key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "reduce:cand:l%08u", key);
+  return buf;
+}
+
+std::string spec_cand_sidecar_name(unsigned key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "spec.cand.l%08u", key);
+  return buf;
+}
+
+/// Fault-hook label for a reconciliation round boundary (node 0). Not a
+/// manifest key — it exists so "node:...,match=reduce:spec:round" policies
+/// can kill the master between supersteps.
+std::string spec_round_key(unsigned round) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "reduce:spec:round:%04u", round);
+  return buf;
+}
+
+constexpr const char* kSpecCommittedKey = "reduce:spec:committed";
+constexpr const char* kSpecCommittedSidecar = "spec.committed";
 
 /// One simulated compute node: private device, disk counters and storage.
 struct NodeContext {
@@ -391,6 +427,90 @@ std::optional<ReduceDelta> read_reduce_sidecar(NodeContext& node,
   }
 }
 
+// ---- speculative-reduce sidecars ----------------------------------------
+
+using SpecProposal = core::SpeculativeResolver::Proposal;
+
+/// One partition's candidate list, ranks included — restoring skips the
+/// partition scan entirely (no disk reads, no device kernels).
+void write_spec_candidates(NodeContext& node, unsigned key,
+                           std::span<const SpecProposal> candidates) {
+  const std::filesystem::path path =
+      node.checkpoint->sidecar(spec_cand_sidecar_name(key));
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    io::WriteOnlyStream out(tmp, node.io);
+    write_pod(out, static_cast<std::uint64_t>(candidates.size()));
+    out.write_bytes(std::as_bytes(candidates));
+    out.close();
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<std::vector<SpecProposal>> read_spec_candidates(
+    NodeContext& node, unsigned key) {
+  const std::filesystem::path path =
+      node.checkpoint->sidecar(spec_cand_sidecar_name(key));
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  try {
+    io::ReadOnlyStream in(path, node.io);
+    std::uint64_t count = 0;
+    if (!read_pod(in, count)) return std::nullopt;
+    if (in.remaining() != count * sizeof(SpecProposal)) return std::nullopt;
+    std::vector<SpecProposal> candidates(count);
+    if (in.read_bytes(std::as_writable_bytes(
+            std::span<SpecProposal>(candidates))) !=
+        count * sizeof(SpecProposal)) {
+      return std::nullopt;
+    }
+    return candidates;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// The full committed edge set (primary edges only), rewritten after every
+/// reconciliation round. A resumed run pre-commits these — a sound subset
+/// of the sequential-greedy edge set — and replays reconciliation over all
+/// candidates; restored commits simply die against their own bits, so the
+/// fixpoint is unchanged (and reached in one round on a full restore).
+void write_spec_committed(NodeContext& node,
+                          std::span<const graph::Edge> edges) {
+  const std::filesystem::path path =
+      node.checkpoint->sidecar(kSpecCommittedSidecar);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    io::WriteOnlyStream out(tmp, node.io);
+    write_pod(out, static_cast<std::uint64_t>(edges.size()));
+    out.write_bytes(std::as_bytes(edges));
+    out.close();
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<std::vector<graph::Edge>> read_spec_committed(
+    NodeContext& node) {
+  const std::filesystem::path path =
+      node.checkpoint->sidecar(kSpecCommittedSidecar);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  try {
+    io::ReadOnlyStream in(path, node.io);
+    std::uint64_t count = 0;
+    if (!read_pod(in, count)) return std::nullopt;
+    if (in.remaining() != count * sizeof(graph::Edge)) return std::nullopt;
+    std::vector<graph::Edge> edges(count);
+    if (in.read_bytes(std::as_writable_bytes(std::span<graph::Edge>(
+            edges))) != count * sizeof(graph::Edge)) {
+      return std::nullopt;
+    }
+    return edges;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace
 
 ClusterConfig ClusterConfig::supermic(unsigned nodes, double scale) {
@@ -399,6 +519,7 @@ ClusterConfig ClusterConfig::supermic(unsigned nodes, double scale) {
   config.machine = core::MachineConfig::supermic_k20(scale);
   config.network_bandwidth_bytes_per_sec = 7e9 / scale;  // 56 Gb/s
   config.graph_insert_seconds = 50e-9 * scale;
+  config.graph_probe_seconds = 1e-9 * scale;
   // SuperMIC's fat tree: 16 nodes per leaf switch at full 56 Gb/s, 2:1
   // oversubscribed uplinks between racks, an extra switch hop of latency.
   config.topology.rack_size = 16;
@@ -437,6 +558,11 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
   obs::Counter& c_keys_merged = registry.counter("dist.shuffle.keys_merged");
   obs::Counter& c_token_hops = registry.counter("dist.token.hops");
   obs::Counter& c_partitions = registry.counter("dist.reduce.partitions");
+  obs::Counter& c_spec_rounds = registry.counter("dist.reduce.rounds");
+  obs::Counter& c_spec_conflicts = registry.counter("dist.reduce.conflicts");
+  obs::Counter& c_spec_proposals = registry.counter("dist.reduce.proposals");
+  obs::Counter& c_spec_supersteps =
+      registry.counter("dist.reduce.supersteps");
 
   const double disk_bw = config.machine.disk_bandwidth_bytes_per_sec;
   const double host_bw = config.machine.host_bandwidth_bytes_per_sec;
@@ -1438,6 +1564,307 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
       }
       phase.modeled_seconds = token_time;  // event model, not max-node
       phase.resumed = restored == descending.size() && !descending.empty();
+    } else if (config.reduce_strategy == ReduceStrategy::kSpeculative) {
+      // Partitioned speculative greedy (core::SpeculativeResolver).
+      //
+      // Every node scans its owned partitions in parallel — there is no
+      // token to wait for, so the t_o·p scan cost divides by n — and every
+      // candidate gets a global rank (partition's position in the
+      // descending-length order, then the canonical in-partition offer
+      // index). The resolver's speculate/reconcile supersteps then rebuild
+      // exactly the sequential greedy edge set over that rank order, which
+      // IS the token result: contigs are byte-identical.
+      //
+      // Modeled time: max over nodes of the scan lanes, plus per round
+      // (max over dirty nodes of rescanned×t_g + proposals×t_g serial
+      // apply at the master), plus the master's network lane — proposals
+      // gather and commit deltas broadcast as real AM traffic, so incast
+      // at node 0 comes out of the engine model.
+      const std::vector<unsigned> descending(lengths.rbegin(),
+                                             lengths.rend());
+      for (auto& node : nodes) {
+        net.register_handler(
+            node.id, kSpecProposals,
+            [](unsigned, std::span<const std::byte>) { return Payload{}; });
+        net.register_handler(
+            node.id, kSpecCommit,
+            [](unsigned, std::span<const std::byte>) { return Payload{}; });
+      }
+
+      // Parallel candidate scans, resumable per partition from candidate
+      // sidecars (restore skips the scan's disk reads and device kernels).
+      // Each partition's candidates are collected separately, stamped with
+      // the owner's lane clock at scan completion (`avail`): reconciliation
+      // pipelines over the rank frontier, so the superstep for partition i
+      // can run as soon as partitions 0..i are scanned, while later
+      // partitions are still scanning.
+      std::vector<std::vector<SpecProposal>> by_partition(descending.size());
+      std::vector<double> avail(descending.size(), 0.0);
+      std::vector<double> owner_busy(config.node_count, 0.0);
+      std::atomic<std::uint64_t> cand_total{0};
+      std::atomic<unsigned> parts_total{0};
+      std::atomic<unsigned> parts_restored{0};
+      for_each_node(nodes, [&](NodeContext& node) {
+        struct Lanes {
+          double disk = 0.0, dev = 0.0, host = 0.0;
+        } lanes;
+        double busy = 0.0;
+        for (std::size_t idx = 0; idx < descending.size(); ++idx) {
+          const unsigned l = descending[idx];
+          if (owner_of(l, config.node_count) != node.id) continue;
+          const auto part_it =
+              std::find_if(node.sorted.begin(), node.sorted.end(),
+                           [l](const auto& p) { return p.length == l; });
+          if (part_it == node.sorted.end()) continue;
+          parts_total.fetch_add(1, std::memory_order_relaxed);
+          auto& mine = by_partition[idx];
+
+          io::FaultInjector::ScopedNode node_scope(
+              static_cast<int>(node.id));
+          if (io::FaultInjector* injector = io::FaultInjector::active()) {
+            injector->on_node_op(node.id, spec_cand_key(l));
+          }
+
+          if (node.checkpoint != nullptr &&
+              node.checkpoint->has(spec_cand_key(l))) {
+            auto restored = read_spec_candidates(node, l);
+            if (restored.has_value()) {
+              cand_total.fetch_add(
+                  node.checkpoint->counter(spec_cand_key(l), "candidates"),
+                  std::memory_order_relaxed);
+              mine.insert(mine.end(), restored->begin(), restored->end());
+              parts_restored.fetch_add(1, std::memory_order_relaxed);
+              avail[idx] = busy;  // restored partitions cost nothing
+              continue;
+            }
+          }
+
+          const auto io_before = node.io.snapshot();
+          const double dev_before = node.device->modeled_seconds();
+          core::ReduceOptions options;
+          options.streamed = config.streamed;
+          std::uint64_t offer = 0;
+          options.candidate_sink =
+              [&mine, idx, &offer](graph::VertexId u, graph::VertexId v,
+                                   std::uint16_t overlap, const gpu::Key128&) {
+                mine.push_back(SpecProposal{
+                    u, v, overlap, 0,
+                    (static_cast<std::uint64_t>(idx) << 40) | offer++});
+              };
+          graph::StringGraph scratch(0);  // unused in sink mode
+          const core::PartitionReduceStats stats =
+              core::reduce_partition(node.ws, *part_it, scratch, options);
+          node.did_work = true;
+          cand_total.fetch_add(stats.candidates, std::memory_order_relaxed);
+          c_partitions.add(1);
+
+          if (node.checkpoint != nullptr) {
+            write_spec_candidates(node, l,
+                                  std::span<const SpecProposal>(mine));
+            node.checkpoint->record(spec_cand_key(l),
+                                    {{"candidates", stats.candidates}});
+          }
+
+          const auto io_after = node.io.snapshot();
+          const double disk_t =
+              static_cast<double>(io_after.bytes_read -
+                                  io_before.bytes_read +
+                                  io_after.bytes_written -
+                                  io_before.bytes_written) /
+              disk_bw;
+          const double dev_t =
+              (node.device->modeled_seconds() - dev_before) *
+              config.machine.time_scale;
+          const double host_t =
+              static_cast<double>(stats.host_bytes) / host_bw;
+          host_lane[node.id] += host_t;
+          if (streamed) {
+            lanes.disk += disk_t;
+            lanes.dev += dev_t;
+            lanes.host += host_t;
+            busy = std::max({lanes.disk, lanes.dev, lanes.host});
+          } else {
+            busy += disk_t + dev_t + host_t;
+          }
+          avail[idx] = busy;
+        }
+        owner_busy[node.id] = busy;
+      });
+      result.candidate_edges = cand_total.load(std::memory_order_relaxed);
+      const double scan_seconds =
+          *std::max_element(owner_busy.begin(), owner_busy.end());
+
+      core::SpeculativeResolver resolver(result.read_count,
+                                         config.node_count);
+
+      // Resume: pre-commit the checkpointed committed set (a sound subset
+      // of the sequential-greedy edge set) and replay reconciliation over
+      // all candidates — see write_spec_committed.
+      std::vector<graph::Edge> committed_log;
+      if (nodes[0].checkpoint != nullptr &&
+          nodes[0].checkpoint->has(kSpecCommittedKey)) {
+        if (auto edges = read_spec_committed(nodes[0]); edges.has_value()) {
+          for (const graph::Edge& e : *edges) {
+            if (resolver.graph().try_add_edge(e.src, e.dst, e.overlap)) {
+              committed_log.push_back(e);
+            }
+          }
+        }
+      }
+
+      // Pipelined horizon reconciliation. Sequential greedy's decisions on
+      // a rank prefix depend only on that prefix, so the master runs each
+      // partition's candidates to a fixpoint (one *superstep*, one or more
+      // rounds) as soon as that partition's scan lands — while later,
+      // shorter partitions are still scanning. `ready` is the running max
+      // of the scan-completion stamps over the rank frontier: a superstep
+      // cannot start before its partition is scanned, but rounds for
+      // partition i overlap the scans of partitions > i. This is what
+      // keeps the reconciliation off the critical path: the token walk
+      // must *also* wait for each partition's scan, so the speculative
+      // clock trails it only by the (probe-bound) round costs that don't
+      // fit under the remaining scan time.
+      double clock = 0.0;
+      double ready = 0.0;
+      unsigned supersteps = 0;
+      std::uint64_t conflicts_total = 0;
+      std::uint64_t proposals_total = 0;
+      auto drain_to_fixpoint = [&](double* clock_io) {
+        while (!resolver.done()) {
+          const std::vector<unsigned> dirty = resolver.dirty_domains();
+          if (dirty.empty()) break;
+          const unsigned round_idx = resolver.rounds();
+          if (io::FaultInjector* injector = io::FaultInjector::active()) {
+            io::FaultInjector::ScopedNode master_scope(0);
+            injector->on_node_op(0, spec_round_key(round_idx));
+          }
+
+          // Speculate: dirty nodes rescan their live candidates (parallel
+          // across nodes — the model takes the max) and gather proposals
+          // at the master.
+          double rescan_max = 0.0;
+          std::uint64_t rescan_total = 0;
+          std::vector<std::vector<SpecProposal>> per_domain;
+          per_domain.reserve(dirty.size());
+          for (const unsigned n : dirty) {
+            std::uint64_t rescanned = 0;
+            per_domain.push_back(resolver.speculate(n, &rescanned));
+            rescan_total += rescanned;
+            // A local replay probes the committed bits and the speculative
+            // overlay — no stores — so it runs at probe speed.
+            rescan_max = std::max(rescan_max,
+                                  static_cast<double>(rescanned) *
+                                      config.graph_probe_seconds);
+            Payload payload;
+            for (const SpecProposal& p : per_domain.back()) put(payload, p);
+            (void)net.request(n, 0, kSpecProposals, payload);
+          }
+
+          const core::SpeculativeResolver::RoundReport report =
+              resolver.reconcile(per_domain);
+          conflicts_total += report.conflicts;
+          proposals_total += report.proposals;
+
+          // Broadcast the commit delta so every node's speculative bits
+          // can incorporate it next round.
+          Payload commit;
+          for (const graph::Edge& e : report.delta) put(commit, e);
+          for (unsigned n = 1; n < config.node_count; ++n) {
+            (void)net.request(0, n, kSpecCommit, commit);
+          }
+
+          committed_log.insert(committed_log.end(), report.delta.begin(),
+                               report.delta.end());
+          if (nodes[0].checkpoint != nullptr) {
+            write_spec_committed(
+                nodes[0], std::span<const graph::Edge>(committed_log));
+            nodes[0].checkpoint->record(
+                kSpecCommittedKey,
+                {{"committed",
+                  static_cast<std::uint64_t>(committed_log.size())}});
+          }
+
+          // Reconciliation is probe-bound: the master rank-merges the
+          // proposal streams and bit-tests each against the committed set;
+          // only the committed survivors pay the full insert cost (every
+          // replica applies the broadcast delta in parallel, so the delta
+          // is charged once, not per node). This is the wall-breaker: the
+          // token walk pays t_g per *candidate*, reconciliation pays t_g
+          // only per *accepted edge*.
+          const double apply_seconds =
+              static_cast<double>(report.proposals) *
+                  config.graph_probe_seconds +
+              static_cast<double>(report.committed) *
+                  config.graph_insert_seconds;
+          if (obs::Tracer* tracer = obs::Tracer::active()) {
+            tracer->add_span(
+                tracer->track("dist.spec"),
+                "round" + std::to_string(report.round), -1, 0,
+                to_ps(cluster_clock + *clock_io),
+                to_ps(rescan_max + apply_seconds),
+                {{"proposals",
+                  static_cast<std::int64_t>(report.proposals)},
+                 {"conflicts",
+                  static_cast<std::int64_t>(report.conflicts)},
+                 {"deferred",
+                  static_cast<std::int64_t>(report.deferred)}});
+          }
+          if (std::getenv("LASAGNA_SPEC_DEBUG") != nullptr) {
+            std::fprintf(stderr,
+                         "[spec round %u] dirty=%zu rescanned=%llu "
+                         "proposals=%llu conflicts=%llu deferred=%llu "
+                         "rescan_max=%.4f apply=%.4f\n",
+                         report.round, dirty.size(),
+                         static_cast<unsigned long long>(rescan_total),
+                         static_cast<unsigned long long>(report.proposals),
+                         static_cast<unsigned long long>(report.conflicts),
+                         static_cast<unsigned long long>(report.deferred),
+                         rescan_max, apply_seconds);
+          }
+          *clock_io += rescan_max + apply_seconds;
+        }
+      };
+
+      for (std::size_t idx = 0; idx < descending.size(); ++idx) {
+        ready = std::max(ready, avail[idx]);
+        if (by_partition[idx].empty()) continue;
+        const unsigned owner = owner_of(descending[idx], config.node_count);
+        for (const SpecProposal& p : by_partition[idx]) {
+          resolver.add_candidate(owner, p.u, p.v, p.length, p.rank);
+        }
+        clock = std::max(clock, ready);
+        ++supersteps;
+        drain_to_fixpoint(&clock);
+      }
+      // Trailing candidate-free partitions still cost scan time.
+      clock = std::max({clock, ready, scan_seconds});
+
+      result.reduce_rounds = resolver.rounds();
+      result.reduce_conflicts = conflicts_total;
+      result.reduce_supersteps = supersteps;
+      result.accepted_edges = resolver.graph().edge_count() / 2;
+      c_spec_rounds.add(static_cast<std::int64_t>(resolver.rounds()));
+      c_spec_conflicts.add(static_cast<std::int64_t>(conflicts_total));
+      c_spec_proposals.add(static_cast<std::int64_t>(proposals_total));
+      c_spec_supersteps.add(static_cast<std::int64_t>(supersteps));
+      merged.import_edges(resolver.graph().edges());
+
+      for (auto& node : nodes) {
+        net_lane[node.id] = net.modeled_seconds(node.id);
+      }
+      phase.modeled_seconds = clock + net.modeled_seconds(0);
+      if (std::getenv("LASAGNA_SPEC_DEBUG") != nullptr) {
+        std::fprintf(stderr,
+                     "[spec] nodes=%u scan=%.4f clock=%.4f net0=%.4f "
+                     "supersteps=%u rounds=%u conflicts=%llu "
+                     "proposals=%llu\n",
+                     config.node_count, scan_seconds, clock,
+                     net.modeled_seconds(0), supersteps, resolver.rounds(),
+                     static_cast<unsigned long long>(conflicts_total),
+                     static_cast<unsigned long long>(proposals_total));
+      }
+      phase.resumed = parts_total.load() > 0 &&
+                      parts_restored.load() == parts_total.load();
     } else {
       // Fingerprint-BSP reduce (paper IV-D): one superstep per length,
       // descending. All nodes scan their fingerprint slice of that length
@@ -1495,7 +1922,7 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           options.streamed = config.streamed;
           auto& mine = proposals[node.id];
           options.candidate_sink = [&mine](graph::VertexId u,
-                                           graph::VertexId v,
+                                           graph::VertexId v, std::uint16_t,
                                            const gpu::Key128& fp) {
             mine.push_back(Proposal{fp, u, v});
           };

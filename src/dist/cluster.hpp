@@ -66,6 +66,16 @@ enum class ReduceStrategy {
   /// overlap finding for one length runs on all nodes at once; greedy
   /// resolution happens in a bulk-synchronous superstep per length.
   kFingerprintBsp,
+  /// Partitioned speculative greedy (core::SpeculativeResolver): every
+  /// node scans its owned partitions in parallel (no token), locally
+  /// resolves its candidates in the canonical rank order, and proposes its
+  /// acceptances; a reconciliation superstep on node 0 kills
+  /// cross-partition conflicts and defers their wake, iterating to a
+  /// fixpoint. The committed edge set equals sequential greedy over the
+  /// global rank order — i.e. exactly the token result, byte-identical
+  /// contigs — while the per-candidate t_g scan cost parallelizes across
+  /// nodes.
+  kSpeculative,
 };
 
 struct ClusterConfig {
@@ -100,6 +110,12 @@ struct ClusterConfig {
   /// nanoseconds by the scale factor to keep the paper's t_o/t_g ratio —
   /// the quantity that bounds reduce-phase scalability to t_o/t_g nodes.
   double graph_insert_seconds = 50e-9;
+  /// Modeled cost of *probing* the greedy graph — an out-degree bit test
+  /// with no stores. The speculative reduce's reconciliation is probe-
+  /// bound (rank merge + conflict checks); only committed edges pay the
+  /// full insert cost, which is what lets it break the token's t_g wall.
+  /// Scaled by `supermic()` alongside graph_insert_seconds.
+  double graph_probe_seconds = 1e-9;
   bool include_singletons = false;
   /// Overlap each node's lanes (device/disk/host/network) within phases,
   /// and the shuffle with the map. Contigs are byte-identical either way;
@@ -148,6 +164,14 @@ struct DistributedResult {
   std::uint64_t shuffle_hash = 0;
   /// Phases that completed entirely from checkpointed state on resume.
   unsigned phases_resumed = 0;
+  /// Speculative reduce only (0 otherwise): total reconciliation rounds,
+  /// proposals killed by cross-partition conflicts, and pipelined
+  /// reconciliation supersteps (one per scanned partition with
+  /// candidates; each superstep runs rounds to a prefix fixpoint, so
+  /// reduce_rounds <= reduce_conflicts + reduce_supersteps).
+  unsigned reduce_rounds = 0;
+  std::uint64_t reduce_conflicts = 0;
+  unsigned reduce_supersteps = 0;
   core::ContigStats contigs;
 };
 

@@ -40,6 +40,8 @@ struct Edge {
   VertexId src = 0;
   VertexId dst = 0;
   std::uint16_t overlap = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
 };
 
 class StringGraph {

@@ -15,6 +15,7 @@
 #include "io/tempdir.hpp"
 #include "seq/genome.hpp"
 #include "seq/simulator.hpp"
+#include "tie_corpus.hpp"
 
 namespace lasagna::dist {
 namespace {
@@ -64,26 +65,40 @@ class DistConformance : public ::testing::Test {
       spec.coverage = s.coverage;
       spec.seed = s.sim_seed;
       seq::simulate_to_fastq(genome, spec, d.fastq);
-
-      // Single-node, fully synchronous reference (no streamed overlap
-      // anywhere): the strictest baseline the matrix can be held to.
-      core::AssemblyConfig single;
-      single.min_overlap = kMinOverlap;
-      single.machine.host_memory_bytes = 1 << 19;
-      single.machine.device_memory_bytes = 1 << 16;
-      single.streamed_map = false;
-      single.streamed_sort = false;
-      single.streamed_reduce = false;
-      core::Assembler assembler(single);
-      const std::filesystem::path out =
-          dir_->file("baseline" + std::to_string(index) + ".fa");
-      const auto result = assembler.run(d.fastq, out);
-      d.baseline_fa = slurp(out);
-      d.candidate_edges = result.candidate_edges;
-      d.accepted_edges = result.accepted_edges;
-      datasets_->push_back(std::move(d));
+      add_dataset(std::move(d), index);
       ++index;
     }
+
+    // Adversarial tie corpus (repeat-dense genome, palindromic overlaps):
+    // nearly every candidate sits in an equal-fingerprint group, so any
+    // layout- or strategy-sensitive tie break breaks byte-identity here
+    // even when it survives the random genomes above.
+    Dataset ties;
+    ties.fastq = dir_->file("reads_ties.fq");
+    lasagna::testing::write_tie_fastq(ties.fastq, /*copies=*/10,
+                                      /*read_length=*/80, /*coverage=*/8.0,
+                                      /*seed=*/7331);
+    add_dataset(std::move(ties), index);
+  }
+
+  static void add_dataset(Dataset d, unsigned index) {
+    // Single-node, fully synchronous reference (no streamed overlap
+    // anywhere): the strictest baseline the matrix can be held to.
+    core::AssemblyConfig single;
+    single.min_overlap = kMinOverlap;
+    single.machine.host_memory_bytes = 1 << 19;
+    single.machine.device_memory_bytes = 1 << 16;
+    single.streamed_map = false;
+    single.streamed_sort = false;
+    single.streamed_reduce = false;
+    core::Assembler assembler(single);
+    const std::filesystem::path out =
+        dir_->file("baseline" + std::to_string(index) + ".fa");
+    const auto result = assembler.run(d.fastq, out);
+    d.baseline_fa = slurp(out);
+    d.candidate_edges = result.candidate_edges;
+    d.accepted_edges = result.accepted_edges;
+    datasets_->push_back(std::move(d));
   }
 
   static void TearDownTestSuite() {
@@ -104,20 +119,41 @@ class DistConformance : public ::testing::Test {
     return config;
   }
 
+  static const char* strategy_name(ReduceStrategy strategy) {
+    switch (strategy) {
+      case ReduceStrategy::kLengthToken: return "token";
+      case ReduceStrategy::kFingerprintBsp: return "bsp";
+      case ReduceStrategy::kSpeculative: return "spec";
+    }
+    return "?";
+  }
+
   static void check_matrix_point(unsigned nodes, ReduceStrategy strategy,
                                  bool streamed) {
     for (std::size_t i = 0; i < datasets_->size(); ++i) {
       const Dataset& d = (*datasets_)[i];
-      const std::string tag =
-          "d" + std::to_string(i) + "_n" + std::to_string(nodes) + "_" +
-          (strategy == ReduceStrategy::kLengthToken ? "token" : "bsp") +
-          (streamed ? "_streamed" : "_sync");
+      const std::string tag = "d" + std::to_string(i) + "_n" +
+                              std::to_string(nodes) + "_" +
+                              strategy_name(strategy) +
+                              (streamed ? "_streamed" : "_sync");
       const std::filesystem::path out = dir_->file(tag + ".fa");
       const DistributedResult result =
           run_distributed(d.fastq, out, cluster(nodes, strategy, streamed));
       EXPECT_EQ(result.candidate_edges, d.candidate_edges) << tag;
       EXPECT_EQ(result.accepted_edges, d.accepted_edges) << tag;
       EXPECT_EQ(slurp(out), d.baseline_fa) << tag;
+      if (strategy == ReduceStrategy::kSpeculative) {
+        // Fixpoint in bounded rounds: each pipelined superstep runs at
+        // most one conflict-free round beyond its conflicts.
+        EXPECT_GE(result.reduce_rounds, 1u) << tag;
+        EXPECT_GE(result.reduce_supersteps, 1u) << tag;
+        EXPECT_LE(result.reduce_rounds,
+                  result.reduce_conflicts + result.reduce_supersteps)
+            << tag;
+      } else {
+        EXPECT_EQ(result.reduce_rounds, 0u) << tag;
+        EXPECT_EQ(result.reduce_conflicts, 0u) << tag;
+      }
     }
   }
 
@@ -149,6 +185,18 @@ TEST_F(DistConformance, BspStreamed) {
 TEST_F(DistConformance, BspSynchronous) {
   for (const unsigned nodes : {2u, 8u}) {  // sampled: strategy x streamed
     check_matrix_point(nodes, ReduceStrategy::kFingerprintBsp, false);
+  }
+}
+
+TEST_F(DistConformance, SpeculativeStreamed) {
+  for (const unsigned nodes : {1u, 2u, 4u, 8u}) {
+    check_matrix_point(nodes, ReduceStrategy::kSpeculative, true);
+  }
+}
+
+TEST_F(DistConformance, SpeculativeSynchronous) {
+  for (const unsigned nodes : {2u, 8u}) {  // sampled: strategy x streamed
+    check_matrix_point(nodes, ReduceStrategy::kSpeculative, false);
   }
 }
 
@@ -240,6 +288,44 @@ TEST_F(DistScaling, FusedAndStagedAgreeAt16And32Nodes) {
     // per-node disk high-water must drop.
     EXPECT_LT(fused_peak, staged_peak) << nodes << " nodes";
     EXPECT_GT(fused_peak, 0u);
+  }
+}
+
+// Speculative reduce at scale — the `reduce-scaling` ctest shard. The
+// token walk serializes the whole reduce behind one bit-vector hand-off;
+// the partitioned speculative resolver must (a) stay byte-identical to the
+// single-node baseline at 16 and 32 nodes, (b) converge in bounded
+// reconciliation supersteps, and (c) actually break the token wall: the
+// modeled reduce time must shrink against token at the same node count.
+class ReduceScaling : public DistConformance {};
+
+TEST_F(ReduceScaling, SpeculativeScalesPastTokenAt16And32Nodes) {
+  for (const unsigned nodes : {16u, 32u}) {
+    for (std::size_t i = 0; i < datasets_->size(); ++i) {
+      const Dataset& d = (*datasets_)[i];
+      const std::string tag =
+          "rs_d" + std::to_string(i) + "_n" + std::to_string(nodes);
+      const auto token = run_distributed(
+          d.fastq, dir_->file(tag + "_token.fa"),
+          cluster(nodes, ReduceStrategy::kLengthToken, true));
+      const auto spec = run_distributed(
+          d.fastq, dir_->file(tag + "_spec.fa"),
+          cluster(nodes, ReduceStrategy::kSpeculative, true));
+      // Byte-identical result...
+      EXPECT_EQ(slurp(dir_->file(tag + "_spec.fa")), d.baseline_fa) << tag;
+      EXPECT_EQ(spec.accepted_edges, token.accepted_edges) << tag;
+      // ...in bounded rounds (one conflict-free round per superstep at
+      // worst)...
+      EXPECT_GE(spec.reduce_rounds, 1u) << tag;
+      EXPECT_GE(spec.reduce_supersteps, 1u) << tag;
+      EXPECT_LE(spec.reduce_rounds,
+                spec.reduce_conflicts + spec.reduce_supersteps)
+          << tag;
+      // ...and faster than the token-serialized walk.
+      EXPECT_LT(spec.stats.phase("reduce").modeled_seconds,
+                token.stats.phase("reduce").modeled_seconds)
+          << tag;
+    }
   }
 }
 

@@ -45,7 +45,7 @@ class DistRecoveryTest : public ::testing::Test {
     c.min_overlap = 55;
     c.machine.host_memory_bytes = 1 << 19;
     c.machine.device_memory_bytes = 1 << 16;
-    c.reduce_strategy = ReduceStrategy::kLengthToken;
+    c.reduce_strategy = strategy_;
     c.work_dir = dir_.path() / ("work-" + scenario);
     return c;
   }
@@ -97,6 +97,7 @@ class DistRecoveryTest : public ::testing::Test {
   }
 
   io::ScopedTempDir dir_{"lasagna-dist-recovery"};
+  ReduceStrategy strategy_ = ReduceStrategy::kLengthToken;
 };
 
 TEST_F(DistRecoveryTest, NodeKilledMidMapResumesFinishedBlocks) {
@@ -117,6 +118,27 @@ TEST_F(DistRecoveryTest, NodeKilledMidReduceResumesFromTokenSidecars) {
   // partitions is restored from the per-partition delta sidecars; map,
   // shuffle and sort all resume whole.
   check_scenario("reduce", "node:nth=3,match=reduce:", 3);
+}
+
+TEST_F(DistRecoveryTest, SpeculativeKilledMidScanResumesFromCandidateSidecars) {
+  // The kill fires on the second candidate-scan sidecar write. On resume
+  // the finished partitions' candidates restore from their sidecars (no
+  // re-scan) and reconciliation replays over the full candidate set.
+  strategy_ = ReduceStrategy::kSpeculative;
+  check_scenario("spec-scan", "node:nth=2,match=reduce:cand", 3);
+}
+
+TEST_F(DistRecoveryTest, SpeculativeKilledMidReconciliationReplaysToFixpoint) {
+  // The kill fires on the master's second reconciliation round — after at
+  // least one commit delta has been persisted to the committed log. The
+  // resume pre-commits that log (a sound prefix of the sequential-greedy
+  // edge set), restores every candidate sidecar, and replays the
+  // speculate/reconcile rounds to the same fixpoint. Rounds and conflict
+  // counts may differ between the fresh and resumed runs (the replay
+  // starts from a later prefix); the contract is byte-identical contigs
+  // and identical edge counts, which check_scenario asserts.
+  strategy_ = ReduceStrategy::kSpeculative;
+  check_scenario("spec-reconcile", "node:nth=2,match=reduce:spec:round", 3);
 }
 
 TEST_F(DistRecoveryTest, ResumeAfterSuccessfulRunSkipsEverythingButCompress) {

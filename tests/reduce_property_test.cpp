@@ -9,6 +9,7 @@
 #include "core/reduce_phase.hpp"
 #include "io/record_stream.hpp"
 #include "test_workspace.hpp"
+#include "tie_corpus.hpp"
 
 namespace lasagna::core {
 namespace {
@@ -66,6 +67,7 @@ TEST_P(ReduceJoin, MatchesBruteForceJoin) {
   std::uint64_t seen = 0;
   ReduceOptions options;
   options.candidate_sink = [&seen](graph::VertexId, graph::VertexId,
+                                   std::uint16_t,
                                    const gpu::Key128&) { ++seen; };
   graph::StringGraph scratch(0);
   const auto stats = reduce_partition(tw.ws(), part, scratch, options);
@@ -91,6 +93,58 @@ INSTANTIATE_TEST_SUITE_P(
         Shape{0, 500, 10, 4096, 7},
         Shape{500, 0, 10, 4096, 8}),
     [](const auto& info) { return "case" + std::to_string(info.index); });
+
+// Adversarial tie corpora (dense equal-fingerprint clusters): every cluster
+// is an all-pairs join, so the candidate count is exact and any window
+// geometry that drops or duplicates a tie shows immediately.
+struct TieShape {
+  std::size_t clusters;
+  std::size_t sfx_per;
+  std::size_t pfx_per;
+  std::uint64_t device_bytes;
+  std::uint64_t seed;
+};
+
+class ReduceJoinTies : public ::testing::TestWithParam<TieShape> {};
+
+TEST_P(ReduceJoinTies, AllPairsFoundInTieClusters) {
+  const TieShape shape = GetParam();
+  TestWorkspace tw(shape.device_bytes);
+  const lasagna::testing::TieRecords corpus = lasagna::testing::make_tie_records(
+      shape.clusters, shape.sfx_per, shape.pfx_per, shape.seed);
+
+  SortedPartition part;
+  part.length = 50;
+  part.suffix_file = tw.dir().file("ts.bin");
+  part.prefix_file = tw.dir().file("tp.bin");
+  io::write_all_records<FpRecord>(part.suffix_file, corpus.sfx, tw.io());
+  io::write_all_records<FpRecord>(part.prefix_file, corpus.pfx, tw.io());
+
+  std::uint64_t seen = 0;
+  ReduceOptions options;
+  options.candidate_sink = [&seen](graph::VertexId, graph::VertexId,
+                                   std::uint16_t,
+                                   const gpu::Key128&) { ++seen; };
+  graph::StringGraph scratch(0);
+  const auto stats = reduce_partition(tw.ws(), part, scratch, options);
+  EXPECT_EQ(stats.candidates, corpus.expected_pairs);
+  EXPECT_EQ(seen, corpus.expected_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TieShapes, ReduceJoinTies,
+    ::testing::Values(
+        // Many small tie groups through a tiny window.
+        TieShape{40, 3, 3, 2048, 11},
+        // A few giant groups that overflow any window (drain fallback).
+        TieShape{3, 60, 40, 2048, 12},
+        TieShape{2, 100, 100, 4096, 13},
+        // Lopsided groups: one suffix against many prefixes and vice versa.
+        TieShape{25, 1, 30, 4096, 14},
+        TieShape{25, 30, 1, 4096, 15},
+        // Everything resident at once.
+        TieShape{10, 20, 20, 1 << 22, 16}),
+    [](const auto& info) { return "ties" + std::to_string(info.index); });
 
 }  // namespace
 }  // namespace lasagna::core

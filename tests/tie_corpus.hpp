@@ -1,0 +1,106 @@
+// Adversarial tie corpora: inputs engineered to maximize equal-fingerprint
+// candidate groups, where the greedy reduce's acceptance order — hence the
+// contigs — would flip under any layout-sensitive tie handling. Used by
+// the layout-invariance suite (reduce_tie_order_test), the windowed-join
+// property tests and the cross-node conformance matrix.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "seq/dna.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+
+namespace lasagna::testing {
+
+/// Record-level tie corpus: `clusters` distinct fingerprints, each shared
+/// by `sfx_per` suffix records and `pfx_per` prefix records — every
+/// cluster is an all-pairs tie group. Vertices are shuffled across
+/// clusters so vertex order and fingerprint order disagree (a layout-
+/// sensitive tie break would show immediately).
+struct TieRecords {
+  std::vector<core::FpRecord> sfx;  ///< fp-sorted
+  std::vector<core::FpRecord> pfx;  ///< fp-sorted
+  std::uint64_t expected_pairs = 0;
+};
+
+inline TieRecords make_tie_records(std::size_t clusters, std::size_t sfx_per,
+                                   std::size_t pfx_per, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  TieRecords out;
+  std::vector<std::uint32_t> sfx_vertices(clusters * sfx_per);
+  std::vector<std::uint32_t> pfx_vertices(clusters * pfx_per);
+  for (std::size_t i = 0; i < sfx_vertices.size(); ++i) {
+    sfx_vertices[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = 0; i < pfx_vertices.size(); ++i) {
+    pfx_vertices[i] = static_cast<std::uint32_t>((1u << 20) + i);
+  }
+  std::shuffle(sfx_vertices.begin(), sfx_vertices.end(), rng);
+  std::shuffle(pfx_vertices.begin(), pfx_vertices.end(), rng);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    // Sparse keys (c * large prime) so adjacent clusters are never equal.
+    const std::uint64_t k = 0x9e3779b97f4a7c15ull * (c + 1);
+    const gpu::Key128 fp{k, k ^ 0x5a5au};
+    for (std::size_t i = 0; i < sfx_per; ++i) {
+      out.sfx.push_back(
+          core::FpRecord{fp, sfx_vertices[c * sfx_per + i], 0});
+    }
+    for (std::size_t i = 0; i < pfx_per; ++i) {
+      out.pfx.push_back(
+          core::FpRecord{fp, pfx_vertices[c * pfx_per + i], 0});
+    }
+  }
+  auto fp_then_vertex = [](const core::FpRecord& a, const core::FpRecord& b) {
+    if (a.fp != b.fp) return a.fp < b.fp;
+    return a.vertex < b.vertex;
+  };
+  std::sort(out.sfx.begin(), out.sfx.end(), fp_then_vertex);
+  std::sort(out.pfx.begin(), out.pfx.end(), fp_then_vertex);
+  out.expected_pairs =
+      static_cast<std::uint64_t>(clusters) * sfx_per * pfx_per;
+  return out;
+}
+
+/// Genome-level tie corpus: a short core sequence tiled many times —
+/// forward and reverse-complemented (palindromic overlaps) — with thin
+/// unique spacers. Reads sampled from it produce dense equal-fingerprint
+/// clusters at every overlap length: dozens of reads share each repeat
+/// window verbatim, so nearly every candidate sits in a tie group.
+inline std::string repeat_tie_genome(std::size_t copies,
+                                     std::size_t motif_length,
+                                     std::size_t spacer_length,
+                                     std::uint64_t seed) {
+  const std::string motif = seq::random_genome(motif_length, seed);
+  const std::string motif_rc = seq::reverse_complement(motif);
+  std::string genome;
+  genome.reserve(copies * (motif_length + spacer_length));
+  for (std::size_t i = 0; i < copies; ++i) {
+    genome += (i % 3 == 2) ? motif_rc : motif;
+    genome += seq::random_genome(spacer_length, seed ^ (0xabcdu + i));
+  }
+  return genome;
+}
+
+/// Write a sequenced tie corpus to `fastq`: repeat-dense genome, exact
+/// reads, deterministic in the seeds.
+inline void write_tie_fastq(const std::filesystem::path& fastq,
+                            std::size_t copies, unsigned read_length,
+                            double coverage, std::uint64_t seed) {
+  const std::string genome =
+      repeat_tie_genome(copies, /*motif_length=*/220,
+                        /*spacer_length=*/40, seed);
+  seq::SequencingSpec spec;
+  spec.read_length = read_length;
+  spec.coverage = coverage;
+  spec.seed = seed + 1;
+  seq::simulate_to_fastq(genome, spec, fastq);
+}
+
+}  // namespace lasagna::testing
