@@ -20,6 +20,7 @@
 #include "dist/cluster.hpp"
 #include "gpu/profile.hpp"
 #include "io/fault_injector.hpp"
+#include "kernel/dump.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -47,7 +48,9 @@ int main(int argc, char** argv) {
                  "[--gfa=graph.gfa] [--min-contig=N] [--work-dir=DIR] "
                  "[--resume] [--fault-spec=SPEC] [--nodes=N] "
                  "[--reduce=token|bsp|speculative] "
-                 "[--trace-out=trace.json] [--metrics-out=metrics.json]\n",
+                 "[--trace-out=trace.json] [--metrics-out=metrics.json] "
+                 "[--kernel-backend=simulated|scalar|avx2|host] "
+                 "[--dump-kernels=DIR] [--dump-limit=N] [--dump-force]\n",
                  argv[0]);
     return 2;
   }
@@ -59,6 +62,9 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   unsigned nodes = 0;  // 0 = single-node pipeline; N >= 1 = cluster
   dist::ReduceStrategy reduce = dist::ReduceStrategy::kLengthToken;
+  std::string dump_dir;
+  std::size_t dump_limit = 32;  // records per kernel; bounds dump size
+  bool dump_force = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--min-overlap=", 0) == 0) {
@@ -107,6 +113,17 @@ int main(int argc, char** argv) {
                      name.c_str());
         return 2;
       }
+    } else if (arg.rfind("--kernel-backend=", 0) == 0) {
+      // "simulated" (default), "scalar", "avx2", or "host"/"auto" (fastest
+      // available host path). Contigs are byte-identical in every case.
+      config.kernel_backend = arg.substr(17);
+    } else if (arg.rfind("--dump-kernels=", 0) == 0) {
+      // Capture hot-kernel inputs/outputs into DIR for kernel_replay.
+      dump_dir = arg.substr(15);
+    } else if (arg.rfind("--dump-limit=", 0) == 0) {
+      dump_limit = std::stoull(arg.substr(13));
+    } else if (arg == "--dump-force") {
+      dump_force = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -138,6 +155,21 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<obs::Tracer>();
     tracer->set_disk_bandwidth(config.machine.disk_bandwidth_bytes_per_sec);
     tracer_install = std::make_unique<obs::Tracer::ScopedInstall>(tracer.get());
+  }
+  std::unique_ptr<kernel::CaptureSession> capture;
+  std::unique_ptr<kernel::ScopedCapture> capture_install;
+  if (!dump_dir.empty()) {
+    try {
+      capture = std::make_unique<kernel::CaptureSession>(dump_dir, dump_limit,
+                                                         dump_force);
+    } catch (const std::exception& e) {
+      // Refusing to clobber an existing golden dump is the common failure;
+      // point at --dump-force explicitly.
+      std::fprintf(stderr, "--dump-kernels: %s (use --dump-force)\n",
+                   e.what());
+      return 2;
+    }
+    capture_install = std::make_unique<kernel::ScopedCapture>(*capture);
   }
   try {
     if (nodes > 0) {
@@ -187,6 +219,18 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.contigs.total_bases),
                   static_cast<unsigned long long>(result.contigs.n50));
       std::printf("wrote %s\n", argv[2]);
+      if (capture != nullptr) {
+        capture->close();
+        std::printf("wrote kernel dumps (%llu fingerprint, %llu match, %llu "
+                    "sort records) to %s\n",
+                    static_cast<unsigned long long>(
+                        capture->captured(kernel::KernelId::kFingerprint)),
+                    static_cast<unsigned long long>(
+                        capture->captured(kernel::KernelId::kMatchBounds)),
+                    static_cast<unsigned long long>(
+                        capture->captured(kernel::KernelId::kSortPairs)),
+                    dump_dir.c_str());
+      }
       return 0;
     }
     core::Assembler assembler(config);
@@ -225,6 +269,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.contigs.total_bases),
                 static_cast<unsigned long long>(result.contigs.n50));
     std::printf("wrote %s\n", argv[2]);
+    if (capture != nullptr) {
+      capture->close();
+      std::printf("wrote kernel dumps (%llu fingerprint, %llu match, %llu "
+                  "sort records) to %s\n",
+                  static_cast<unsigned long long>(
+                      capture->captured(kernel::KernelId::kFingerprint)),
+                  static_cast<unsigned long long>(
+                      capture->captured(kernel::KernelId::kMatchBounds)),
+                  static_cast<unsigned long long>(
+                      capture->captured(kernel::KernelId::kSortPairs)),
+                  dump_dir.c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "assembly failed: %s\n", e.what());
     return 1;

@@ -1,0 +1,180 @@
+// Golden-testbed replay driver: re-execute kernel backends against a dump
+// captured with `assemble_fastq --dump-kernels=DIR`, byte-compare every
+// output against the captured golden, and report wall-clock throughput.
+//
+//   $ ./examples/kernel_replay --dump=DIR [--backend=NAME[,NAME...]]
+//         [--repeat=N] [--json=report.json] [--force]
+//
+// With no --backend, every available backend runs (simulated, scalar, avx2
+// when the CPU supports it). Exit status is nonzero if any replayed record
+// mismatched its golden output — this is the CI gate that pins new
+// backends to the reference implementation on real pipeline workloads.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "kernel/backend.hpp"
+#include "kernel/cpu_features.hpp"
+#include "kernel/dump.hpp"
+#include "kernel/replay.hpp"
+
+using namespace lasagna;
+
+namespace {
+
+struct BackendReport {
+  std::string backend;
+  kernel::ReplayReport report;
+};
+
+void print_table(const std::vector<BackendReport>& reports) {
+  std::printf("%-10s %-12s %8s %10s %14s %10s %12s\n", "backend", "kernel",
+              "records", "mismatch", "elements/s", "GB/s", "modeled s");
+  for (const auto& br : reports) {
+    for (const auto& k : br.report.kernels) {
+      std::printf("%-10s %-12s %8llu %10llu %14.3e %10.3f %12.6f\n",
+                  br.backend.c_str(), kernel::kernel_name(k.kernel),
+                  static_cast<unsigned long long>(k.records),
+                  static_cast<unsigned long long>(k.mismatched),
+                  k.elements_per_second(), k.gigabytes_per_second(),
+                  k.modeled_seconds);
+    }
+  }
+}
+
+void write_json(const std::filesystem::path& path,
+                const std::vector<BackendReport>& reports,
+                const std::string& dump_dir, std::size_t repeat) {
+  std::ofstream out(path);
+  out << "{\n  \"dump\": \"" << dump_dir << "\",\n  \"repeat\": " << repeat
+      << ",\n  \"backends\": [\n";
+  for (std::size_t b = 0; b < reports.size(); ++b) {
+    const auto& br = reports[b];
+    out << "    {\"backend\": \"" << br.backend << "\", \"ok\": "
+        << (br.report.ok() ? "true" : "false") << ", \"kernels\": [\n";
+    for (std::size_t i = 0; i < br.report.kernels.size(); ++i) {
+      const auto& k = br.report.kernels[i];
+      out << "      {\"kernel\": \"" << kernel::kernel_name(k.kernel)
+          << "\", \"records\": " << k.records
+          << ", \"mismatched\": " << k.mismatched
+          << ", \"elements\": " << k.elements << ", \"bytes\": " << k.bytes
+          << ", \"wall_seconds\": " << k.wall_seconds
+          << ", \"modeled_seconds\": " << k.modeled_seconds
+          << ", \"elements_per_second\": " << k.elements_per_second()
+          << ", \"gigabytes_per_second\": " << k.gigabytes_per_second()
+          << "}" << (i + 1 < br.report.kernels.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (b + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dump_dir;
+  std::vector<std::string> backend_names;
+  std::size_t repeat = 1;
+  std::string json_out;
+  bool force = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--dump=", 0) == 0) {
+      dump_dir = arg.substr(7);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      std::string list = arg.substr(10);
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        backend_names.push_back(
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::stoull(arg.substr(9));
+      if (repeat == 0) repeat = 1;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_out = arg.substr(7);
+    } else if (arg == "--force") {
+      force = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (dump_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --dump=DIR [--backend=NAME[,NAME...]] "
+                 "[--repeat=N] [--json=report.json] [--force]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (!json_out.empty() && !force &&
+      std::filesystem::exists(json_out)) {
+    std::fprintf(stderr, "%s exists; use --force to overwrite\n",
+                 json_out.c_str());
+    return 2;
+  }
+
+  // Resolve the backend set: explicit names (unknown is an error, an
+  // unavailable one is skipped with a note) or every available backend.
+  std::vector<kernel::Backend*> backends;
+  if (backend_names.empty()) {
+    for (kernel::Backend* b : kernel::all_backends()) {
+      if (b->available()) {
+        backends.push_back(b);
+      } else {
+        std::printf("skipping %.*s (unavailable on this host)\n",
+                    static_cast<int>(b->name().size()), b->name().data());
+      }
+    }
+  } else {
+    for (const auto& name : backend_names) {
+      kernel::Backend* b = kernel::find_backend(name);
+      if (b == nullptr) {
+        std::fprintf(stderr, "unknown backend %s\n", name.c_str());
+        return 2;
+      }
+      if (!b->available()) {
+        std::printf("skipping %s (unavailable on this host)\n", name.c_str());
+        continue;
+      }
+      backends.push_back(b);
+    }
+  }
+  const kernel::CpuFeatures cpu = kernel::cpu_features();
+  std::printf("cpu: avx2=%s bmi2=%s; replaying %s x%zu\n",
+              cpu.avx2 ? "yes" : "no", cpu.bmi2 ? "yes" : "no",
+              dump_dir.c_str(), repeat);
+
+  std::vector<BackendReport> reports;
+  bool all_ok = !backends.empty();
+  try {
+    for (kernel::Backend* backend : backends) {
+      BackendReport br;
+      br.backend = std::string(backend->name());
+      br.report = kernel::replay_dump(dump_dir, *backend, repeat);
+      all_ok = all_ok && br.report.ok();
+      reports.push_back(std::move(br));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replay failed: %s\n", e.what());
+    return 1;
+  }
+
+  print_table(reports);
+  if (!json_out.empty()) {
+    write_json(json_out, reports, dump_dir, repeat);
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: replay mismatched the golden dump\n");
+    return 1;
+  }
+  std::printf("OK: all backends byte-match the golden dump\n");
+  return 0;
+}

@@ -141,6 +141,13 @@ struct AssemblyConfig {
   /// streamed_* flags, the flag is excluded from the checkpoint config
   /// hash), so checkpoints interchange between modes.
   bool speculative_reduce = false;
+  /// Kernel backend for the three hot kernels (fingerprint generation,
+  /// match bounds, radix sort): "simulated" (default — the modeled-clock
+  /// device), "scalar", "avx2", or "host"/"auto" (fastest available host
+  /// path). Contigs are byte-identical with every backend; like the
+  /// streamed_* flags the choice is excluded from the checkpoint config
+  /// hash, so checkpoints interchange between backends.
+  std::string kernel_backend = "simulated";
   /// Working directory for intermediate files (empty = fresh temp dir).
   std::filesystem::path work_dir;
   /// Resume from the checkpoint manifest in `work_dir` (if one exists and

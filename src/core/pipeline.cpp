@@ -9,6 +9,7 @@
 #include "core/spec_resolve.hpp"
 #include "graph/gfa.hpp"
 #include "io/record_stream.hpp"
+#include "kernel/backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "seq/read_store.hpp"
@@ -315,6 +316,11 @@ AssemblyResult Assembler::run(
 
   device_ = std::make_unique<gpu::Device>(
       config_.machine.gpu_profile, config_.machine.device_memory_bytes);
+  // Route the hot kernels (fingerprint / match bounds / radix sort)
+  // through the configured backend for the whole run; logs one line with
+  // the selection and detected CPU features.
+  kernel::ScopedBackend kernel_scope(
+      kernel::resolve_backend(config_.kernel_backend));
   util::MemoryTracker host_tracker("host", 0);
   io::IoStats io_stats;
 

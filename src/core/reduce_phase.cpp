@@ -7,6 +7,8 @@
 #include "core/file_window.hpp"
 #include "gpu/primitives.hpp"
 #include "gpu/stream.hpp"
+#include "kernel/backend.hpp"
+#include "kernel/dump.hpp"
 #include "io/async_record_stream.hpp"
 #include "io/record_stream.hpp"
 #include "obs/trace.hpp"
@@ -80,28 +82,52 @@ class WindowMatcher {
     for (std::size_t i = 0; i < sfx.size(); ++i) sfx_keys_[i] = sfx[i].fp;
     for (std::size_t i = 0; i < pfx.size(); ++i) pfx_keys_[i] = pfx[i].fp;
 
-    const auto d_sfx = d_sfx_.span().first(sfx.size());
-    const auto d_pfx = d_pfx_.span().first(pfx.size());
-    const auto d_lower = d_lower_.span().first(sfx.size());
-    const auto d_upper = d_upper_.span().first(sfx.size());
-
-    gpu::Stream& s = streams_.rotate();
-    s.copy_to_device_async(std::span<const gpu::Key128>(sfx_keys_), d_sfx);
-    s.copy_to_device_async(std::span<const gpu::Key128>(pfx_keys_), d_pfx);
-    streams_.begin_kernel(s);  // one compute engine: kernels serialize
-    {
-      gpu::StreamScope scope(dev, s);
-      gpu::vector_lower_bound(dev, d_sfx, d_pfx, d_lower);
-      gpu::vector_upper_bound(dev, d_sfx, d_pfx, d_upper);
-    }
-    streams_.end_kernel(s);
-
     staged_.lower.resize(sfx.size());
     staged_.upper.resize(sfx.size());
-    s.copy_to_host_async(std::span<const std::uint32_t>(d_lower),
-                         std::span<std::uint32_t>(staged_.lower));
-    s.copy_to_host_async(std::span<const std::uint32_t>(d_upper),
-                         std::span<std::uint32_t>(staged_.upper));
+
+    kernel::Backend& backend = kernel::active_backend();
+    if (!backend.uses_device()) {
+      // Host backend (scalar/avx2): the bound searches run directly on the
+      // staged host keys; the device and its modeled clock stay idle.
+      backend.match_bounds(sfx_keys_, pfx_keys_, staged_.lower,
+                           staged_.upper, nullptr);
+    } else {
+      const auto d_sfx = d_sfx_.span().first(sfx.size());
+      const auto d_pfx = d_pfx_.span().first(pfx.size());
+      const auto d_lower = d_lower_.span().first(sfx.size());
+      const auto d_upper = d_upper_.span().first(sfx.size());
+
+      gpu::Stream& s = streams_.rotate();
+      s.copy_to_device_async(std::span<const gpu::Key128>(sfx_keys_), d_sfx);
+      s.copy_to_device_async(std::span<const gpu::Key128>(pfx_keys_), d_pfx);
+      streams_.begin_kernel(s);  // one compute engine: kernels serialize
+      {
+        gpu::StreamScope scope(dev, s);
+        gpu::vector_lower_bound(dev, d_sfx, d_pfx, d_lower);
+        gpu::vector_upper_bound(dev, d_sfx, d_pfx, d_upper);
+      }
+      streams_.end_kernel(s);
+
+      s.copy_to_host_async(std::span<const std::uint32_t>(d_lower),
+                           std::span<std::uint32_t>(staged_.lower));
+      s.copy_to_host_async(std::span<const std::uint32_t>(d_upper),
+                           std::span<std::uint32_t>(staged_.upper));
+    }
+
+    if (kernel::CaptureSession* capture = kernel::CaptureSession::active()) {
+      // The simulated copies above are async only on the modeled clock;
+      // the staged data is final here on either path.
+      capture->record(
+          kernel::KernelId::kMatchBounds,
+          {sfx.size(), pfx.size(), 0, 0, 0, 0, 0, 0},
+          kernel::concat_bytes(
+              {std::as_bytes(std::span<const gpu::Key128>(sfx_keys_)),
+               std::as_bytes(std::span<const gpu::Key128>(pfx_keys_))}),
+          kernel::concat_bytes(
+              {std::as_bytes(std::span<const std::uint32_t>(staged_.lower)),
+               std::as_bytes(
+                   std::span<const std::uint32_t>(staged_.upper))}));
+    }
     staged_.sfx_vertices.resize(sfx.size());
     staged_.pfx_vertices.resize(pfx.size());
     staged_.sfx_fps.assign(sfx_keys_.begin(), sfx_keys_.end());

@@ -12,6 +12,8 @@
 #include "gpu/primitives.hpp"
 #include "gpu/stream.hpp"
 #include "io/async_record_stream.hpp"
+#include "kernel/backend.hpp"
+#include "kernel/dump.hpp"
 #include "io/record_stream.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -63,24 +65,48 @@ void device_sort_chunk(Workspace& ws, std::span<FpRecord> chunk,
   std::vector<std::uint64_t> vals;
   split_records(chunk, keys, vals);
 
-  auto d_keys = dev.alloc<gpu::Key128>(chunk.size());
-  auto d_vals = dev.alloc<std::uint64_t>(chunk.size());
-  gpu::Stream& s = streams.rotate();
-  s.copy_to_device_async(std::span<const gpu::Key128>(keys), d_keys.span());
-  s.copy_to_device_async(std::span<const std::uint64_t>(vals),
-                         d_vals.span());
-
-  streams.begin_kernel(s);  // one compute engine: kernels serialize
-  {
-    gpu::StreamScope scope(dev, s);
-    gpu::sort_pairs<std::uint64_t>(dev, d_keys.span(), d_vals.span());
+  kernel::CaptureSession* capture = kernel::CaptureSession::active();
+  std::vector<std::byte> capture_input;
+  if (capture != nullptr) {
+    capture_input = kernel::concat_bytes(
+        {std::as_bytes(std::span<const gpu::Key128>(keys)),
+         std::as_bytes(std::span<const std::uint64_t>(vals))});
   }
-  streams.end_kernel(s);
 
-  s.copy_to_host_async(std::span<const gpu::Key128>(d_keys.span()),
-                       std::span<gpu::Key128>(keys));
-  s.copy_to_host_async(std::span<const std::uint64_t>(d_vals.span()),
-                       std::span<std::uint64_t>(vals));
+  kernel::Backend& backend = kernel::active_backend();
+  if (!backend.uses_device()) {
+    // Host backend (scalar/avx2): sort in place on the host split; same
+    // stable LSD permutation, so records land byte-identically.
+    backend.sort_pairs(keys, vals, nullptr);
+  } else {
+    auto d_keys = dev.alloc<gpu::Key128>(chunk.size());
+    auto d_vals = dev.alloc<std::uint64_t>(chunk.size());
+    gpu::Stream& s = streams.rotate();
+    s.copy_to_device_async(std::span<const gpu::Key128>(keys), d_keys.span());
+    s.copy_to_device_async(std::span<const std::uint64_t>(vals),
+                           d_vals.span());
+
+    streams.begin_kernel(s);  // one compute engine: kernels serialize
+    {
+      gpu::StreamScope scope(dev, s);
+      gpu::sort_pairs<std::uint64_t>(dev, d_keys.span(), d_vals.span());
+    }
+    streams.end_kernel(s);
+
+    s.copy_to_host_async(std::span<const gpu::Key128>(d_keys.span()),
+                         std::span<gpu::Key128>(keys));
+    s.copy_to_host_async(std::span<const std::uint64_t>(d_vals.span()),
+                         std::span<std::uint64_t>(vals));
+  }
+
+  if (capture != nullptr) {
+    capture->record(
+        kernel::KernelId::kSortPairs, {chunk.size(), 0, 0, 0, 0, 0, 0, 0},
+        capture_input,
+        kernel::concat_bytes(
+            {std::as_bytes(std::span<const gpu::Key128>(keys)),
+             std::as_bytes(std::span<const std::uint64_t>(vals))}));
+  }
   join_records(keys, vals, chunk);
 }
 

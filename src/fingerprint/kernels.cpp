@@ -1,17 +1,15 @@
 #include "fingerprint/kernels.hpp"
 
-#include <bit>
 #include <stdexcept>
 
-#include "gpu/stream.hpp"
+#include "kernel/backend.hpp"
+#include "kernel/dump.hpp"
 #include "seq/dna.hpp"
 #include "util/modmath.hpp"
 
 namespace lasagna::fingerprint {
 
-using util::addmod;
 using util::mulmod;
-using util::submod;
 
 PlaceTable::PlaceTable(const FingerprintConfig& cfg, unsigned max_length)
     : cfg_(cfg), pow_a_(max_length), pow_b_(max_length) {
@@ -27,247 +25,35 @@ PlaceTable::PlaceTable(const FingerprintConfig& cfg, unsigned max_length)
 
 namespace {
 
-/// Device-side encoded batch: base codes, one byte per base, row-major with
-/// a fixed stride (reads shorter than the stride leave a tail unused).
+/// Host-side encoded batch: base codes, one byte per base, row-major with
+/// a fixed stride (reads shorter than the stride leave a zero tail).
 struct EncodedBatch {
-  gpu::DeviceBuffer<std::uint8_t> codes;
-  gpu::DeviceBuffer<std::uint16_t> lengths;
+  std::vector<std::uint8_t> codes;
+  std::vector<std::uint16_t> lengths;
   unsigned stride = 0;
   unsigned count = 0;
 };
 
-EncodedBatch encode_and_upload(gpu::Device& dev,
-                               std::span<const std::string> reads) {
+EncodedBatch encode(std::span<const std::string> reads) {
   EncodedBatch batch;
   batch.count = static_cast<unsigned>(reads.size());
   for (const auto& r : reads) {
     batch.stride = std::max(batch.stride, static_cast<unsigned>(r.size()));
   }
-  std::vector<std::uint8_t> host_codes(
-      static_cast<std::size_t>(batch.count) * batch.stride, 0);
-  std::vector<std::uint16_t> host_lengths(batch.count);
+  batch.codes.assign(static_cast<std::size_t>(batch.count) * batch.stride, 0);
+  batch.lengths.resize(batch.count);
   for (unsigned r = 0; r < batch.count; ++r) {
     const auto& read = reads[r];
     if (read.size() > 0xffff) {
       throw std::invalid_argument("read longer than 65535 bases");
     }
-    host_lengths[r] = static_cast<std::uint16_t>(read.size());
+    batch.lengths[r] = static_cast<std::uint16_t>(read.size());
     for (std::size_t i = 0; i < read.size(); ++i) {
-      host_codes[static_cast<std::size_t>(r) * batch.stride + i] =
+      batch.codes[static_cast<std::size_t>(r) * batch.stride + i] =
           static_cast<std::uint8_t>(seq::encode_base(read[i]));
     }
   }
-  batch.codes = dev.alloc<std::uint8_t>(host_codes.size());
-  batch.lengths = dev.alloc<std::uint16_t>(host_lengths.size());
-  dev.copy_to_device(std::span<const std::uint8_t>(host_codes),
-                     batch.codes.span());
-  dev.copy_to_device(std::span<const std::uint16_t>(host_lengths),
-                     batch.lengths.span());
   return batch;
-}
-
-/// The Hillis-Steele prefix scan for one hash function, executed inside one
-/// block. `work` and `next` are shared-memory arrays of block_dim elements.
-void block_prefix_scan(const gpu::BlockContext& ctx, unsigned len,
-                       const HashParams& params,
-                       std::span<const std::uint8_t> codes,
-                       std::span<std::uint64_t> work,
-                       std::span<std::uint64_t> next,
-                       std::span<std::uint64_t> out) {
-  const std::uint64_t q = params.modulus;
-
-  // Phase 0: each thread encodes its base into shared memory (array E in
-  // Fig 5 -- codes are already 0..3, so this is a plain load).
-  ctx.for_each_thread([&](unsigned tid) {
-    if (tid < len) work[tid] = codes[tid] % q;
-  });
-
-  // Doubling steps. M[offset] = sigma^offset mod q is recomputed per step
-  // (cheap) rather than read from the device table, matching the shared-
-  // memory-resident loop of the real kernel.
-  std::uint64_t place = params.radix % q;  // sigma^offset for offset=1
-  for (unsigned offset = 1; offset < len; offset <<= 1) {
-    ctx.for_each_thread([&](unsigned tid) {
-      if (tid >= len) return;
-      next[tid] = tid >= offset
-                      ? addmod(mulmod(work[tid - offset], place, q),
-                               work[tid], q)
-                      : work[tid];
-    });
-    std::swap(work, next);
-    place = mulmod(place, place, q);  // sigma^(2*offset)
-  }
-
-  ctx.for_each_thread([&](unsigned tid) {
-    if (tid < len) out[tid] = work[tid];
-  });
-}
-
-/// Suffix fingerprints from prefix fingerprints (Fig 6):
-///   S[0] = P[len-1];  S[i] = (P[len-1] - P[i-1] * sigma^(len-i)) mod q.
-void block_suffix_from_prefix(const gpu::BlockContext& ctx, unsigned len,
-                              const HashParams& params,
-                              const PlaceTable& places, bool primary,
-                              std::span<const std::uint64_t> prefix,
-                              std::span<std::uint64_t> out) {
-  const std::uint64_t q = params.modulus;
-  const std::uint64_t whole = prefix[len - 1];
-  ctx.for_each_thread([&](unsigned tid) {
-    if (tid >= len) return;
-    if (tid == 0) {
-      out[0] = whole;
-      return;
-    }
-    const std::uint64_t place =
-        primary ? places.primary(len - tid) : places.secondary(len - tid);
-    out[tid] = submod(whole, mulmod(prefix[tid - 1], place, q), q);
-  });
-}
-
-BatchFingerprints run_block_per_read(gpu::Device& dev,
-                                     const EncodedBatch& batch,
-                                     const PlaceTable& places,
-                                     gpu::StreamPair* streams,
-                                     gpu::Stream* stream) {
-  const FingerprintConfig& cfg = places.config();
-  const unsigned stride = batch.stride;
-  const std::size_t total = static_cast<std::size_t>(batch.count) * stride;
-
-  auto d_prefix = dev.alloc<gpu::Key128>(total);
-  auto d_suffix = dev.alloc<gpu::Key128>(total);
-
-  // Shared memory per block: two double-buffered u64 arrays (work/next) plus
-  // one output staging array per hash function.
-  const std::size_t shared_bytes = static_cast<std::size_t>(stride) * 8 * 3;
-
-  if (streams != nullptr) streams->begin_kernel(*stream);
-  dev.launch(batch.count, stride, shared_bytes, [&](gpu::BlockContext& ctx) {
-    const unsigned r = ctx.block_idx();
-    const unsigned len = batch.lengths[r];
-    if (len == 0) return;
-    const std::span<const std::uint8_t> codes =
-        batch.codes.span().subspan(static_cast<std::size_t>(r) * stride, len);
-    auto work = ctx.shared_as<std::uint64_t>(3 * stride);
-    auto buf0 = work.subspan(0, stride);
-    auto buf1 = work.subspan(stride, stride);
-    auto stage = work.subspan(2 * static_cast<std::size_t>(stride), stride);
-
-    gpu::Key128* prefix_row =
-        d_prefix.data() + static_cast<std::size_t>(r) * stride;
-    gpu::Key128* suffix_row =
-        d_suffix.data() + static_cast<std::size_t>(r) * stride;
-
-    // Primary hash: prefix scan then suffix derivation.
-    block_prefix_scan(ctx, len, cfg.primary, codes, buf0, buf1, stage);
-    ctx.for_each_thread([&](unsigned tid) {
-      if (tid < len) prefix_row[tid].hi = stage[tid];
-    });
-    block_suffix_from_prefix(ctx, len, cfg.primary, places, true, stage,
-                             buf0);
-    ctx.for_each_thread([&](unsigned tid) {
-      if (tid < len) suffix_row[tid].hi = buf0[tid];
-    });
-
-    // Secondary hash.
-    block_prefix_scan(ctx, len, cfg.secondary, codes, buf0, buf1, stage);
-    ctx.for_each_thread([&](unsigned tid) {
-      if (tid < len) prefix_row[tid].lo = stage[tid];
-    });
-    block_suffix_from_prefix(ctx, len, cfg.secondary, places, false, stage,
-                             buf0);
-    ctx.for_each_thread([&](unsigned tid) {
-      if (tid < len) suffix_row[tid].lo = buf0[tid];
-    });
-  });
-
-  // Cost model: coalesced reads of the codes, coalesced writes of both
-  // fingerprint arrays; ~2 modmul ops per element per doubling step per hash.
-  const unsigned steps = stride <= 1 ? 1 : std::bit_width(stride - 1);
-  dev.charge_kernel(total * (1 + 2 * sizeof(gpu::Key128)),
-                    static_cast<std::uint64_t>(total) * steps * 2 * 2);
-  if (streams != nullptr) streams->end_kernel(*stream);
-
-  BatchFingerprints out;
-  out.stride = stride;
-  out.prefix.resize(total);
-  out.suffix.resize(total);
-  dev.copy_to_host(std::span<const gpu::Key128>(d_prefix.span()),
-                   std::span<gpu::Key128>(out.prefix));
-  dev.copy_to_host(std::span<const gpu::Key128>(d_suffix.span()),
-                   std::span<gpu::Key128>(out.suffix));
-  return out;
-}
-
-BatchFingerprints run_thread_per_read(gpu::Device& dev,
-                                      const EncodedBatch& batch,
-                                      const PlaceTable& places,
-                                      gpu::StreamPair* streams,
-                                      gpu::Stream* stream) {
-  const FingerprintConfig& cfg = places.config();
-  const unsigned stride = batch.stride;
-  const std::size_t total = static_cast<std::size_t>(batch.count) * stride;
-
-  auto d_prefix = dev.alloc<gpu::Key128>(total);
-  auto d_suffix = dev.alloc<gpu::Key128>(total);
-
-  // One thread handles one whole read with a sequential rolling hash; block
-  // size is an arbitrary tiling of the read array.
-  constexpr unsigned kBlock = 128;
-  const unsigned blocks = (batch.count + kBlock - 1) / kBlock;
-  if (streams != nullptr) streams->begin_kernel(*stream);
-  dev.launch(blocks, kBlock, 0, [&](gpu::BlockContext& ctx) {
-    ctx.for_each_thread([&](unsigned tid) {
-      const std::size_t r =
-          static_cast<std::size_t>(ctx.block_idx()) * kBlock + tid;
-      if (r >= batch.count) return;
-      const unsigned len = batch.lengths[r];
-      const std::uint8_t* codes = batch.codes.data() + r * stride;
-      gpu::Key128* prefix_row = d_prefix.data() + r * stride;
-      gpu::Key128* suffix_row = d_suffix.data() + r * stride;
-
-      std::uint64_t ha = 0;
-      std::uint64_t hb = 0;
-      for (unsigned i = 0; i < len; ++i) {
-        ha = addmod(mulmod(ha, cfg.primary.radix, cfg.primary.modulus),
-                    codes[i], cfg.primary.modulus);
-        hb = addmod(mulmod(hb, cfg.secondary.radix, cfg.secondary.modulus),
-                    codes[i], cfg.secondary.modulus);
-        prefix_row[i] = gpu::Key128{ha, hb};
-      }
-      std::uint64_t sa = 0;
-      std::uint64_t sb = 0;
-      for (unsigned i = len; i-- > 0;) {
-        sa = addmod(mulmod(static_cast<std::uint64_t>(codes[i]),
-                           places.primary(len - 1 - i),
-                           cfg.primary.modulus),
-                    sa, cfg.primary.modulus);
-        sb = addmod(mulmod(static_cast<std::uint64_t>(codes[i]),
-                           places.secondary(len - 1 - i),
-                           cfg.secondary.modulus),
-                    sb, cfg.secondary.modulus);
-        suffix_row[i] = gpu::Key128{sa, sb};
-      }
-    });
-  });
-
-  // Cost model: every access is strided by the read length, so transactions
-  // are uncoalesced -- charge the 8x transaction-expansion penalty that the
-  // paper's "excessive memory throttling" observation corresponds to.
-  constexpr std::uint64_t kUncoalescedPenalty = 8;
-  dev.charge_kernel(
-      kUncoalescedPenalty * total * (1 + 2 * sizeof(gpu::Key128)),
-      static_cast<std::uint64_t>(total) * 2 * 2);
-  if (streams != nullptr) streams->end_kernel(*stream);
-
-  BatchFingerprints out;
-  out.stride = stride;
-  out.prefix.resize(total);
-  out.suffix.resize(total);
-  dev.copy_to_host(std::span<const gpu::Key128>(d_prefix.span()),
-                   std::span<gpu::Key128>(out.prefix));
-  dev.copy_to_host(std::span<const gpu::Key128>(d_suffix.span()),
-                   std::span<gpu::Key128>(out.suffix));
-  return out;
 }
 
 }  // namespace
@@ -284,20 +70,45 @@ BatchFingerprints compute_batch_fingerprints(gpu::Device& dev,
           "read longer than the PlaceTable max_length");
     }
   }
-  if (streams == nullptr) {
-    const EncodedBatch batch = encode_and_upload(dev, reads);
-    return strategy == KernelStrategy::kBlockPerRead
-               ? run_block_per_read(dev, batch, places, nullptr, nullptr)
-               : run_thread_per_read(dev, batch, places, nullptr, nullptr);
+  const EncodedBatch batch = encode(reads);
+  const std::size_t total =
+      static_cast<std::size_t>(batch.count) * batch.stride;
+
+  BatchFingerprints out;
+  out.stride = batch.stride;
+  out.prefix.assign(total, gpu::Key128{});  // backends fill valid lanes only
+  out.suffix.assign(total, gpu::Key128{});
+
+  const FingerprintConfig& cfg = places.config();
+  kernel::FingerprintJob job;
+  job.count = batch.count;
+  job.stride = batch.stride;
+  job.codes = batch.codes;
+  job.lengths = batch.lengths;
+  job.primary = cfg.primary;
+  job.secondary = cfg.secondary;
+  job.pow_primary = places.primary_table();
+  job.pow_secondary = places.secondary_table();
+  job.prefix = out.prefix.data();
+  job.suffix = out.suffix.data();
+
+  kernel::DeviceContext ctx{&dev, streams,
+                            strategy == KernelStrategy::kThreadPerRead};
+  kernel::active_backend().fingerprint(job, &ctx);
+
+  if (kernel::CaptureSession* capture = kernel::CaptureSession::active()) {
+    capture->record(
+        kernel::KernelId::kFingerprint,
+        {batch.count, batch.stride, cfg.primary.radix, cfg.primary.modulus,
+         cfg.secondary.radix, cfg.secondary.modulus, 0, 0},
+        kernel::concat_bytes(
+            {std::as_bytes(std::span<const std::uint8_t>(batch.codes)),
+             std::as_bytes(std::span<const std::uint16_t>(batch.lengths))}),
+        kernel::concat_bytes(
+            {std::as_bytes(std::span<const gpu::Key128>(out.prefix)),
+             std::as_bytes(std::span<const gpu::Key128>(out.suffix))}));
   }
-  // Double-buffered: batch i charges leg i % 2, so its transfers overlap the
-  // neighbouring batch's kernel while kernels serialize via the pair's event.
-  gpu::Stream& s = streams->rotate();
-  gpu::StreamScope scope(dev, s);
-  const EncodedBatch batch = encode_and_upload(dev, reads);
-  return strategy == KernelStrategy::kBlockPerRead
-             ? run_block_per_read(dev, batch, places, streams, &s)
-             : run_thread_per_read(dev, batch, places, streams, &s);
+  return out;
 }
 
 }  // namespace lasagna::fingerprint

@@ -34,6 +34,13 @@ class PlaceTable {
 
   [[nodiscard]] std::uint64_t primary(unsigned i) const { return pow_a_[i]; }
   [[nodiscard]] std::uint64_t secondary(unsigned i) const { return pow_b_[i]; }
+  /// Whole tables, as the kernel backends consume them (kernel::FingerprintJob).
+  [[nodiscard]] std::span<const std::uint64_t> primary_table() const {
+    return pow_a_;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> secondary_table() const {
+    return pow_b_;
+  }
   [[nodiscard]] unsigned max_length() const {
     return static_cast<unsigned>(pow_a_.size());
   }
@@ -56,18 +63,23 @@ enum class KernelStrategy {
 ///   prefix[i] = fingerprint of the prefix of length i+1,
 ///   suffix[i] = fingerprint of the suffix starting at i (length len-i),
 /// where stride = max read length in the batch; entries beyond a read's
-/// length are unspecified.
+/// length are zero (the kernel backends' canonical form, so outputs are
+/// byte-comparable across backends and in dump/replay).
 struct BatchFingerprints {
   unsigned stride = 0;
   std::vector<gpu::Key128> prefix;
   std::vector<gpu::Key128> suffix;
 };
 
-/// Run the fingerprint kernel over a batch of reads on `dev`.
-/// Transfers (encoded reads in, fingerprints out) are charged to the device.
-/// With `streams` set, each call rotates onto one leg of the pair so that
-/// consecutive batches double-buffer: transfers overlap the neighbouring
-/// batch's kernel while kernels serialize (one compute engine).
+/// Run the fingerprint kernel over a batch of reads, dispatching through
+/// the active kernel backend (kernel::active_backend()). On the default
+/// simulated backend transfers (encoded reads in, fingerprints out) are
+/// charged to `dev`, and with `streams` set each call rotates onto one leg
+/// of the pair so that consecutive batches double-buffer: transfers
+/// overlap the neighbouring batch's kernel while kernels serialize (one
+/// compute engine). Host backends (scalar/avx2) compute on the host and
+/// leave the modeled clock untouched. Outputs are byte-identical either
+/// way; an active kernel::CaptureSession records the invocation.
 [[nodiscard]] BatchFingerprints compute_batch_fingerprints(
     gpu::Device& dev, std::span<const std::string> reads,
     const PlaceTable& places,

@@ -1,0 +1,160 @@
+// Scalar host backend: straightforward single-threaded C++ for all three
+// kernels. This is the portable fallback (runs on any CPU) and the wall-
+// clock baseline the AVX2 backend's speedup gate is measured against. Its
+// modular arithmetic goes through util::mulmod's 128-bit division — the
+// very cost the AVX2 path's Shoup multiplication removes.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "gpu/key128.hpp"
+#include "kernel/backend.hpp"
+#include "util/modmath.hpp"
+
+namespace lasagna::kernel {
+
+namespace {
+
+using gpu::Key128;
+using util::addmod;
+using util::mulmod;
+
+void scalar_fingerprint(const FingerprintJob& job) {
+  const std::uint64_t qa = job.primary.modulus;
+  const std::uint64_t qb = job.secondary.modulus;
+  const std::uint64_t ra = job.primary.radix;
+  const std::uint64_t rb = job.secondary.radix;
+  for (unsigned r = 0; r < job.count; ++r) {
+    const unsigned len = job.lengths[r];
+    const std::uint8_t* codes =
+        job.codes.data() + static_cast<std::size_t>(r) * job.stride;
+    Key128* prefix_row = job.prefix + static_cast<std::size_t>(r) * job.stride;
+    Key128* suffix_row = job.suffix + static_cast<std::size_t>(r) * job.stride;
+
+    std::uint64_t ha = 0;
+    std::uint64_t hb = 0;
+    for (unsigned i = 0; i < len; ++i) {
+      ha = addmod(mulmod(ha, ra, qa), codes[i] % qa, qa);
+      hb = addmod(mulmod(hb, rb, qb), codes[i] % qb, qb);
+      prefix_row[i] = Key128{ha, hb};
+    }
+    std::uint64_t sa = 0;
+    std::uint64_t sb = 0;
+    for (unsigned i = len; i-- > 0;) {
+      sa = addmod(mulmod(codes[i] % qa, job.pow_primary[len - 1 - i], qa), sa,
+                  qa);
+      sb = addmod(mulmod(codes[i] % qb, job.pow_secondary[len - 1 - i], qb),
+                  sb, qb);
+      suffix_row[i] = Key128{sa, sb};
+    }
+  }
+}
+
+void scalar_match_bounds(std::span<const Key128> needles,
+                         std::span<const Key128> haystack,
+                         std::span<std::uint32_t> lower,
+                         std::span<std::uint32_t> upper) {
+  for (std::size_t i = 0; i < needles.size(); ++i) {
+    lower[i] = static_cast<std::uint32_t>(
+        std::lower_bound(haystack.begin(), haystack.end(), needles[i]) -
+        haystack.begin());
+    upper[i] = static_cast<std::uint32_t>(
+        std::upper_bound(haystack.begin(), haystack.end(), needles[i]) -
+        haystack.begin());
+  }
+}
+
+void scalar_sort_pairs(std::span<Key128> keys,
+                       std::span<std::uint64_t> values) {
+  const std::size_t n = keys.size();
+  if (n < 2) return;
+
+  std::vector<Key128> tmp_k(n);
+  std::vector<std::uint64_t> tmp_v(n);
+
+  // One pre-pass builds all 16 digit histograms, so degenerate passes
+  // (every key shares the digit) skip without touching data — the same
+  // optimization the simulated device path applies, and a requirement for
+  // byte-identity is NOT affected either way: any stable LSD digit order
+  // yields the same output permutation.
+  std::array<std::array<std::uint64_t, 256>, Key128::kDigits> hist{};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned d = 0; d < Key128::kDigits; ++d) {
+      ++hist[d][keys[i].digit(d)];
+    }
+  }
+
+  Key128* src_k = keys.data();
+  std::uint64_t* src_v = values.data();
+  Key128* dst_k = tmp_k.data();
+  std::uint64_t* dst_v = tmp_v.data();
+
+  for (unsigned d = 0; d < Key128::kDigits; ++d) {
+    const auto& h = hist[d];
+    bool degenerate = false;
+    for (unsigned b = 0; b < 256; ++b) {
+      if (h[b] == n) {
+        degenerate = true;
+        break;
+      }
+    }
+    if (degenerate) continue;
+
+    std::array<std::uint64_t, 256> offsets;
+    std::uint64_t running = 0;
+    for (unsigned b = 0; b < 256; ++b) {
+      offsets[b] = running;
+      running += h[b];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t at = offsets[src_k[i].digit(d)]++;
+      dst_k[at] = src_k[i];
+      dst_v[at] = src_v[i];
+    }
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+  }
+
+  if (src_k != keys.data()) {
+    std::copy(src_k, src_k + n, keys.data());
+    std::copy(src_v, src_v + n, values.data());
+  }
+}
+
+class ScalarBackend final : public Backend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "scalar"; }
+  [[nodiscard]] bool available() const override { return true; }
+
+  void fingerprint(const FingerprintJob& job, DeviceContext*) override {
+    scalar_fingerprint(job);
+  }
+
+  void match_bounds(std::span<const Key128> needles,
+                    std::span<const Key128> haystack,
+                    std::span<std::uint32_t> lower,
+                    std::span<std::uint32_t> upper, DeviceContext*) override {
+    if (lower.size() != needles.size() || upper.size() != needles.size()) {
+      throw std::invalid_argument("match_bounds: output size mismatch");
+    }
+    scalar_match_bounds(needles, haystack, lower, upper);
+  }
+
+  void sort_pairs(std::span<Key128> keys, std::span<std::uint64_t> values,
+                  DeviceContext*) override {
+    if (keys.size() != values.size()) {
+      throw std::invalid_argument("sort_pairs: key/value size mismatch");
+    }
+    scalar_sort_pairs(keys, values);
+  }
+};
+
+}  // namespace
+
+Backend& scalar_backend() {
+  static ScalarBackend backend;
+  return backend;
+}
+
+}  // namespace lasagna::kernel

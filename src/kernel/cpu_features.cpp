@@ -1,0 +1,52 @@
+#include "kernel/cpu_features.hpp"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <cpuid.h>
+#define LASAGNA_HAVE_CPUID 1
+#endif
+
+namespace lasagna::kernel {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#ifdef LASAGNA_HAVE_CPUID
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid_max(0, nullptr) < 7) return f;
+  // Leaf 7 subleaf 0: EBX bit 5 = AVX2, EBX bit 8 = BMI2.
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  f.avx2 = (ebx & (1u << 5)) != 0;
+  f.bmi2 = (ebx & (1u << 8)) != 0;
+  // AVX2 also needs OS support for saving YMM state (XSAVE/OSXSAVE +
+  // XCR0 bits 1 and 2); without it the vector registers are not preserved
+  // across context switches.
+  if (f.avx2) {
+    __cpuid(1, eax, ebx, ecx, edx);
+    const bool osxsave = (ecx & (1u << 27)) != 0;
+    if (!osxsave) {
+      f.avx2 = false;
+    } else {
+      std::uint32_t xcr0_lo = 0;
+      std::uint32_t xcr0_hi = 0;
+      __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+      if ((xcr0_lo & 0x6) != 0x6) f.avx2 = false;
+    }
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+}  // namespace lasagna::kernel

@@ -1,0 +1,19 @@
+// Runtime CPU-feature detection for the host kernel backends.
+//
+// The AVX2 backend is compiled with -mavx2 in its own translation unit; it
+// must never execute unless the *running* CPU advertises AVX2, or builds
+// shipped to older hosts crash on the first vector instruction. cpuid is
+// queried once and cached.
+#pragma once
+
+namespace lasagna::kernel {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool bmi2 = false;
+};
+
+/// Features of the CPU this process is running on (cached after first call).
+[[nodiscard]] const CpuFeatures& cpu_features();
+
+}  // namespace lasagna::kernel

@@ -1,0 +1,67 @@
+// Replay half of the golden testbed: re-execute any kernel backend
+// against a captured dump and byte-compare its outputs against the golden
+// capture, timing the kernel calls on the *wall clock*. This is how
+// alternative backends (AVX2 today; CUDA/HLS per the ROADMAP) are both
+// verified and benchmarked on real pipeline workloads, without running
+// the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "kernel/backend.hpp"
+
+namespace lasagna::kernel {
+
+/// Replay result for one kernel's dump file against one backend.
+struct KernelReplayStats {
+  KernelId kernel{};
+  std::uint64_t records = 0;     ///< records in the dump
+  std::uint64_t replayed = 0;    ///< records re-executed (records * repeat)
+  std::uint64_t mismatched = 0;  ///< records whose output differed
+  std::uint64_t elements = 0;    ///< kernel-specific work items, per pass
+  std::uint64_t bytes = 0;       ///< input+output bytes, per pass
+  double wall_seconds = 0;       ///< wall time inside backend calls only
+  double modeled_seconds = 0;    ///< modeled device time (simulated only)
+
+  [[nodiscard]] double elements_per_second() const {
+    return wall_seconds > 0
+               ? static_cast<double>(elements) *
+                     (replayed == 0 || records == 0
+                          ? 1.0
+                          : static_cast<double>(replayed) / records) /
+                     wall_seconds
+               : 0;
+  }
+  [[nodiscard]] double gigabytes_per_second() const {
+    return wall_seconds > 0
+               ? static_cast<double>(bytes) *
+                     (replayed == 0 || records == 0
+                          ? 1.0
+                          : static_cast<double>(replayed) / records) /
+                     wall_seconds / 1e9
+               : 0;
+  }
+};
+
+struct ReplayReport {
+  std::vector<KernelReplayStats> kernels;
+  /// True when every replayed record byte-matched its golden output.
+  [[nodiscard]] bool ok() const {
+    for (const auto& k : kernels) {
+      if (k.mismatched != 0) return false;
+    }
+    return !kernels.empty();
+  }
+};
+
+/// Replay every dump file present in `dir` through `backend`, `repeat`
+/// times each (wall times accumulate over all passes; mismatches are
+/// counted once per record). Throws std::runtime_error on malformed dumps
+/// or if the directory holds no dump files.
+[[nodiscard]] ReplayReport replay_dump(const std::filesystem::path& dir,
+                                       Backend& backend,
+                                       std::size_t repeat = 1);
+
+}  // namespace lasagna::kernel

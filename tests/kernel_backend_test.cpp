@@ -1,0 +1,489 @@
+// The multi-backend kernel harness contract:
+//  - every backend (simulated-GPU, scalar, AVX2 when the host has it)
+//    produces byte-identical outputs for all three hot kernels, including
+//    ragged read lengths, empty partitions and adversarial tie corpora;
+//  - dump capture is deterministic (same seed -> byte-identical dump) and
+//    replay byte-compares every backend against the golden capture;
+//  - malformed or truncated dumps are rejected, and an existing dump is
+//    never overwritten without force;
+//  - the pipeline emits byte-identical contigs under every backend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "fingerprint/kernels.hpp"
+#include "fingerprint/rabin_karp.hpp"
+#include "gpu/device.hpp"
+#include "io/tempdir.hpp"
+#include "kernel/backend.hpp"
+#include "kernel/cpu_features.hpp"
+#include "kernel/dump.hpp"
+#include "kernel/replay.hpp"
+#include "seq/genome.hpp"
+#include "seq/simulator.hpp"
+#include "tie_corpus.hpp"
+
+namespace lasagna {
+namespace {
+
+using gpu::Key128;
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> ragged_reads(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::string> reads;
+  const char* bases = "ACGT";
+  // Mixed shapes: typical reads, a singleton base, an empty read, and
+  // power-of-two +/- 1 lengths around the scan's doubling steps.
+  for (const unsigned len : {100u, 1u, 0u, 63u, 64u, 65u, 37u, 128u, 7u}) {
+    std::string r;
+    for (unsigned i = 0; i < len; ++i) {
+      r.push_back(bases[rng() & 3]);
+    }
+    reads.push_back(std::move(r));
+  }
+  return reads;
+}
+
+/// Fingerprints of `reads` computed through the dispatcher under `backend`.
+fingerprint::BatchFingerprints run_fingerprints(
+    kernel::Backend& backend, const std::vector<std::string>& reads,
+    const fingerprint::FingerprintConfig& cfg) {
+  gpu::Device dev(gpu::GpuProfile::k40(), 8u << 20);
+  fingerprint::PlaceTable places(cfg, 512);
+  kernel::ScopedBackend scope(backend);
+  return fingerprint::compute_batch_fingerprints(dev, reads, places);
+}
+
+std::vector<kernel::Backend*> host_backends_under_test() {
+  std::vector<kernel::Backend*> backends = {&kernel::scalar_backend()};
+  if (kernel::avx2_backend().available()) {
+    backends.push_back(&kernel::avx2_backend());
+  }
+  return backends;
+}
+
+TEST(KernelBackend, FingerprintGoldenAcrossBackends) {
+  const auto reads = ragged_reads(42);
+  const auto cfg = fingerprint::FingerprintConfig::standard();
+  const auto golden = run_fingerprints(kernel::simulated_backend(), reads, cfg);
+
+  // The simulated scan agrees with the host Rabin-Karp reference.
+  const auto ref_prefix = fingerprint::prefix_hashes(reads[0], cfg.primary);
+  for (std::size_t i = 0; i < reads[0].size(); ++i) {
+    ASSERT_EQ(golden.prefix[i].hi, ref_prefix[i]) << i;
+  }
+
+  for (kernel::Backend* backend : host_backends_under_test()) {
+    const auto got = run_fingerprints(*backend, reads, cfg);
+    ASSERT_EQ(got.stride, golden.stride) << backend->name();
+    ASSERT_EQ(0, std::memcmp(got.prefix.data(), golden.prefix.data(),
+                             golden.prefix.size() * sizeof(Key128)))
+        << backend->name() << " prefix";
+    ASSERT_EQ(0, std::memcmp(got.suffix.data(), golden.suffix.data(),
+                             golden.suffix.size() * sizeof(Key128)))
+        << backend->name() << " suffix";
+  }
+
+  // Canonical form: lanes past a read's length are zero (read #2 is empty,
+  // so its whole row must be zero).
+  const std::size_t empty_row = 2 * static_cast<std::size_t>(golden.stride);
+  for (std::size_t i = 0; i < golden.stride; ++i) {
+    EXPECT_EQ(golden.prefix[empty_row + i], Key128{});
+    EXPECT_EQ(golden.suffix[empty_row + i], Key128{});
+  }
+}
+
+TEST(KernelBackend, FingerprintWeakModuliFallBackToScalar) {
+  // Tiny moduli violate the AVX2 path's headroom preconditions; the job
+  // must silently take the scalar path and still match the simulated scan.
+  const auto reads = ragged_reads(7);
+  const auto cfg = fingerprint::FingerprintConfig::weak(251, 257);
+  const auto golden = run_fingerprints(kernel::simulated_backend(), reads, cfg);
+  for (kernel::Backend* backend : host_backends_under_test()) {
+    const auto got = run_fingerprints(*backend, reads, cfg);
+    EXPECT_EQ(0, std::memcmp(got.prefix.data(), golden.prefix.data(),
+                             golden.prefix.size() * sizeof(Key128)))
+        << backend->name();
+    EXPECT_EQ(0, std::memcmp(got.suffix.data(), golden.suffix.data(),
+                             golden.suffix.size() * sizeof(Key128)))
+        << backend->name();
+  }
+}
+
+TEST(KernelBackend, MatchBoundsAcrossBackends) {
+  std::mt19937_64 rng(99);
+  // Haystack with dense duplicate runs (the tie-heavy shape the reduce
+  // phase produces for repeated fingerprints).
+  std::vector<Key128> haystack;
+  for (unsigned v = 0; v < 200; ++v) {
+    const Key128 k{rng() % 50, rng() % 3};
+    const unsigned copies = 1 + static_cast<unsigned>(rng() % 4);
+    for (unsigned c = 0; c < copies; ++c) haystack.push_back(k);
+  }
+  std::sort(haystack.begin(), haystack.end());
+  std::vector<Key128> needles;
+  for (unsigned i = 0; i < 333; ++i) {
+    needles.push_back(i % 3 == 0 ? haystack[rng() % haystack.size()]
+                                 : Key128{rng() % 60, rng() % 3});
+  }
+
+  std::vector<std::uint32_t> want_lower(needles.size());
+  std::vector<std::uint32_t> want_upper(needles.size());
+  for (std::size_t i = 0; i < needles.size(); ++i) {
+    want_lower[i] = static_cast<std::uint32_t>(
+        std::lower_bound(haystack.begin(), haystack.end(), needles[i]) -
+        haystack.begin());
+    want_upper[i] = static_cast<std::uint32_t>(
+        std::upper_bound(haystack.begin(), haystack.end(), needles[i]) -
+        haystack.begin());
+  }
+
+  gpu::Device dev(gpu::GpuProfile::k40(), 8u << 20);
+  kernel::DeviceContext ctx{&dev, nullptr, false};
+  std::vector<kernel::Backend*> backends = {&kernel::simulated_backend()};
+  for (kernel::Backend* b : host_backends_under_test()) backends.push_back(b);
+  for (kernel::Backend* backend : backends) {
+    std::vector<std::uint32_t> lower(needles.size(), 123);
+    std::vector<std::uint32_t> upper(needles.size(), 123);
+    backend->match_bounds(needles, haystack, lower, upper, &ctx);
+    EXPECT_EQ(lower, want_lower) << backend->name();
+    EXPECT_EQ(upper, want_upper) << backend->name();
+
+    // Empty haystack: all bounds are zero.
+    std::vector<std::uint32_t> lo2(5, 77);
+    std::vector<std::uint32_t> up2(5, 77);
+    backend->match_bounds(std::span<const Key128>(needles).first(5), {}, lo2,
+                          up2, &ctx);
+    EXPECT_EQ(lo2, std::vector<std::uint32_t>(5, 0)) << backend->name();
+    EXPECT_EQ(up2, std::vector<std::uint32_t>(5, 0)) << backend->name();
+
+    // Empty needles: a no-op.
+    backend->match_bounds({}, haystack, {}, {}, &ctx);
+  }
+}
+
+TEST(KernelBackend, SortPairsAcrossBackends) {
+  // Random keys plus the adversarial equal-fingerprint clusters from the
+  // tie corpus: stability is observable through the value payloads.
+  std::mt19937_64 rng(1234);
+  std::vector<Key128> keys;
+  std::vector<std::uint64_t> vals;
+  for (unsigned i = 0; i < 2000; ++i) {
+    keys.push_back(Key128{rng() % 97, rng() % 7});
+    vals.push_back(i);
+  }
+  const auto ties = lasagna::testing::make_tie_records(8, 5, 6, 77);
+  for (const auto& rec : ties.sfx) {
+    keys.push_back(rec.fp);
+    vals.push_back(vals.size());
+  }
+
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return keys[a] < keys[b];
+                   });
+  std::vector<Key128> want_keys(keys.size());
+  std::vector<std::uint64_t> want_vals(keys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    want_keys[i] = keys[order[i]];
+    want_vals[i] = vals[order[i]];
+  }
+
+  gpu::Device dev(gpu::GpuProfile::k40(), 8u << 20);
+  kernel::DeviceContext ctx{&dev, nullptr, false};
+  std::vector<kernel::Backend*> backends = {&kernel::simulated_backend()};
+  for (kernel::Backend* b : host_backends_under_test()) backends.push_back(b);
+  for (kernel::Backend* backend : backends) {
+    auto got_keys = keys;
+    auto got_vals = vals;
+    backend->sort_pairs(got_keys, got_vals, &ctx);
+    EXPECT_EQ(got_keys, want_keys) << backend->name();
+    EXPECT_EQ(got_vals, want_vals) << backend->name();
+
+    // Degenerate sizes.
+    std::vector<Key128> k1 = {Key128{5, 5}};
+    std::vector<std::uint64_t> v1 = {9};
+    backend->sort_pairs(k1, v1, &ctx);
+    EXPECT_EQ(v1[0], 9u) << backend->name();
+    std::vector<Key128> k0;
+    std::vector<std::uint64_t> v0;
+    backend->sort_pairs(k0, v0, &ctx);
+  }
+}
+
+TEST(KernelBackend, RegistryResolvesNamesAndFallsBack) {
+  EXPECT_EQ(kernel::resolve_backend("").name(), "simulated");
+  EXPECT_EQ(kernel::resolve_backend("simulated").name(), "simulated");
+  EXPECT_EQ(kernel::resolve_backend("scalar").name(), "scalar");
+  // "avx2" resolves to avx2 when available, otherwise falls back.
+  const std::string_view avx2_pick = kernel::resolve_backend("avx2").name();
+  if (kernel::avx2_backend().available()) {
+    EXPECT_EQ(avx2_pick, "avx2");
+    EXPECT_TRUE(kernel::cpu_features().avx2);
+    EXPECT_EQ(kernel::resolve_backend("host").name(), "avx2");
+  } else {
+    EXPECT_EQ(avx2_pick, "scalar");
+    EXPECT_EQ(kernel::resolve_backend("host").name(), "scalar");
+  }
+  EXPECT_THROW((void)kernel::resolve_backend("cuda"), std::invalid_argument);
+
+  EXPECT_EQ(kernel::find_backend("scalar"), &kernel::scalar_backend());
+  EXPECT_EQ(kernel::find_backend("nope"), nullptr);
+  EXPECT_EQ(kernel::all_backends().size(), 3u);
+
+  // Default active backend is the simulated device; ScopedBackend nests.
+  EXPECT_EQ(kernel::active_backend().name(), "simulated");
+  {
+    kernel::ScopedBackend outer(kernel::scalar_backend());
+    EXPECT_EQ(kernel::active_backend().name(), "scalar");
+    {
+      kernel::ScopedBackend inner(kernel::simulated_backend());
+      EXPECT_EQ(kernel::active_backend().name(), "simulated");
+    }
+    EXPECT_EQ(kernel::active_backend().name(), "scalar");
+  }
+  EXPECT_EQ(kernel::active_backend().name(), "simulated");
+}
+
+// ---- dump / replay ---------------------------------------------------------
+
+std::filesystem::path write_fastq(const io::ScopedTempDir& dir,
+                                  std::uint64_t seed) {
+  const std::string genome = seq::random_genome(4000, seed);
+  seq::SequencingSpec spec;
+  spec.read_length = 100;
+  spec.coverage = 8.0;
+  spec.seed = seed + 1;
+  const auto path = dir.file("reads_" + std::to_string(seed) + ".fq");
+  seq::simulate_to_fastq(genome, spec, path);
+  return path;
+}
+
+core::AssemblyConfig small_config() {
+  core::AssemblyConfig config;
+  config.machine.host_memory_bytes = 1 << 20;
+  config.machine.device_memory_bytes = 1 << 18;
+  config.min_overlap = 60;
+  return config;
+}
+
+/// Run the assembler over `fastq` capturing kernel dumps into `dump_dir`.
+void capture_run(const std::filesystem::path& fastq,
+                 const std::filesystem::path& dump_dir,
+                 const std::filesystem::path& contigs) {
+  kernel::CaptureSession session(dump_dir, 16, /*force=*/false);
+  kernel::ScopedCapture scoped(session);
+  core::Assembler assembler(small_config());
+  (void)assembler.run(fastq, contigs);
+}
+
+TEST(KernelBackendDumpTest, CaptureIsDeterministicForAFixedSeed) {
+  io::ScopedTempDir dir("lasagna-kdump");
+  const auto fastq = write_fastq(dir, 11);
+  capture_run(fastq, dir.file("dump_a"), dir.file("a.fa"));
+  capture_run(fastq, dir.file("dump_b"), dir.file("b.fa"));
+
+  for (const kernel::KernelId id :
+       {kernel::KernelId::kFingerprint, kernel::KernelId::kMatchBounds,
+        kernel::KernelId::kSortPairs}) {
+    const auto name = kernel::dump_filename(id);
+    const std::string a = slurp(dir.file("dump_a") / name);
+    const std::string b = slurp(dir.file("dump_b") / name);
+    ASSERT_FALSE(a.empty()) << name;
+    EXPECT_EQ(a, b) << name << " differs between identical runs";
+  }
+}
+
+TEST(KernelBackendDumpTest, ReplayByteComparesEveryBackendAgainstGolden) {
+  io::ScopedTempDir dir("lasagna-kreplay");
+  const auto fastq = write_fastq(dir, 23);
+  capture_run(fastq, dir.file("dump"), dir.file("out.fa"));
+
+  std::vector<kernel::Backend*> backends = {&kernel::simulated_backend()};
+  for (kernel::Backend* b : host_backends_under_test()) backends.push_back(b);
+  for (kernel::Backend* backend : backends) {
+    const auto report = kernel::replay_dump(dir.file("dump"), *backend);
+    EXPECT_TRUE(report.ok()) << backend->name();
+    EXPECT_EQ(report.kernels.size(), 3u) << backend->name();
+    for (const auto& k : report.kernels) {
+      EXPECT_GT(k.records, 0u)
+          << backend->name() << " " << kernel::kernel_name(k.kernel);
+      EXPECT_EQ(k.mismatched, 0u)
+          << backend->name() << " " << kernel::kernel_name(k.kernel);
+      EXPECT_GT(k.elements, 0u);
+      EXPECT_GE(k.wall_seconds, 0.0);
+    }
+  }
+
+  // A backend that produced different bytes would be caught: corrupt one
+  // golden output byte and replay must flag a mismatch.
+  const auto path = dir.file("dump") / kernel::dump_filename(
+                                           kernel::KernelId::kSortPairs);
+  std::string bytes = slurp(path);
+  kernel::DumpReader header_probe(path);  // locate the first record's output
+  kernel::DumpRecord rec;
+  ASSERT_TRUE(header_probe.next(rec));
+  const std::size_t record_start = 24;  // header
+  const std::size_t output_off = record_start + 8 * 8 + 4 * 8 +
+                                 rec.input.size();
+  bytes[output_off] = static_cast<char>(bytes[output_off] ^ 0x1);
+  // Re-checksum so the corruption models a wrong golden, not a damaged
+  // file.
+  {
+    std::vector<std::byte> out_blob(rec.output.size());
+    std::memcpy(out_blob.data(), bytes.data() + output_off,
+                out_blob.size());
+    const std::uint64_t fnv = kernel::fnv1a_bytes(out_blob);
+    std::memcpy(bytes.data() + record_start + 8 * 8 + 3 * 8, &fnv,
+                sizeof(fnv));
+    std::ofstream rewrite(path, std::ios::binary | std::ios::trunc);
+    rewrite.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto tampered =
+      kernel::replay_dump(dir.file("dump"), kernel::scalar_backend());
+  bool saw_mismatch = false;
+  for (const auto& k : tampered.kernels) {
+    if (k.kernel == kernel::KernelId::kSortPairs) {
+      saw_mismatch = k.mismatched > 0;
+    }
+  }
+  EXPECT_TRUE(saw_mismatch);
+  EXPECT_FALSE(tampered.ok());
+}
+
+TEST(KernelBackendDumpTest, RefusesToOverwriteExistingDumpWithoutForce) {
+  io::ScopedTempDir dir("lasagna-kforce");
+  const auto dump = dir.file("dump");
+  {
+    kernel::CaptureSession session(dump, 4, false);
+    kernel::ScopedCapture scoped(session);
+    gpu::Device dev(gpu::GpuProfile::k40(), 8u << 20);
+    fingerprint::PlaceTable places(
+        fingerprint::FingerprintConfig::standard(), 128);
+    (void)fingerprint::compute_batch_fingerprints(dev, ragged_reads(3),
+                                                  places);
+    EXPECT_EQ(session.captured(kernel::KernelId::kFingerprint), 1u);
+  }
+  EXPECT_THROW(kernel::CaptureSession(dump, 4, false), std::runtime_error);
+  EXPECT_NO_THROW(kernel::CaptureSession(dump, 4, true));
+  EXPECT_THROW(
+      kernel::DumpWriter(dump / "fingerprint.lkd",
+                         kernel::KernelId::kFingerprint, false),
+      std::runtime_error);
+}
+
+TEST(KernelBackendDumpTest, RejectsMalformedAndTruncatedDumps) {
+  io::ScopedTempDir dir("lasagna-kbad");
+
+  // Wrong magic.
+  {
+    std::ofstream out(dir.file("garbage.lkd"), std::ios::binary);
+    out << "this is not a kernel dump at all";
+  }
+  EXPECT_THROW(kernel::DumpReader(dir.file("garbage.lkd")),
+               std::runtime_error);
+
+  // Valid header, truncated record.
+  const auto trunc = dir.file("trunc.lkd");
+  {
+    kernel::DumpWriter writer(trunc, kernel::KernelId::kSortPairs, false);
+    std::vector<std::byte> blob(64, std::byte{42});
+    writer.append({2, 0, 0, 0, 0, 0, 0, 0}, blob, blob);
+    writer.close();
+  }
+  const auto full = slurp(trunc);
+  {
+    std::ofstream out(trunc, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size() - 17));
+  }
+  {
+    kernel::DumpReader reader(trunc);
+    kernel::DumpRecord rec;
+    EXPECT_THROW((void)reader.next(rec), std::runtime_error);
+  }
+
+  // Flipped payload byte fails the checksum.
+  const auto corrupt = dir.file("corrupt.lkd");
+  {
+    std::ofstream out(corrupt, std::ios::binary);
+    std::string bytes = full;
+    bytes[bytes.size() - 1] ^= 0x40;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    kernel::DumpReader reader(corrupt);
+    kernel::DumpRecord rec;
+    EXPECT_THROW((void)reader.next(rec), std::runtime_error);
+  }
+
+  // Replay refuses an empty directory outright.
+  EXPECT_THROW(
+      (void)kernel::replay_dump(dir.file("empty"),
+                                kernel::scalar_backend()),
+      std::runtime_error);
+}
+
+// ---- pipeline conformance --------------------------------------------------
+
+TEST(KernelBackendPipelineTest, ContigsByteIdenticalAcrossBackends) {
+  io::ScopedTempDir dir("lasagna-kconform");
+  const auto fastq = write_fastq(dir, 31);
+
+  auto run_with = [&](const std::string& backend) {
+    auto config = small_config();
+    config.kernel_backend = backend;
+    core::Assembler assembler(config);
+    const auto out = dir.file("contigs_" + backend + ".fa");
+    (void)assembler.run(fastq, out);
+    return slurp(out);
+  };
+
+  const std::string golden = run_with("simulated");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(run_with("scalar"), golden);
+  EXPECT_EQ(run_with("host"), golden);  // avx2 where available
+  if (kernel::avx2_backend().available()) {
+    EXPECT_EQ(run_with("avx2"), golden);
+  }
+}
+
+TEST(KernelBackendPipelineTest, TieCorpusContigsIdenticalAcrossBackends) {
+  // The adversarial equal-fingerprint corpus: repeated blocks force dense
+  // duplicate fingerprints through sort and match alike.
+  io::ScopedTempDir dir("lasagna-kties");
+  const auto fastq = dir.file("ties.fq");
+  lasagna::testing::write_tie_fastq(fastq, /*copies=*/6, /*read_length=*/100,
+                                    /*coverage=*/6.0, /*seed=*/97);
+
+  auto run_with = [&](const std::string& backend) {
+    auto config = small_config();
+    config.kernel_backend = backend;
+    core::Assembler assembler(config);
+    const auto out = dir.file("tie_contigs_" + backend + ".fa");
+    (void)assembler.run(fastq, out);
+    return slurp(out);
+  };
+
+  const std::string golden = run_with("simulated");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(run_with("host"), golden);
+  EXPECT_EQ(run_with("scalar"), golden);
+}
+
+}  // namespace
+}  // namespace lasagna
