@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "seq/datasets.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace lasagna::bench {
@@ -45,10 +46,19 @@ struct BenchArgs {
         args.trace_out = arg.substr(12);
       } else if (arg.rfind("--metrics-out=", 0) == 0) {
         args.metrics_out = arg.substr(14);
+      } else if (arg.rfind("--log-level=", 0) == 0) {
+        const auto level = util::parse_log_level(arg.substr(12));
+        if (!level) {
+          std::fprintf(stderr, "bad --log-level %s\n",
+                       arg.substr(12).c_str());
+          std::exit(2);
+        }
+        util::set_log_level(*level);
       } else if (arg == "--help") {
         std::printf(
             "options: --scale=<f> (default 16384), --dataset=<name>, "
-            "--quick, --trace-out=<file>, --metrics-out=<file>\n");
+            "--quick, --trace-out=<file>, --metrics-out=<file>, "
+            "--log-level=debug|info|warn|error|off\n");
         std::exit(0);
       }
     }
@@ -98,6 +108,18 @@ class ScopedObservability {
   std::string metrics_out_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::Tracer::ScopedInstall> install_;
+};
+
+/// Per-sweep-cell metrics scope: zeroes every counter/gauge/histogram in the
+/// global registry on entry, so numbers a cell reports (or dumps with
+/// --metrics-out inside the cell) cover that cell only, not the whole sweep.
+/// The registry's metric objects stay alive — cached references held by hot
+/// paths remain valid across cells.
+class ScopedMetricsCell {
+ public:
+  ScopedMetricsCell() { obs::MetricsRegistry::global().reset_values(); }
+  ScopedMetricsCell(const ScopedMetricsCell&) = delete;
+  ScopedMetricsCell& operator=(const ScopedMetricsCell&) = delete;
 };
 
 /// Datasets are cached next to the build tree so every bench reuses them.

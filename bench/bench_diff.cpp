@@ -1,0 +1,179 @@
+// Bench-regression differ: compare BENCH_*.json files (or two directories
+// of them) and exit nonzero when a gated number regressed.
+//
+//   $ ./bench/bench_diff <baseline.json> <current.json> [--threshold=0.10]
+//   $ ./bench/bench_diff <baseline-dir> <current-dir> [--threshold=0.10]
+//         [--abs-floor=1e-9] [--ignore=SUBSTR] [--verbose]
+//
+// --ignore=SUBSTR drops gated keys whose dotted path contains SUBSTR
+// (repeatable) — CI passes --ignore=wall so machine-dependent wall clocks
+// never gate while the modeled numbers beside them still do.
+//
+// Directory mode diffs every BENCH_*.json present in BOTH directories (a
+// file on only one side is a note, not a failure, so adding a bench does
+// not break CI). Gating rules live in obs/bench_diff.hpp: numeric keys
+// ending in "seconds" are lower-is-better within --threshold; guard
+// booleans must not flip true -> false. Everything else is informational.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_diff.hpp"
+#include "obs/json_parse.hpp"
+
+using namespace lasagna;
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct FilePair {
+  std::string label;
+  std::filesystem::path baseline;
+  std::filesystem::path current;
+};
+
+/// One pair per BENCH_*.json present in both directories, sorted by name.
+std::vector<FilePair> pair_directories(const std::filesystem::path& base_dir,
+                                       const std::filesystem::path& cur_dir,
+                                       std::vector<std::string>& notes) {
+  std::vector<std::string> base_names;
+  for (const auto& entry : std::filesystem::directory_iterator(base_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+      base_names.push_back(name);
+    }
+  }
+  std::sort(base_names.begin(), base_names.end());
+
+  std::vector<FilePair> pairs;
+  for (const std::string& name : base_names) {
+    const auto cur = cur_dir / name;
+    if (std::filesystem::exists(cur)) {
+      pairs.push_back({name, base_dir / name, cur});
+    } else {
+      notes.push_back(name + ": only in baseline directory");
+    }
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(cur_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        !std::filesystem::exists(base_dir / name)) {
+      notes.push_back(name + ": only in current directory");
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  obs::DiffOptions options;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      options.max_rise = std::stod(arg.substr(12));
+    } else if (arg.rfind("--abs-floor=", 0) == 0) {
+      options.abs_floor = std::stod(arg.substr(12));
+    } else if (arg.rfind("--ignore=", 0) == 0) {
+      options.ignore.push_back(arg.substr(9));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json|dir> <current.json|dir> "
+                 "[--threshold=0.10] [--abs-floor=1e-9] [--ignore=SUBSTR] "
+                 "[--verbose]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::filesystem::path base_path = positional[0];
+  const std::filesystem::path cur_path = positional[1];
+  std::vector<std::string> dir_notes;
+  std::vector<FilePair> pairs;
+  try {
+    if (std::filesystem::is_directory(base_path) &&
+        std::filesystem::is_directory(cur_path)) {
+      pairs = pair_directories(base_path, cur_path, dir_notes);
+      if (pairs.empty()) {
+        std::fprintf(stderr, "no BENCH_*.json present in both directories\n");
+        return 2;
+      }
+    } else {
+      pairs.push_back({base_path.filename().string(), base_path, cur_path});
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  bool ok = true;
+  std::size_t compared = 0;
+  for (const FilePair& pair : pairs) {
+    obs::DiffReport report;
+    try {
+      const obs::JsonValue baseline =
+          obs::JsonValue::parse(read_file(pair.baseline));
+      const obs::JsonValue current =
+          obs::JsonValue::parse(read_file(pair.current));
+      report = obs::diff_documents(baseline, current, options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", pair.label.c_str(), e.what());
+      return 2;
+    }
+    compared += report.compared;
+
+    std::size_t regressions = 0;
+    for (const obs::DiffFinding& f : report.findings) {
+      if (f.regression) ++regressions;
+    }
+    std::printf("%s: %zu gated comparisons, %zu moved, %zu regression(s)\n",
+                pair.label.c_str(), report.compared, report.findings.size(),
+                regressions);
+    for (const obs::DiffFinding& f : report.findings) {
+      if (!f.regression && !verbose) continue;
+      std::printf("  %s %s: %.6g -> %.6g (%+.1f%%)\n",
+                  f.regression ? "REGRESSION" : "moved", f.path.c_str(),
+                  f.baseline, f.current, 100.0 * f.rise());
+    }
+    if (verbose) {
+      for (const std::string& note : report.notes) {
+        std::printf("  note: %s\n", note.c_str());
+      }
+    }
+    ok = ok && report.ok();
+  }
+  for (const std::string& note : dir_notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: bench regression beyond +%.0f%% threshold\n",
+                 100.0 * options.max_rise);
+    return 1;
+  }
+  std::printf("OK: no regressions across %zu gated comparisons\n", compared);
+  return 0;
+}

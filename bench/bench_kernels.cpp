@@ -13,6 +13,7 @@
 //     AVX2 or the build disabled it)
 //
 //   $ ./bench/bench_kernels [--quick] [--json=BENCH_kernels.json]
+//         [--log-level=debug|info|warn|error|off]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "fingerprint/kernels.hpp"
 #include "gpu/device.hpp"
 #include "kernel/backend.hpp"
@@ -132,6 +134,13 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_out = arg.substr(7);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      const auto level = util::parse_log_level(arg.substr(12));
+      if (!level) {
+        std::fprintf(stderr, "bad --log-level %s\n", arg.substr(12).c_str());
+        return 2;
+      }
+      util::set_log_level(*level);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return 2;
@@ -165,6 +174,9 @@ int main(int argc, char** argv) {
   bool outputs_agree = true;
 
   for (kernel::Backend* backend : backends) {
+    // One sweep cell per backend: zero the metric values so a backend's
+    // histograms/counters never bleed into the next backend's cell.
+    bench::ScopedMetricsCell metrics_cell;
     gpu::Device device(gpu::GpuProfile::k40(), 512ull << 20);
     kernel::DeviceContext ctx{&device, nullptr, false};
     const std::string name(backend->name());

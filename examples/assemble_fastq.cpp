@@ -22,7 +22,9 @@
 #include "io/fault_injector.hpp"
 #include "kernel/dump.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "util/logging.hpp"
 
 using namespace lasagna;
 
@@ -49,6 +51,8 @@ int main(int argc, char** argv) {
                  "[--resume] [--fault-spec=SPEC] [--nodes=N] "
                  "[--reduce=token|bsp|speculative] "
                  "[--trace-out=trace.json] [--metrics-out=metrics.json] "
+                 "[--profile-out=profile.json] "
+                 "[--log-level=debug|info|warn|error|off] "
                  "[--kernel-backend=simulated|scalar|avx2|host] "
                  "[--dump-kernels=DIR] [--dump-limit=N] [--dump-force]\n",
                  argv[0]);
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<io::FaultInjector> injector;
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;
   unsigned nodes = 0;  // 0 = single-node pipeline; N >= 1 = cluster
   dist::ReduceStrategy reduce = dist::ReduceStrategy::kLengthToken;
   std::string dump_dir;
@@ -128,6 +133,19 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(14);
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      // Critical-path report (cluster runs record the causal graph).
+      profile_out = arg.substr(14);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      const auto level = util::parse_log_level(arg.substr(12));
+      if (!level) {
+        std::fprintf(stderr,
+                     "--log-level wants debug, info, warn, error or off, "
+                     "not %s\n",
+                     arg.substr(12).c_str());
+        return 2;
+      }
+      util::set_log_level(*level);
     } else if (arg.rfind("--fault-spec=", 0) == 0) {
       // e.g. --fault-spec='seed=7;write:nth=30,match=.run' to kill the run
       // mid-sort, or rate/transient policies to exercise the retry layer.
@@ -155,6 +173,16 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<obs::Tracer>();
     tracer->set_disk_bandwidth(config.machine.disk_bandwidth_bytes_per_sec);
     tracer_install = std::make_unique<obs::Tracer::ScopedInstall>(tracer.get());
+  }
+  // The causal profiler records the cluster's span graph: needed for the
+  // critical-path report and for the merged multi-node Chrome trace (one
+  // process row per node). Single-node traces keep the plain Tracer format.
+  std::unique_ptr<obs::Profiler> profiler;
+  std::unique_ptr<obs::Profiler::ScopedInstall> profiler_install;
+  if (!profile_out.empty() || (nodes > 1 && !trace_out.empty())) {
+    profiler = std::make_unique<obs::Profiler>();
+    profiler_install =
+        std::make_unique<obs::Profiler::ScopedInstall>(profiler.get());
   }
   std::unique_ptr<kernel::CaptureSession> capture;
   std::unique_ptr<kernel::ScopedCapture> capture_install;
@@ -187,9 +215,19 @@ int main(int argc, char** argv) {
       cluster.reduce_strategy = reduce;
       const dist::DistributedResult result =
           dist::run_distributed(argv[1], argv[2], cluster);
-      if (tracer != nullptr) {
-        tracer->write_chrome_trace(trace_out);
-        std::printf("wrote trace %s\n", trace_out.c_str());
+      if (!trace_out.empty()) {
+        if (nodes > 1 && profiler != nullptr) {
+          profiler->write_merged_trace(trace_out);
+          std::printf("wrote merged trace %s (%u node rows)\n",
+                      trace_out.c_str(), nodes);
+        } else if (tracer != nullptr) {
+          tracer->write_chrome_trace(trace_out);
+          std::printf("wrote trace %s\n", trace_out.c_str());
+        }
+      }
+      if (profiler != nullptr && !profile_out.empty()) {
+        profiler->write_report(profile_out);
+        std::printf("wrote profile %s\n", profile_out.c_str());
       }
       if (!metrics_out.empty()) {
         obs::MetricsRegistry::global().write_json(metrics_out);
@@ -238,6 +276,12 @@ int main(int argc, char** argv) {
     if (tracer != nullptr) {
       tracer->write_chrome_trace(trace_out);
       std::printf("wrote trace %s\n", trace_out.c_str());
+    }
+    if (profiler != nullptr && !profile_out.empty()) {
+      // Single-node runs have no cross-node graph; the report still carries
+      // whatever phases were profiled (empty is valid JSON).
+      profiler->write_report(profile_out);
+      std::printf("wrote profile %s\n", profile_out.c_str());
     }
     if (!metrics_out.empty()) {
       obs::MetricsRegistry::global().write_json(metrics_out);

@@ -4,6 +4,12 @@
 //
 //   $ ./examples/kernel_replay --dump=DIR [--backend=NAME[,NAME...]]
 //         [--repeat=N] [--json=report.json] [--force]
+//         [--trace-out=trace.json] [--metrics-out=metrics.json]
+//         [--log-level=debug|info|warn|error|off]
+//
+// With --trace-out each (backend, replay pass) becomes a wall-clock span on
+// a per-backend track; --metrics-out dumps the metrics registry (including
+// the kernel wall-clock histograms the replayed backends record).
 //
 // With no --backend, every available backend runs (simulated, scalar, avx2
 // when the CPU supports it). Exit status is nonzero if any replayed record
@@ -12,6 +18,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +26,9 @@
 #include "kernel/cpu_features.hpp"
 #include "kernel/dump.hpp"
 #include "kernel/replay.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
 
 using namespace lasagna;
 
@@ -78,6 +88,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> backend_names;
   std::size_t repeat = 1;
   std::string json_out;
+  std::string trace_out;
+  std::string metrics_out;
   bool force = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +111,20 @@ int main(int argc, char** argv) {
       if (repeat == 0) repeat = 1;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_out = arg.substr(7);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      const auto level = util::parse_log_level(arg.substr(12));
+      if (!level) {
+        std::fprintf(stderr,
+                     "--log-level wants debug, info, warn, error or off, "
+                     "not %s\n",
+                     arg.substr(12).c_str());
+        return 2;
+      }
+      util::set_log_level(*level);
     } else if (arg == "--force") {
       force = true;
     } else {
@@ -109,7 +135,9 @@ int main(int argc, char** argv) {
   if (dump_dir.empty()) {
     std::fprintf(stderr,
                  "usage: %s --dump=DIR [--backend=NAME[,NAME...]] "
-                 "[--repeat=N] [--json=report.json] [--force]\n",
+                 "[--repeat=N] [--json=report.json] [--force] "
+                 "[--trace-out=trace.json] [--metrics-out=metrics.json] "
+                 "[--log-level=LEVEL]\n",
                  argv[0]);
     return 2;
   }
@@ -151,13 +179,38 @@ int main(int argc, char** argv) {
               cpu.avx2 ? "yes" : "no", cpu.bmi2 ? "yes" : "no",
               dump_dir.c_str(), repeat);
 
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::Tracer::ScopedInstall> tracer_install;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+    tracer_install = std::make_unique<obs::Tracer::ScopedInstall>(tracer.get());
+  }
+
   std::vector<BackendReport> reports;
   bool all_ok = !backends.empty();
   try {
     for (kernel::Backend* backend : backends) {
       BackendReport br;
       br.backend = std::string(backend->name());
-      br.report = kernel::replay_dump(dump_dir, *backend, repeat);
+      {
+        obs::WallSpan span;
+        if (tracer != nullptr) {
+          span = obs::WallSpan(
+              *tracer, tracer->track("replay." + br.backend),
+              "replay x" + std::to_string(repeat));
+        }
+        br.report = kernel::replay_dump(dump_dir, *backend, repeat);
+        span.add_arg("records",
+                     static_cast<std::int64_t>(br.report.kernels.size()));
+      }
+      // Per-kernel wall clock into the shared histogram namespace the
+      // pipeline dispatch sites use, keyed by backend so --metrics-out
+      // shows the same percentiles the benches aggregate.
+      for (const auto& k : br.report.kernels) {
+        obs::MetricsRegistry::global()
+            .histogram("kernel.replay." + br.backend + ".wall_ns")
+            .record(static_cast<std::int64_t>(k.wall_seconds * 1e9));
+      }
       all_ok = all_ok && br.report.ok();
       reports.push_back(std::move(br));
     }
@@ -170,6 +223,14 @@ int main(int argc, char** argv) {
   if (!json_out.empty()) {
     write_json(json_out, reports, dump_dir, repeat);
     std::printf("wrote %s\n", json_out.c_str());
+  }
+  if (tracer != nullptr) {
+    tracer->write_chrome_trace(trace_out);
+    std::printf("wrote trace %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry::global().write_json(metrics_out);
+    std::printf("wrote metrics %s\n", metrics_out.c_str());
   }
   if (!all_ok) {
     std::fprintf(stderr, "FAIL: replay mismatched the golden dump\n");

@@ -1,6 +1,7 @@
 #include "core/reduce_phase.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "kernel/dump.hpp"
 #include "io/async_record_stream.hpp"
 #include "io/record_stream.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "seq/dna.hpp"
 #include "util/logging.hpp"
@@ -85,6 +87,9 @@ class WindowMatcher {
     staged_.lower.resize(sfx.size());
     staged_.upper.resize(sfx.size());
 
+    static obs::Histogram& wall_ns =
+        obs::MetricsRegistry::global().histogram("kernel.match_bounds.wall_ns");
+    const auto t0 = std::chrono::steady_clock::now();
     kernel::Backend& backend = kernel::active_backend();
     if (!backend.uses_device()) {
       // Host backend (scalar/avx2): the bound searches run directly on the
@@ -113,6 +118,9 @@ class WindowMatcher {
       s.copy_to_host_async(std::span<const std::uint32_t>(d_upper),
                            std::span<std::uint32_t>(staged_.upper));
     }
+    wall_ns.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
 
     if (kernel::CaptureSession* capture = kernel::CaptureSession::active()) {
       // The simulated copies above are async only on the modeled clock;
@@ -266,6 +274,9 @@ PartitionReduceStats reduce_partition_impl(Workspace& ws,
   // device alongside transfer staging.
   const std::size_t window = std::max<std::size_t>(
       16, dev.memory().capacity() / (8 * sizeof(FpRecord)));
+  obs::MetricsRegistry::global()
+      .histogram("core.reduce.window_records")
+      .record(static_cast<std::int64_t>(window));
   util::TrackedAllocation window_mem(*ws.host,
                                      2 * window * sizeof(FpRecord));
 

@@ -1,6 +1,7 @@
 #include "core/sort_phase.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "kernel/backend.hpp"
 #include "kernel/dump.hpp"
 #include "io/record_stream.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -73,6 +75,9 @@ void device_sort_chunk(Workspace& ws, std::span<FpRecord> chunk,
          std::as_bytes(std::span<const std::uint64_t>(vals))});
   }
 
+  static obs::Histogram& wall_ns =
+      obs::MetricsRegistry::global().histogram("kernel.sort_pairs.wall_ns");
+  const auto t0 = std::chrono::steady_clock::now();
   kernel::Backend& backend = kernel::active_backend();
   if (!backend.uses_device()) {
     // Host backend (scalar/avx2): sort in place on the host split; same
@@ -98,6 +103,9 @@ void device_sort_chunk(Workspace& ws, std::span<FpRecord> chunk,
     s.copy_to_host_async(std::span<const std::uint64_t>(d_vals.span()),
                          std::span<std::uint64_t>(vals));
   }
+  wall_ns.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
 
   if (capture != nullptr) {
     capture->record(

@@ -8,6 +8,7 @@
 
 #include "io/fault_injector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace lasagna::dist {
 
@@ -18,6 +19,7 @@ struct AmCounters {
   obs::Counter& bytes;
   obs::Counter& drops;
   obs::Counter& delays;
+  obs::Histogram& latency_ps;  ///< request + reply leg, picoseconds
 };
 
 AmCounters& am_counters() {
@@ -25,7 +27,8 @@ AmCounters& am_counters() {
   static AmCounters counters{r.counter("dist.am.requests"),
                              r.counter("dist.am.bytes"),
                              r.counter("dist.am.drops"),
-                             r.counter("dist.am.delays")};
+                             r.counter("dist.am.delays"),
+                             r.histogram("dist.am.latency_ps")};
   return counters;
 }
 
@@ -86,8 +89,22 @@ Payload Network::request(unsigned src, unsigned dst, std::uint16_t type,
     am_counters().bytes.add(payload.size() + reply.size());
     source.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
     target.bytes_sent.fetch_add(reply.size(), std::memory_order_relaxed);
-    charge_leg(src, dst, payload.size());  // request leg
-    charge_leg(dst, src, reply.size());    // reply leg
+    const LegCharge req = charge_leg(src, dst, payload.size());
+    const LegCharge rep = charge_leg(dst, src, reply.size());
+    am_counters().latency_ps.record(req.cost_ps + rep.cost_ps);
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      // The request leg becomes a cross-node edge of the causal graph:
+      // a send span on src's send engine, a receive span on dst's receive
+      // engine, connected with the current hint kind (am, or the
+      // gather/broadcast reclassification from the caller's EdgeHint).
+      const std::uint64_t send_span = prof->engine_span(
+          static_cast<int>(src), "network", "am-send", req.send_start_ps,
+          req.cost_ps);
+      const std::uint64_t recv_span = prof->engine_span(
+          static_cast<int>(dst), "network", "am-recv", req.recv_start_ps,
+          req.cost_ps);
+      prof->edge(send_span, recv_span, obs::Profiler::current_edge_kind());
+    }
     // Each injected drop retransmits the request: one more request-sized
     // leg charged to the same engines. Injected link delay stalls both
     // directions at both endpoints.
@@ -106,19 +123,27 @@ Payload Network::request(unsigned src, unsigned dst, std::uint16_t type,
   return reply;
 }
 
-void Network::charge_leg(unsigned src, unsigned dst, std::uint64_t bytes) {
+Network::LegCharge Network::charge_leg(unsigned src, unsigned dst,
+                                       std::uint64_t bytes) {
   const double bw = topology_.effective_bandwidth(src, dst);
   double seconds = topology_.effective_latency(src, dst);
   if (std::isfinite(bw) && bw > 0.0) {
     seconds += static_cast<double>(bytes) / bw;
   }
-  charge_ps(nodes_.at(src)->send_picoseconds, seconds);
-  charge_ps(nodes_.at(dst)->recv_picoseconds, seconds);
+  LegCharge leg;
+  leg.send_start_ps = static_cast<std::int64_t>(
+      charge_ps(nodes_.at(src)->send_picoseconds, seconds));
+  leg.recv_start_ps = static_cast<std::int64_t>(
+      charge_ps(nodes_.at(dst)->recv_picoseconds, seconds));
+  leg.cost_ps = static_cast<std::int64_t>(std::llround(seconds * 1e12));
+  return leg;
 }
 
-void Network::charge_ps(std::atomic<std::uint64_t>& clock, double seconds) {
-  clock.fetch_add(static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
-                  std::memory_order_relaxed);
+std::uint64_t Network::charge_ps(std::atomic<std::uint64_t>& clock,
+                                 double seconds) {
+  return clock.fetch_add(
+      static_cast<std::uint64_t>(std::llround(seconds * 1e12)),
+      std::memory_order_relaxed);
 }
 
 double Network::modeled_seconds(unsigned node) const {

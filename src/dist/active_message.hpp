@@ -111,10 +111,19 @@ class Network {
     std::atomic<std::uint64_t> recv_picoseconds{0};
   };
 
+  /// What one directed leg cost and where each engine's clock stood before
+  /// the charge — the profiler stamps its send/receive spans from these.
+  struct LegCharge {
+    std::int64_t cost_ps = 0;
+    std::int64_t send_start_ps = 0;  ///< src send engine, before charging
+    std::int64_t recv_start_ps = 0;  ///< dst recv engine, before charging
+  };
+
   /// Charge one directed transfer leg: `src`'s send engine and `dst`'s
   /// receive engine each pay latency + bytes / effective bandwidth.
-  void charge_leg(unsigned src, unsigned dst, std::uint64_t bytes);
-  static void charge_ps(std::atomic<std::uint64_t>& clock, double seconds);
+  LegCharge charge_leg(unsigned src, unsigned dst, std::uint64_t bytes);
+  static std::uint64_t charge_ps(std::atomic<std::uint64_t>& clock,
+                                 double seconds);
 
   ClusterTopology topology_;
   std::atomic<bool> recording_{false};

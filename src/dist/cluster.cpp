@@ -26,6 +26,7 @@
 #include "io/file_stream.hpp"
 #include "io/tempdir.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "seq/read_store.hpp"
 #include "util/logging.hpp"
@@ -312,6 +313,13 @@ std::int64_t to_ps(double seconds) {
   return static_cast<std::int64_t>(std::llround(seconds * 1e12));
 }
 
+/// Name of the dominant lane among a node's device/disk/host costs — the
+/// lane a critical-path slice bound by that node's scan gets attributed to.
+const char* dominant_lane(double device, double disk, double host) {
+  if (device >= disk && device >= host) return "device";
+  return disk >= host ? "disk" : "host";
+}
+
 /// Emit the phase's modeled spans: one cluster-level span plus per-node
 /// lane spans ("dist.node<k>.{device,disk,host,network}"). Streamed phases
 /// run all lanes from the phase start; synchronous phases chain them — the
@@ -320,12 +328,15 @@ void trace_cluster_phase(double base_seconds, const util::PhaseStats& phase,
                          const std::vector<NodePhaseBreakdown>& nodes,
                          bool streamed) {
   obs::Tracer* tracer = obs::Tracer::active();
-  if (tracer == nullptr) return;
+  obs::Profiler* prof = obs::Profiler::active();
+  if (tracer == nullptr && prof == nullptr) return;
   const std::int64_t base = to_ps(base_seconds);
-  tracer->add_span(tracer->track("dist.cluster"), phase.name, -1, 0, base,
-                   to_ps(phase.modeled_seconds),
-                   {{"resumed", phase.resumed ? 1 : 0},
-                    {"nodes", static_cast<std::int64_t>(nodes.size())}});
+  if (tracer != nullptr) {
+    tracer->add_span(tracer->track("dist.cluster"), phase.name, -1, 0, base,
+                     to_ps(phase.modeled_seconds),
+                     {{"resumed", phase.resumed ? 1 : 0},
+                      {"nodes", static_cast<std::int64_t>(nodes.size())}});
+  }
   for (std::size_t k = 0; k < nodes.size(); ++k) {
     const NodePhaseBreakdown& b = nodes[k];
     const std::pair<const char*, double> lanes[] = {
@@ -336,12 +347,23 @@ void trace_cluster_phase(double base_seconds, const util::PhaseStats& phase,
     std::int64_t cursor = base;
     for (const auto& [lane, seconds] : lanes) {
       if (seconds <= 0.0) continue;
-      tracer->add_span(
-          tracer->track("dist.node" + std::to_string(k) + "." + lane),
-          phase.name, -1, 0, streamed ? base : cursor, to_ps(seconds));
+      if (tracer != nullptr) {
+        tracer->add_span(
+            tracer->track("dist.node" + std::to_string(k) + "." + lane),
+            phase.name, -1, 0, streamed ? base : cursor, to_ps(seconds));
+      }
+      // Mirror each lane span as a weighted (non-chain) node of the
+      // causal graph — context the merged trace renders per node.
+      if (prof != nullptr) {
+        prof->span(static_cast<int>(k), lane, "lane",
+                   streamed ? base : cursor, to_ps(seconds));
+      }
       if (!streamed) cursor += to_ps(seconds);
     }
   }
+  // The phase's accounting appended its chain segments before calling
+  // here; the modeled total is final, so the phase can close.
+  if (prof != nullptr) prof->end_phase(to_ps(phase.modeled_seconds));
 }
 
 // ---- reduce delta sidecars ----------------------------------------------
@@ -641,6 +663,9 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
   std::uint64_t num_blocks = 0;
   std::uint64_t fresh_blocks = 0;
   {
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      prof->begin_phase("map", to_ps(cluster_clock));
+    }
     const std::uint64_t block_reads =
         config.node_count == 1
             ? std::max<std::uint64_t>(1, result.read_count)
@@ -664,20 +689,41 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     struct Dispenser {
       std::mutex mutex;
       std::uint64_t next = 0;
+      std::vector<std::uint64_t> per_node;  ///< static round-robin cursors
     };
     Dispenser dispenser;
+    if (config.static_map_blocks) {
+      dispenser.per_node.resize(config.node_count);
+      for (unsigned k = 0; k < config.node_count; ++k) {
+        dispenser.per_node[k] = k;
+      }
+    }
     net.register_handler(
         0, kGetBlock,
         [&dispenser, &done_blocks, num_blocks, block_reads,
-         total = result.read_count](unsigned, std::span<const std::byte>) {
+         stride = config.node_count,
+         total = result.read_count](unsigned src, std::span<const std::byte>) {
           Payload reply;
           std::lock_guard<std::mutex> lock(dispenser.mutex);
-          while (dispenser.next < num_blocks &&
-                 done_blocks.count(dispenser.next) > 0) {
-            ++dispenser.next;
+          std::uint64_t g = 0;
+          if (!dispenser.per_node.empty()) {
+            // Static round-robin: mapper `src` owns blocks src, src+N, ...
+            // (minus checkpointed ones) regardless of request order.
+            std::uint64_t& next = dispenser.per_node[src];
+            while (next < num_blocks && done_blocks.count(next) > 0) {
+              next += stride;
+            }
+            if (next >= num_blocks) return reply;  // no more work
+            g = next;
+            next += stride;
+          } else {
+            while (dispenser.next < num_blocks &&
+                   done_blocks.count(dispenser.next) > 0) {
+              ++dispenser.next;
+            }
+            if (dispenser.next >= num_blocks) return reply;  // no more work
+            g = dispenser.next++;
           }
-          if (dispenser.next >= num_blocks) return reply;  // no more work
-          const std::uint64_t g = dispenser.next++;
           put(reply, g);
           put(reply, g * block_reads);
           put(reply, std::min<std::uint64_t>(block_reads,
@@ -893,6 +939,7 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     phase.wall_seconds = wall.seconds();
     double modeled_max = 0.0;
     double dev_max = 0.0, disk_max = 0.0, host_max = 0.0;
+    unsigned modeled_arg = 0;  ///< node whose lanes bound the phase
     std::vector<NodePhaseBreakdown> breakdown(config.node_count);
     for (auto& node : nodes) {
       const auto io_now = node.io.snapshot();
@@ -920,6 +967,7 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
       const double node_modeled =
           streamed ? std::max({lanes.dev, lanes.mdisk, lanes.host})
                    : lanes.dev + lanes.mdisk + lanes.host;
+      if (node_modeled > modeled_max) modeled_arg = node.id;
       modeled_max = std::max(modeled_max, node_modeled);
       dev_max = std::max(dev_max, lanes.dev);
       disk_max = std::max(disk_max, lanes.mdisk);
@@ -963,6 +1011,22 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     phase.resumed = fresh_blocks == 0 && num_blocks > 0;
     if (phase.resumed) ++result.phases_resumed;
     marks.finish(phase);
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      // modeled = shared-input read + the binding node's map lanes —
+      // record the decomposition as the phase's chain.
+      prof->chain(-1, "disk", "input-read",
+                  to_ps(input_bytes / config.node_count / disk_bw));
+      const MapLanes& ml = map_lanes[modeled_arg];
+      const int mn = static_cast<int>(modeled_arg);
+      if (streamed) {
+        prof->chain(mn, dominant_lane(ml.dev, ml.mdisk, ml.host),
+                    "map-scan", to_ps(std::max({ml.dev, ml.mdisk, ml.host})));
+      } else {
+        prof->chain(mn, "device", "map-scan", to_ps(ml.dev));
+        prof->chain(mn, "disk", "map-scan", to_ps(ml.mdisk));
+        prof->chain(mn, "host", "map-scan", to_ps(ml.host));
+      }
+    }
     trace_cluster_phase(cluster_clock, phase, breakdown, streamed);
     cluster_clock += phase.modeled_seconds;
     result.stats.add(std::move(phase));
@@ -994,6 +1058,9 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
   {
     util::WallTimer wall;
     const MetricsMark marks = MetricsMark::take();
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      prof->begin_phase("shuffle", to_ps(cluster_clock));
+    }
     std::atomic<unsigned> fresh_keys{0};
     for_each_node(nodes, [&](NodeContext& node) {
       io::FaultInjector::ScopedNode node_scope(static_cast<int>(node.id));
@@ -1207,6 +1274,9 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     double disk_max = 0.0;
     double net_max = 0.0;
     double codec_max = 0.0;
+    unsigned overlap_arg = 0, sync1_arg = 0;  ///< binding nodes
+    unsigned sec2_arg = 0;
+    double sec2_disk = 0.0, sec2_net = 0.0;  ///< binding node's components
     for (auto& node : nodes) {
       const MapLanes& lanes = map_lanes[node.id];
       const auto sh_now = node.shuffle_io.snapshot();
@@ -1220,13 +1290,22 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
 
       compute_max = std::max(
           compute_max, std::max({lanes.dev, lanes.mdisk, lanes.host}));
-      overlap_max = std::max(
-          overlap_max, std::max({lanes.dev, lanes.mdisk + lanes.sdisk1,
-                                 lanes.host + lanes.codec, lanes.net1}));
-      sync1_max =
-          std::max(sync1_max, lanes.sdisk1 + lanes.net1 + lanes.codec);
-      sec2_max = std::max(sec2_max, streamed ? std::max(sdisk2, net2)
-                                             : sdisk2 + net2);
+      const double node_overlap =
+          std::max({lanes.dev, lanes.mdisk + lanes.sdisk1,
+                    lanes.host + lanes.codec, lanes.net1});
+      if (node_overlap > overlap_max) overlap_arg = node.id;
+      overlap_max = std::max(overlap_max, node_overlap);
+      const double node_sync1 = lanes.sdisk1 + lanes.net1 + lanes.codec;
+      if (node_sync1 > sync1_max) sync1_arg = node.id;
+      sync1_max = std::max(sync1_max, node_sync1);
+      const double node_sec2 =
+          streamed ? std::max(sdisk2, net2) : sdisk2 + net2;
+      if (node_sec2 > sec2_max) {
+        sec2_arg = node.id;
+        sec2_disk = sdisk2;
+        sec2_net = net2;
+      }
+      sec2_max = std::max(sec2_max, node_sec2);
       disk_max = std::max(disk_max, lanes.sdisk1 + sdisk2);
       net_max = std::max(net_max, lanes.net1 + net2);
       codec_max = std::max(codec_max, lanes.codec);
@@ -1273,6 +1352,27 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     phase.resumed = fresh_keys.load() == 0 && !lengths.empty();
     if (phase.resumed) ++result.phases_resumed;
     marks.finish(phase);
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      if (streamed) {
+        // Only the push time the map couldn't hide is exposed.
+        prof->chain(static_cast<int>(overlap_arg), "network",
+                    "push-exposed",
+                    to_ps(std::max(0.0, overlap_max - compute_max)));
+        prof->chain(static_cast<int>(sec2_arg),
+                    sec2_disk >= sec2_net ? "disk" : "network", "assembly",
+                    to_ps(std::max(sec2_disk, sec2_net)));
+      } else {
+        const MapLanes& sl = map_lanes[sync1_arg];
+        const int sn = static_cast<int>(sync1_arg);
+        prof->chain(sn, "disk", "push-stage", to_ps(sl.sdisk1));
+        prof->chain(sn, "network", "push-wire", to_ps(sl.net1));
+        prof->chain(sn, "host", "push-codec", to_ps(sl.codec));
+        prof->chain(static_cast<int>(sec2_arg), "disk", "assembly",
+                    to_ps(sec2_disk));
+        prof->chain(static_cast<int>(sec2_arg), "network", "assembly",
+                    to_ps(sec2_net));
+      }
+    }
     trace_cluster_phase(cluster_clock, phase, breakdown, streamed);
     cluster_clock += phase.modeled_seconds;
     result.stats.add(std::move(phase));
@@ -1290,6 +1390,9 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
   {
     util::WallTimer wall;
     const MetricsMark marks = MetricsMark::take();
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      prof->begin_phase("sort", to_ps(cluster_clock));
+    }
     for_each_node(nodes, [&](NodeContext& node) {
       io::FaultInjector::ScopedNode node_scope(static_cast<int>(node.id));
       const std::filesystem::path sorted_dir = node.dir / "sorted";
@@ -1352,6 +1455,8 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     phase.wall_seconds = wall.seconds();
     std::vector<NodePhaseBreakdown> breakdown(config.node_count);
     double modeled_max = 0.0, dev_max = 0.0, disk_max = 0.0;
+    unsigned modeled_arg = 0;
+    double arg_dev = 0.0, arg_disk = 0.0;
     bool any_work = false;
     for (auto& node : nodes) {
       const auto io_now = node.io.snapshot();
@@ -1363,8 +1468,13 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
                               io_now.bytes_written -
                               node.io_mark.bytes_written) /
           disk_bw;
-      modeled_max =
-          std::max(modeled_max, streamed ? std::max(dev, disk) : dev + disk);
+      const double node_modeled = streamed ? std::max(dev, disk) : dev + disk;
+      if (node_modeled > modeled_max) {
+        modeled_arg = node.id;
+        arg_dev = dev;
+        arg_disk = disk;
+      }
+      modeled_max = std::max(modeled_max, node_modeled);
       dev_max = std::max(dev_max, dev);
       disk_max = std::max(disk_max, disk);
       any_work = any_work || node.did_work;
@@ -1389,6 +1499,16 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     phase.resumed = !any_work && !lengths.empty();
     if (phase.resumed) ++result.phases_resumed;
     marks.finish(phase);
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      const int sn = static_cast<int>(modeled_arg);
+      if (streamed) {
+        prof->chain(sn, arg_dev >= arg_disk ? "device" : "disk",
+                    "sort-merge", to_ps(std::max(arg_dev, arg_disk)));
+      } else {
+        prof->chain(sn, "device", "sort-merge", to_ps(arg_dev));
+        prof->chain(sn, "disk", "sort-merge", to_ps(arg_disk));
+      }
+    }
     trace_cluster_phase(cluster_clock, phase, breakdown, streamed);
     cluster_clock += phase.modeled_seconds;
     result.stats.add(std::move(phase));
@@ -1409,6 +1529,11 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
   {
     util::WallTimer wall;
     const MetricsMark marks = MetricsMark::take();
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      prof->begin_phase("reduce", to_ps(cluster_clock));
+    }
+    obs::Histogram& h_scan =
+        obs::MetricsRegistry::global().histogram("dist.reduce.partition_scan_ps");
     util::PhaseStats phase;
     phase.name = "reduce";
     std::vector<NodePhaseBreakdown> breakdown(config.node_count);
@@ -1527,6 +1652,7 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
         const double t_g = static_cast<double>(stats.candidates) *
                            config.graph_insert_seconds;
         host_lane[node.id] += host_t;
+        h_scan.record(to_ps(disk_t + dev_t + host_t));
 
         // Overlap-finding proceeds without the token.
         double busy = 0.0;
@@ -1542,8 +1668,9 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           busy = owner_busy[node.id];
         }
         double arrival = token_time;
+        double hop = 0.0;
         if (previous_owner != node.id) {
-          const double hop = transfer_seconds(
+          hop = transfer_seconds(
               topo, previous_owner == UINT32_MAX ? 0 : previous_owner,
               node.id, token.byte_size());
           arrival += hop;
@@ -1551,6 +1678,20 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           c_token_hops.add(1);
         }
         const double start = std::max(busy, arrival);
+        if (obs::Profiler* prof = obs::Profiler::active()) {
+          // This partition's contribution to the event clock: the token
+          // hop, the scan time the token had to wait out (the straggler),
+          // then the serialized insert.
+          const OwnerLanes& ol = owner_lanes[node.id];
+          prof->chain(static_cast<int>(node.id), "network", "token-hop",
+                      to_ps(hop));
+          prof->chain(static_cast<int>(node.id),
+                      streamed ? dominant_lane(ol.dev, ol.disk, ol.host)
+                               : dominant_lane(dev_t, disk_t, host_t),
+                      "straggler-scan", to_ps(start - arrival));
+          prof->chain(static_cast<int>(node.id), "host", "graph-insert",
+                      to_ps(t_g));
+        }
         if (obs::Tracer* tracer = obs::Tracer::active()) {
           tracer->add_span(tracer->track("dist.token"),
                            "l" + std::to_string(l), -1, 0,
@@ -1601,6 +1742,9 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
       std::vector<std::vector<SpecProposal>> by_partition(descending.size());
       std::vector<double> avail(descending.size(), 0.0);
       std::vector<double> owner_busy(config.node_count, 0.0);
+      // Which lane dominates each owner's scan clock — straggler-scan
+      // slices on the critical path are attributed to it.
+      std::vector<const char*> owner_lane(config.node_count, "host");
       std::atomic<std::uint64_t> cand_total{0};
       std::atomic<unsigned> parts_total{0};
       std::atomic<unsigned> parts_restored{0};
@@ -1678,10 +1822,11 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           const double host_t =
               static_cast<double>(stats.host_bytes) / host_bw;
           host_lane[node.id] += host_t;
+          h_scan.record(to_ps(disk_t + dev_t + host_t));
+          lanes.disk += disk_t;
+          lanes.dev += dev_t;
+          lanes.host += host_t;
           if (streamed) {
-            lanes.disk += disk_t;
-            lanes.dev += dev_t;
-            lanes.host += host_t;
             busy = std::max({lanes.disk, lanes.dev, lanes.host});
           } else {
             busy += disk_t + dev_t + host_t;
@@ -1689,6 +1834,8 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           avail[idx] = busy;
         }
         owner_busy[node.id] = busy;
+        owner_lane[node.id] =
+            dominant_lane(lanes.dev, lanes.disk, lanes.host);
       });
       result.candidate_edges = cand_total.load(std::memory_order_relaxed);
       const double scan_seconds =
@@ -1744,6 +1891,7 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           // at the master.
           double rescan_max = 0.0;
           std::uint64_t rescan_total = 0;
+          unsigned rescan_arg = 0;  ///< dirty node whose rescan binds the max
           std::vector<std::vector<SpecProposal>> per_domain;
           per_domain.reserve(dirty.size());
           for (const unsigned n : dirty) {
@@ -1752,11 +1900,15 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
             rescan_total += rescanned;
             // A local replay probes the committed bits and the speculative
             // overlay — no stores — so it runs at probe speed.
-            rescan_max = std::max(rescan_max,
-                                  static_cast<double>(rescanned) *
-                                      config.graph_probe_seconds);
+            const double rescan_seconds =
+                static_cast<double>(rescanned) * config.graph_probe_seconds;
+            if (rescan_seconds > rescan_max) {
+              rescan_max = rescan_seconds;
+              rescan_arg = n;
+            }
             Payload payload;
             for (const SpecProposal& p : per_domain.back()) put(payload, p);
+            const obs::Profiler::EdgeHint hint(obs::ProfEdgeKind::kGather);
             (void)net.request(n, 0, kSpecProposals, payload);
           }
 
@@ -1769,8 +1921,12 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           // can incorporate it next round.
           Payload commit;
           for (const graph::Edge& e : report.delta) put(commit, e);
-          for (unsigned n = 1; n < config.node_count; ++n) {
-            (void)net.request(0, n, kSpecCommit, commit);
+          {
+            const obs::Profiler::EdgeHint hint(
+                obs::ProfEdgeKind::kBroadcast);
+            for (unsigned n = 1; n < config.node_count; ++n) {
+              (void)net.request(0, n, kSpecCommit, commit);
+            }
           }
 
           committed_log.insert(committed_log.end(), report.delta.begin(),
@@ -1821,22 +1977,55 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
                          static_cast<unsigned long long>(report.deferred),
                          rescan_max, apply_seconds);
           }
+          if (obs::Profiler* prof = obs::Profiler::active()) {
+            // The round waits on the slowest dirty node's rescan (parallel
+            // across nodes, max taken) — a straggler wait — then on the
+            // master's serial merge/probe/insert, the true reconcile cost.
+            prof->chain(static_cast<int>(rescan_arg), "host",
+                        "straggler-scan", to_ps(rescan_max));
+            prof->chain(0, "host", "reconcile", to_ps(apply_seconds));
+          }
           *clock_io += rescan_max + apply_seconds;
         }
       };
 
+      unsigned ready_owner = 0;  ///< owner whose scan stamp binds `ready`
       for (std::size_t idx = 0; idx < descending.size(); ++idx) {
-        ready = std::max(ready, avail[idx]);
+        if (avail[idx] > ready) {
+          ready = avail[idx];
+          ready_owner = owner_of(descending[idx], config.node_count);
+        }
         if (by_partition[idx].empty()) continue;
         const unsigned owner = owner_of(descending[idx], config.node_count);
         for (const SpecProposal& p : by_partition[idx]) {
           resolver.add_candidate(owner, p.u, p.v, p.length, p.rank);
+        }
+        if (ready > clock) {
+          // The superstep stalls until its partition's scan lands — the
+          // straggler wait the ROADMAP names as the remaining headroom.
+          if (obs::Profiler* prof = obs::Profiler::active()) {
+            prof->chain(static_cast<int>(ready_owner),
+                        owner_lane[ready_owner], "straggler-scan",
+                        to_ps(ready - clock));
+          }
         }
         clock = std::max(clock, ready);
         ++supersteps;
         drain_to_fixpoint(&clock);
       }
       // Trailing candidate-free partitions still cost scan time.
+      {
+        const unsigned slowest = static_cast<unsigned>(std::distance(
+            owner_busy.begin(),
+            std::max_element(owner_busy.begin(), owner_busy.end())));
+        const double tail = std::max({clock, ready, scan_seconds}) - clock;
+        if (tail > 0.0) {
+          if (obs::Profiler* prof = obs::Profiler::active()) {
+            prof->chain(static_cast<int>(slowest), owner_lane[slowest],
+                        "straggler-scan", to_ps(tail));
+          }
+        }
+      }
       clock = std::max({clock, ready, scan_seconds});
 
       result.reduce_rounds = resolver.rounds();
@@ -1853,6 +2042,12 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
         net_lane[node.id] = net.modeled_seconds(node.id);
       }
       phase.modeled_seconds = clock + net.modeled_seconds(0);
+      if (obs::Profiler* prof = obs::Profiler::active()) {
+        // Proposal gathers and commit broadcasts all funnel through the
+        // master's engines; their exposed time is the incast wait.
+        prof->chain(0, "network", "incast-wait",
+                    to_ps(net.modeled_seconds(0)));
+      }
       if (std::getenv("LASAGNA_SPEC_DEBUG") != nullptr) {
         std::fprintf(stderr,
                      "[spec] nodes=%u scan=%.4f clock=%.4f net0=%.4f "
@@ -1901,6 +2096,7 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
         const unsigned l = *it;
         std::vector<std::vector<Proposal>> proposals(config.node_count);
         std::vector<double> node_t_o(config.node_count, 0.0);
+        std::vector<const char*> node_lane(config.node_count, "host");
 
         for_each_node(nodes, [&](NodeContext& node) {
           const unsigned key =
@@ -1943,9 +2139,11 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           const double host_t =
               static_cast<double>(stats.host_bytes) / host_bw;
           host_lane[node.id] += host_t;
+          h_scan.record(to_ps(disk_t + dev_t + host_t));
           node_t_o[node.id] = streamed
                                   ? std::max({disk_t, dev_t, host_t})
                                   : disk_t + dev_t + host_t;
+          node_lane[node.id] = dominant_lane(dev_t, disk_t, host_t);
           c_partitions.add(1);
         });
 
@@ -1968,8 +2166,23 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
           }
         }
 
+        const auto slowest_it =
+            std::max_element(node_t_o.begin(), node_t_o.end());
+        const auto slowest = static_cast<unsigned>(
+            std::distance(node_t_o.begin(), slowest_it));
+        if (obs::Profiler* prof = obs::Profiler::active()) {
+          prof->chain(static_cast<int>(slowest), node_lane[slowest],
+                      "straggler-scan", to_ps(*slowest_it));
+          prof->chain(0, "host", "graph-insert",
+                      to_ps(static_cast<double>(all.size()) *
+                            config.graph_insert_seconds));
+          if (config.node_count > 1) {
+            prof->chain(0, "network", "broadcast",
+                        to_ps(broadcast_seconds));
+          }
+        }
         reduce_modeled +=
-            *std::max_element(node_t_o.begin(), node_t_o.end()) +
+            *slowest_it +
             static_cast<double>(all.size()) * config.graph_insert_seconds +
             (config.node_count > 1 ? broadcast_seconds : 0.0);
       }
@@ -2043,7 +2256,11 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
 
     util::WallTimer wall;
     const MetricsMark marks = MetricsMark::take();
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      prof->begin_phase("compress", to_ps(cluster_clock));
+    }
     if (config.reduce_strategy == ReduceStrategy::kLengthToken) {
+      const obs::Profiler::EdgeHint hint(obs::ProfEdgeKind::kGather);
       for (unsigned i = 0; i < config.node_count; ++i) {
         const Payload reply = net.request(0, i, kGatherEdges, {});
         std::vector<graph::Edge> edges(reply.size() / sizeof(graph::Edge));
@@ -2090,6 +2307,18 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
                          fastq_bytes * 2 / disk_bw;
     phase.modeled_seconds = breakdown[0].total() + fastq_bytes * 2 / disk_bw;
     marks.finish(phase);
+    if (obs::Profiler* prof = obs::Profiler::active()) {
+      // Everything funnels through node 0: the edge gather's incast, the
+      // compression itself, then the placement re-stream of the input.
+      prof->chain(0, "network", "gather-incast",
+                  to_ps(breakdown[0].network_seconds));
+      prof->chain(0, "device", "compress",
+                  to_ps(breakdown[0].device_seconds));
+      prof->chain(0, "disk", "compress", to_ps(breakdown[0].disk_seconds));
+      prof->chain(0, "host", "compress", to_ps(breakdown[0].host_seconds));
+      prof->chain(-1, "disk", "input-restream",
+                  to_ps(fastq_bytes * 2 / disk_bw));
+    }
     trace_cluster_phase(cluster_clock, phase, breakdown,
                         /*streamed=*/false);
     cluster_clock += phase.modeled_seconds;

@@ -121,6 +121,15 @@ struct ClusterConfig {
   /// and the shuffle with the map. Contigs are byte-identical either way;
   /// only the modeled clocks change.
   bool streamed = true;
+  /// Hand map blocks to mappers round-robin (mapper k maps blocks k,
+  /// k+N, ...) instead of first-come-first-served from the master's
+  /// dispenser. The dynamic dispenser load-balances like the real
+  /// cluster, but it makes each node's modeled lane totals depend on
+  /// wall-clock arrival order; round-robin makes the modeled run a pure
+  /// function of the input (the profiler's byte-identical report tests
+  /// rely on it, together with `streamed = false`). Contigs are identical
+  /// either way — tuple ownership is by content, not by mapper.
+  bool static_map_blocks = false;
   /// When non-empty, node-local state lives under `work_dir/node<k>`
   /// (instead of a temp dir) together with per-node checkpoint manifests.
   std::filesystem::path work_dir;

@@ -1,9 +1,11 @@
 #include "fingerprint/kernels.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "kernel/backend.hpp"
 #include "kernel/dump.hpp"
+#include "obs/metrics.hpp"
 #include "seq/dna.hpp"
 #include "util/modmath.hpp"
 
@@ -94,7 +96,13 @@ BatchFingerprints compute_batch_fingerprints(gpu::Device& dev,
 
   kernel::DeviceContext ctx{&dev, streams,
                             strategy == KernelStrategy::kThreadPerRead};
+  static obs::Histogram& wall_ns =
+      obs::MetricsRegistry::global().histogram("kernel.fingerprint.wall_ns");
+  const auto t0 = std::chrono::steady_clock::now();
   kernel::active_backend().fingerprint(job, &ctx);
+  wall_ns.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
 
   if (kernel::CaptureSession* capture = kernel::CaptureSession::active()) {
     capture->record(

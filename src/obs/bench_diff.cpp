@@ -1,0 +1,158 @@
+#include "obs/bench_diff.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <string_view>
+
+namespace lasagna::obs {
+
+namespace {
+
+bool is_seconds_key(std::string_view key) {
+  return key.size() >= 7 && key.substr(key.size() - 7) == "seconds";
+}
+
+/// Identity of an array element for cross-document matching.
+const JsonValue* element_key(const JsonValue& element) {
+  if (!element.is_object()) return nullptr;
+  for (const char* key : {"dataset", "name"}) {
+    const JsonValue* v = element.find(key);
+    if (v != nullptr && v->is_string()) return v;
+  }
+  return nullptr;
+}
+
+class Differ {
+ public:
+  Differ(const DiffOptions& options, DiffReport& report)
+      : options_(options), report_(report) {}
+
+  void walk(const std::string& path, const JsonValue& base,
+            const JsonValue& cur) {
+    if (base.type != cur.type) {
+      report_.notes.push_back(path + ": type changed");
+      return;
+    }
+    switch (base.type) {
+      case JsonValue::Type::kObject:
+        walk_object(path, base, cur);
+        break;
+      case JsonValue::Type::kArray:
+        walk_array(path, base, cur);
+        break;
+      case JsonValue::Type::kNumber:
+        compare_number(path, base.number, cur.number);
+        break;
+      case JsonValue::Type::kBool:
+        ++report_.compared;
+        if (base.boolean != cur.boolean) {
+          DiffFinding f;
+          f.path = path;
+          f.baseline = base.boolean ? 1.0 : 0.0;
+          f.current = cur.boolean ? 1.0 : 0.0;
+          f.regression = base.boolean && !cur.boolean;
+          report_.findings.push_back(std::move(f));
+        }
+        break;
+      default:
+        break;  // strings/nulls don't gate
+    }
+  }
+
+ private:
+  void walk_object(const std::string& path, const JsonValue& base,
+                   const JsonValue& cur) {
+    for (const auto& [key, bval] : base.object) {
+      const std::string child = path.empty() ? key : path + "." + key;
+      const JsonValue* cval = cur.find(key);
+      if (cval == nullptr) {
+        report_.notes.push_back(child + ": only in baseline");
+        continue;
+      }
+      walk(child, bval, *cval);
+    }
+    for (const auto& [key, cval] : cur.object) {
+      if (base.find(key) == nullptr) {
+        report_.notes.push_back(
+            (path.empty() ? key : path + "." + key) + ": only in current");
+      }
+    }
+  }
+
+  void walk_array(const std::string& path, const JsonValue& base,
+                  const JsonValue& cur) {
+    // Keyed elements match across reorders and insertions; unkeyed arrays
+    // compare by index over the shared prefix.
+    bool keyed = !base.array.empty();
+    for (const JsonValue& e : base.array) {
+      if (element_key(e) == nullptr) keyed = false;
+    }
+    if (keyed) {
+      for (const JsonValue& b : base.array) {
+        const JsonValue* bkey = element_key(b);
+        const JsonValue* match = nullptr;
+        for (const JsonValue& c : cur.array) {
+          const JsonValue* ckey = element_key(c);
+          if (ckey != nullptr && ckey->string == bkey->string) {
+            match = &c;
+            break;
+          }
+        }
+        const std::string child = path + "[" + bkey->string + "]";
+        if (match == nullptr) {
+          report_.notes.push_back(child + ": only in baseline");
+          continue;
+        }
+        walk(child, b, *match);
+      }
+      return;
+    }
+    const std::size_t n = std::min(base.array.size(), cur.array.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      walk(path + "[" + std::to_string(i) + "]", base.array[i],
+           cur.array[i]);
+    }
+    if (base.array.size() != cur.array.size()) {
+      report_.notes.push_back(path + ": length changed");
+    }
+  }
+
+  void compare_number(const std::string& path, double base, double cur) {
+    // Only lower-is-better time keys gate; counts and ratios are
+    // informational (they shift legitimately as workloads change).
+    const std::size_t dot = path.rfind('.');
+    const std::string_view key =
+        dot == std::string::npos ? std::string_view(path)
+                                 : std::string_view(path).substr(dot + 1);
+    if (!is_seconds_key(key)) return;
+    for (const std::string& pattern : options_.ignore) {
+      if (path.find(pattern) != std::string::npos) return;
+    }
+    ++report_.compared;
+    const double rise_abs = cur - base;
+    const bool moved = std::fabs(rise_abs) > options_.abs_floor;
+    if (!moved) return;
+    DiffFinding f;
+    f.path = path;
+    f.baseline = base;
+    f.current = cur;
+    f.regression = base >= 0.0 && rise_abs > options_.abs_floor &&
+                   cur > base * (1.0 + options_.max_rise);
+    report_.findings.push_back(std::move(f));
+  }
+
+  const DiffOptions& options_;
+  DiffReport& report_;
+};
+
+}  // namespace
+
+DiffReport diff_documents(const JsonValue& baseline, const JsonValue& current,
+                          const DiffOptions& options) {
+  DiffReport report;
+  Differ differ(options, report);
+  differ.walk("", baseline, current);
+  return report;
+}
+
+}  // namespace lasagna::obs

@@ -1,0 +1,67 @@
+// Structural diff between two bench JSON documents (BENCH_*.json) with
+// regression gating — the library behind the bench_diff CLI and its unit
+// tests.
+//
+// The walk recurses over members present in *both* documents (added or
+// removed keys are reported as notes, never as regressions, so schema
+// growth does not break CI). Array elements are matched by a "dataset" or
+// "name" member when one exists, by index otherwise. Two kinds of
+// comparisons gate:
+//
+//   - numeric keys ending in "seconds": lower is better; the finding is a
+//     regression when current > baseline * (1 + max_rise) and the absolute
+//     rise clears abs_floor (keys carrying wall-clock noise can be given a
+//     looser threshold by the caller).
+//   - booleans: true -> false is a regression (bench guard flags).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.hpp"
+
+namespace lasagna::obs {
+
+struct DiffOptions {
+  /// Allowed relative rise on lower-is-better numeric keys (0.10 = +10%).
+  double max_rise = 0.10;
+  /// Absolute rises below this never gate (guards near-zero baselines).
+  double abs_floor = 1e-9;
+  /// Gated keys whose dotted path contains any of these substrings are
+  /// skipped entirely (neither compared nor reported). CI uses this to
+  /// keep machine-dependent wall clocks ("wall") out of the gate while
+  /// still gating the modeled numbers next to them.
+  std::vector<std::string> ignore;
+};
+
+struct DiffFinding {
+  std::string path;  ///< dotted path, e.g. "strong[H.Genome@32n].spec_seconds"
+  double baseline = 0.0;
+  double current = 0.0;
+  bool regression = false;
+
+  /// Relative change (positive = slower/worse); 0 when baseline is 0.
+  [[nodiscard]] double rise() const {
+    return baseline != 0.0 ? (current - baseline) / baseline : 0.0;
+  }
+};
+
+struct DiffReport {
+  std::vector<DiffFinding> findings;  ///< every gated comparison that moved
+  std::vector<std::string> notes;     ///< keys present on only one side
+  std::size_t compared = 0;           ///< gated comparisons performed
+
+  [[nodiscard]] bool ok() const {
+    for (const DiffFinding& f : findings) {
+      if (f.regression) return false;
+    }
+    return true;
+  }
+};
+
+/// Compare `current` against `baseline` under `options`.
+[[nodiscard]] DiffReport diff_documents(const JsonValue& baseline,
+                                        const JsonValue& current,
+                                        const DiffOptions& options);
+
+}  // namespace lasagna::obs

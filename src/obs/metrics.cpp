@@ -28,6 +28,67 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   return *g;
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = histogram_names_.find(name);
+  if (it != histogram_names_.end()) return *it->second;
+  histograms_.emplace_back();
+  Histogram* h = &histograms_.back();
+  histogram_names_.emplace(std::string(name), h);
+  return *h;
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  const std::int64_t total = count();
+  if (total <= 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Target rank r in [1, total]: the ceil of p% of the population.
+  const auto rank = static_cast<std::int64_t>(p / 100.0 * total + 0.5);
+  const std::int64_t r = rank < 1 ? 1 : (rank > total ? total : rank);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int64_t cb = bucket_count(b);
+    if (cb == 0) continue;
+    if (seen + cb < r) {
+      seen += cb;
+      continue;
+    }
+    const std::int64_t lo = bucket_low(b);
+    const std::int64_t hi = bucket_high(b);
+    // Midpoint-rank interpolation: the k-th of cb samples (k = r - seen)
+    // sits at fraction (2k - 1) / (2 cb) of the bucket's value range.
+    const std::int64_t k = r - seen;
+    const auto span = static_cast<__int128>(hi - lo);
+    const auto offset =
+        span * (2 * static_cast<__int128>(k) - 1) / (2 * static_cast<__int128>(cb));
+    return lo + static_cast<std::int64_t>(offset);
+  }
+  return bucket_high(kBuckets - 1);  // unreachable with a consistent count
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int64_t cb = other.bucket_count(b);
+    if (cb != 0) buckets_[b].fetch_add(cb, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::reset_values() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& c : counters_) c.reset();
+  for (auto& g : gauges_) g.set(0);
+  for (auto& h : histograms_) h.reset();
+}
+
 std::int64_t MetricsRegistry::value(std::string_view name) const {
   const std::scoped_lock lock(mutex_);
   if (auto it = counter_names_.find(name); it != counter_names_.end()) {
@@ -75,11 +136,36 @@ std::string MetricsRegistry::json() const {
     if (!first) out << "\n  ";
     out << "}";
   };
+  // Histograms need the registry lock (they export five derived values
+  // atomically enough for reporting); copy name -> stats under the lock.
+  struct HistStats {
+    std::int64_t count, sum, p50, p90, p99;
+  };
+  std::vector<std::pair<std::string, HistStats>> hists;
+  {
+    const std::scoped_lock lock(mutex_);
+    hists.reserve(histogram_names_.size());
+    for (const auto& [name, h] : histogram_names_) {
+      hists.emplace_back(name, HistStats{h->count(), h->sum(), h->percentile(50),
+                                         h->percentile(90), h->percentile(99)});
+    }
+  }
   out << "{\n";
   emit_section("counters", counters);
   out << ",\n";
   emit_section("gauges", gauges);
-  out << "\n}\n";
+  out << ",\n  \"histograms\": {";
+  bool first = true;
+  for (const auto& [name, s] : hists) {
+    out << (first ? "\n" : ",\n") << "    ";
+    json_escape(out, name);
+    out << ": {\"count\": " << s.count << ", \"sum\": " << s.sum
+        << ", \"p50\": " << s.p50 << ", \"p90\": " << s.p90
+        << ", \"p99\": " << s.p99 << "}";
+    first = false;
+  }
+  if (!first) out << "\n  ";
+  out << "}\n}\n";
   return out.str();
 }
 

@@ -1,4 +1,4 @@
-// Process-wide counter/gauge metrics registry.
+// Process-wide counter/gauge/histogram metrics registry.
 //
 // The instrumented layers (gpu::Device, the io streams, util::ThreadPool,
 // the pipeline phases) register named counters and gauges here; the registry
@@ -9,10 +9,12 @@
 // Cost model: looking a metric up by name takes a mutex, so hot call sites
 // cache the returned reference (addresses are stable for the registry's
 // lifetime — metrics live in deques and are never removed). Updating a
-// cached Counter/Gauge is a single relaxed atomic op.
+// cached Counter/Gauge is a single relaxed atomic op; recording into a
+// Histogram is three (bucket, count, sum).
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <filesystem>
@@ -34,6 +36,8 @@ class Counter {
   [[nodiscard]] std::int64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
+  /// Registry-reset hook (sweep-cell boundaries); not for hot paths.
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::int64_t> value_{0};
@@ -64,13 +68,78 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// Fixed log2-bucket latency/size distribution. Bucket b holds values in
+/// [2^(b-1), 2^b) (bucket 0 holds <= 0), so the whole int64 range fits in
+/// 65 counters regardless of what unit callers record (picoseconds,
+/// nanoseconds, record counts). Recording is three relaxed atomic adds;
+/// merging two histograms is bucket-wise addition, so per-node instances
+/// can be folded into one. Percentile estimates interpolate linearly inside
+/// the winning bucket with pure integer arithmetic — exports are
+/// byte-stable and any estimate is within a factor of 2 of the true sample
+/// (one bucket's width).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  /// Bucket index of `value`: 0 for non-positive values, otherwise
+  /// bit_width(value) (1 -> 1, 2..3 -> 2, 4..7 -> 3, ...).
+  [[nodiscard]] static int bucket_of(std::int64_t value) {
+    if (value <= 0) return 0;
+    return std::bit_width(static_cast<std::uint64_t>(value));
+  }
+
+  /// Inclusive [low, high] value range of bucket `b`.
+  [[nodiscard]] static std::int64_t bucket_low(int b) {
+    return b <= 1 ? b : std::int64_t{1} << (b - 1);
+  }
+  [[nodiscard]] static std::int64_t bucket_high(int b) {
+    if (b == 0) return 0;
+    if (b >= 64) return INT64_MAX;
+    return (std::int64_t{1} << b) - 1;
+  }
+
+  void record(std::int64_t value) {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value > 0 ? value : 0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Deterministic estimate of the `p`-th percentile (p in [0, 100]): the
+  /// bucket holding the target rank, linearly interpolated by rank within
+  /// the bucket's value range. Returns 0 on an empty histogram.
+  [[nodiscard]] std::int64_t percentile(double p) const;
+
+  /// Fold `other` into this histogram (bucket-wise; mergeable across
+  /// nodes/shards).
+  void merge_from(const Histogram& other);
+
+  /// Zero every bucket (bench sweep-cell boundaries).
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
 /// Named metrics with stable addresses. Thread-safe.
 class MetricsRegistry {
  public:
-  /// Find or create the counter/gauge named `name`. The reference stays
-  /// valid for the registry's lifetime.
+  /// Find or create the counter/gauge/histogram named `name`. The
+  /// reference stays valid for the registry's lifetime.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Current value of the metric named `name` (counter or gauge), or 0 when
   /// no such metric exists yet — lets tests assert without registering.
@@ -81,9 +150,17 @@ class MetricsRegistry {
   [[nodiscard]] Snapshot counters_snapshot() const;
   [[nodiscard]] Snapshot gauges_snapshot() const;
 
-  /// Flat JSON document: {"counters": {...}, "gauges": {...}}, keys sorted.
+  /// Flat JSON document: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}, keys sorted. Histogram entries carry count, sum
+  /// and interpolated p50/p90/p99.
   [[nodiscard]] std::string json() const;
   void write_json(const std::filesystem::path& path) const;
+
+  /// Zero every registered metric's value, keeping names registered and
+  /// addresses stable (cached references stay valid). Bench sweeps call
+  /// this at cell boundaries so each emitted JSON reflects one
+  /// configuration, not the running sum of the sweep.
+  void reset_values();
 
   /// Process-wide registry all built-in instrumentation reports to.
   static MetricsRegistry& global();
@@ -93,8 +170,10 @@ class MetricsRegistry {
   // Deques keep metric addresses stable while the maps grow.
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
   std::map<std::string, Counter*, std::less<>> counter_names_;
   std::map<std::string, Gauge*, std::less<>> gauge_names_;
+  std::map<std::string, Histogram*, std::less<>> histogram_names_;
 };
 
 /// Counters that moved between two snapshots of the same registry, as

@@ -14,8 +14,10 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace lasagna::util {
@@ -23,6 +25,11 @@ namespace lasagna::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 [[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// Parse a CLI spelling ("debug", "info", "warn", "error", "off") into a
+/// level; nullopt for anything else. Shared by the example binaries and the
+/// benches so --log-level= means the same thing everywhere.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
 
 /// Set the global minimum level. Messages below it are dropped.
 void set_log_level(LogLevel level);

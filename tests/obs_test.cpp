@@ -3,9 +3,15 @@
 // the built-in instrumentation of ThreadPool and MemoryTracker.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <random>
 #include <string>
 #include <vector>
 
+#include "obs/bench_diff.hpp"
+#include "obs/json_parse.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "test_json.hpp"
@@ -236,6 +242,188 @@ TEST(Instrumentation, MemoryTrackerPublishesGauges) {
             static_cast<std::int64_t>(tracker.current()));
   EXPECT_EQ(registry.value("obs_test.mem.peak_bytes"),
             static_cast<std::int64_t>(tracker.peak()));
+}
+
+// -- histograms ---------------------------------------------------------------
+
+TEST(Histogram, PercentilesTrackSortedReference) {
+  // Log-uniform values across 5 decades — the AM-latency shape.
+  std::mt19937_64 rng(1234);
+  std::vector<std::int64_t> values;
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) {
+    const double exponent = std::uniform_real_distribution<>(0.0, 5.0)(rng);
+    const auto v = static_cast<std::int64_t>(std::pow(10.0, exponent));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(h.count(), 10000);
+
+  for (const double p : {50.0, 90.0, 99.0}) {
+    const std::int64_t reference =
+        values[static_cast<std::size_t>(p / 100.0 * values.size()) - 1];
+    const std::int64_t estimate = h.percentile(p);
+    // The histogram quantizes to power-of-two buckets: the estimate must
+    // land in the same bucket as the exact order statistic (within one
+    // bucket of rounding at the boundary).
+    EXPECT_LE(std::abs(Histogram::bucket_of(estimate) -
+                       Histogram::bucket_of(reference)),
+              1)
+        << "p" << p << ": reference " << reference << " estimate " << estimate;
+  }
+  EXPECT_LE(h.percentile(50.0), h.percentile(90.0));
+  EXPECT_LE(h.percentile(90.0), h.percentile(99.0));
+}
+
+TEST(Histogram, ExactOnSmallSets) {
+  Histogram h;
+  for (const std::int64_t v : {1, 1, 2, 3}) h.record(v);
+  // rank(50%) = 2 -> second value = 1; bucket {1} is exact.
+  EXPECT_EQ(h.percentile(50.0), 1);
+  // The max (3) lives in bucket [2, 3]; midpoint-rank interpolation lands
+  // inside the right bucket, not on the exact order statistic.
+  EXPECT_EQ(Histogram::bucket_of(h.percentile(100.0)),
+            Histogram::bucket_of(3));
+  EXPECT_EQ(h.sum(), 7);
+  EXPECT_EQ(h.percentile(0.0), 1);  // rank clamps to the first value
+
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(50.0), 0);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  std::mt19937_64 rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<std::int64_t>(rng() % 100000);
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  for (const double p : {50.0, 90.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), combined.percentile(p));
+  }
+}
+
+TEST(Histogram, RegistryExportAndReset) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.latency");
+  EXPECT_EQ(&registry.histogram("test.latency"), &h);  // find-or-create
+  for (std::int64_t v = 1; v <= 100; ++v) h.record(v);
+  registry.counter("test.events").add(5);
+
+  const std::string json = registry.json();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << v.error() << "\n" << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+
+  // reset_values zeroes everything but keeps the metric objects alive, so
+  // cached references stay valid across bench sweep cells.
+  registry.reset_values();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(registry.value("test.events"), 0);
+  h.record(9);
+  EXPECT_EQ(registry.histogram("test.latency").count(), 1);
+}
+
+// -- bench_diff ---------------------------------------------------------------
+
+TEST(BenchDiff, DetectsTenPercentRegression) {
+  const JsonValue baseline = JsonValue::parse(
+      R"({"rows": [{"name": "map", "modeled_seconds": 10.0},
+                   {"name": "sort", "modeled_seconds": 5.0}]})");
+  const JsonValue regressed = JsonValue::parse(
+      R"({"rows": [{"name": "map", "modeled_seconds": 11.2},
+                   {"name": "sort", "modeled_seconds": 5.0}]})");
+
+  DiffOptions options;  // max_rise = 0.10
+  const DiffReport report = diff_documents(baseline, regressed, options);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_TRUE(report.findings[0].regression);
+  EXPECT_EQ(report.findings[0].path, "rows[map].modeled_seconds");
+  EXPECT_NEAR(report.findings[0].rise(), 0.12, 1e-9);
+
+  // Within threshold: reported as moved, not a regression.
+  const JsonValue within = JsonValue::parse(
+      R"({"rows": [{"name": "map", "modeled_seconds": 10.5},
+                   {"name": "sort", "modeled_seconds": 5.0}]})");
+  EXPECT_TRUE(diff_documents(baseline, within, options).ok());
+}
+
+TEST(BenchDiff, KeyedArraysMatchAcrossReordering) {
+  const JsonValue baseline = JsonValue::parse(
+      R"({"cells": [{"dataset": "A", "total_seconds": 1.0},
+                    {"dataset": "B", "total_seconds": 2.0}]})");
+  const JsonValue reordered = JsonValue::parse(
+      R"({"cells": [{"dataset": "B", "total_seconds": 2.0},
+                    {"dataset": "A", "total_seconds": 1.0}]})");
+  const DiffReport report =
+      diff_documents(baseline, reordered, DiffOptions{});
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.compared, 2u);
+}
+
+TEST(BenchDiff, GuardBooleansAndSchemaGrowth) {
+  const JsonValue baseline = JsonValue::parse(
+      R"({"contigs_identical": true, "old_key": 1, "total_seconds": 3.0})");
+  const JsonValue current = JsonValue::parse(
+      R"({"contigs_identical": false, "new_key": 2, "total_seconds": 3.0})");
+  const DiffReport report = diff_documents(baseline, current, DiffOptions{});
+  EXPECT_FALSE(report.ok());  // guard flipped true -> false
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].path, "contigs_identical");
+  // Added/removed keys are notes, never regressions.
+  EXPECT_EQ(report.notes.size(), 2u);
+
+  // false -> true is an improvement, not a finding that gates.
+  const DiffReport improved =
+      diff_documents(current, baseline, DiffOptions{});
+  EXPECT_TRUE(improved.ok());
+}
+
+TEST(BenchDiff, AbsoluteFloorGuardsNearZeroBaselines) {
+  const JsonValue baseline =
+      JsonValue::parse(R"({"tiny_seconds": 1e-12})");
+  const JsonValue current = JsonValue::parse(R"({"tiny_seconds": 2e-12})");
+  // +100% relative, but the absolute rise is far below the floor.
+  EXPECT_TRUE(diff_documents(baseline, current, DiffOptions{}).ok());
+}
+
+TEST(BenchDiff, IgnorePatternsSkipMachineDependentKeys) {
+  const JsonValue baseline = JsonValue::parse(
+      R"({"rows": [{"name": "fp", "wall_seconds": 1.0,
+                    "modeled_seconds": 4.0}]})");
+  const JsonValue current = JsonValue::parse(
+      R"({"rows": [{"name": "fp", "wall_seconds": 3.0,
+                    "modeled_seconds": 4.0}]})");
+
+  // The 3x wall regression gates by default...
+  EXPECT_FALSE(diff_documents(baseline, current, DiffOptions{}).ok());
+  // ...and is skipped entirely (not compared, not reported) when ignored,
+  // while the modeled key next to it stays gated.
+  DiffOptions ignore_wall;
+  ignore_wall.ignore.push_back("wall");
+  const DiffReport report = diff_documents(baseline, current, ignore_wall);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.compared, 1u);
+
+  const JsonValue modeled_regressed = JsonValue::parse(
+      R"({"rows": [{"name": "fp", "wall_seconds": 3.0,
+                    "modeled_seconds": 6.0}]})");
+  EXPECT_FALSE(
+      diff_documents(baseline, modeled_regressed, ignore_wall).ok());
 }
 
 }  // namespace
