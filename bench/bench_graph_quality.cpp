@@ -1,0 +1,241 @@
+// Assembly-quality regression gate: greedy vs reduced-graph LaSAGNA vs the
+// SGA-style baseline, scored QUAST-style against the reference each input
+// was simulated from (N50/NG50, genome fraction, duplication ratio,
+// misassembled contigs).
+//
+// Two input families:
+//   - A clean gate corpus: error-free reads tiled at distinct positions
+//     over a repeat-free genome. Here the full string graph reduces to a
+//     single chain, so any tie-break, reduction or unitig-walk regression
+//     fragments the contig and trips the exit-code gates:
+//       reduced N50 >= greedy N50, and zero misassemblies for all three
+//       assemblers.
+//   - The paper's four datasets (scaled). At bench coverage (40x+) the
+//     simulator emits duplicate-position reads, which survive transitive
+//     reduction as parallel forks and legitimately fragment unitigs —
+//     so N50 is recorded, not gated. What IS gated is the reduced mode's
+//     conservative contract: it must never emit a misassembled contig
+//     (the unitig walk stops at every ambiguity), even where greedy does.
+// The per-dataset metrics land in BENCH_graph_quality.json for the
+// bench_diff baseline in ci/bench-baselines/.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "baseline/sga.hpp"
+#include "bench_common.hpp"
+#include "core/compress_phase.hpp"
+#include "core/pipeline.hpp"
+#include "gpu/device.hpp"
+#include "io/fastq.hpp"
+#include "io/io_stats.hpp"
+#include "io/tempdir.hpp"
+#include "seq/datasets.hpp"
+#include "seq/evaluate.hpp"
+#include "seq/genome.hpp"
+#include "util/memory_tracker.hpp"
+
+using namespace lasagna;
+
+namespace {
+
+struct Guards {
+  bool clean_reduced_n50_ge_greedy = true;
+  bool clean_zero_misassemblies = true;
+  bool reduced_never_misassembles = true;  ///< across the paper datasets
+
+  [[nodiscard]] bool pass() const {
+    return clean_reduced_n50_ge_greedy && clean_zero_misassemblies &&
+           reduced_never_misassembles;
+  }
+};
+
+/// One scored assembly: evaluate `fasta` against `reference` and append a
+/// JSON object under `label` to `json`.
+seq::AssemblyEvaluation score(const std::string& reference,
+                              const std::string& fasta, const char* label,
+                              std::string& json) {
+  const auto eval = seq::evaluate_assembly_file(reference, fasta);
+  char entry[512];
+  std::snprintf(
+      entry, sizeof(entry),
+      "      \"%s\": {\"contigs\": %llu, \"total_bases\": %llu, "
+      "\"n50\": %llu, \"ng50\": %llu, \"largest\": %llu, "
+      "\"genome_fraction\": %.4f, \"duplication_ratio\": %.4f, "
+      "\"misassembled\": %llu}",
+      label, static_cast<unsigned long long>(eval.contigs),
+      static_cast<unsigned long long>(eval.total_bases),
+      static_cast<unsigned long long>(eval.n50),
+      static_cast<unsigned long long>(eval.ng50),
+      static_cast<unsigned long long>(eval.largest), eval.genome_fraction,
+      eval.duplication_ratio,
+      static_cast<unsigned long long>(eval.misassembled));
+  if (!json.empty()) json += ",\n";
+  json += entry;
+  return eval;
+}
+
+void print_eval(const std::string& dataset, const char* assembler,
+                const seq::AssemblyEvaluation& e) {
+  char gf[16], dup[16];
+  std::snprintf(gf, sizeof(gf), "%.1f%%", e.genome_fraction * 100.0);
+  std::snprintf(dup, sizeof(dup), "%.3f", e.duplication_ratio);
+  bench::print_row(dataset + "/" + assembler,
+                   {std::to_string(e.contigs), std::to_string(e.n50),
+                    std::to_string(e.ng50), gf, dup,
+                    std::to_string(e.misassembled)});
+}
+
+struct TrioEvals {
+  seq::AssemblyEvaluation greedy;
+  seq::AssemblyEvaluation reduced;
+  seq::AssemblyEvaluation sga;
+};
+
+/// Run all three assemblers over `fastq`, score against `reference`,
+/// print the three table rows and append their JSON objects to `json`.
+TrioEvals run_trio(const std::filesystem::path& fastq,
+                   const std::string& reference, const std::string& name,
+                   unsigned min_overlap, double scale, std::string& json) {
+  io::ScopedTempDir out("lasagna-bench-quality");
+  TrioEvals evals;
+
+  core::AssemblyConfig config;
+  config.machine = core::MachineConfig::queenbee_k40(scale);
+  config.min_overlap = min_overlap;
+  core::Assembler greedy(config);
+  (void)greedy.run(fastq, out.file("greedy.fa"));
+  evals.greedy =
+      score(reference, out.file("greedy.fa").string(), "greedy", json);
+  print_eval(name, "greedy", evals.greedy);
+
+  config.graph = core::GraphMode::kReduced;
+  core::Assembler reduced(config);
+  (void)reduced.run(fastq, out.file("reduced.fa"));
+  evals.reduced =
+      score(reference, out.file("reduced.fa").string(), "reduced", json);
+  print_eval(name, "reduced", evals.reduced);
+
+  // SGA baseline graph, spelled through LaSAGNA's compress phase so the
+  // contig generation is held constant across all three rows.
+  baseline::SgaConfig sga_config;
+  sga_config.min_overlap = min_overlap;
+  const auto sga = baseline::run_sga_pipeline(fastq, sga_config);
+  gpu::Device device(gpu::GpuProfile::k40(), 1ull << 22);
+  util::MemoryTracker host("bench-quality-host");
+  io::IoStats io_stats;
+  core::Workspace ws;
+  ws.device = &device;
+  ws.host = &host;
+  ws.io = &io_stats;
+  ws.dir = out.path();
+  (void)core::run_compress_phase(ws, *sga.graph, fastq, out.file("sga.fa"),
+                                 {});
+  evals.sga = score(reference, out.file("sga.fa").string(), "sga", json);
+  print_eval(name, "sga", evals.sga);
+  return evals;
+}
+
+/// The clean gate corpus: error-free 100 bp reads tiled at distinct,
+/// irregular positions over a repeat-free random genome. Deterministic and
+/// scale-independent — it gates correctness, not throughput.
+std::filesystem::path write_clean_corpus(const io::ScopedTempDir& dir,
+                                         const std::string& genome) {
+  std::vector<io::SequenceRecord> records;
+  std::uint64_t pos = 0;
+  std::uint64_t step = 13;
+  while (pos + 100 <= genome.size()) {
+    records.push_back(
+        {"r" + std::to_string(pos), genome.substr(pos, 100), ""});
+    pos += step;
+    step = (step == 13) ? 21 : 13;  // irregular but all-distinct positions
+  }
+  io::write_fastq_file(dir.file("clean.fq"), records);
+  return dir.file("clean.fq");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  std::printf(
+      "=== assembly quality — greedy vs reduced vs SGA, scale %.0f\n",
+      args.scale);
+  bench::print_row("dataset/assembler", {"contigs", "n50", "ng50",
+                                         "genome-frac", "dup", "misasm"});
+
+  Guards guards;
+  std::string datasets_json;
+
+  // ---- clean gate corpus ---------------------------------------------------
+  io::ScopedTempDir clean_dir("lasagna-bench-clean");
+  const std::string clean_genome = seq::random_genome(4000, 17);
+  const auto clean_fastq = write_clean_corpus(clean_dir, clean_genome);
+  {
+    std::string modes_json;
+    const TrioEvals e = run_trio(clean_fastq, clean_genome, "clean-tiling",
+                                 /*min_overlap=*/60, args.scale, modes_json);
+    guards.clean_reduced_n50_ge_greedy = e.reduced.n50 >= e.greedy.n50;
+    guards.clean_zero_misassemblies = e.greedy.misassembled == 0 &&
+                                      e.reduced.misassembled == 0 &&
+                                      e.sga.misassembled == 0;
+    if (!guards.clean_reduced_n50_ge_greedy) {
+      std::printf("!! clean-tiling: reduced n50 %llu < greedy n50 %llu\n",
+                  static_cast<unsigned long long>(e.reduced.n50),
+                  static_cast<unsigned long long>(e.greedy.n50));
+    }
+    if (!guards.clean_zero_misassemblies) {
+      std::printf("!! clean-tiling: misassembled contigs on clean data "
+                  "(greedy %llu, reduced %llu, sga %llu)\n",
+                  static_cast<unsigned long long>(e.greedy.misassembled),
+                  static_cast<unsigned long long>(e.reduced.misassembled),
+                  static_cast<unsigned long long>(e.sga.misassembled));
+    }
+    datasets_json += "    {\"dataset\": \"clean-tiling\",\n";
+    datasets_json += modes_json;
+    datasets_json += "\n    }";
+  }
+
+  // ---- paper datasets ------------------------------------------------------
+  for (const auto& spec : args.datasets()) {
+    const auto fastq = bench::materialize(spec);
+    const std::string reference = seq::dataset_reference(spec);
+    std::string modes_json;
+    const TrioEvals e = run_trio(fastq, reference, spec.name,
+                                 spec.min_overlap, args.scale, modes_json);
+    if (e.reduced.misassembled != 0) {
+      guards.reduced_never_misassembles = false;
+      std::printf("!! %s: reduced mode emitted %llu misassembled contigs\n",
+                  spec.name.c_str(),
+                  static_cast<unsigned long long>(e.reduced.misassembled));
+    }
+    datasets_json += ",\n    {\"dataset\": \"" + spec.name + "\",\n";
+    datasets_json += modes_json;
+    datasets_json += "\n    }";
+  }
+
+  {
+    std::ofstream out("BENCH_graph_quality.json", std::ios::trunc);
+    out << "{\n"
+        << "  \"bench\": \"graph_quality\",\n"
+        << "  \"scale\": " << args.scale << ",\n"
+        << "  \"clean_reduced_n50_ge_greedy\": "
+        << (guards.clean_reduced_n50_ge_greedy ? "true" : "false") << ",\n"
+        << "  \"clean_zero_misassemblies\": "
+        << (guards.clean_zero_misassemblies ? "true" : "false") << ",\n"
+        << "  \"reduced_never_misassembles\": "
+        << (guards.reduced_never_misassembles ? "true" : "false") << ",\n"
+        << "  \"datasets\": [\n"
+        << datasets_json << "\n  ]\n}\n";
+    std::printf("wrote BENCH_graph_quality.json\n");
+  }
+
+  std::printf(
+      "\nquality gates: clean-corpus reduced n50 >= greedy %s; "
+      "clean-corpus zero misassemblies %s; reduced mode misassembly-free "
+      "on every paper dataset %s\n",
+      guards.clean_reduced_n50_ge_greedy ? "OK" : "FAILED",
+      guards.clean_zero_misassemblies ? "OK" : "FAILED",
+      guards.reduced_never_misassembles ? "OK" : "FAILED");
+  return guards.pass() ? 0 : 1;
+}

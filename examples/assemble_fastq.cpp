@@ -4,13 +4,17 @@
 //         [--min-overlap=63] [--host-mem-mb=32] [--device-mem-mb=3]
 //         [--gpu=k40|k20x|p40|p100|v100] [--singletons] [--verify]
 //         [--nodes=N] [--reduce=token|bsp|speculative]
+//         [--graph=greedy|reduced]
 //
 // This is the "downstream user" entry point: point it at any Illumina-style
 // short-read file and get contigs plus the paper-style phase breakdown.
 // With --nodes=N the run goes through the simulated cluster (N nodes,
 // active-message shuffle, per-node modeled clocks) instead of the
-// single-node pipeline; --reduce picks the distributed reduce strategy.
-// The contigs are byte-identical in every configuration.
+// single-node pipeline; --reduce picks the distributed reduce strategy and
+// --graph=reduced swaps the greedy graph for the full string graph with
+// parallel transitive reduction (Myers 2005) feeding the same unitig
+// traversal. For a given graph mode the contigs are byte-identical in
+// every configuration.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -50,6 +54,7 @@ int main(int argc, char** argv) {
                  "[--gfa=graph.gfa] [--min-contig=N] [--work-dir=DIR] "
                  "[--resume] [--fault-spec=SPEC] [--nodes=N] "
                  "[--reduce=token|bsp|speculative] "
+                 "[--graph=greedy|reduced] "
                  "[--trace-out=trace.json] [--metrics-out=metrics.json] "
                  "[--profile-out=profile.json] "
                  "[--log-level=debug|info|warn|error|off] "
@@ -115,6 +120,17 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr,
                      "--reduce wants token, bsp or speculative, not %s\n",
+                     name.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--graph=", 0) == 0) {
+      const std::string name = arg.substr(8);
+      if (name == "greedy") {
+        config.graph = core::GraphMode::kGreedy;
+      } else if (name == "reduced") {
+        config.graph = core::GraphMode::kReduced;
+      } else {
+        std::fprintf(stderr, "--graph wants greedy or reduced, not %s\n",
                      name.c_str());
         return 2;
       }
@@ -213,6 +229,7 @@ int main(int argc, char** argv) {
       cluster.work_dir = config.work_dir;
       cluster.resume = config.resume;
       cluster.reduce_strategy = reduce;
+      cluster.graph = config.graph;
       const dist::DistributedResult result =
           dist::run_distributed(argv[1], argv[2], cluster);
       if (!trace_out.empty()) {
@@ -252,6 +269,12 @@ int main(int argc, char** argv) {
       std::printf("candidates:     %llu\ngraph edges:    %llu\n",
                   static_cast<unsigned long long>(result.candidate_edges),
                   static_cast<unsigned long long>(result.accepted_edges));
+      if (result.full_edges > 0) {
+        std::printf(
+            "reduction:      %llu full edges, %llu transitive removed\n",
+            static_cast<unsigned long long>(result.full_edges),
+            static_cast<unsigned long long>(result.transitive_removed));
+      }
       std::printf("contigs:        %llu, total %llu bases, N50 %llu\n",
                   static_cast<unsigned long long>(result.contigs.count),
                   static_cast<unsigned long long>(result.contigs.total_bases),
@@ -308,6 +331,12 @@ int main(int argc, char** argv) {
     }
     std::printf("\ngraph edges:    %llu\n",
                 static_cast<unsigned long long>(result.graph_edges));
+    if (result.full_edges > 0) {
+      std::printf(
+          "reduction:      %llu full edges, %llu transitive removed\n",
+          static_cast<unsigned long long>(result.full_edges),
+          static_cast<unsigned long long>(result.transitive_removed));
+    }
     std::printf("contigs:        %llu, total %llu bases, N50 %llu\n",
                 static_cast<unsigned long long>(result.contigs.count),
                 static_cast<unsigned long long>(result.contigs.total_bases),

@@ -204,6 +204,10 @@ std::uint64_t hash_assembly_config(const AssemblyConfig& config) {
   hash = fnv1a_value(hash, config.fingerprints.secondary.modulus);
   hash = fnv1a_value(hash, config.include_singletons);
   hash = fnv1a_value(hash, config.min_contig_length);
+  // Unlike streamed_*/kernel_backend, the graph mode changes the contigs
+  // and the checkpoint sidecar layout, so greedy and reduced checkpoints
+  // must not interchange.
+  hash = fnv1a_value(hash, static_cast<std::uint64_t>(config.graph));
   return hash;
 }
 

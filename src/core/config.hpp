@@ -105,6 +105,19 @@ inline MachineConfig MachineConfig::with_gpu(const gpu::GpuProfile& profile,
   return m;
 }
 
+/// String-graph construction mode. `kGreedy` is the paper's
+/// at-most-one-out-edge greedy graph. `kReduced` keeps the full overlap
+/// graph, runs the blocked parallel Myers transitive reduction, and walks
+/// the unambiguous unitig links of the reduced graph (arXiv:2010.10055 /
+/// arXiv:2207.04350). The mode changes the contigs, so — unlike the
+/// streamed_*/backend toggles — it participates in the checkpoint config
+/// hash.
+enum class GraphMode : std::uint8_t { kGreedy = 0, kReduced = 1 };
+
+[[nodiscard]] inline const char* graph_mode_name(GraphMode mode) {
+  return mode == GraphMode::kReduced ? "reduced" : "greedy";
+}
+
 /// Assembly parameters.
 struct AssemblyConfig {
   MachineConfig machine;
@@ -148,6 +161,11 @@ struct AssemblyConfig {
   /// streamed_* flags the choice is excluded from the checkpoint config
   /// hash, so checkpoints interchange between backends.
   std::string kernel_backend = "simulated";
+  /// Graph mode: greedy (default) or reduced (full graph + blocked
+  /// parallel transitive reduction + unitig walk). Part of the checkpoint
+  /// config hash — reduced-mode intermediates do not interchange with
+  /// greedy ones.
+  GraphMode graph = GraphMode::kGreedy;
   /// Working directory for intermediate files (empty = fresh temp dir).
   std::filesystem::path work_dir;
   /// Resume from the checkpoint manifest in `work_dir` (if one exists and

@@ -8,12 +8,14 @@
 #include "core/checkpoint.hpp"
 #include "core/spec_resolve.hpp"
 #include "graph/gfa.hpp"
+#include "graph/transitive.hpp"
 #include "io/record_stream.hpp"
 #include "kernel/backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "seq/read_store.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace lasagna::core {
@@ -460,9 +462,29 @@ AssemblyResult Assembler::run(
   reduce_options.reads = packed.has_value() ? &*packed : nullptr;
   reduce_options.streamed = config_.streamed_reduce;
   ReduceResult reduced;
+  std::unique_ptr<graph::FullStringGraph> full;  // reduced graph mode only
+  bool reduction_restored = false;
   {
     bool restorable = false;
-    if (resumable && cm->has("phase:reduce")) {
+    if (config_.graph == GraphMode::kReduced) {
+      // Reduced mode checkpoints the *full* overlap graph after the scan
+      // (full_graph.bin) and the unitig graph after the reduction phase
+      // (reduced_graph.bin). Either sidecar makes the scan restorable; the
+      // reduction phase below re-runs unless the second one is intact.
+      if (resumable && cm->has("phase:reduction")) {
+        reduction_restored = file_has_size(
+            cm->sidecar("reduced_graph.bin"),
+            cm->counter("phase:reduction", "graph_edges") *
+                sizeof(graph::Edge));
+      }
+      bool full_restorable = false;
+      if (resumable && !reduction_restored && cm->has("phase:reduce")) {
+        full_restorable = file_has_size(
+            cm->sidecar("full_graph.bin"),
+            cm->counter("phase:reduce", "full_edges") * sizeof(graph::Edge));
+      }
+      restorable = reduction_restored || full_restorable;
+    } else if (resumable && cm->has("phase:reduce")) {
       restorable = file_has_size(
           cm->sidecar("graph.bin"),
           cm->counter("phase:reduce", "graph_edges") * sizeof(graph::Edge));
@@ -470,7 +492,21 @@ AssemblyResult Assembler::run(
     PhaseScope scope("reduce", ws, config_.machine, result.stats,
                      /*extra_input_bytes=*/0.0,
                      /*overlapped=*/config_.streamed_reduce && !restorable);
-    if (restorable) {
+    if (restorable && config_.graph == GraphMode::kReduced) {
+      reduced.candidate_edges = cm->counter("phase:reduce", "candidate_edges");
+      reduced.false_positives =
+          cm->counter("phase:reduce", "false_positives");
+      if (!reduction_restored) {
+        const std::vector<std::uint32_t> lengths32(map.read_lengths.begin(),
+                                                   map.read_lengths.end());
+        full = std::make_unique<graph::FullStringGraph>(map.read_count,
+                                                        lengths32);
+        full->import_edges(io::read_all_records<graph::Edge>(
+            cm->sidecar("full_graph.bin"), *ws.io));
+      }
+      scope.mark_resumed();
+      ++result.phases_resumed;
+    } else if (restorable) {
       const auto edges =
           io::read_all_records<graph::Edge>(cm->sidecar("graph.bin"),
                                             *ws.io);
@@ -482,6 +518,31 @@ AssemblyResult Assembler::run(
           cm->counter("phase:reduce", "false_positives");
       scope.mark_resumed();
       ++result.phases_resumed;
+    } else if (config_.graph == GraphMode::kReduced) {
+      // Full-graph collection: the scan delivers every candidate through
+      // the sink (canonical offer order) into the full string graph
+      // instead of the greedy insertion; the blocked transitive reduction
+      // and the unitig walk run as their own phase below. Takes precedence
+      // over speculative_reduce — there is no greedy edge set to resolve.
+      const std::vector<std::uint32_t> lengths32(map.read_lengths.begin(),
+                                                 map.read_lengths.end());
+      full =
+          std::make_unique<graph::FullStringGraph>(map.read_count, lengths32);
+      reduce_options.candidate_sink =
+          [&full](graph::VertexId u, graph::VertexId v, std::uint16_t overlap,
+                  const gpu::Key128&) { full->add_edge(u, v, overlap); };
+      reduced = run_reduce_phase(ws, sorted, map.read_count, reduce_options);
+      scope.set_host_bytes(reduced.host_bytes);
+      if (cm != nullptr) {
+        const std::vector<graph::Edge> edges = full->all_edges();
+        io::write_all_records<graph::Edge>(
+            cm->sidecar("full_graph.bin"),
+            std::span<const graph::Edge>(edges), *ws.io);
+        cm->record("phase:reduce",
+                   {{"candidate_edges", reduced.candidate_edges},
+                    {"false_positives", reduced.false_positives},
+                    {"full_edges", full->edge_count()}});
+      }
     } else if (config_.speculative_reduce) {
       // Partitioned speculative resolution: the reduce scan delivers
       // candidates through the sink in the canonical (layout-invariant)
@@ -538,6 +599,54 @@ AssemblyResult Assembler::run(
       }
     }
   }
+  // ---- Reduction (reduced graph mode only): blocked parallel Myers
+  // transitive reduction over the full overlap graph, then the unitig walk
+  // that keeps the unambiguous chain links. Deterministic at any thread
+  // count/block size, so the contigs are byte-identical to a sequential
+  // reduction (and to the distributed per-owner reduction).
+  if (config_.graph == GraphMode::kReduced) {
+    PhaseScope scope("reduction", ws, config_.machine, result.stats);
+    if (reduction_restored) {
+      const auto edges = io::read_all_records<graph::Edge>(
+          cm->sidecar("reduced_graph.bin"), *ws.io);
+      reduced.graph = std::make_unique<graph::StringGraph>(map.read_count);
+      reduced.graph->import_edges(edges);
+      result.full_edges = cm->counter("phase:reduce", "full_edges");
+      result.transitive_removed =
+          cm->counter("phase:reduction", "removed_edges");
+      scope.mark_resumed();
+      ++result.phases_resumed;
+    } else {
+      result.full_edges = full->edge_count();
+      result.transitive_removed =
+          full->reduce_parallel(util::ThreadPool::global());
+      reduced.graph = std::make_unique<graph::StringGraph>(map.read_count);
+      reduced.graph->import_edges(full->to_unitig_graph().edges());
+      // The mark pass streams every adjacency list once for itself and
+      // once per incoming middle-hop visit; charge two passes over the
+      // edge array as the host-lane cost of the scan.
+      scope.set_host_bytes(result.full_edges * 2 * sizeof(graph::Edge));
+      auto& registry = obs::MetricsRegistry::global();
+      registry.counter("graph.reduce.full_edges")
+          .add(static_cast<std::int64_t>(result.full_edges));
+      registry.counter("graph.reduce.removed_edges")
+          .add(static_cast<std::int64_t>(result.transitive_removed));
+      registry.counter("graph.reduce.unitig_edges")
+          .add(static_cast<std::int64_t>(reduced.graph->edge_count()));
+      if (cm != nullptr) {
+        const std::vector<graph::Edge> edges = reduced.graph->edges();
+        io::write_all_records<graph::Edge>(
+            cm->sidecar("reduced_graph.bin"),
+            std::span<const graph::Edge>(edges), *ws.io);
+        cm->record("phase:reduction",
+                   {{"removed_edges", result.transitive_removed},
+                    {"graph_edges", reduced.graph->edge_count()}});
+      }
+    }
+    reduced.accepted_edges = reduced.graph->edge_count() / 2;
+    full.reset();
+  }
+
   result.candidate_edges = reduced.candidate_edges;
   result.accepted_edges = reduced.accepted_edges;
   result.false_positives = reduced.false_positives;

@@ -31,6 +31,10 @@ struct AssemblyResult {
   std::uint64_t accepted_edges = 0;
   std::uint64_t false_positives = 0;
   std::uint64_t graph_edges = 0;
+  /// Reduced graph mode only: full overlap-graph size before the blocked
+  /// transitive reduction, and the number of edges the reduction removed.
+  std::uint64_t full_edges = 0;
+  std::uint64_t transitive_removed = 0;
   std::uint64_t paths = 0;
   ContigStats contigs;
   /// Phases restored from a checkpoint instead of executed (resume runs).

@@ -22,6 +22,7 @@
 #include "dist/shuffle_ingest.hpp"
 #include "dist/topology.hpp"
 #include "graph/string_graph.hpp"
+#include "graph/transitive.hpp"
 #include "io/fault_injector.hpp"
 #include "io/file_stream.hpp"
 #include "io/tempdir.hpp"
@@ -44,6 +45,11 @@ constexpr std::uint16_t kGatherKeys = 3;  ///< node: partition keys it owns
 constexpr std::uint16_t kBlockDone = 4;   ///< all: input block fully pushed
 constexpr std::uint16_t kSpecProposals = 5;  ///< master: speculative accepts
 constexpr std::uint16_t kSpecCommit = 6;     ///< all: reconciled commit delta
+constexpr std::uint16_t kGraphEdges = 7;     ///< owner: directed full-graph edges
+constexpr std::uint16_t kAdjFetch = 8;       ///< owner: boundary adjacency fetch
+constexpr std::uint16_t kUnitigLinks = 9;    ///< owner: surviving edges for
+                                             ///< in-degree accumulation
+constexpr std::uint16_t kGatherUnitigs = 10; ///< master: stitched unitig edges
 
 constexpr std::uint64_t kShuffleChunkBytes = 256 << 10;
 
@@ -115,6 +121,10 @@ std::uint64_t hash_cluster_config(const ClusterConfig& config) {
   h = fnv_u64(h, config.machine.host_memory_bytes);
   h = fnv_u64(h, config.machine.device_memory_bytes);
   h = fnv_u64(h, config.include_singletons ? 1 : 0);
+  // The graph mode changes both the contigs and the reduce-phase sidecar
+  // layout (candidate lists vs. edge deltas), so greedy and reduced
+  // checkpoints must not interchange — mirrors hash_assembly_config.
+  h = fnv_u64(h, config.graph == core::GraphMode::kReduced ? 1 : 0);
   return h;
 }
 
@@ -171,6 +181,23 @@ std::string spec_round_key(unsigned round) {
 
 constexpr const char* kSpecCommittedKey = "reduce:spec:committed";
 constexpr const char* kSpecCommittedSidecar = "spec.committed";
+
+// Reduced-graph-mode checkpoint names: one candidate-edge sidecar per
+// scanned partition (restore skips the partition's disk reads and device
+// kernels; everything downstream — exchange, reduction, stitch — is a pure
+// function of the candidates and recomputes). The "reduce:" prefix keeps
+// existing fault-policy match specs applicable.
+std::string full_cand_key(unsigned key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "reduce:fullcand:l%08u", key);
+  return buf;
+}
+
+std::string full_cand_sidecar_name(unsigned key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "full.cand.l%08u", key);
+  return buf;
+}
 
 /// One simulated compute node: private device, disk counters and storage.
 struct NodeContext {
@@ -533,6 +560,55 @@ std::optional<std::vector<graph::Edge>> read_spec_committed(
   }
 }
 
+// ---- reduced-graph-mode sidecars ----------------------------------------
+
+/// One partition's candidate edges (u, v, overlap), in scan order.
+void write_full_candidates(NodeContext& node, unsigned key,
+                           std::span<const graph::Edge> candidates) {
+  const std::filesystem::path path =
+      node.checkpoint->sidecar(full_cand_sidecar_name(key));
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    io::WriteOnlyStream out(tmp, node.io);
+    write_pod(out, static_cast<std::uint64_t>(candidates.size()));
+    out.write_bytes(std::as_bytes(candidates));
+    out.close();
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<std::vector<graph::Edge>> read_full_candidates(
+    NodeContext& node, unsigned key) {
+  const std::filesystem::path path =
+      node.checkpoint->sidecar(full_cand_sidecar_name(key));
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  try {
+    io::ReadOnlyStream in(path, node.io);
+    std::uint64_t count = 0;
+    if (!read_pod(in, count)) return std::nullopt;
+    if (in.remaining() != count * sizeof(graph::Edge)) return std::nullopt;
+    std::vector<graph::Edge> edges(count);
+    if (in.read_bytes(std::as_writable_bytes(std::span<graph::Edge>(
+            edges))) != count * sizeof(graph::Edge)) {
+      return std::nullopt;
+    }
+    return edges;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// One surviving full-graph edge on its way to the dst's owner: every link
+/// bumps the dst's global in-degree; links whose src has out-degree 1 are
+/// also unitig candidates.
+struct UnitigLink {
+  graph::VertexId src = 0;
+  graph::VertexId dst = 0;
+  std::uint16_t overlap = 0;
+  std::uint16_t out_one = 0;  ///< src's post-reduction out-degree == 1
+};
+
 }  // namespace
 
 ClusterConfig ClusterConfig::supermic(unsigned nodes, double scale) {
@@ -585,6 +661,11 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
   obs::Counter& c_spec_proposals = registry.counter("dist.reduce.proposals");
   obs::Counter& c_spec_supersteps =
       registry.counter("dist.reduce.supersteps");
+  obs::Counter& c_full_edges = registry.counter("dist.reduce.full_edges");
+  obs::Counter& c_removed = registry.counter("dist.reduce.removed_edges");
+  obs::Counter& c_halo = registry.counter("dist.reduce.halo_vertices");
+  obs::Counter& c_unitig_links =
+      registry.counter("dist.reduce.unitig_links");
 
   const double disk_bw = config.machine.disk_bandwidth_bytes_per_sec;
   const double host_bw = config.machine.host_bandwidth_bytes_per_sec;
@@ -627,11 +708,20 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
   }
 
   // Pre-scan the shared input once (master): read count for block
-  // assignment and graph sizing.
+  // assignment and graph sizing. Reduced graph mode additionally collects
+  // the global read-length table — the overhang arithmetic of the
+  // transitive reduction needs every endpoint's length, including halo
+  // vertices owned by other nodes.
+  std::vector<std::uint32_t> read_lengths;
   {
     seq::ReadBatchStream stream(fastq, 1 << 20);
     seq::ReadBatch batch;
     while (stream.next(batch)) {
+      if (config.graph == core::GraphMode::kReduced) {
+        for (const std::string& r : batch.reads) {
+          read_lengths.push_back(static_cast<std::uint32_t>(r.size()));
+        }
+      }
     }
     result.read_count = stream.reads_seen();
   }
@@ -1540,7 +1630,415 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     std::vector<double> host_lane(config.node_count, 0.0);
     std::vector<double> net_lane(config.node_count, 0.0);
 
-    if (config.reduce_strategy == ReduceStrategy::kLengthToken) {
+    if (config.graph == core::GraphMode::kReduced) {
+      // Distributed transitive reduction + contig generation
+      // (arXiv:2207.04350). Vertex ids are range-partitioned into
+      // contiguous blocks, one per node:
+      //
+      //   1. every node scans its owned partitions in parallel (no token —
+      //      the full graph keeps all candidates, so there is nothing to
+      //      coordinate) and routes each candidate edge, in both twin
+      //      directions, to the owner of its source vertex;
+      //   2. owners upsert arrivals into canonically sorted adjacency —
+      //      insertion is order-independent, so the per-owner union equals
+      //      the single-node FullStringGraph block for block;
+      //   3. each owner fetches the boundary (halo) adjacency its block's
+      //      out-edges point into and marks transitive edges against the
+      //      immutable pre-sweep state — the same pure per-vertex function
+      //      the sequential and thread-pool reductions compute;
+      //   4. owners sweep their blocks and send every surviving edge to
+      //      its destination's owner as a unitig link (dst in-degree
+      //      counting; src out-degree-1 links are chain candidates);
+      //   5. node 0 gathers the links that survived the in-degree-1 test
+      //      and replays them in ascending source order — exactly
+      //      FullStringGraph::to_unitig_graph()'s insertion order, so
+      //      contigs are byte-identical to the single-node reduced
+      //      pipeline at every node count.
+      const std::uint64_t vcount =
+          static_cast<std::uint64_t>(result.read_count) * 2;
+      const std::uint64_t vspan = std::max<std::uint64_t>(
+          1, (vcount + config.node_count - 1) / config.node_count);
+      auto vertex_owner = [&](graph::VertexId v) {
+        return static_cast<unsigned>(std::min<std::uint64_t>(
+            v / vspan, config.node_count - 1));
+      };
+
+      struct OwnerBlock {
+        std::uint64_t begin = 0;
+        std::uint64_t end = 0;  ///< one past the last owned vertex
+        std::vector<std::vector<graph::Edge>> adj;  ///< [v - begin]
+        std::uint64_t received = 0;  ///< kGraphEdges arrivals (insert cost)
+        /// Boundary adjacency fetched from other owners in stage 3; only
+        /// vertices some owned edge points at are present.
+        std::map<graph::VertexId, std::vector<graph::Edge>> halo;
+        std::vector<std::vector<std::uint8_t>> transitive;  ///< [v - begin]
+        std::vector<std::uint32_t> indeg;     ///< reduced-graph in-degree
+        std::vector<graph::Edge> links;       ///< out-degree-1 candidates
+        std::uint64_t full_edges = 0;         ///< directed, pre-sweep
+        std::uint64_t removed = 0;
+      };
+      std::vector<OwnerBlock> blocks_v(config.node_count);
+      for (unsigned i = 0; i < config.node_count; ++i) {
+        OwnerBlock& block = blocks_v[i];
+        block.begin = std::min<std::uint64_t>(vcount, i * vspan);
+        block.end = i + 1 == config.node_count
+                        ? vcount
+                        : std::min<std::uint64_t>(vcount, (i + 1) * vspan);
+        block.adj.resize(block.end - block.begin);
+        block.transitive.resize(block.end - block.begin);
+        // Sized before any stage-4 link can arrive.
+        block.indeg.assign(block.end - block.begin, 0);
+      }
+
+      // Handlers run serialized per destination node (the network's
+      // per-node mutex), so plain fields are safe; the for_each_node
+      // barriers between stages order the cross-stage reads.
+      for (auto& node : nodes) {
+        OwnerBlock& block = blocks_v[node.id];
+        net.register_handler(
+            node.id, kGraphEdges,
+            [&block](unsigned, std::span<const std::byte> payload) {
+              std::size_t offset = 0;
+              while (offset < payload.size()) {
+                const auto e = get<graph::Edge>(payload, offset);
+                graph::upsert_directed_edge(block.adj[e.src - block.begin],
+                                            e.src, e.dst, e.overlap);
+                ++block.received;
+              }
+              return Payload{};
+            });
+        net.register_handler(
+            node.id, kAdjFetch,
+            [&block](unsigned, std::span<const std::byte> payload) {
+              Payload reply;
+              std::size_t offset = 0;
+              while (offset < payload.size()) {
+                const auto v = get<graph::VertexId>(payload, offset);
+                const auto& adj = block.adj[v - block.begin];
+                put(reply, v);
+                put(reply, static_cast<std::uint32_t>(adj.size()));
+                for (const graph::Edge& e : adj) put(reply, e);
+              }
+              return reply;
+            });
+        net.register_handler(
+            node.id, kUnitigLinks,
+            [&block](unsigned, std::span<const std::byte> payload) {
+              std::size_t offset = 0;
+              while (offset < payload.size()) {
+                const auto link = get<UnitigLink>(payload, offset);
+                ++block.indeg[link.dst - block.begin];
+                if (link.out_one != 0) {
+                  block.links.push_back(
+                      graph::Edge{link.src, link.dst, link.overlap});
+                }
+              }
+              return Payload{};
+            });
+        net.register_handler(
+            node.id, kGatherUnitigs,
+            [&block](unsigned, std::span<const std::byte>) {
+              Payload reply;
+              for (const graph::Edge& e : block.links) {
+                if (block.indeg[e.dst - block.begin] == 1) put(reply, e);
+              }
+              return reply;
+            });
+      }
+
+      // ---- stage 1+2: scan owned partitions, route candidates ----------
+      // Candidates are routed only after a node finishes all of its scans,
+      // so a crash mid-scan leaves no partial deliveries; resume re-routes
+      // everything deterministically from the sidecars.
+      std::vector<double> owner_busy(config.node_count, 0.0);
+      std::vector<const char*> owner_lane(config.node_count, "host");
+      std::atomic<std::uint64_t> cand_total{0};
+      std::atomic<unsigned> parts_total{0};
+      std::atomic<unsigned> parts_restored{0};
+      const std::uint64_t edges_per_chunk =
+          std::max<std::uint64_t>(1, kShuffleChunkBytes /
+                                         sizeof(graph::Edge));
+      for_each_node(nodes, [&](NodeContext& node) {
+        struct Lanes {
+          double disk = 0.0, dev = 0.0, host = 0.0;
+        } lanes;
+        double busy = 0.0;
+        std::vector<graph::Edge> mine;
+        io::FaultInjector::ScopedNode node_scope(static_cast<int>(node.id));
+        for (const auto& part : node.sorted) {
+          const unsigned l = part.length;
+          parts_total.fetch_add(1, std::memory_order_relaxed);
+          if (io::FaultInjector* injector = io::FaultInjector::active()) {
+            injector->on_node_op(node.id, full_cand_key(l));
+          }
+
+          if (node.checkpoint != nullptr &&
+              node.checkpoint->has(full_cand_key(l))) {
+            auto restored = read_full_candidates(node, l);
+            if (restored.has_value()) {
+              cand_total.fetch_add(
+                  node.checkpoint->counter(full_cand_key(l), "candidates"),
+                  std::memory_order_relaxed);
+              mine.insert(mine.end(), restored->begin(), restored->end());
+              parts_restored.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+          }
+
+          const auto io_before = node.io.snapshot();
+          const double dev_before = node.device->modeled_seconds();
+          core::ReduceOptions options;
+          options.streamed = config.streamed;
+          std::vector<graph::Edge> part_cands;
+          options.candidate_sink =
+              [&part_cands](graph::VertexId u, graph::VertexId v,
+                            std::uint16_t overlap, const gpu::Key128&) {
+                part_cands.push_back(graph::Edge{u, v, overlap});
+              };
+          graph::StringGraph scratch(0);  // unused in sink mode
+          const core::PartitionReduceStats stats =
+              core::reduce_partition(node.ws, part, scratch, options);
+          node.did_work = true;
+          cand_total.fetch_add(stats.candidates, std::memory_order_relaxed);
+          c_partitions.add(1);
+
+          if (node.checkpoint != nullptr) {
+            write_full_candidates(
+                node, l, std::span<const graph::Edge>(part_cands));
+            node.checkpoint->record(full_cand_key(l),
+                                    {{"candidates", stats.candidates}});
+          }
+          mine.insert(mine.end(), part_cands.begin(), part_cands.end());
+
+          const auto io_after = node.io.snapshot();
+          const double disk_t =
+              static_cast<double>(io_after.bytes_read -
+                                  io_before.bytes_read +
+                                  io_after.bytes_written -
+                                  io_before.bytes_written) /
+              disk_bw;
+          const double dev_t =
+              (node.device->modeled_seconds() - dev_before) *
+              config.machine.time_scale;
+          const double host_t =
+              static_cast<double>(stats.host_bytes) / host_bw;
+          host_lane[node.id] += host_t;
+          h_scan.record(to_ps(disk_t + dev_t + host_t));
+          lanes.disk += disk_t;
+          lanes.dev += dev_t;
+          lanes.host += host_t;
+          if (streamed) {
+            busy = std::max({lanes.disk, lanes.dev, lanes.host});
+          } else {
+            busy += disk_t + dev_t + host_t;
+          }
+        }
+        owner_busy[node.id] = busy;
+        owner_lane[node.id] =
+            dominant_lane(lanes.dev, lanes.disk, lanes.host);
+
+        // Route: both twin directions travel to their source's owner, so
+        // every owner sees exactly the directed edges the single-node
+        // FullStringGraph::add_edge would have stored in its block.
+        std::vector<std::vector<graph::Edge>> outbound(config.node_count);
+        for (const graph::Edge& e : mine) {
+          if (e.src == e.dst || e.dst == graph::complement_vertex(e.src)) {
+            continue;  // add_edge's self/complement guard
+          }
+          outbound[vertex_owner(e.src)].push_back(e);
+          const graph::Edge twin{graph::complement_vertex(e.dst),
+                                 graph::complement_vertex(e.src), e.overlap};
+          outbound[vertex_owner(twin.src)].push_back(twin);
+        }
+        for (unsigned k = 0; k < config.node_count; ++k) {
+          const auto& out = outbound[k];
+          for (std::size_t base = 0; base < out.size();
+               base += edges_per_chunk) {
+            const std::size_t count =
+                std::min<std::size_t>(edges_per_chunk, out.size() - base);
+            Payload payload(count * sizeof(graph::Edge));
+            std::memcpy(payload.data(), out.data() + base,
+                        count * sizeof(graph::Edge));
+            (void)net.request(node.id, k, kGraphEdges, payload);
+          }
+        }
+      });
+      result.candidate_edges = cand_total.load(std::memory_order_relaxed);
+      const double scan_max =
+          *std::max_element(owner_busy.begin(), owner_busy.end());
+      const auto scan_arg = static_cast<unsigned>(std::distance(
+          owner_busy.begin(),
+          std::max_element(owner_busy.begin(), owner_busy.end())));
+
+      // ---- stage 3: halo fetch + blocked transitive marking ------------
+      // Adjacency is immutable for the whole barrier (concurrent reads
+      // only), which is the byte-identity argument: every vertex's flags
+      // are the same pure function FullStringGraph::reduce() computes.
+      auto length_of = [&read_lengths](graph::VertexId w) {
+        return read_lengths[w >> 1];
+      };
+      for_each_node(nodes, [&](NodeContext& node) {
+        OwnerBlock& block = blocks_v[node.id];
+        std::vector<std::vector<graph::VertexId>> wanted(config.node_count);
+        for (const auto& adj : block.adj) {
+          for (const graph::Edge& e : adj) {
+            const unsigned owner = vertex_owner(e.dst);
+            if (owner != node.id) wanted[owner].push_back(e.dst);
+          }
+        }
+        const std::uint64_t ids_per_chunk = std::max<std::uint64_t>(
+            1, kShuffleChunkBytes / sizeof(graph::VertexId));
+        for (unsigned k = 0; k < config.node_count; ++k) {
+          auto& ids = wanted[k];
+          if (ids.empty()) continue;
+          std::sort(ids.begin(), ids.end());
+          ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+          c_halo.add(static_cast<std::int64_t>(ids.size()));
+          for (std::size_t base = 0; base < ids.size();
+               base += ids_per_chunk) {
+            const std::size_t count =
+                std::min<std::size_t>(ids_per_chunk, ids.size() - base);
+            Payload payload(count * sizeof(graph::VertexId));
+            std::memcpy(payload.data(), ids.data() + base,
+                        count * sizeof(graph::VertexId));
+            const Payload reply = net.request(node.id, k, kAdjFetch,
+                                              payload);
+            std::size_t offset = 0;
+            while (offset < reply.size()) {
+              const auto v = get<graph::VertexId>(reply, offset);
+              const auto n_edges = get<std::uint32_t>(reply, offset);
+              auto& halo = block.halo[v];
+              halo.reserve(n_edges);
+              for (std::uint32_t j = 0; j < n_edges; ++j) {
+                halo.push_back(get<graph::Edge>(reply, offset));
+              }
+            }
+          }
+        }
+
+        static const std::vector<graph::Edge> kEmptyAdj;
+        auto adjacency_of =
+            [&block](graph::VertexId w) -> const std::vector<graph::Edge>& {
+          if (w >= block.begin && w < block.end) {
+            return block.adj[w - block.begin];
+          }
+          const auto it = block.halo.find(w);
+          return it == block.halo.end() ? kEmptyAdj : it->second;
+        };
+        std::vector<std::uint8_t> mark(vcount, 0);
+        for (std::uint64_t v = block.begin; v < block.end; ++v) {
+          graph::mark_transitive_edges(
+              block.adj[v - block.begin], length_of(v), adjacency_of,
+              length_of, mark, block.transitive[v - block.begin]);
+        }
+      });
+
+      // ---- stage 4: sweep + unitig-link exchange -----------------------
+      // Receivers only mutate their own indeg/links (serialized by the
+      // network's per-node handler mutex), never adjacency, so the sweep
+      // and the exchange share one barrier.
+      for_each_node(nodes, [&](NodeContext& node) {
+        OwnerBlock& block = blocks_v[node.id];
+        std::vector<std::vector<UnitigLink>> out(config.node_count);
+        for (std::uint64_t v = block.begin; v < block.end; ++v) {
+          auto& adj = block.adj[v - block.begin];
+          const auto& flags = block.transitive[v - block.begin];
+          block.full_edges += adj.size();
+          std::size_t keep = 0;
+          for (std::size_t i = 0; i < adj.size(); ++i) {
+            if (flags[i] == 0) adj[keep++] = adj[i];
+          }
+          block.removed += adj.size() - keep;
+          adj.resize(keep);
+          const std::uint16_t out_one = keep == 1 ? 1 : 0;
+          for (const graph::Edge& e : adj) {
+            out[vertex_owner(e.dst)].push_back(
+                UnitigLink{e.src, e.dst, e.overlap, out_one});
+          }
+        }
+        const std::uint64_t links_per_chunk = std::max<std::uint64_t>(
+            1, kShuffleChunkBytes / sizeof(UnitigLink));
+        for (unsigned k = 0; k < config.node_count; ++k) {
+          const auto& links = out[k];
+          for (std::size_t base = 0; base < links.size();
+               base += links_per_chunk) {
+            const std::size_t count =
+                std::min<std::size_t>(links_per_chunk, links.size() - base);
+            Payload payload(count * sizeof(UnitigLink));
+            std::memcpy(payload.data(), links.data() + base,
+                        count * sizeof(UnitigLink));
+            (void)net.request(node.id, k, kUnitigLinks, payload);
+          }
+        }
+      });
+
+      // ---- stage 5: master gathers + stitches --------------------------
+      // Replaying the surviving links in ascending source order is exactly
+      // to_unitig_graph()'s insertion order (each qualifying source
+      // contributes one edge), so the merged graph — and therefore the
+      // contigs — match the single-node reduced pipeline byte for byte.
+      std::vector<graph::Edge> stitched;
+      {
+        const obs::Profiler::EdgeHint hint(obs::ProfEdgeKind::kGather);
+        for (unsigned i = 0; i < config.node_count; ++i) {
+          const Payload reply = net.request(0, i, kGatherUnitigs, {});
+          const std::size_t count = reply.size() / sizeof(graph::Edge);
+          const std::size_t base = stitched.size();
+          stitched.resize(base + count);
+          std::memcpy(stitched.data() + base, reply.data(),
+                      count * sizeof(graph::Edge));
+        }
+      }
+      std::sort(stitched.begin(), stitched.end(),
+                [](const graph::Edge& a, const graph::Edge& b) {
+                  return a.src < b.src;  // src unique among survivors
+                });
+      for (const graph::Edge& e : stitched) {
+        merged.try_add_edge(e.src, e.dst, e.overlap);
+      }
+      result.accepted_edges = merged.edge_count() / 2;
+      c_unitig_links.add(static_cast<std::int64_t>(stitched.size()));
+      for (const OwnerBlock& block : blocks_v) {
+        result.full_edges += block.full_edges;
+        result.transitive_removed += block.removed;
+      }
+      c_full_edges.add(static_cast<std::int64_t>(result.full_edges));
+      c_removed.add(static_cast<std::int64_t>(result.transitive_removed));
+
+      // Model: the stages are barriers, so the phase is the sum of each
+      // stage's slowest node — scan, insert (per arriving edge), mark (a
+      // host-lane pass over the block's pre-sweep adjacency, the same
+      // bytes the single-node reduction charges), and the boundary/link
+      // exchange on the network lane.
+      double insert_max = 0.0, mark_max = 0.0, net_max = 0.0;
+      unsigned insert_arg = 0, mark_arg = 0, net_arg = 0;
+      for (unsigned i = 0; i < config.node_count; ++i) {
+        const double insert_t =
+            static_cast<double>(blocks_v[i].received) *
+            config.graph_insert_seconds;
+        const double mark_t =
+            static_cast<double>(blocks_v[i].full_edges) * 2 *
+            sizeof(graph::Edge) / host_bw;
+        host_lane[i] += mark_t;
+        net_lane[i] = net.modeled_seconds(i);
+        if (insert_t > insert_max) { insert_max = insert_t; insert_arg = i; }
+        if (mark_t > mark_max) { mark_max = mark_t; mark_arg = i; }
+        if (net_lane[i] > net_max) { net_max = net_lane[i]; net_arg = i; }
+      }
+      phase.modeled_seconds = scan_max + insert_max + mark_max + net_max;
+      if (obs::Profiler* prof = obs::Profiler::active()) {
+        prof->chain(static_cast<int>(scan_arg), owner_lane[scan_arg],
+                    "straggler-scan", to_ps(scan_max));
+        prof->chain(static_cast<int>(insert_arg), "host", "graph-insert",
+                    to_ps(insert_max));
+        prof->chain(static_cast<int>(mark_arg), "host", "transitive-mark",
+                    to_ps(mark_max));
+        prof->chain(static_cast<int>(net_arg), "network",
+                    "boundary-exchange", to_ps(net_max));
+      }
+      phase.resumed = parts_total.load() > 0 &&
+                      parts_restored.load() == parts_total.load();
+    } else if (config.reduce_strategy == ReduceStrategy::kLengthToken) {
       for (auto& node : nodes) {
         node.graph =
             std::make_unique<graph::StringGraph>(result.read_count);
@@ -2259,7 +2757,8 @@ DistributedResult run_distributed(const std::filesystem::path& fastq,
     if (obs::Profiler* prof = obs::Profiler::active()) {
       prof->begin_phase("compress", to_ps(cluster_clock));
     }
-    if (config.reduce_strategy == ReduceStrategy::kLengthToken) {
+    if (config.reduce_strategy == ReduceStrategy::kLengthToken &&
+        config.graph == core::GraphMode::kGreedy) {
       const obs::Profiler::EdgeHint hint(obs::ProfEdgeKind::kGather);
       for (unsigned i = 0; i < config.node_count; ++i) {
         const Payload reply = net.request(0, i, kGatherEdges, {});

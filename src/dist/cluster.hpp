@@ -117,6 +117,15 @@ struct ClusterConfig {
   /// Scaled by `supermic()` alongside graph_insert_seconds.
   double graph_probe_seconds = 1e-9;
   bool include_singletons = false;
+  /// Pipeline graph mode. `kReduced` replaces the greedy reduce with a
+  /// distributed full-graph build: owners of contiguous vertex blocks
+  /// collect the candidate edges, transitively reduce their blocks locally
+  /// against boundary (halo) adjacency fetched from neighboring owners,
+  /// and a stitch superstep reassembles the unitig graph on node 0 —
+  /// contigs byte-identical to the single-node `--graph=reduced` pipeline
+  /// at every node count. Ignores `reduce_strategy` (there is no greedy
+  /// edge set to coordinate). Folded into the checkpoint config hash.
+  core::GraphMode graph = core::GraphMode::kGreedy;
   /// Overlap each node's lanes (device/disk/host/network) within phases,
   /// and the shuffle with the map. Contigs are byte-identical either way;
   /// only the modeled clocks change.
@@ -181,6 +190,10 @@ struct DistributedResult {
   unsigned reduce_rounds = 0;
   std::uint64_t reduce_conflicts = 0;
   unsigned reduce_supersteps = 0;
+  /// Reduced graph mode only (0 otherwise): directed full-graph edges
+  /// before reduction and transitive edges removed, summed over owners.
+  std::uint64_t full_edges = 0;
+  std::uint64_t transitive_removed = 0;
   core::ContigStats contigs;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace lasagna::graph {
 
 FullStringGraph::FullStringGraph(
@@ -24,17 +26,19 @@ void FullStringGraph::add_edge(VertexId u, VertexId v, std::uint16_t overlap) {
   }
   if (u == v || v == complement_vertex(u)) return;
 
-  auto upsert = [this](VertexId src, VertexId dst, std::uint16_t len) {
-    for (Edge& e : adjacency_[src]) {
-      if (e.dst == dst) {
-        e.overlap = std::max(e.overlap, len);
-        return;
-      }
-    }
-    adjacency_[src].push_back(Edge{src, dst, len});
-  };
-  upsert(u, v, overlap);
-  upsert(complement_vertex(v), complement_vertex(u), overlap);
+  // Keep only the longest overlap per (src, dst); on a tie the stored edge
+  // wins (the canonical direction is upserted first, so equal-overlap
+  // duplicates resolve to the lowest (src, dst) presentation no matter
+  // which direction or order the caller used).
+  const VertexId tu = complement_vertex(v);
+  const VertexId tv = complement_vertex(u);
+  if (tu < u || (tu == u && tv < v)) {
+    upsert_directed_edge(adjacency_[tu], tu, tv, overlap);
+    upsert_directed_edge(adjacency_[u], u, v, overlap);
+  } else {
+    upsert_directed_edge(adjacency_[u], u, v, overlap);
+    upsert_directed_edge(adjacency_[tu], tu, tv, overlap);
+  }
 }
 
 std::uint64_t FullStringGraph::edge_count() const {
@@ -43,67 +47,134 @@ std::uint64_t FullStringGraph::edge_count() const {
   return total;
 }
 
-void FullStringGraph::sort_adjacency() {
-  for (auto& adj : adjacency_) {
-    std::sort(adj.begin(), adj.end(), [](const Edge& a, const Edge& b) {
-      return a.overlap != b.overlap ? a.overlap > b.overlap : a.dst < b.dst;
-    });
+std::vector<Edge> FullStringGraph::all_edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count());
+  for (const auto& adj : adjacency_) {
+    out.insert(out.end(), adj.begin(), adj.end());
+  }
+  return out;
+}
+
+void FullStringGraph::import_edges(const std::vector<Edge>& edges) {
+  for (const Edge& e : edges) {
+    if (e.src >= vertex_count() || e.dst >= vertex_count()) {
+      throw std::out_of_range("FullStringGraph::import_edges: bad vertex");
+    }
+    adjacency_[e.src].push_back(e);
   }
 }
 
 std::uint64_t FullStringGraph::reduce() {
-  sort_adjacency();
+  // Pass 1: mark. Every vertex is classified against the unreduced
+  // adjacency, so no vertex observes another's sweep.
+  const std::uint32_t n = vertex_count();
+  std::vector<std::uint8_t> mark(n, 0);
+  std::vector<std::vector<std::uint8_t>> transitive(n);
+  auto adjacency_of = [this](VertexId w) -> const std::vector<Edge>& {
+    return adjacency_[w];
+  };
+  auto length_of = [this](VertexId w) { return vertex_length_[w]; };
+  for (VertexId v = 0; v < n; ++v) {
+    mark_transitive_edges(adjacency_[v], vertex_length_[v], adjacency_of,
+                          length_of, mark, transitive[v]);
+  }
 
-  // Myers' algorithm. For edge (v, w): overhang(v, w) = len(v) - overlap.
-  // Edge (v, x) is transitive if some w in adj(v) has (w, x) with
-  // overhang(v, w) + overhang(w, x) == overhang(v, x).
-  enum class Mark : std::uint8_t { kVacant, kInPlay, kEliminated };
-  std::vector<Mark> mark(vertex_count(), Mark::kVacant);
-  std::vector<std::uint8_t> reduce_flag;
-
+  // Pass 2: sweep.
   std::uint64_t removed = 0;
-  for (VertexId v = 0; v < vertex_count(); ++v) {
+  for (VertexId v = 0; v < n; ++v) {
     auto& adj = adjacency_[v];
-    if (adj.empty()) continue;
-    const std::uint32_t len_v = vertex_length_[v];
-
-    for (const Edge& e : adj) mark[e.dst] = Mark::kInPlay;
-
-    // Walk targets from longest overlap (shortest overhang) outward; any
-    // in-play vertex reachable with a matching combined overhang is
-    // transitive.
-    for (const Edge& vw : adj) {
-      if (mark[vw.dst] != Mark::kInPlay) continue;
-      const std::uint32_t overhang_vw = len_v - vw.overlap;
-      for (const Edge& wx : adjacency_[vw.dst]) {
-        if (mark[wx.dst] != Mark::kInPlay) continue;
-        const std::uint32_t overhang_wx =
-            vertex_length_[vw.dst] - wx.overlap;
-        // Does v -> w -> x line up exactly with a direct edge v -> x?
-        for (const Edge& vx : adj) {
-          if (vx.dst != wx.dst) continue;
-          if (len_v - vx.overlap == overhang_vw + overhang_wx) {
-            mark[wx.dst] = Mark::kEliminated;
-          }
-          break;
-        }
-      }
-    }
-
-    reduce_flag.assign(adj.size(), 0);
-    for (std::size_t i = 0; i < adj.size(); ++i) {
-      if (mark[adj[i].dst] == Mark::kEliminated) reduce_flag[i] = 1;
-    }
-    for (const Edge& e : adj) mark[e.dst] = Mark::kVacant;
-
     std::size_t keep = 0;
     for (std::size_t i = 0; i < adj.size(); ++i) {
-      if (reduce_flag[i] == 0) adj[keep++] = adj[i];
+      if (transitive[v][i] == 0) adj[keep++] = adj[i];
     }
     removed += adj.size() - keep;
     adj.resize(keep);
   }
   return removed;
+}
+
+std::uint64_t FullStringGraph::reduce_parallel(util::ThreadPool& pool,
+                                               std::uint32_t block_vertices) {
+  const std::uint32_t n = vertex_count();
+  if (n == 0) return 0;
+  if (block_vertices == 0) {
+    // ~4 blocks per worker: enough slack for stragglers on skewed
+    // adjacency without drowning in per-block scratch resets.
+    const std::uint32_t per_worker =
+        static_cast<std::uint32_t>(pool.size() * 4);
+    block_vertices = std::max<std::uint32_t>(1, (n + per_worker - 1) /
+                                                    std::max(1u, per_worker));
+  }
+  const std::uint32_t blocks = (n + block_vertices - 1) / block_vertices;
+
+  // Pass 1: mark blocks concurrently. The flag matrix is the only output;
+  // adjacency stays immutable until every block is done, which is the
+  // whole byte-identity argument — each vertex's flags are the same pure
+  // function `reduce()` computes.
+  std::vector<std::vector<std::uint8_t>> transitive(n);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const VertexId begin = b * block_vertices;
+    const VertexId end = std::min<std::uint64_t>(
+        n, static_cast<std::uint64_t>(begin) + block_vertices);
+    pool.submit([this, begin, end, n, &transitive] {
+      std::vector<std::uint8_t> mark(n, 0);
+      auto adjacency_of = [this](VertexId w) -> const std::vector<Edge>& {
+        return adjacency_[w];
+      };
+      auto length_of = [this](VertexId w) { return vertex_length_[w]; };
+      for (VertexId v = begin; v < end; ++v) {
+        mark_transitive_edges(adjacency_[v], vertex_length_[v], adjacency_of,
+                              length_of, mark, transitive[v]);
+      }
+    });
+  }
+  pool.wait_idle();
+
+  // Pass 2: sweep blocks concurrently; per-block removal counts are summed
+  // in block order.
+  std::vector<std::uint64_t> block_removed(blocks, 0);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const VertexId begin = b * block_vertices;
+    const VertexId end = std::min<std::uint64_t>(
+        n, static_cast<std::uint64_t>(begin) + block_vertices);
+    pool.submit([this, begin, end, b, &transitive, &block_removed] {
+      std::uint64_t removed = 0;
+      for (VertexId v = begin; v < end; ++v) {
+        auto& adj = adjacency_[v];
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < adj.size(); ++i) {
+          if (transitive[v][i] == 0) adj[keep++] = adj[i];
+        }
+        removed += adj.size() - keep;
+        adj.resize(keep);
+      }
+      block_removed[b] = removed;
+    });
+  }
+  pool.wait_idle();
+
+  std::uint64_t removed = 0;
+  for (const std::uint64_t r : block_removed) removed += r;
+  return removed;
+}
+
+StringGraph FullStringGraph::to_unitig_graph() const {
+  std::vector<std::uint32_t> in_degree(vertex_count(), 0);
+  for (const auto& adj : adjacency_) {
+    for (const Edge& e : adj) ++in_degree[e.dst];
+  }
+  StringGraph unitigs(vertex_count() / 2);
+  // Ascending vertex order; each qualifying src contributes exactly one
+  // edge, so this equals inserting the qualifying edge set sorted by src —
+  // the order the distributed stitch superstep reproduces.
+  for (VertexId v = 0; v < vertex_count(); ++v) {
+    if (adjacency_[v].size() != 1) continue;
+    const Edge& e = adjacency_[v].front();
+    if (in_degree[e.dst] != 1) continue;
+    unitigs.try_add_edge(v, e.dst, e.overlap);
+  }
+  return unitigs;
 }
 
 StringGraph FullStringGraph::to_greedy() const {

@@ -66,6 +66,14 @@ DatasetSpec paper_dataset(const std::string& name, double scale) {
   throw std::invalid_argument("unknown dataset: " + name);
 }
 
+std::string dataset_reference(const DatasetSpec& spec) {
+  GenomeSpec genome_spec;
+  genome_spec.length = spec.genome_length;
+  genome_spec.seed = spec.seed;
+  genome_spec.repeat_fraction = spec.repeat_fraction;
+  return generate_genome(genome_spec);
+}
+
 std::filesystem::path materialize_dataset(const DatasetSpec& spec,
                                           const std::filesystem::path& dir) {
   std::filesystem::create_directories(dir);
@@ -73,11 +81,7 @@ std::filesystem::path materialize_dataset(const DatasetSpec& spec,
       dir / (spec.name + "-" + std::to_string(spec.read_count) + ".fastq");
   if (std::filesystem::exists(fastq)) return fastq;
 
-  GenomeSpec genome_spec;
-  genome_spec.length = spec.genome_length;
-  genome_spec.seed = spec.seed;
-  genome_spec.repeat_fraction = spec.repeat_fraction;
-  const std::string genome = generate_genome(genome_spec);
+  const std::string genome = dataset_reference(spec);
 
   SequencingSpec seq_spec;
   seq_spec.read_length = spec.read_length;

@@ -50,4 +50,9 @@ struct DatasetSpec {
 std::filesystem::path materialize_dataset(const DatasetSpec& spec,
                                           const std::filesystem::path& dir);
 
+/// The synthetic reference genome a spec's reads are simulated from
+/// (deterministic in the spec), for quality evaluation of the assembled
+/// contigs against the ground truth.
+[[nodiscard]] std::string dataset_reference(const DatasetSpec& spec);
+
 }  // namespace lasagna::seq

@@ -26,6 +26,19 @@ std::uint64_t n50_of(std::vector<std::uint64_t> lengths) {
   return lengths.back();
 }
 
+/// NG50: like N50 but against the reference length — 0 when the assembly
+/// never reaches half the reference.
+std::uint64_t ng50_of(std::vector<std::uint64_t> lengths,
+                      std::uint64_t reference_length) {
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  std::uint64_t running = 0;
+  for (const std::uint64_t len : lengths) {
+    running += len;
+    if (running * 2 >= reference_length) return len;
+  }
+  return 0;
+}
+
 /// Can `contig` be placed on `ref` (one strand) with only isolated base
 /// errors? Seed with short windows from the front, middle and back; for
 /// each exact seed occurrence, overlay the whole contig at the implied
@@ -105,6 +118,7 @@ AssemblyEvaluation evaluate_assembly(std::string_view reference,
       ++eval.misassembled;
     }
   }
+  eval.ng50 = ng50_of(lengths, eval.reference_length);
   eval.n50 = n50_of(std::move(lengths));
 
   // Genome fraction: sampled reference windows present in some contig.

@@ -27,6 +27,10 @@ struct AssemblyEvaluation {
   std::uint64_t contigs = 0;         ///< evaluated (>= min_contig)
   std::uint64_t total_bases = 0;
   std::uint64_t n50 = 0;
+  /// N50 computed against the reference length instead of the assembly
+  /// size (QUAST's NG50): 0 when the contigs cover less than half the
+  /// reference.
+  std::uint64_t ng50 = 0;
   std::uint64_t largest = 0;
   /// Fraction of sampled reference windows found in some contig (either
   /// orientation).

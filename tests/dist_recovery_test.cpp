@@ -46,6 +46,7 @@ class DistRecoveryTest : public ::testing::Test {
     c.machine.host_memory_bytes = 1 << 19;
     c.machine.device_memory_bytes = 1 << 16;
     c.reduce_strategy = strategy_;
+    c.graph = graph_;
     c.work_dir = dir_.path() / ("work-" + scenario);
     return c;
   }
@@ -98,6 +99,7 @@ class DistRecoveryTest : public ::testing::Test {
 
   io::ScopedTempDir dir_{"lasagna-dist-recovery"};
   ReduceStrategy strategy_ = ReduceStrategy::kLengthToken;
+  core::GraphMode graph_ = core::GraphMode::kGreedy;
 };
 
 TEST_F(DistRecoveryTest, NodeKilledMidMapResumesFinishedBlocks) {
@@ -139,6 +141,26 @@ TEST_F(DistRecoveryTest, SpeculativeKilledMidReconciliationReplaysToFixpoint) {
   // and identical edge counts, which check_scenario asserts.
   strategy_ = ReduceStrategy::kSpeculative;
   check_scenario("spec-reconcile", "node:nth=2,match=reduce:spec:round", 3);
+}
+
+TEST_F(DistRecoveryTest, ReducedGraphKilledMidScanResumesFromSidecars) {
+  // Reduced graph mode: the kill fires on the second full-candidate
+  // sidecar write inside the distributed reduction's scan stage. On resume
+  // the finished partitions' candidate sets restore from their sidecars
+  // (no re-scan); the deterministic routing, blocked reduction and stitch
+  // superstep replay over the restored multiset, so contigs, edge counts
+  // and the full-graph/reduction counters all match the uninterrupted run.
+  graph_ = core::GraphMode::kReduced;
+  const DistributedResult full = run_full("ref-reduced-scan");
+  const DistributedResult resumed = crash_and_resume(
+      "reduced-scan", "node:nth=2,match=reduce:fullcand");
+  EXPECT_EQ(slurp(out("reduced-scan")), slurp(out("ref-reduced-scan")));
+  EXPECT_EQ(resumed.candidate_edges, full.candidate_edges);
+  EXPECT_EQ(resumed.accepted_edges, full.accepted_edges);
+  EXPECT_EQ(resumed.full_edges, full.full_edges);
+  EXPECT_EQ(resumed.transitive_removed, full.transitive_removed);
+  EXPECT_GE(resumed.phases_resumed, 3u);
+  EXPECT_LT(resumed.stats.total_disk_bytes(), full.stats.total_disk_bytes());
 }
 
 TEST_F(DistRecoveryTest, ResumeAfterSuccessfulRunSkipsEverythingButCompress) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "graph/string_graph.hpp"
@@ -215,6 +216,69 @@ TEST(Transitive, DuplicateEdgesKeepLongestOverlap) {
   g.add_edge(forward_vertex(0), forward_vertex(1), 60);
   ASSERT_EQ(g.out_edges(forward_vertex(0)).size(), 1u);
   EXPECT_EQ(g.out_edges(forward_vertex(0))[0].overlap, 60u);
+}
+
+TEST(Transitive, EqualOverlapTwinPresentationIsOrderIndependent) {
+  // The regression this pins down: add_edge used to store whichever twin
+  // direction arrived first, so presenting the same overlap as (u, v) vs
+  // (v', u') — or reordering equal-overlap candidates — could flip the
+  // adjacency. Canonicalized upserts (lowest (src, dst) first, stored edge
+  // wins ties) make every presentation order collapse to one graph.
+  const std::vector<std::uint32_t> lens(4, 100);
+  const VertexId u = forward_vertex(1);
+  const VertexId v = forward_vertex(2);
+
+  FullStringGraph a(4, lens);
+  a.add_edge(u, v, 60);
+  FullStringGraph b(4, lens);
+  b.add_edge(complement_vertex(v), complement_vertex(u), 60);  // twin form
+  EXPECT_EQ(a.all_edges(), b.all_edges());
+
+  // Duplicate equal-overlap inserts in both directions change nothing.
+  FullStringGraph c(4, lens);
+  c.add_edge(complement_vertex(v), complement_vertex(u), 60);
+  c.add_edge(u, v, 60);
+  c.add_edge(u, v, 60);
+  EXPECT_EQ(c.all_edges(), a.all_edges());
+  EXPECT_EQ(c.edge_count(), 2u);
+}
+
+TEST(Transitive, AdjacencyIsSortedAndInsertionOrderIndependent) {
+  const std::vector<std::uint32_t> lens(6, 100);
+  std::vector<Edge> inserts;
+  for (std::uint32_t j = 1; j < 6; ++j) {
+    inserts.push_back(Edge{forward_vertex(0), forward_vertex(j),
+                           static_cast<std::uint16_t>(30 + 10 * (j % 3))});
+  }
+  std::mt19937_64 rng(17);
+  std::vector<Edge> reference;
+  for (int round = 0; round < 6; ++round) {
+    std::shuffle(inserts.begin(), inserts.end(), rng);
+    FullStringGraph g(6, lens);
+    for (const Edge& e : inserts) g.add_edge(e.src, e.dst, e.overlap);
+    const auto& adj = g.out_edges(forward_vertex(0));
+    EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end(), adjacency_less));
+    if (round == 0) {
+      reference = g.all_edges();
+    } else {
+      EXPECT_EQ(g.all_edges(), reference) << "round " << round;
+    }
+  }
+}
+
+TEST(Transitive, UnitigGraphKeepsOnlyUnambiguousChainLinks) {
+  // 0 -> 1 -> 2 plus a branch 0 -> 3: vertex 0 has out-degree 2, so only
+  // (1, 2) survives the out-degree-1 x in-degree-1 test.
+  const std::vector<std::uint32_t> lens(4, 100);
+  FullStringGraph g(4, lens);
+  g.add_edge(forward_vertex(0), forward_vertex(1), 70);
+  g.add_edge(forward_vertex(1), forward_vertex(2), 70);
+  g.add_edge(forward_vertex(0), forward_vertex(3), 60);
+  const StringGraph unitigs = g.to_unitig_graph();
+  const auto e = unitigs.out_edge(forward_vertex(1));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->dst, forward_vertex(2));
+  EXPECT_FALSE(unitigs.out_edge(forward_vertex(0)).has_value());
 }
 
 TEST(Transitive, ChainReductionThenGreedyMatchesDirectGreedy) {
